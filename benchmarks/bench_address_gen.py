@@ -1,0 +1,61 @@
+"""Benchmark: the 'no added delay' claim of the Figure-1 datapath.
+
+The paper's hardware argument is that prime-mapped index generation costs
+one c-bit end-around-carry add per element, performed in parallel with the
+normal address calculation.  This bench counts adder passes over a long
+vector stream (the architectural claim) and times the functional model's
+throughput (a software sanity check that the fold is cheap).
+"""
+
+from repro.core.address_gen import AddressGenerator, AddressLayout
+
+LAYOUT = AddressLayout(address_bits=32, offset_bits=3, index_bits=13)
+STREAM_LENGTH = 4096
+
+
+def stream_vector():
+    """Generate one long strided stream and return the datapath costs."""
+    gen = AddressGenerator(LAYOUT)
+    for _ in gen.generate(0x10000, 7, STREAM_LENGTH):
+        pass
+    return gen.costs
+
+
+def test_one_adder_pass_per_element(benchmark, save_result):
+    """Element stepping costs exactly one c-bit add; conversions are
+    bounded by the chunk count of the address width."""
+    costs = benchmark(stream_vector)
+    assert costs.element_passes == STREAM_LENGTH - 1
+    # 32-bit address, c = 13: line addresses are 29 bits = 3 chunks, so a
+    # start conversion needs at most 2 folding adds; the stride fits one
+    # chunk and needs none.
+    assert costs.conversion_passes <= 2
+    assert costs.start_conversions == 1
+    assert costs.stride_conversions == 1
+
+    save_result("address_gen", (
+        f"stream of {STREAM_LENGTH} elements:\n"
+        f"  element adder passes: {costs.element_passes} "
+        f"(exactly 1 per element step)\n"
+        f"  conversion passes:    {costs.conversion_passes} "
+        f"(start-address folding, off the per-element path)\n"
+    ))
+
+
+def test_fold_throughput(benchmark):
+    """Microbenchmark: the software fold is a handful of shifts/adds.
+
+    (In hardware the claim is about gate delays — see
+    `repro.core.delay` — but the functional model should also not be a
+    simulation bottleneck.)
+    """
+    from repro.core.mersenne import fold
+
+    addresses = list(range(0, 1 << 22, 997))
+
+    def fold_all():
+        c = 13
+        return sum(fold(a, c) for a in addresses)
+
+    checksum = benchmark(fold_all)
+    assert checksum == sum(a % 8191 for a in addresses)

@@ -1,0 +1,47 @@
+"""Benchmark: the extension figures (prose arguments, plotted).
+
+Regenerates the four figures the paper argues in text but never plots —
+associativity collapse, the miss-ratio fallacy, interleaving bandwidth
+saturation and the utilisation penalty — and verifies their shapes.
+"""
+
+from repro.experiments.extension_figures import ALL_EXTENSION_FIGURES
+from repro.experiments.render import render_figure
+
+
+def build_all():
+    return {figure_id: build() for figure_id, build in
+            ALL_EXTENSION_FIGURES.items()}
+
+
+def test_extension_figures(benchmark, save_result):
+    """All four extension figures build and show their arguments."""
+    results = benchmark(build_all)
+
+    assoc = results["ext-assoc"]
+    one = assoc.series_by_label("1-way (cyclic)").values
+    eight = assoc.series_by_label("8-way LRU").values
+    prime = assoc.series_by_label("CC-prime").values
+    assert all(abs(a - b) / a < 0.02 for a, b in zip(one, eight))
+    assert all(p < b for p, b in zip(prime, eight))
+
+    ratio = results["ext-missratio"]
+    hits = ratio.series_by_label("direct hit ratio").values
+    cc = ratio.series_by_label("direct cycles/result").values
+    mm = ratio.series_by_label("MM cycles/result").values
+    assert any(h > 0.8 and c > m for h, c, m in zip(hits, cc, mm))
+
+    bandwidth = results["ext-bandwidth"]
+    for label_series in bandwidth.series:
+        assert label_series.values == sorted(label_series.values)
+
+    utilization = results["ext-utilization"]
+    direct = utilization.series_by_label("CC-direct").values
+    prime_u = utilization.series_by_label("CC-prime").values
+    assert max(prime_u) / min(prime_u) < 1.25
+    assert max(direct) / min(direct) > 2.0
+
+    save_result("extension_figures", "\n\n".join(
+        render_figure(results[figure_id])
+        for figure_id in sorted(ALL_EXTENSION_FIGURES)
+    ))

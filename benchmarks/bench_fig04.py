@@ -1,0 +1,20 @@
+"""Benchmark: regenerate the paper's Figure 4 and verify its claims.
+
+Cycles per result vs memory access time for the MM-model and the
+direct-mapped CC-model at blocking factors 2K and 4K (M = 32,
+C = 8K, R = B).  Paper claims: the cache pays off only past a
+t_m crossover of ~20 cycles (B = 4K) / ~7 cycles (B = 2K).
+"""
+
+from conftest import assert_claims
+
+from repro.experiments.checks import check_figure
+from repro.experiments.figures import figure4
+from repro.experiments.render import render_figure
+
+
+def test_fig4_regeneration(benchmark, save_result):
+    """Regenerate Figure 4's series and check the paper's shape claims."""
+    result = benchmark(figure4)
+    assert_claims(check_figure(result))
+    save_result("fig4", render_figure(result))

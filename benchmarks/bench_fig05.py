@@ -1,0 +1,19 @@
+"""Benchmark: regenerate the paper's Figure 5 and verify its claims.
+
+Cycles per result vs reuse factor at B = 1K (t_m = 8 and 16).
+Paper claims: the models tie at R = 1, the cache wins for any
+R > 1, with diminishing returns at large R.
+"""
+
+from conftest import assert_claims
+
+from repro.experiments.checks import check_figure
+from repro.experiments.figures import figure5
+from repro.experiments.render import render_figure
+
+
+def test_fig5_regeneration(benchmark, save_result):
+    """Regenerate Figure 5's series and check the paper's shape claims."""
+    result = benchmark(figure5)
+    assert_claims(check_figure(result))
+    save_result("fig5", render_figure(result))

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate the paper's Figure 6 and verify its claims.
+
+Cycles per result vs blocking factor (t_m = 16 and 32, M = 32).
+Paper claims: the direct-mapped cache collapses past B ~ 4K
+(t_m = 16) / ~5K (t_m = 32), i.e. usable cache fraction is small.
+"""
+
+from conftest import assert_claims
+
+from repro.experiments.checks import check_figure
+from repro.experiments.figures import figure6
+from repro.experiments.render import render_figure
+
+
+def test_fig6_regeneration(benchmark, save_result):
+    """Regenerate Figure 6's series and check the paper's shape claims."""
+    result = benchmark(figure6)
+    assert_claims(check_figure(result))
+    save_result("fig6", render_figure(result))

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate the paper's Figure 7 and verify its claims.
+
+Cycles per result vs memory access time for all three models
+(M = 64, B = 2K).  Paper claims: the prime-mapped curve is nearly
+flat and at t_m = M = 64 runs ~3x faster than direct-mapped and
+~5x faster than the cacheless machine.
+"""
+
+from conftest import assert_claims
+
+from repro.experiments.checks import check_figure
+from repro.experiments.figures import figure7
+from repro.experiments.render import render_figure
+
+
+def test_fig7_regeneration(benchmark, save_result):
+    """Regenerate Figure 7's series and check the paper's shape claims."""
+    result = benchmark(figure7)
+    assert_claims(check_figure(result))
+    save_result("fig7", render_figure(result))

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate the paper's Figure 8 and verify its claims.
+
+Cycles per result vs blocking factor at t_m = M/2 = 32 (M = 64).
+Paper claims: direct-mapped crosses above the MM-model near
+B ~ 3K while the prime-mapped curve stays flat.
+"""
+
+from conftest import assert_claims
+
+from repro.experiments.checks import check_figure
+from repro.experiments.figures import figure8
+from repro.experiments.render import render_figure
+
+
+def test_fig8_regeneration(benchmark, save_result):
+    """Regenerate Figure 8's series and check the paper's shape claims."""
+    result = benchmark(figure8)
+    assert_claims(check_figure(result))
+    save_result("fig8", render_figure(result))

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate the paper's Figure 9 and verify its claims.
+
+Cycles per result vs unit-stride probability (M = 64, B = 2K).
+Paper claims: the mapping schemes converge as P_stride1 -> 1 and
+tie at 1; prime wins whenever non-unit strides occur.
+"""
+
+from conftest import assert_claims
+
+from repro.experiments.checks import check_figure
+from repro.experiments.figures import figure9
+from repro.experiments.render import render_figure
+
+
+def test_fig9_regeneration(benchmark, save_result):
+    """Regenerate Figure 9's series and check the paper's shape claims."""
+    result = benchmark(figure9)
+    assert_claims(check_figure(result))
+    save_result("fig9", render_figure(result))

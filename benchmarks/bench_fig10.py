@@ -1,0 +1,19 @@
+"""Benchmark: regenerate the paper's Figure 10 and verify its claims.
+
+Cycles per result vs double-stream fraction P_ds (M = 64, B = 2K).
+Paper claims: cross-interference grows with P_ds for every model,
+and the prime cache's advantage ranges from ~40% to a factor of 2.
+"""
+
+from conftest import assert_claims
+
+from repro.experiments.checks import check_figure
+from repro.experiments.figures import figure10
+from repro.experiments.render import render_figure
+
+
+def test_fig10_regeneration(benchmark, save_result):
+    """Regenerate Figure 10's series and check the paper's shape claims."""
+    result = benchmark(figure10)
+    assert_claims(check_figure(result))
+    save_result("fig10", render_figure(result))

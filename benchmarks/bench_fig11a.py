@@ -1,0 +1,20 @@
+"""Benchmark: regenerate the paper's Figure 11 (row/column study) and verify its claims.
+
+Cycles per result vs the fraction of row (stride-P) accesses in a
+row/column matrix walk.  Paper claims: the direct-mapped cache
+degrades as rows dominate; the prime cache shows the same (better)
+performance throughout.
+"""
+
+from conftest import assert_claims
+
+from repro.experiments.checks import check_figure
+from repro.experiments.figures import figure11a
+from repro.experiments.render import render_figure
+
+
+def test_fig11a_regeneration(benchmark, save_result):
+    """Regenerate Figure 11 (row/column study)'s series and check the paper's shape claims."""
+    result = benchmark(figure11a)
+    assert_claims(check_figure(result))
+    save_result("fig11a", render_figure(result))

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate the paper's Figure 11 (blocked FFT study) and verify its claims.
+
+Cycles per point of the blocked two-dimensional FFT vs the column
+length B2, at fixed N = B1 * B2.  Paper claims: the prime-mapped
+cache outperforms direct-mapped by more than 2x over all B2.
+"""
+
+from conftest import assert_claims
+
+from repro.experiments.checks import check_figure
+from repro.experiments.figures import figure11b
+from repro.experiments.render import render_figure
+
+
+def test_fig11b_regeneration(benchmark, save_result):
+    """Regenerate Figure 11 (blocked FFT study)'s series and check the paper's shape claims."""
+    result = benchmark(figure11b)
+    assert_claims(check_figure(result))
+    save_result("fig11b", render_figure(result))

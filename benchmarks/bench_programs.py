@@ -1,0 +1,74 @@
+"""Benchmark: vector programs on the executable machines.
+
+The blocked kernels, compiled to vector instruction streams by
+:mod:`repro.machine.programs`, run on the MM-machine and on CC-machines
+with direct- and prime-mapped caches.  This is the closest artifact in the
+repository to "running the paper's workloads on the paper's machines":
+strip-mined vector loads, dual-stream issues, buffered stores, real stall
+accounting.
+"""
+
+from repro.analytical.base import MachineConfig
+from repro.cache import DirectMappedCache, PrimeMappedCache
+from repro.experiments.render import render_table
+from repro.machine import CCMachine, MMMachine
+from repro.machine.programs import fft_program, jacobi_program, matmul_program
+
+T_M = 16
+BANKS = 16
+
+
+def machines():
+    cfg = MachineConfig(num_banks=BANKS, memory_access_time=T_M,
+                        cache_lines=128)
+    return [
+        ("MM (no cache)", lambda: MMMachine(cfg)),
+        ("CC direct 128", lambda: CCMachine(
+            cfg, DirectMappedCache(num_lines=128, classify_misses=False))),
+        ("CC prime 127", lambda: CCMachine(
+            cfg.with_(cache_lines=127),
+            PrimeMappedCache(c=7, classify_misses=False))),
+    ]
+
+
+def programs():
+    return [
+        ("blocked matmul 32^3 b=8", matmul_program(32, 8)),
+        ("blocked FFT 64x64", fft_program(64, 64)),
+        ("jacobi 11x11 x4 sweeps", jacobi_program(11, 11, sweeps=4)),
+    ]
+
+
+def run_programs():
+    rows = []
+    for program_label, ops in programs():
+        for machine_label, build in machines():
+            report = build().execute(ops)
+            rows.append([
+                program_label, machine_label, report.cycles,
+                report.cycles_per_result, report.miss_stall_cycles,
+            ])
+    return rows
+
+
+def test_vector_programs(benchmark, save_result):
+    """The prime-cache machine wins every kernel; the direct cache loses
+    its advantage to power-of-two leading dimensions and FFT strides."""
+    rows = benchmark.pedantic(run_programs, iterations=1, rounds=1)
+
+    def cycles(program, machine):
+        return next(r[2] for r in rows if r[0] == program and r[1] == machine)
+
+    for program_label, _ in programs():
+        assert cycles(program_label, "CC prime 127") <= \
+            cycles(program_label, "CC direct 128")
+    # matmul with ld = 32 and the 64x64 FFT fold badly in the direct cache
+    assert cycles("blocked matmul 32^3 b=8", "CC prime 127") < \
+        cycles("blocked matmul 32^3 b=8", "CC direct 128")
+    assert cycles("blocked FFT 64x64", "CC prime 127") < \
+        cycles("blocked FFT 64x64", "CC direct 128")
+
+    save_result("programs", render_table(
+        ["program", "machine", "cycles", "cycles/result", "miss stalls"],
+        rows,
+    ))

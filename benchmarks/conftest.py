@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Each figure benchmark regenerates its figure's data series (timed by
+pytest-benchmark), verifies the paper's shape claims on the regenerated
+data, and writes the rendered series to ``results/`` so the numbers the
+paper reports can be inspected after a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory collecting rendered benchmark outputs."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Write one benchmark's rendered output to ``results/<name>.txt``."""
+
+    def _save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _save
+
+
+def assert_claims(checks) -> None:
+    """Fail with a readable message if any paper claim does not hold."""
+    failures = [c for c in checks if not c.passed]
+    assert not failures, "\n".join(
+        f"{c.figure_id}: {c.claim} [{c.detail}]" for c in failures
+    )

@@ -1,0 +1,77 @@
+"""Blocked matrix multiply: the workload that motivated the paper.
+
+Lam, Rothberg and Wolf showed that blocked matmul's self-interference
+misses explode once a few percent of a direct-mapped cache is used.  This
+example reproduces that story end to end:
+
+1. runs the *real* traced blocked-matmul kernel (verified against numpy)
+   and replays its trace through direct- and prime-mapped caches;
+2. instantiates the paper's VCM for blocked matmul and sweeps the block
+   size through the three analytical machine models.
+
+Run:  python examples/blocked_matmul_study.py
+"""
+
+import numpy as np
+
+from repro import (
+    DirectMappedCache,
+    DirectMappedModel,
+    MachineConfig,
+    MMModel,
+    PrimeMappedCache,
+    PrimeMappedModel,
+    VCM,
+)
+from repro.trace import replay
+from repro.workloads import blocked_matmul
+
+
+def real_kernel_study() -> None:
+    """Trace an actual 32x32 blocked multiply through small caches.
+
+    A power-of-two leading dimension (32) is the direct-mapped cache's
+    nightmare: the starts of a block's columns fold onto gcd-many lines.
+    """
+    rng = np.random.default_rng(0)
+    a, b = rng.standard_normal((32, 32)), rng.standard_normal((32, 32))
+
+    product, trace = blocked_matmul(a, b, block=4)
+    assert np.allclose(product, a @ b), "kernel must agree with numpy"
+
+    print(f"blocked_matmul(32x32, b=4): {len(trace)} references, "
+          f"{len(trace.unique_addresses())} distinct words")
+    for cache in (DirectMappedCache(num_lines=128), PrimeMappedCache(c=7)):
+        result = replay(trace, cache, t_m=16)
+        print(f"  {result.label:45s} hit ratio {result.hit_ratio:5.1%}  "
+              f"conflicts {result.stats.conflict_misses}")
+    print()
+
+
+def analytical_study() -> None:
+    """Sweep the submatrix dimension b through the three machine models."""
+    config = MachineConfig(num_banks=64, memory_access_time=32,
+                           cache_lines=8192)
+    prime_config = config.with_(cache_lines=8191)
+
+    print("analytical blocked matmul (M=64, t_m=32, C=8K):")
+    print(f"  {'b':>4s} {'B=b^2':>6s} {'MM':>8s} {'direct':>8s} "
+          f"{'prime':>8s} {'direct/prime':>13s}")
+    for b in (8, 16, 32, 64, 90):
+        vcm = VCM.blocked_matmul(b)
+        mm = MMModel(config).cycles_per_result(vcm)
+        dm = DirectMappedModel(config).cycles_per_result(vcm)
+        pm = PrimeMappedModel(prime_config).cycles_per_result(vcm)
+        print(f"  {b:4d} {vcm.blocking_factor:6d} {mm:8.2f} {dm:8.2f} "
+              f"{pm:8.2f} {dm / pm:12.2f}x")
+    print("\n  The direct-mapped cache degrades as b^2 approaches the cache")
+    print("  size; the prime-mapped cache keeps its advantage throughout.")
+
+
+def main() -> None:
+    real_kernel_study()
+    analytical_study()
+
+
+if __name__ == "__main__":
+    main()

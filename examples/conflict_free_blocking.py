@@ -1,0 +1,61 @@
+"""Conflict-free blocking for a matrix of any leading dimension.
+
+Section 4's sub-block result, as a tool: given the leading dimension ``P``
+of your column-major matrix and a prime-mapped cache of ``2^c - 1`` lines,
+pick the block shape ``b1 x b2`` that is provably conflict-free with cache
+utilisation approaching 1 — something no power-of-two cache can promise
+for generic ``P``.
+
+Run:  python examples/conflict_free_blocking.py [P ...]
+"""
+
+import sys
+
+from repro.analytical.subblock import (
+    count_subblock_conflicts,
+    max_conflict_free_block,
+)
+from repro.cache import DirectMappedCache, PrimeMappedCache
+from repro.trace import replay, subblock
+
+CACHE_EXPONENT = 7          # 127-line prime cache, 128-line direct cache
+PRIME_LINES = (1 << CACHE_EXPONENT) - 1
+DIRECT_LINES = 1 << CACHE_EXPONENT
+
+
+def study(leading_dimension: int) -> None:
+    choice = max_conflict_free_block(leading_dimension, PRIME_LINES)
+    print(f"P = {leading_dimension}:")
+    if choice.b1 == 0:
+        print("  P is a multiple of the prime line count: only single-column")
+        print("  blocks are conflict-free (pick a different c).")
+        return
+    print(f"  conflict-free block: {choice.b1} x {choice.b2} "
+          f"({choice.b1 * choice.b2} lines, "
+          f"utilisation {choice.utilization:.1%})")
+
+    # certify by enumeration, then by actually running the trace
+    enumerated = count_subblock_conflicts(
+        leading_dimension, choice.b1, choice.b2, PRIME_LINES
+    )
+    trace = subblock(leading_dimension, choice.b1, choice.b2, sweeps=2)
+    prime = replay(trace, PrimeMappedCache(c=CACHE_EXPONENT), t_m=16)
+    direct = replay(trace, DirectMappedCache(num_lines=DIRECT_LINES), t_m=16)
+    print(f"  enumerated collisions (prime):  {enumerated}")
+    print(f"  replayed conflict misses:       prime "
+          f"{prime.stats.conflict_misses}, direct "
+          f"{direct.stats.conflict_misses}")
+    print(f"  second-sweep behaviour:         prime hit ratio "
+          f"{prime.hit_ratio:.1%}, direct {direct.hit_ratio:.1%}\n")
+
+
+def main() -> None:
+    dimensions = [int(arg) for arg in sys.argv[1:]] or [100, 256, 300, 1000]
+    print(f"prime cache: {PRIME_LINES} lines (c={CACHE_EXPONENT}); "
+          f"direct cache: {DIRECT_LINES} lines\n")
+    for p in dimensions:
+        study(p)
+
+
+if __name__ == "__main__":
+    main()

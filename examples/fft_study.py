@@ -1,0 +1,65 @@
+"""FFT on a vector cache: power-of-two strides meet a prime modulus.
+
+The FFT is the paper's sharpest example: every butterfly span is a power
+of two — the single worst family of strides for a power-of-two cache, and
+completely harmless for a Mersenne-prime one.  This example:
+
+1. runs the real traced radix-2 kernel (verified against numpy.fft) and
+   replays its butterfly trace through both cache mappings;
+2. runs the blocked 2-D (four-step) FFT the paper analyses and shows the
+   stride-B2 row phase is what the prime mapping rescues;
+3. regenerates the paper's Figure 11b series analytically.
+
+Run:  python examples/fft_study.py
+"""
+
+import numpy as np
+
+from repro import DirectMappedCache, PrimeMappedCache
+from repro.experiments import figure11b, render_figure
+from repro.trace import replay
+from repro.workloads import blocked_fft_2d, fft_radix2
+
+
+def radix2_study() -> None:
+    """The in-place kernel: all spans are powers of two."""
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(1024) + 1j * rng.standard_normal(1024)
+
+    result, trace = fft_radix2(x)
+    assert np.allclose(result, np.fft.fft(x), atol=1e-8)
+
+    print(f"radix-2 FFT n=1024: {len(trace)} references")
+    for cache in (DirectMappedCache(num_lines=128), PrimeMappedCache(c=7)):
+        replayed = replay(trace, cache, t_m=16)
+        print(f"  {replayed.label:45s} hit ratio {replayed.hit_ratio:5.1%}  "
+              f"conflicts {replayed.stats.conflict_misses}")
+    print()
+
+
+def blocked_study() -> None:
+    """The paper's 2-D decomposition: row phase at stride B2."""
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal(1024) + 1j * rng.standard_normal(1024)
+
+    result, trace = blocked_fft_2d(x, b2=32)
+    assert np.allclose(result, np.fft.fft(x), atol=1e-8)
+
+    print(f"blocked 2-D FFT 1024 = 32x32: {len(trace)} references")
+    for cache in (DirectMappedCache(num_lines=128), PrimeMappedCache(c=7)):
+        replayed = replay(trace, cache, t_m=16)
+        print(f"  {replayed.label:45s} hit ratio {replayed.hit_ratio:5.1%}  "
+              f"conflicts {replayed.stats.conflict_misses}")
+    print()
+
+
+def main() -> None:
+    radix2_study()
+    blocked_study()
+    print(render_figure(figure11b()))
+    print("\nOptimisation is guaranteed for the prime cache for every B2 <")
+    print("C — no tuning of the decomposition required (Section 4).")
+
+
+if __name__ == "__main__":
+    main()

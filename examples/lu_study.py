@@ -1,0 +1,76 @@
+"""Blocked LU decomposition on the vector cache.
+
+LU factorisation is the paper's second canonical blocked algorithm
+(Section 3.1 quotes its average reuse factor of 3b/2).  This example:
+
+1. factors a real matrix with the traced blocked kernel (verified
+   against ``L @ U == A``) and replays its trace through both mappings;
+2. instantiates ``VCM.blocked_lu`` and sweeps the block size through the
+   analytical machine models, LU's reuse profile included.
+
+Run:  python examples/lu_study.py
+"""
+
+import numpy as np
+
+from repro import (
+    DirectMappedCache,
+    DirectMappedModel,
+    MachineConfig,
+    MMModel,
+    PrimeMappedCache,
+    PrimeMappedModel,
+    VCM,
+)
+from repro.trace import replay
+from repro.workloads import blocked_lu, split_lu
+
+
+def real_kernel_study() -> None:
+    """Factor a 32x32 diagonally dominant matrix (power-of-two leading
+    dimension: the direct-mapped cache's bad case) and replay the trace."""
+    rng = np.random.default_rng(3)
+    a = rng.standard_normal((32, 32)) + 32 * np.eye(32)
+
+    packed, trace = blocked_lu(a, block=8)
+    lower, upper = split_lu(packed)
+    assert np.allclose(lower @ upper, a, rtol=1e-8), "LU must reproduce A"
+
+    print(f"blocked_lu(32x32, b=8): {len(trace)} references, "
+          f"{len(trace.unique_addresses())} distinct words")
+    for cache in (DirectMappedCache(num_lines=128), PrimeMappedCache(c=7)):
+        result = replay(trace, cache, t_m=16)
+        print(f"  {result.label:45s} hit ratio {result.hit_ratio:5.1%}  "
+              f"conflicts {result.stats.conflict_misses:5d}  "
+              f"stalls {result.stall_cycles:8.0f}")
+    print()
+
+
+def analytical_study() -> None:
+    """Sweep the LU block size through the three machine models."""
+    config = MachineConfig(num_banks=64, memory_access_time=32,
+                           cache_lines=8192)
+    prime_config = config.with_(cache_lines=8191)
+
+    print("analytical blocked LU (M=64, t_m=32, C=8K, R = 3b/2):")
+    print(f"  {'b':>4s} {'B=b^2':>6s} {'MM':>8s} {'direct':>8s} "
+          f"{'prime':>8s} {'direct/prime':>13s}")
+    for b in (8, 16, 32, 64, 90):
+        vcm = VCM.blocked_lu(b)
+        mm = MMModel(config).cycles_per_result(vcm)
+        direct = DirectMappedModel(config).cycles_per_result(vcm)
+        prime = PrimeMappedModel(prime_config).cycles_per_result(vcm)
+        print(f"  {b:4d} {vcm.blocking_factor:6d} {mm:8.2f} {direct:8.2f} "
+              f"{prime:8.2f} {direct / prime:12.2f}x")
+    print("\n  LU's 3b/2 reuse amortises the initial load a little better")
+    print("  than matmul's b, but the interference story is identical: the")
+    print("  direct-mapped cache collapses as b^2 fills it.")
+
+
+def main() -> None:
+    real_kernel_study()
+    analytical_study()
+
+
+if __name__ == "__main__":
+    main()

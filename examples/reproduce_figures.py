@@ -1,0 +1,39 @@
+"""Regenerate every evaluation figure of the paper and check every claim.
+
+Prints each figure's data series as a table (the same series the paper
+plots) followed by the verdict on each of the paper's claims about that
+figure — the full reproduction, in one command.
+
+Run:  python examples/reproduce_figures.py [fig4 fig7 ...]
+"""
+
+import sys
+
+from repro.experiments import ALL_FIGURES, check_figure, render_figure
+
+
+def main() -> None:
+    wanted = sys.argv[1:] or sorted(ALL_FIGURES)
+    unknown = [w for w in wanted if w not in ALL_FIGURES]
+    if unknown:
+        raise SystemExit(f"unknown figures {unknown}; "
+                         f"choose from {sorted(ALL_FIGURES)}")
+
+    total = passed = 0
+    for figure_id in wanted:
+        result = ALL_FIGURES[figure_id]()
+        print(render_figure(result))
+        print()
+        for check in check_figure(result):
+            total += 1
+            passed += check.passed
+            verdict = "PASS" if check.passed else "FAIL"
+            print(f"  [{verdict}] {check.claim}  ({check.detail})")
+        print()
+    print(f"paper claims reproduced: {passed}/{total}")
+    if passed != total:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

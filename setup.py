@@ -1,0 +1,4 @@
+"""Shim for legacy editable installs on environments without the wheel package."""
+from setuptools import setup
+
+setup()

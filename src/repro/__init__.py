@@ -1,0 +1,71 @@
+"""repro — a full reproduction of "A Novel Cache Design for Vector
+Processing" (Qing Yang and Liping Wu, ISCA 1992).
+
+The paper proposes the **prime-mapped cache**: a direct-mapped cache with a
+Mersenne-prime number of lines (``2^c - 1``), which makes vector accesses
+of almost any stride conflict-free while index generation stays a single
+``c``-bit end-around-carry addition off the critical path.
+
+Package map (bottom-up):
+
+* :mod:`repro.core` — Mersenne arithmetic and the Figure-1 address
+  datapath.
+* :mod:`repro.cache` — direct / set-associative / fully-associative /
+  prime-mapped cache models with three-C miss classification.
+* :mod:`repro.memory` — interleaved banks, interleave schemes, buses.
+* :mod:`repro.machine` — executable MM-model and CC-model machines.
+* :mod:`repro.analytical` — the paper's Section-3/4 equations.
+* :mod:`repro.trace` — vector access-pattern generators and replay.
+* :mod:`repro.workloads` — traced blocked matmul / LU / FFT / SAXPY.
+* :mod:`repro.experiments` — per-figure reproduction and claim checks.
+
+Quickstart::
+
+    from repro import PrimeMappedCache, DirectMappedCache
+    from repro.trace import strided, replay
+
+    trace = strided(base=0, stride=8, length=8191, sweeps=2)
+    print(replay(trace, PrimeMappedCache(c=13)).hit_ratio)     # ~0.5
+    print(replay(trace, DirectMappedCache(num_lines=8192)).hit_ratio)  # 0.0
+"""
+
+from repro.analytical import (
+    VCM,
+    BlockedFFTModel,
+    DirectMappedModel,
+    FFTShape,
+    MachineConfig,
+    MMModel,
+    PrimeMappedModel,
+)
+from repro.cache import (
+    DirectMappedCache,
+    FullyAssociativeCache,
+    PrimeMappedCache,
+    SetAssociativeCache,
+)
+from repro.core import AddressGenerator, AddressLayout, MersenneModulus
+from repro.machine import CCMachine, MMMachine, VCMDriver
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AddressGenerator",
+    "AddressLayout",
+    "BlockedFFTModel",
+    "CCMachine",
+    "DirectMappedCache",
+    "DirectMappedModel",
+    "FFTShape",
+    "FullyAssociativeCache",
+    "MMMachine",
+    "MMModel",
+    "MachineConfig",
+    "MersenneModulus",
+    "PrimeMappedCache",
+    "PrimeMappedModel",
+    "SetAssociativeCache",
+    "VCM",
+    "VCMDriver",
+    "__version__",
+]

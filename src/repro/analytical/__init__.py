@@ -1,0 +1,90 @@
+"""The paper's analytical performance model (Sections 3 and 4): the VCM
+seven-tuple, the MM-model and CC-model execution-time equations, the
+congruence-based cross-interference solver, and the blocked-FFT and
+sub-block analyses."""
+
+from repro.analytical.bandwidth import (
+    banks_needed_for_full_bandwidth,
+    effective_bandwidth_for_stride,
+    expected_effective_bandwidth,
+)
+from repro.analytical.base import MachineConfig, ceil_div
+from repro.analytical.fit import (
+    FittedVCM,
+    StrideRun,
+    estimate_vcm,
+    split_stride_runs,
+)
+from repro.analytical.cc import CCModel, DirectMappedModel, PrimeMappedModel
+from repro.analytical.congruence import (
+    average_cross_stalls,
+    cross_stalls,
+    expected_cross_stalls,
+    solve_linear_congruence,
+)
+from repro.analytical.fft import BlockedFFTModel, FFTShape
+from repro.analytical.missratio import (
+    MissRatioView,
+    cached_sweep_misses,
+    demonstrate_miss_ratio_fallacy,
+    workload_miss_ratio,
+)
+from repro.analytical.mm import MMModel, self_stalls_for_stride
+from repro.analytical.optimize import (
+    BlockingChoice,
+    crossover_memory_time,
+    full_cache_penalty,
+    optimal_blocking_factor,
+)
+from repro.analytical.set_assoc import SetAssociativeModel
+from repro.analytical.subblock import (
+    BlockChoice,
+    conflict_free_bounds,
+    count_subblock_conflicts,
+    is_conflict_free,
+    max_conflict_free_block,
+    subblock_line_map,
+    utilization,
+)
+from repro.analytical.vcm import VCM, StrideSpec
+
+__all__ = [
+    "BlockChoice",
+    "BlockingChoice",
+    "BlockedFFTModel",
+    "CCModel",
+    "DirectMappedModel",
+    "FFTShape",
+    "FittedVCM",
+    "MMModel",
+    "MissRatioView",
+    "MachineConfig",
+    "PrimeMappedModel",
+    "SetAssociativeModel",
+    "StrideRun",
+    "StrideSpec",
+    "VCM",
+    "average_cross_stalls",
+    "banks_needed_for_full_bandwidth",
+    "cached_sweep_misses",
+    "ceil_div",
+    "conflict_free_bounds",
+    "count_subblock_conflicts",
+    "cross_stalls",
+    "crossover_memory_time",
+    "demonstrate_miss_ratio_fallacy",
+    "effective_bandwidth_for_stride",
+    "estimate_vcm",
+    "expected_cross_stalls",
+    "expected_effective_bandwidth",
+    "full_cache_penalty",
+    "is_conflict_free",
+    "max_conflict_free_block",
+    "optimal_blocking_factor",
+    "self_stalls_for_stride",
+    "solve_linear_congruence",
+    "split_stride_runs",
+    "subblock_line_map",
+    "utilization",
+    "workload_miss_ratio",
+]

@@ -1,0 +1,84 @@
+"""Effective memory bandwidth of interleaved banks (Oed & Lange, ref [18]).
+
+The MM-model's stall terms have a bandwidth reading the paper uses in its
+introduction: a stride-``s`` stream cycles through ``k = M / gcd(M, s)``
+banks, so the banks can *sustain* at most ``k`` accesses per ``t_m``
+cycles.  Relative to the one-element-per-cycle pipeline, the effective
+bandwidth is
+
+    ``B_eff(s) = min(1, k / t_m)``   elements per cycle,
+
+and the expected value over the paper's stride distribution is what
+decides whether interleaving alone feeds the processor.  These little
+formulas let the bank-count discussion ("hundreds and even thousands of
+modules" — Bailey) be carried out in closed form; the executable
+counterpart lives in :mod:`repro.memory.banks` and the tests tie the two
+together.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analytical.base import MachineConfig
+
+__all__ = [
+    "effective_bandwidth_for_stride",
+    "expected_effective_bandwidth",
+    "banks_needed_for_full_bandwidth",
+]
+
+
+def effective_bandwidth_for_stride(stride: int, config: MachineConfig) -> float:
+    """Sustained elements/cycle of a single stride-``stride`` stream."""
+    if stride == 0:
+        k = 1
+    else:
+        k = config.num_banks // math.gcd(config.num_banks, abs(stride))
+    return min(1.0, k / config.t_m)
+
+
+def expected_effective_bandwidth(
+    config: MachineConfig, p_stride1: float = 0.25
+) -> float:
+    """Expected bandwidth over the paper's stride distribution.
+
+    Unit stride with probability ``p_stride1``; otherwise uniform on
+    ``2 .. M``.
+    """
+    if not 0.0 <= p_stride1 <= 1.0:
+        raise ValueError("p_stride1 must be a probability")
+    m = config.num_banks
+    nonunit = sum(
+        effective_bandwidth_for_stride(s, config) for s in range(2, m + 1)
+    ) / (m - 1)
+    return p_stride1 * effective_bandwidth_for_stride(1, config) \
+        + (1 - p_stride1) * nonunit
+
+
+def banks_needed_for_full_bandwidth(
+    t_m: int,
+    *,
+    streams: int = 1,
+    worst_power_stride: int = 1,
+) -> int:
+    """Smallest power-of-two bank count sustaining full pipeline rate.
+
+    Args:
+        t_m: bank busy time.
+        streams: simultaneous vector streams (each issuing one element
+            per cycle — the dual-stream case doubles the demand).
+        worst_power_stride: the largest power-of-two stride that must run
+            at full rate; a stride of ``2^a`` wastes a factor ``2^a`` of
+            the banks (``gcd`` folding), which is Bailey's engine for the
+            "hundreds and even thousands" quote.
+    """
+    if t_m <= 0 or streams <= 0 or worst_power_stride <= 0:
+        raise ValueError("t_m, streams and worst_power_stride must be positive")
+    if worst_power_stride & (worst_power_stride - 1):
+        raise ValueError("worst_power_stride must be a power of two")
+    needed = streams * t_m * worst_power_stride
+    banks = 1
+    while banks < needed:
+        banks *= 2
+    return banks

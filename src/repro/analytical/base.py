@@ -1,0 +1,82 @@
+"""Shared configuration for the analytical machine models.
+
+Section 3 of the paper parameterises both machines identically except for
+the cache: ``MVL``-word vector registers, ``M = 2^m`` interleaved banks of
+access time ``t_m`` cycles, and the Hennessy–Patterson loop-overhead
+constants (10 cycles per blocked loop, 15 cycles per strip-mined inner
+loop, ``T_start = 30 + t_m``).  Every equation in :mod:`repro.analytical`
+pulls those numbers from a single :class:`MachineConfig`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["MachineConfig", "ceil_div"]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """``ceil(a / b)`` for positive integers."""
+    if b <= 0:
+        raise ValueError("denominator must be positive")
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Parameters common to the MM- and CC-model machines.
+
+    Attributes:
+        num_banks: interleaved bank count ``M`` (power of two for the
+            paper's low-order interleave).
+        memory_access_time: bank busy time ``t_m`` in processor cycles.
+        mvl: maximum vector register length (paper: 64).
+        loop_overhead: cycles of setup per blocked-loop iteration
+            (paper/H&P: 10).
+        strip_overhead: cycles of strip-mining overhead per inner loop
+            (paper/H&P: 15).
+        start_base: ``T_start = start_base + t_m`` (paper/H&P: 30).
+        cache_lines: ``C``, capacity of the vector cache in lines —
+            meaningful for CC-models only, but carried here so one config
+            describes one plotted machine.
+    """
+
+    num_banks: int = 32
+    memory_access_time: int = 16
+    mvl: int = 64
+    loop_overhead: int = 10
+    strip_overhead: int = 15
+    start_base: int = 30
+    cache_lines: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.num_banks <= 0 or self.num_banks & (self.num_banks - 1):
+            raise ValueError("num_banks must be a positive power of two")
+        if self.memory_access_time <= 0:
+            raise ValueError("memory_access_time must be positive")
+        if self.mvl <= 0:
+            raise ValueError("mvl must be positive")
+        if self.cache_lines <= 0:
+            raise ValueError("cache_lines must be positive")
+
+    @property
+    def t_m(self) -> int:
+        """Alias for :attr:`memory_access_time`, matching the paper's symbol."""
+        return self.memory_access_time
+
+    @property
+    def t_start(self) -> int:
+        """Inner-loop start-up time ``T_start = 30 + t_m``."""
+        return self.start_base + self.memory_access_time
+
+    @property
+    def m_exponent(self) -> int:
+        """``m`` with ``M = 2^m``."""
+        return int(math.log2(self.num_banks))
+
+    def with_(self, **changes) -> "MachineConfig":
+        """Return a copy with the given fields replaced (sweep helper)."""
+        from dataclasses import replace
+
+        return replace(self, **changes)

@@ -1,0 +1,261 @@
+"""Analytical execution-time models of the cache-based CC-model machine.
+
+Implements Sections 3.3 (direct-mapped) and 4 (prime-mapped):
+
+* Eq. (5)/(6): direct-mapped self-interference ``I_s^C(B)`` — the divisor
+  sum and the paper's closed form (``t_m`` stall per conflict miss, since
+  vector-cache misses are not pipelined).
+* Footprint cross-interference ``I_c^C = B^2 * P_ds / C * t_m``.
+* Eq. (7): ``T_elemt^C``.  The paper prints the double-stream term as
+  ``I_s^C(B) + I_c^C(B*P_ds) + I_c^C``; we read the middle term as
+  ``I_s^C(B*P_ds)`` — the self-interference of the second stream, whose
+  length the model derives as ``B * P_ds`` — mirroring Eq. (2)'s
+  self+self+cross structure (see DESIGN.md).
+* Eq. (4): total time — the first sweep runs at memory speed (Eq. (1)
+  with the MM element time: compulsory misses are pipelined), the
+  remaining ``R - 1`` sweeps run out of the cache with start-up reduced
+  by ``t_m``.
+* Eq. (8): prime-mapped self-interference — only strides that are
+  multiples of the (prime) line count collide, so the conditional
+  expectation collapses to ``(1 - P_stride1) * (B - 1) / (C - 1) * t_m``.
+
+Cross-interference footprints: the paper applies the ``B/C`` footprint
+probability to both organisations.  ``footprint_mode="expected"`` refines
+that with the stride-dependent expected footprint
+``min(B, C / gcd(C, s1))`` — smaller for the direct-mapped cache whose
+strided vectors fold onto fewer lines — which reproduces the paper's
+qualitative remark that the prime cache's cross-interference is severer.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analytical.base import MachineConfig, ceil_div
+from repro.analytical.mm import MMModel
+from repro.analytical.vcm import VCM
+
+__all__ = ["CCModel", "DirectMappedModel", "PrimeMappedModel"]
+
+
+class CCModel:
+    """Shared scaffolding of the cache-based machine models (Figure 3).
+
+    Subclasses supply the mapping-specific self-interference term and the
+    footprint a strided vector occupies.
+
+    Args:
+        config: machine parameters; ``config.cache_lines`` is ``C``.
+        footprint_mode: ``"simple"`` (paper: probability ``B/C``) or
+            ``"expected"`` (stride-aware expected footprint).
+    """
+
+    def __init__(self, config: MachineConfig, footprint_mode: str = "simple") -> None:
+        if footprint_mode not in ("simple", "expected"):
+            raise ValueError("footprint_mode must be 'simple' or 'expected'")
+        self.config = config
+        self.footprint_mode = footprint_mode
+        self._mm = MMModel(config)
+
+    # -- mapping-specific pieces (overridden) ---------------------------------
+
+    def self_interference(
+        self, block: float, p_stride1: float, stride: int | str | None
+    ) -> float:
+        """Expected ``I_s^C`` stall cycles for one ``block``-element sweep."""
+        raise NotImplementedError
+
+    def expected_footprint(self, block: float, p_stride1: float) -> float:
+        """Expected distinct lines a ``block``-element vector occupies."""
+        raise NotImplementedError
+
+    def self_stalls_for_stride(self, block: float, stride: int) -> float:
+        """Stall cycles of one fixed-stride ``block``-element cached sweep."""
+        raise NotImplementedError
+
+    # -- shared model ----------------------------------------------------------
+
+    def cross_interference(self, vcm: VCM) -> float:
+        """Footprint-model cross-interference ``I_c^C`` in stall cycles.
+
+        Simple mode: each of the ``B * P_ds`` second-stream elements lands
+        in the first vector's footprint with probability ``B / C``
+        (paper: ``I_c^C = B^2 P_ds / C * t_m``).  Expected mode replaces
+        ``B`` in the probability with the stride-aware footprint.
+        """
+        cfg = self.config
+        b = vcm.blocking_factor
+        if vcm.p_ds == 0:
+            return 0.0
+        if self.footprint_mode == "simple":
+            footprint = float(min(b, cfg.cache_lines))
+        else:
+            footprint = self.expected_footprint(b, vcm.p_stride1_s1)
+        hit_probability = footprint / cfg.cache_lines
+        return b * vcm.p_ds * hit_probability * cfg.t_m
+
+    def element_time(self, vcm: VCM) -> float:
+        """Eq. (7): average cycles per element of a cached sweep."""
+        b = vcm.blocking_factor
+        i_s_first = self.self_interference(b, vcm.p_stride1_s1, vcm.s1)
+        stalls = vcm.p_ss * i_s_first / b
+        if vcm.p_ds > 0:
+            second_len = vcm.second_stream_length
+            i_s_second = (
+                self.self_interference(second_len, vcm.p_stride1_s2, vcm.s2)
+                if second_len >= 1
+                else 0.0
+            )
+            i_c = self.cross_interference(vcm)
+            stalls += vcm.p_ds * (i_s_first + i_s_second + i_c) / b
+        return 1.0 + stalls
+
+    def initial_block_time(self, vcm: VCM) -> float:
+        """Eq. (1) applied to the first sweep: loading straight from the
+        interleaved memory, misses pipelined (the MM element time)."""
+        return self._mm.block_time(vcm)
+
+    def cached_block_time(self, vcm: VCM, element_time: float | None = None) -> float:
+        """One post-load sweep: Eq. (4)'s bracketed term.
+
+        Start-up drops by ``t_m`` because the operands come from the cache.
+        """
+        cfg = self.config
+        if element_time is None:
+            element_time = self.element_time(vcm)
+        strips = ceil_div(vcm.blocking_factor, cfg.mvl)
+        return (
+            cfg.loop_overhead
+            + strips * (cfg.strip_overhead + cfg.t_start - cfg.t_m)
+            + vcm.blocking_factor * element_time
+        )
+
+    def total_time(self, vcm: VCM, problem_size: int | None = None) -> float:
+        """Eq. (4): ``{T_B + cached_sweep * (R - 1)} * ceil(N/B)``."""
+        n = problem_size if problem_size is not None else vcm.blocking_factor
+        blocks = ceil_div(n, vcm.blocking_factor)
+        per_block = self.initial_block_time(vcm) + self.cached_block_time(vcm) * (
+            vcm.reuse_factor - 1
+        )
+        return per_block * blocks
+
+    def cycles_per_result(self, vcm: VCM, problem_size: int | None = None) -> float:
+        """Total time divided by ``N * R`` — the paper's plotted measure."""
+        n = problem_size if problem_size is not None else vcm.blocking_factor
+        return self.total_time(vcm, n) / (n * vcm.reuse_factor)
+
+
+class DirectMappedModel(CCModel):
+    """CC-model with a conventional direct-mapped cache (Section 3.3).
+
+    Example:
+        >>> cfg = MachineConfig(num_banks=32, memory_access_time=16,
+        ...                     cache_lines=8192)
+        >>> model = DirectMappedModel(cfg)
+        >>> vcm = VCM(blocking_factor=4096, reuse_factor=4096, p_ds=0.3)
+        >>> model.cycles_per_result(vcm) > 1.0
+        True
+    """
+
+    def self_interference(
+        self, block: float, p_stride1: float, stride: int | str | None
+    ) -> float:
+        """Eq. (6) closed form (general ``B``), deterministic for fixed strides."""
+        if stride is None or block < 1:
+            return 0.0
+        if stride != "random":
+            return self.self_stalls_for_stride(block, int(stride))
+        c_lines = self.config.cache_lines
+        b = block
+        log_floor = int(math.floor(math.log2(b))) if b > 1 else 0
+        pow_floor = float(2**log_floor)
+        bracket = (3.0 * b * pow_floor - 2.0 * pow_floor * pow_floor - 1.0) / 3.0
+        return (1.0 - p_stride1) / (c_lines - 1) * bracket * self.config.t_m
+
+    def self_interference_sum_form(self, block: int, p_stride1: float) -> float:
+        """Eq. (5): the divisor-function sum behind the closed form."""
+        c_lines = self.config.cache_lines
+        c_exp = int(math.log2(c_lines))
+        if c_lines & (c_lines - 1):
+            raise ValueError("sum form requires a power-of-two line count")
+        total = 0.0
+        upper = c_exp - math.ceil(math.log2(c_lines / block)) if block < c_lines \
+            else c_exp
+        for i in range(1, upper + 1):
+            lines_occupied = c_lines // 2 ** (c_exp - i)
+            if block <= lines_occupied:
+                continue
+            total += (block - lines_occupied) * 2 ** (i - 1)
+        total += block - 1  # gcd(C, s) = C: everything lands on one line
+        return (1.0 - p_stride1) / (c_lines - 1) * total * self.config.t_m
+
+    def self_stalls_for_stride(self, block: float, stride: int) -> float:
+        """Conflict misses of one fixed-stride sweep, ``t_m`` each.
+
+        ``B - C / gcd(C, s)`` misses when the sweep's line footprint is
+        smaller than the vector (zero otherwise).
+        """
+        c_lines = self.config.cache_lines
+        if stride == 0:
+            footprint = 1
+        else:
+            footprint = c_lines // math.gcd(c_lines, abs(stride))
+        misses = max(0.0, block - footprint)
+        return misses * self.config.t_m
+
+    def expected_footprint(self, block: float, p_stride1: float) -> float:
+        """``E[min(B, C / gcd(C, s))]`` over the stride distribution."""
+        c_lines = self.config.cache_lines
+        c_exp = int(math.log2(c_lines))
+        footprint_unit = min(block, float(c_lines))
+        # strides uniform on 2..C: count strides per gcd class 2^k
+        acc = 0.0
+        for k in range(c_exp + 1):
+            if k == 0:
+                count = c_lines // 2 - 1  # odd strides in 2..C (excl. 1)
+            elif k < c_exp:
+                count = c_lines // 2 ** (k + 1)
+            else:
+                count = 1  # the stride C itself
+            acc += count * min(block, c_lines / 2**k)
+        nonunit = acc / (c_lines - 1)
+        return p_stride1 * footprint_unit + (1 - p_stride1) * nonunit
+
+
+class PrimeMappedModel(CCModel):
+    """CC-model with the prime-mapped cache (Section 4).
+
+    ``config.cache_lines`` should be a Mersenne prime ``2^c - 1``; the
+    constructor accepts any value but the conflict-freedom reasoning only
+    holds for a prime line count.
+    """
+
+    def self_interference(
+        self, block: float, p_stride1: float, stride: int | str | None
+    ) -> float:
+        """Eq. (8): only stride multiples of ``C`` self-interfere."""
+        if stride is None or block < 1:
+            return 0.0
+        if stride != "random":
+            return self.self_stalls_for_stride(block, int(stride))
+        c_lines = self.config.cache_lines
+        return (1.0 - p_stride1) * (block - 1) / (c_lines - 1) * self.config.t_m
+
+    def self_stalls_for_stride(self, block: float, stride: int) -> float:
+        """Fixed-stride sweep: conflict-free unless ``C`` divides the stride."""
+        c_lines = self.config.cache_lines
+        if stride != 0 and stride % c_lines != 0:
+            footprint = c_lines // math.gcd(c_lines, abs(stride))
+            misses = max(0.0, block - footprint)
+        else:
+            misses = max(0.0, block - 1)
+        return misses * self.config.t_m
+
+    def expected_footprint(self, block: float, p_stride1: float) -> float:
+        """Every stride except the single multiple of ``C`` spreads over the
+        whole cache, so the footprint is ``min(B, C)`` almost surely."""
+        c_lines = self.config.cache_lines
+        full = min(block, float(c_lines))
+        collapsed = 1.0  # stride == C folds everything onto one line
+        nonunit = ((c_lines - 2) * full + collapsed) / (c_lines - 1)
+        return p_stride1 * full + (1 - p_stride1) * nonunit

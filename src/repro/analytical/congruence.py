@@ -1,0 +1,100 @@
+"""Cross-interference of two vector streams in interleaved memory.
+
+Section 3.2: with stream strides ``s1, s2`` and bank offset ``D`` between
+the streams' starting addresses, elements ``i`` of stream 1 and ``j`` of
+stream 2 hit the same bank when
+
+    ``s1 * i  ===  s2 * j + D   (mod M)``.
+
+Each solution pair with ``|i - j| < t_m`` collides inside the bank's busy
+window and stalls the machine ``t_m - |i - j|`` cycles.  The paper states
+"We have written a program of solving the congruence equation" — this
+module is that program, plus the closed form its averaging collapses to.
+
+The collapse is worth noting: for *uniform* ``D`` over ``1 .. M`` every
+pair ``(i, j)`` matches exactly one value of ``D`` (namely
+``D === s1*i - s2*j``), so the expected stall total is
+
+    ``E[I_c^M] = (1/M) * sum_{|i-j| < t_m} (t_m - |i - j|)``
+
+independent of the strides.  :func:`expected_cross_stalls` implements the
+closed form; :func:`cross_stalls` the per-``(s1, s2, D)`` exact count that
+the tests average to confirm the collapse.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "solve_linear_congruence",
+    "cross_stalls",
+    "average_cross_stalls",
+    "expected_cross_stalls",
+]
+
+
+def solve_linear_congruence(a: int, b: int, m: int) -> list[int]:
+    """All solutions ``x`` in ``0 .. m-1`` of ``a*x === b (mod m)``.
+
+    Standard number theory: solvable iff ``g = gcd(a, m)`` divides ``b``,
+    in which case there are exactly ``g`` solutions, spaced ``m/g`` apart.
+    """
+    if m <= 0:
+        raise ValueError("modulus must be positive")
+    a %= m
+    b %= m
+    g = math.gcd(a, m)
+    if b % g:
+        return []
+    m_red = m // g
+    a_red = (a // g) % m_red
+    b_red = (b // g) % m_red
+    # a_red is invertible mod m_red
+    x0 = (b_red * pow(a_red, -1, m_red)) % m_red if m_red > 1 else 0
+    return [x0 + k * m_red for k in range(g)]
+
+
+def cross_stalls(s1: int, s2: int, d: int, num_banks: int, mvl: int, t_m: int) -> int:
+    """Exact stall cycles between two ``mvl``-element streams.
+
+    Accumulates ``t_m - |i - j|`` over every solution pair of
+    ``s1*i === s2*j + d (mod M)`` with ``i, j`` in ``0 .. mvl-1`` and
+    ``|i - j| < t_m``, exactly as the paper prescribes.
+    """
+    if mvl <= 0 or t_m <= 0:
+        raise ValueError("mvl and t_m must be positive")
+    total = 0
+    for i in range(mvl):
+        # j solves s2*j === s1*i - d (mod M)
+        for j0 in solve_linear_congruence(s2, s1 * i - d, num_banks):
+            for j in range(j0, mvl, num_banks):
+                if abs(i - j) < t_m:
+                    total += t_m - abs(i - j)
+    return total
+
+
+def average_cross_stalls(
+    s1: int, s2: int, num_banks: int, mvl: int, t_m: int
+) -> float:
+    """Cross stalls averaged over the bank offset ``D`` uniform on ``1..M``."""
+    total = sum(
+        cross_stalls(s1, s2, d, num_banks, mvl, t_m) for d in range(1, num_banks + 1)
+    )
+    return total / num_banks
+
+
+def expected_cross_stalls(num_banks: int, mvl: int, t_m: int) -> float:
+    """Closed form of ``E[I_c^M]`` over uniform ``D`` (stride-independent).
+
+    ``(1/M) * [t_m * MVL + sum_{d=1}^{t_m - 1} 2 * (MVL - d) * (t_m - d)]``
+    — the ``d = 0`` diagonal contributes ``t_m`` for each of the ``MVL``
+    pairs, and each off-diagonal distance ``d`` has ``2 * (MVL - d)``
+    pairs contributing ``t_m - d``.
+    """
+    if mvl <= 0 or t_m <= 0:
+        raise ValueError("mvl and t_m must be positive")
+    total = t_m * mvl
+    for d in range(1, min(t_m, mvl)):
+        total += 2 * (mvl - d) * (t_m - d)
+    return total / num_banks

@@ -1,0 +1,137 @@
+"""Analytical model of the blocked two-dimensional FFT (Section 4).
+
+An ``N``-point Cooley–Tukey FFT with ``N = B2 x B1`` is computed as a 2-D
+decomposition over a ``B2``-row, ``B1``-column matrix stored column-major:
+
+1. **Row phase** — ``B2`` FFTs of ``B1`` points each.  A row of a
+   column-major matrix has stride ``B2``, so in a direct-mapped cache a
+   row's footprint is ``C / gcd(B2, C)`` lines; since ``B2`` is a power of
+   two that footprint collapses and each row sweep suffers
+   ``B1 - C/gcd(B2, C)`` conflict misses (when positive).  The prime cache
+   keeps the full footprint for every ``B2`` that is not a multiple of the
+   (prime) line count.  Reuse per block is ``log2(B1)`` butterfly stages.
+2. **Column phase** — after a twiddle multiply, ``B1`` FFTs of ``B2``
+   points at stride 1; conflict-free in either cache when ``B2 < C``,
+   with ``log2(B2)`` stages of reuse.
+
+Twiddle factors are assumed register-resident, so ``P_ds = 0`` throughout
+(the paper's stipulation).  The initial load of each block is costed at
+memory speed with the *actual* stride (the paper's "compulsory misses
+should be adjusted based on the FFT stride characteristics").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analytical.base import ceil_div
+from repro.analytical.cc import CCModel
+from repro.analytical.mm import self_stalls_for_stride
+
+__all__ = ["FFTShape", "BlockedFFTModel"]
+
+
+@dataclass(frozen=True)
+class FFTShape:
+    """A two-dimensional FFT decomposition ``N = B2 x B1``.
+
+    Attributes:
+        b1: row length (points per row FFT); power of two >= 2.
+        b2: column length (points per column FFT); power of two >= 2.
+    """
+
+    b1: int
+    b2: int
+
+    def __post_init__(self) -> None:
+        for name, value in (("b1", self.b1), ("b2", self.b2)):
+            if value < 2 or value & (value - 1):
+                raise ValueError(f"{name} must be a power of two >= 2, got {value}")
+
+    @property
+    def n(self) -> int:
+        """Total points ``N = B1 * B2``."""
+        return self.b1 * self.b2
+
+
+class BlockedFFTModel:
+    """Execution time of the blocked 2-D FFT on a CC-model machine.
+
+    Args:
+        cache_model: a :class:`~repro.analytical.cc.CCModel` (direct or
+            prime) supplying both the machine config and the mapping's
+            fixed-stride conflict behaviour.
+
+    Example:
+        >>> from repro.analytical.base import MachineConfig
+        >>> from repro.analytical.cc import PrimeMappedModel
+        >>> model = BlockedFFTModel(PrimeMappedModel(
+        ...     MachineConfig(cache_lines=8191)))
+        >>> model.cycles_per_point(FFTShape(b1=256, b2=64)) > 1.0
+        True
+    """
+
+    def __init__(self, cache_model: CCModel) -> None:
+        self.cache_model = cache_model
+        self.config = cache_model.config
+
+    # -- one phase -------------------------------------------------------------
+
+    def _phase_time(self, block: int, reuse: float, stride: int, blocks: int) -> float:
+        """Eq. (4) for one phase: ``blocks`` sweeps of ``block`` elements at a
+        fixed ``stride``, each reused ``reuse`` times."""
+        cfg = self.config
+        strips = ceil_div(block, cfg.mvl)
+
+        # Initial load straight from interleaved memory at the real stride.
+        memory_element = 1.0 + self_stalls_for_stride(stride, cfg) / cfg.mvl
+        initial = (
+            cfg.loop_overhead
+            + strips * (cfg.strip_overhead + cfg.t_start)
+            + block * memory_element
+        )
+
+        # Cached sweeps: conflict misses from the mapping, t_m each.
+        conflict_stalls = self.cache_model.self_stalls_for_stride(block, stride)
+        cached_element = 1.0 + conflict_stalls / block
+        cached = (
+            cfg.loop_overhead
+            + strips * (cfg.strip_overhead + cfg.t_start - cfg.t_m)
+            + block * cached_element
+        )
+        return (initial + cached * (reuse - 1)) * blocks
+
+    def row_phase_time(self, shape: FFTShape) -> float:
+        """Phase 1: ``B2`` row FFTs of ``B1`` points at stride ``B2``."""
+        return self._phase_time(
+            block=shape.b1,
+            reuse=math.log2(shape.b1),
+            stride=shape.b2,
+            blocks=shape.b2,
+        )
+
+    def column_phase_time(self, shape: FFTShape) -> float:
+        """Phase 2: ``B1`` column FFTs of ``B2`` points at stride 1."""
+        return self._phase_time(
+            block=shape.b2,
+            reuse=math.log2(shape.b2),
+            stride=1,
+            blocks=shape.b1,
+        )
+
+    def total_time(self, shape: FFTShape) -> float:
+        """Both phases (the twiddle multiply rides along with phase 2)."""
+        return self.row_phase_time(shape) + self.column_phase_time(shape)
+
+    def cycles_per_point(self, shape: FFTShape) -> float:
+        """The paper's Figure-11b measure: total time over ``N`` points."""
+        return self.total_time(shape) / shape.n
+
+    def row_conflict_misses(self, shape: FFTShape) -> float:
+        """Conflict misses of one cached row sweep (0 for a conflict-free
+        mapping) — the quantity the paper quotes as ``B1 - C/gcd(B2, C)``."""
+        return (
+            self.cache_model.self_stalls_for_stride(shape.b1, shape.b2)
+            / self.config.t_m
+        )

@@ -1,0 +1,97 @@
+"""Expected miss ratios — and why the paper refuses to plot them.
+
+Section 3.1: "Cache miss ratio has been used by many researchers as a
+performance measure... However, it is not a very good performance measure
+in this context."  The reason is structural: a vector machine without a
+cache sends *every* reference to memory yet pipelines them all, while a
+cache converts a stream of pipelined accesses into mostly-hits plus a few
+*serialising* misses that each cost the full ``t_m``.  A 90%-hit cache can
+therefore lose to a 0%-hit cacheless machine.
+
+This module computes the expected miss ratios the analytical models imply,
+so that the misleading comparison can be exhibited quantitatively (see
+``demonstrate_miss_ratio_fallacy`` and the corresponding tests): a
+configuration where the direct-mapped CC-model enjoys a seemingly healthy
+hit ratio and still runs *slower* than the MM-model in cycles per result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytical.cc import CCModel
+from repro.analytical.mm import MMModel
+from repro.analytical.vcm import VCM
+
+__all__ = [
+    "MissRatioView",
+    "cached_sweep_misses",
+    "workload_miss_ratio",
+    "demonstrate_miss_ratio_fallacy",
+]
+
+
+def cached_sweep_misses(model: CCModel, vcm: VCM) -> float:
+    """Expected misses in one post-load sweep over a block.
+
+    Derived from the model's stall terms: every non-compulsory miss costs
+    ``t_m`` stall cycles, so dividing the expected sweep stalls by ``t_m``
+    recovers the expected miss count.
+    """
+    b = vcm.blocking_factor
+    t_m = model.config.t_m
+    stalls = vcm.p_ss * model.self_interference(b, vcm.p_stride1_s1, vcm.s1)
+    if vcm.p_ds > 0:
+        second = vcm.second_stream_length
+        stalls += vcm.p_ds * (
+            model.self_interference(b, vcm.p_stride1_s1, vcm.s1)
+            + (model.self_interference(second, vcm.p_stride1_s2, vcm.s2)
+               if second >= 1 else 0.0)
+            + model.cross_interference(vcm)
+        )
+    return stalls / t_m
+
+
+def workload_miss_ratio(model: CCModel, vcm: VCM) -> float:
+    """Expected miss ratio over a whole block's ``R`` sweeps.
+
+    The first sweep misses everything (compulsory); the remaining
+    ``R - 1`` sweeps miss :func:`cached_sweep_misses` each.  References
+    counted are the first stream's ``B`` per sweep (consistent with the
+    cycles-per-result normalisation).
+    """
+    b = vcm.blocking_factor
+    r = vcm.reuse_factor
+    misses = b + (r - 1) * cached_sweep_misses(model, vcm)
+    return min(1.0, misses / (b * r))
+
+
+@dataclass(frozen=True)
+class MissRatioView:
+    """One configuration seen through both metrics.
+
+    Attributes:
+        hit_ratio: the cache's expected hit ratio (looks good).
+        cc_cycles: the CC-model's cycles per result.
+        mm_cycles: the MM-model's cycles per result (no cache at all).
+        cache_loses: ``True`` when the healthy-looking cache is slower.
+    """
+
+    hit_ratio: float
+    cc_cycles: float
+    mm_cycles: float
+
+    @property
+    def cache_loses(self) -> bool:
+        return self.cc_cycles > self.mm_cycles
+
+
+def demonstrate_miss_ratio_fallacy(
+    cc_model: CCModel, mm_model: MMModel, vcm: VCM
+) -> MissRatioView:
+    """Evaluate one configuration under both metrics."""
+    return MissRatioView(
+        hit_ratio=1.0 - workload_miss_ratio(cc_model, vcm),
+        cc_cycles=cc_model.cycles_per_result(vcm),
+        mm_cycles=mm_model.cycles_per_result(vcm),
+    )

@@ -1,0 +1,182 @@
+"""The paper's seven-tuple Vector Computational Model (VCM).
+
+Section 3.1 abstracts a blocked numerical program as
+
+    ``VCM = [B, R, P_ds, s1, s2, P_stride1(s1), P_stride1(s2)]``
+
+* ``B`` — blocking factor: the program operates on sub-blocks of ``B``
+  elements (a ``b x b`` submatrix has ``B = b^2``).
+* ``R`` — reuse factor: how many times each block is swept.
+* ``P_ds`` — probability a vector operation loads *two* streams from
+  memory (double stream); ``P_ss = 1 - P_ds`` loads one, with the other
+  operand already in a register.  The model derives the second stream's
+  length as ``B * P_ds``.
+* ``s1, s2`` — access strides of the two streams.  ``None`` (the paper's
+  "-") marks an undefined stride for the stream that does not occur;
+  an integer fixes the stride deterministically; ``"random"`` draws it
+  from the stride distribution below.
+* ``P_stride1(s)`` — probability the stride is 1; with probability
+  ``1 - P_stride1`` the stride is uniform over ``2 .. modulus`` (``M``
+  banks for the MM-model, ``C`` lines for a CC-model).
+
+The classic instantiations from the paper:
+
+* blocked ``b x b`` matrix multiply: ``[b^2, b, 1/b, ...]``;
+* blocked LU with blocking factor ``b^2``: reuse ``3b/2``;
+* blocked FFT with blocking factor ``b``: reuse ``log2 b``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["VCM", "StrideSpec"]
+
+#: A stride specification: a fixed integer, or ``None`` for "undefined",
+#: or the string ``"random"`` for the paper's mixed distribution.
+StrideSpec = int | str | None
+
+
+def _validate_probability(name: str, p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {p}")
+
+
+def _validate_stride(name: str, s: StrideSpec) -> None:
+    if s is None or s == "random":
+        return
+    if isinstance(s, int):
+        return
+    raise ValueError(f"{name} must be an int, 'random', or None; got {s!r}")
+
+
+@dataclass(frozen=True)
+class VCM:
+    """The seven-tuple vector computational model.
+
+    Attributes mirror the paper's tuple (see module docstring).  The two
+    ``p_stride1`` fields give the unit-stride probability for each stream;
+    they matter only when the corresponding stride is ``"random"``.
+
+    Example — the blocked matrix-multiply instantiation:
+        >>> model = VCM.blocked_matmul(b=32)
+        >>> model.blocking_factor, model.reuse_factor, model.p_ds
+        (1024, 32, 0.03125)
+    """
+
+    blocking_factor: int
+    reuse_factor: float
+    p_ds: float
+    s1: StrideSpec = "random"
+    s2: StrideSpec = "random"
+    p_stride1_s1: float = 0.25
+    p_stride1_s2: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.blocking_factor <= 0:
+            raise ValueError("blocking factor B must be positive")
+        if self.reuse_factor < 1:
+            raise ValueError("reuse factor R must be at least 1")
+        _validate_probability("p_ds", self.p_ds)
+        _validate_probability("p_stride1_s1", self.p_stride1_s1)
+        _validate_probability("p_stride1_s2", self.p_stride1_s2)
+        _validate_stride("s1", self.s1)
+        _validate_stride("s2", self.s2)
+        if self.p_ds > 0 and self.s2 is None:
+            raise ValueError("double-stream accesses need a second stride")
+
+    # -- paper shorthand ----------------------------------------------------
+
+    @property
+    def B(self) -> int:  # noqa: N802 - paper symbol
+        """Paper symbol for :attr:`blocking_factor`."""
+        return self.blocking_factor
+
+    @property
+    def R(self) -> float:  # noqa: N802 - paper symbol
+        """Paper symbol for :attr:`reuse_factor`."""
+        return self.reuse_factor
+
+    @property
+    def p_ss(self) -> float:
+        """Single-stream probability ``1 - P_ds``."""
+        return 1.0 - self.p_ds
+
+    @property
+    def second_stream_length(self) -> float:
+        """The model's derived length of the second vector, ``B * P_ds``."""
+        return self.blocking_factor * self.p_ds
+
+    # -- canonical instantiations (Section 3.1) ------------------------------
+
+    @classmethod
+    def blocked_matmul(cls, b: int, **overrides) -> "VCM":
+        """Blocked ``b x b`` matrix multiply: ``B = b^2``, ``R = b``,
+        ``P_ds = 1/b`` (every b-th access loads both streams)."""
+        if b < 1:
+            raise ValueError("submatrix dimension b must be positive")
+        params = dict(
+            blocking_factor=b * b, reuse_factor=b, p_ds=1.0 / b if b > 1 else 1.0
+        )
+        params.update(overrides)
+        return cls(**params)
+
+    @classmethod
+    def blocked_lu(cls, b: int, **overrides) -> "VCM":
+        """Blocked LU decomposition: ``B = b^2``, average reuse ``3b/2``."""
+        if b < 1:
+            raise ValueError("submatrix dimension b must be positive")
+        params = dict(
+            blocking_factor=b * b,
+            reuse_factor=max(1.0, 3.0 * b / 2.0),
+            p_ds=1.0 / b if b > 1 else 1.0,
+        )
+        params.update(overrides)
+        return cls(**params)
+
+    @classmethod
+    def blocked_fft(cls, b: int, **overrides) -> "VCM":
+        """Blocked FFT: blocking factor ``b``, reuse ``log2 b``.
+
+        Strides inside an FFT block are powers of two; the model treats
+        them as random non-unit strides unless a specific stride is given.
+        """
+        if b < 2 or b & (b - 1):
+            raise ValueError("FFT block size must be a power of two >= 2")
+        params = dict(
+            blocking_factor=b,
+            reuse_factor=max(1.0, math.log2(b)),
+            p_ds=0.0,
+            s2=None,
+            p_stride1_s1=0.0,
+        )
+        params.update(overrides)
+        return cls(**params)
+
+    @classmethod
+    def row_column(cls, b: int, reuse: float, p_ds: float = 0.5, **overrides) -> "VCM":
+        """Row/column access to a random-size matrix (Figure 11a):
+        one stream at unit stride (columns), the other random (rows)."""
+        params = dict(
+            blocking_factor=b,
+            reuse_factor=reuse,
+            p_ds=p_ds,
+            s1=1,
+            s2="random",
+            p_stride1_s1=1.0,
+            p_stride1_s2=0.0,
+        )
+        params.update(overrides)
+        return cls(**params)
+
+    def describe(self) -> str:
+        """The paper-style tuple rendering."""
+        def s(x):
+            return "-" if x is None else x
+
+        return (
+            f"VCM=[{self.blocking_factor}, {self.reuse_factor:g}, {self.p_ds:g}, "
+            f"{s(self.s1)}, {s(self.s2)}, {self.p_stride1_s1:g}, "
+            f"{self.p_stride1_s2:g}]"
+        )

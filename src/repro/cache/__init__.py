@@ -1,0 +1,56 @@
+"""Cache organisations: direct-mapped, set-associative, fully-associative,
+and the paper's prime-mapped design, with shared statistics and three-C
+miss classification."""
+
+from repro.cache.alternative_mappings import (
+    ColumnAssociativeCache,
+    XorMappedCache,
+)
+from repro.cache.base import AccessResult, Cache
+from repro.cache.belady import BeladyResult, simulate_opt
+from repro.cache.direct import DirectMappedCache
+from repro.cache.fully_assoc import FullyAssociativeCache
+from repro.cache.prefetch import (
+    PrefetchingCache,
+    PrefetchStats,
+    SequentialPrefetcher,
+    StridePrefetcher,
+)
+from repro.cache.prime import PrimeMappedCache
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.victim import VictimCache, VictimStats
+from repro.cache.stats import CacheStats, MissClassifier, MissKind
+
+__all__ = [
+    "AccessResult",
+    "BeladyResult",
+    "Cache",
+    "CacheStats",
+    "ColumnAssociativeCache",
+    "DirectMappedCache",
+    "FIFOPolicy",
+    "FullyAssociativeCache",
+    "LRUPolicy",
+    "MissClassifier",
+    "MissKind",
+    "PrefetchStats",
+    "PrefetchingCache",
+    "PrimeMappedCache",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SequentialPrefetcher",
+    "SetAssociativeCache",
+    "StridePrefetcher",
+    "VictimCache",
+    "XorMappedCache",
+    "VictimStats",
+    "make_policy",
+    "simulate_opt",
+]

@@ -1,0 +1,166 @@
+"""Common machinery for all cache organisations.
+
+Every cache in this package is a *tag-only* functional simulator: it tracks
+which memory lines are resident and where, producing hit/miss outcomes and
+statistics; it does not store data payloads (the workloads keep their data
+in numpy, the caches decide how many cycles the machine stalls).
+
+Addresses are **word-granular** non-negative integers.  The paper fixes the
+line size at one double-precision word (Section 2.2), which every model
+here defaults to, but all of them accept any power-of-two
+``line_size_words`` so the line-size ablation of Section 2.2 can be run.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.cache.stats import CacheStats, MissClassifier, MissKind
+
+__all__ = ["AccessResult", "Cache"]
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one cache access.
+
+    Attributes:
+        hit: whether the referenced line was resident.
+        line_address: the (line-granular) address referenced.
+        set_index: which set/line slot the reference mapped to.
+        victim_line: line evicted to make room, or ``None``.
+        miss_kind: three-C class of the miss (``None`` on hits or when the
+            owning cache was built without a classifier).
+        writeback: ``True`` when the evicted line was dirty.
+    """
+
+    hit: bool
+    line_address: int
+    set_index: int
+    victim_line: int | None = None
+    miss_kind: MissKind | None = None
+    writeback: bool = False
+
+
+def _is_power_of_two(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+class Cache(ABC):
+    """Abstract cache: address mapping + residency tracking + statistics.
+
+    Args:
+        total_lines: capacity in lines.
+        line_size_words: words per line; must be a power of two.
+        classify_misses: run the fully-associative LRU shadow that labels
+            every miss compulsory/capacity/conflict.  Costs O(1) per access
+            and a set of all lines ever touched; disable for very long
+            traces where only hit ratios matter.
+        write_allocate: whether a write miss fills the line (the paper's
+            machine model assumes writes are buffered and never stall, but
+            the cache contents still matter for later reads).
+    """
+
+    def __init__(
+        self,
+        total_lines: int,
+        line_size_words: int = 1,
+        *,
+        classify_misses: bool = True,
+        write_allocate: bool = True,
+    ) -> None:
+        if total_lines <= 0:
+            raise ValueError("total_lines must be positive")
+        if not _is_power_of_two(line_size_words):
+            raise ValueError("line_size_words must be a power of two")
+        self.total_lines = total_lines
+        self.line_size_words = line_size_words
+        self.write_allocate = write_allocate
+        self.stats = CacheStats()
+        self._classifier = MissClassifier(total_lines) if classify_misses else None
+        self._offset_bits = line_size_words.bit_length() - 1
+
+    # -- address helpers ---------------------------------------------------
+
+    def line_of(self, word_address: int) -> int:
+        """Map a word address to its line address."""
+        if word_address < 0:
+            raise ValueError("addresses must be non-negative")
+        return word_address >> self._offset_bits
+
+    @abstractmethod
+    def set_of(self, line_address: int) -> int:
+        """Map a line address to its set (or line slot) index."""
+
+    # -- residency (implemented per organisation) ---------------------------
+
+    @abstractmethod
+    def _lookup(self, line_address: int, set_index: int) -> bool:
+        """Whether the line is resident (must not disturb replacement state)."""
+
+    @abstractmethod
+    def _touch(self, line_address: int, set_index: int) -> None:
+        """Record a hit for replacement bookkeeping."""
+
+    @abstractmethod
+    def _fill(
+        self, line_address: int, set_index: int, dirty: bool
+    ) -> tuple[int | None, bool]:
+        """Install the line; return ``(victim_line or None, victim_was_dirty)``."""
+
+    @abstractmethod
+    def _mark_dirty(self, line_address: int, set_index: int) -> None:
+        """Mark a resident line dirty (write hit)."""
+
+    @abstractmethod
+    def resident_lines(self) -> set[int]:
+        """Snapshot of every resident line address (for tests/analysis)."""
+
+    @abstractmethod
+    def invalidate_all(self) -> None:
+        """Empty the cache (statistics are kept; use ``stats.reset()`` too)."""
+
+    # -- the public access path ---------------------------------------------
+
+    def access(self, word_address: int, *, write: bool = False) -> AccessResult:
+        """Reference one word; update residency, replacement and statistics."""
+        line = self.line_of(word_address)
+        set_index = self.set_of(line)
+        hit = self._lookup(line, set_index)
+
+        kind: MissKind | None = None
+        if self._classifier is not None:
+            kind = self._classifier.classify(line, hit)
+
+        victim: int | None = None
+        writeback = False
+        if hit:
+            self._touch(line, set_index)
+            if write:
+                self._mark_dirty(line, set_index)
+        elif not write or self.write_allocate:
+            victim, writeback = self._fill(line, set_index, dirty=write)
+            if victim is not None:
+                self.stats.evictions += 1
+
+        self.stats.record(hit, write, kind)
+        return AccessResult(hit, line, set_index, victim, kind, writeback)
+
+    def contains(self, word_address: int) -> bool:
+        """Whether the word's line is resident (no state change)."""
+        line = self.line_of(word_address)
+        return self._lookup(line, self.set_of(line))
+
+    def run_trace(self, addresses, *, write: bool = False) -> CacheStats:
+        """Access every word address in ``addresses``; return the stats object."""
+        for address in addresses:
+            self.access(int(address), write=write)
+        return self.stats
+
+    def reset(self) -> None:
+        """Invalidate contents and zero statistics and classifier state."""
+        self.invalidate_all()
+        self.stats.reset()
+        if self._classifier is not None:
+            self._classifier.reset()

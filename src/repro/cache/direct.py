@@ -1,0 +1,49 @@
+"""Direct-mapped cache — the paper's conventional baseline.
+
+A direct-mapped cache of ``2^c`` lines maps line address ``A`` to line
+``A mod 2^c`` (a bit-slice).  It is the fastest conventional organisation
+(Hill, "A case for direct-mapped caches") and the one the CC-model of the
+paper's Section 3.3 analyses, so every figure compares the prime-mapped
+design against it.
+"""
+
+from __future__ import annotations
+
+from repro.cache.set_assoc import SetAssociativeCache
+
+__all__ = ["DirectMappedCache"]
+
+
+class DirectMappedCache(SetAssociativeCache):
+    """One-way set-associative cache with power-of-two line count.
+
+    Args:
+        num_lines: capacity in lines; must be a power of two.
+        line_size_words: words per line (power of two).
+
+    Example:
+        >>> cache = DirectMappedCache(num_lines=8)
+        >>> cache.access(0).hit
+        False
+        >>> cache.access(8).hit   # conflicts with line 0
+        False
+        >>> cache.access(0).hit   # line 0 was evicted
+        False
+    """
+
+    def __init__(
+        self,
+        num_lines: int,
+        line_size_words: int = 1,
+        *,
+        classify_misses: bool = True,
+        write_allocate: bool = True,
+    ) -> None:
+        super().__init__(
+            num_sets=num_lines,
+            num_ways=1,
+            line_size_words=line_size_words,
+            policy="lru",  # degenerate with one way; kept for uniformity
+            classify_misses=classify_misses,
+            write_allocate=write_allocate,
+        )

@@ -1,0 +1,50 @@
+"""Fully-associative cache — the conflict-free (but slow) upper bound.
+
+Any line may live anywhere, so conflict misses are zero by construction;
+what remains is compulsory and capacity.  Section 2.1 of the paper explains
+why this organisation is not practical for a vector cache (comparator cost
+and hit-time growth), but it is the natural yardstick: the prime-mapped
+cache aspires to fully-associative conflict behaviour at direct-mapped
+cost, so tests compare the two on vector traces.
+"""
+
+from __future__ import annotations
+
+from repro.cache.replacement import ReplacementPolicy
+from repro.cache.set_assoc import SetAssociativeCache
+
+__all__ = ["FullyAssociativeCache"]
+
+
+class FullyAssociativeCache(SetAssociativeCache):
+    """Single-set cache whose associativity equals its capacity.
+
+    Args:
+        num_lines: capacity in lines (any positive integer).
+        policy: replacement policy name or instance (default LRU).
+
+    Example:
+        >>> cache = FullyAssociativeCache(num_lines=4)
+        >>> [cache.access(a).hit for a in (0, 4, 0)]
+        [False, False, True]
+    """
+
+    _require_pow2_sets = False
+
+    def __init__(
+        self,
+        num_lines: int,
+        line_size_words: int = 1,
+        *,
+        policy: ReplacementPolicy | str = "lru",
+        classify_misses: bool = True,
+        write_allocate: bool = True,
+    ) -> None:
+        super().__init__(
+            num_sets=1,
+            num_ways=num_lines,
+            line_size_words=line_size_words,
+            policy=policy,
+            classify_misses=classify_misses,
+            write_allocate=write_allocate,
+        )

@@ -1,0 +1,132 @@
+"""Replacement policies for set-associative caches.
+
+Section 2.1 of the paper argues that higher associativity is *not* the fix
+for vector-cache conflicts, partly because "serial access to vectors
+dictates against LRU replacement" (Stone).  To let the benchmarks test that
+claim rather than assume it, the set-associative model accepts pluggable
+policies: LRU, FIFO, and seeded-random.
+
+A policy manages per-set bookkeeping only; the cache owns tags and data.
+Ways are identified by their integer position within the set.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+__all__ = ["ReplacementPolicy", "LRUPolicy", "FIFOPolicy", "RandomPolicy", "make_policy"]
+
+
+class ReplacementPolicy(ABC):
+    """Per-set victim selection.
+
+    Subclasses keep whatever recency/insertion state they need, keyed by
+    set index.  ``num_ways`` is fixed at construction.
+    """
+
+    def __init__(self, num_sets: int, num_ways: int) -> None:
+        if num_sets <= 0 or num_ways <= 0:
+            raise ValueError("num_sets and num_ways must be positive")
+        self.num_sets = num_sets
+        self.num_ways = num_ways
+
+    @abstractmethod
+    def on_hit(self, set_index: int, way: int) -> None:
+        """A reference hit ``way`` of ``set_index``."""
+
+    @abstractmethod
+    def on_fill(self, set_index: int, way: int) -> None:
+        """``way`` of ``set_index`` was (re)filled with a new line."""
+
+    @abstractmethod
+    def victim(self, set_index: int) -> int:
+        """Pick the way to evict from a full set."""
+
+    def reset(self) -> None:
+        """Drop all state (default implementation re-inits lazily)."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used: evict the way touched longest ago."""
+
+    def __init__(self, num_sets: int, num_ways: int) -> None:
+        super().__init__(num_sets, num_ways)
+        self._order: dict[int, list[int]] = {}
+
+    def _stack(self, set_index: int) -> list[int]:
+        # Most-recent last; initialised so way 0 is the first victim.
+        return self._order.setdefault(set_index, list(range(self.num_ways - 1, -1, -1)))
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        stack = self._stack(set_index)
+        stack.remove(way)
+        stack.append(way)
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        self.on_hit(set_index, way)
+
+    def victim(self, set_index: int) -> int:
+        return self._stack(set_index)[0]
+
+    def reset(self) -> None:
+        self._order.clear()
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out: evict the way filled longest ago; hits don't matter."""
+
+    def __init__(self, num_sets: int, num_ways: int) -> None:
+        super().__init__(num_sets, num_ways)
+        self._queue: dict[int, list[int]] = {}
+
+    def _fifo(self, set_index: int) -> list[int]:
+        return self._queue.setdefault(set_index, list(range(self.num_ways)))
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        pass
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        queue = self._fifo(set_index)
+        queue.remove(way)
+        queue.append(way)
+
+    def victim(self, set_index: int) -> int:
+        return self._fifo(set_index)[0]
+
+    def reset(self) -> None:
+        self._queue.clear()
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform-random victim with a seedable generator for reproducibility."""
+
+    def __init__(self, num_sets: int, num_ways: int, seed: int = 0) -> None:
+        super().__init__(num_sets, num_ways)
+        self._rng = random.Random(seed)
+        self._seed = seed
+
+    def on_hit(self, set_index: int, way: int) -> None:
+        pass
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        pass
+
+    def victim(self, set_index: int) -> int:
+        return self._rng.randrange(self.num_ways)
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+
+
+_POLICIES = {"lru": LRUPolicy, "fifo": FIFOPolicy, "random": RandomPolicy}
+
+
+def make_policy(name: str, num_sets: int, num_ways: int, **kwargs) -> ReplacementPolicy:
+    """Build a policy by name: ``"lru"``, ``"fifo"`` or ``"random"``."""
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown replacement policy {name!r}; "
+                         f"choose from {sorted(_POLICIES)}") from None
+    return cls(num_sets, num_ways, **kwargs)

@@ -1,0 +1,128 @@
+"""Set-associative cache (the general engine behind all organisations).
+
+A cache with ``num_sets`` sets of ``num_ways`` ways.  Direct-mapped and
+fully-associative caches are the two degenerate corners (``num_ways == 1``
+and ``num_sets == 1``) and are provided as thin subclasses in their own
+modules; the prime-mapped cache overrides only the set-index function.
+
+Tags are stored as *full line addresses*.  For conventional power-of-two
+indexing that is exactly equivalent to storing the architectural tag field
+(index is a bit-slice, so line address == tag << c | index); for the prime
+cache it is equivalent up to one disambiguation bit — see
+:mod:`repro.cache.prime` for the accounting.
+"""
+
+from __future__ import annotations
+
+from repro.cache.base import Cache
+from repro.cache.replacement import ReplacementPolicy, make_policy
+
+__all__ = ["SetAssociativeCache"]
+
+
+class SetAssociativeCache(Cache):
+    """N-way set-associative cache with a pluggable replacement policy.
+
+    Args:
+        num_sets: number of sets (power of two for the conventional cache;
+            subclasses may relax this).
+        num_ways: associativity.
+        line_size_words: words per line (power of two).
+        policy: a :class:`~repro.cache.replacement.ReplacementPolicy`
+            instance, or a name (``"lru"``/``"fifo"``/``"random"``).
+
+    Example:
+        >>> cache = SetAssociativeCache(num_sets=4, num_ways=2)
+        >>> cache.access(0).hit, cache.access(0).hit
+        (False, True)
+    """
+
+    #: whether ``num_sets`` must be a power of two (the prime cache relaxes it)
+    _require_pow2_sets = True
+
+    def __init__(
+        self,
+        num_sets: int,
+        num_ways: int,
+        line_size_words: int = 1,
+        *,
+        policy: ReplacementPolicy | str = "lru",
+        classify_misses: bool = True,
+        write_allocate: bool = True,
+    ) -> None:
+        if num_sets <= 0 or num_ways <= 0:
+            raise ValueError("num_sets and num_ways must be positive")
+        if self._require_pow2_sets and num_sets & (num_sets - 1):
+            raise ValueError(
+                "num_sets must be a power of two for conventional indexing"
+            )
+        super().__init__(
+            num_sets * num_ways,
+            line_size_words,
+            classify_misses=classify_misses,
+            write_allocate=write_allocate,
+        )
+        self.num_sets = num_sets
+        self.num_ways = num_ways
+        if isinstance(policy, str):
+            policy = make_policy(policy, num_sets, num_ways)
+        if policy.num_sets != num_sets or policy.num_ways != num_ways:
+            raise ValueError("policy geometry does not match the cache")
+        self.policy = policy
+        # per-set: way -> line address; inverse: line -> way, for O(1) lookup
+        self._ways: list[dict[int, int]] = [dict() for _ in range(num_sets)]
+        self._where: list[dict[int, int]] = [dict() for _ in range(num_sets)]
+        self._dirty: list[set[int]] = [set() for _ in range(num_sets)]
+
+    def set_of(self, line_address: int) -> int:
+        """Conventional indexing: low bits of the line address."""
+        return line_address % self.num_sets
+
+    def _lookup(self, line_address: int, set_index: int) -> bool:
+        return line_address in self._where[set_index]
+
+    def _touch(self, line_address: int, set_index: int) -> None:
+        self.policy.on_hit(set_index, self._where[set_index][line_address])
+
+    def _mark_dirty(self, line_address: int, set_index: int) -> None:
+        self._dirty[set_index].add(self._where[set_index][line_address])
+
+    def _fill(
+        self, line_address: int, set_index: int, dirty: bool
+    ) -> tuple[int | None, bool]:
+        ways = self._ways[set_index]
+        if len(ways) < self.num_ways:
+            way = next(w for w in range(self.num_ways) if w not in ways)
+            victim, victim_dirty = None, False
+        else:
+            way = self.policy.victim(set_index)
+            victim = ways[way]
+            victim_dirty = way in self._dirty[set_index]
+            del self._where[set_index][victim]
+            self._dirty[set_index].discard(way)
+        ways[way] = line_address
+        self._where[set_index][line_address] = way
+        if dirty:
+            self._dirty[set_index].add(way)
+        self.policy.on_fill(set_index, way)
+        return victim, victim_dirty
+
+    def resident_lines(self) -> set[int]:
+        resident: set[int] = set()
+        for where in self._where:
+            resident.update(where)
+        return resident
+
+    def invalidate_all(self) -> None:
+        for i in range(self.num_sets):
+            self._ways[i].clear()
+            self._where[i].clear()
+            self._dirty[i].clear()
+        self.policy.reset()
+
+    def describe(self) -> str:
+        """One-line human-readable geometry summary."""
+        return (
+            f"{type(self).__name__}(sets={self.num_sets}, ways={self.num_ways}, "
+            f"line={self.line_size_words}w, lines={self.total_lines})"
+        )

@@ -1,0 +1,143 @@
+"""Cache access statistics and three-C miss classification.
+
+The paper's argument hinges on the miss taxonomy of Hennessy & Patterson:
+*compulsory* (first touch), *capacity* (working set exceeds the cache), and
+*conflict* (mapping collisions — the self- and cross-interference misses
+blocking cannot remove).  Every cache model in :mod:`repro.cache` feeds a
+:class:`CacheStats`, and can optionally run a fully-associative LRU shadow
+of equal capacity to split misses into the three classes:
+
+* a miss that the shadow also takes on a never-seen line is **compulsory**;
+* a miss that the shadow also takes on a previously-seen line is
+  **capacity** (even infinite associativity would have evicted it);
+* a miss the shadow would have *hit* is **conflict** — the class the
+  prime-mapped design attacks.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+__all__ = ["MissKind", "CacheStats", "MissClassifier"]
+
+
+class MissKind(enum.Enum):
+    """Three-C classification of a cache miss."""
+
+    COMPULSORY = "compulsory"
+    CAPACITY = "capacity"
+    CONFLICT = "conflict"
+
+
+@dataclass
+class CacheStats:
+    """Running counters for one cache instance.
+
+    All counts are in *accesses* (one per element reference), with misses
+    broken out by :class:`MissKind` when the owning cache has a classifier.
+    """
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    reads: int = 0
+    writes: int = 0
+    evictions: int = 0
+    miss_kinds: dict[MissKind, int] = field(
+        default_factory=lambda: {kind: 0 for kind in MissKind}
+    )
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per access; 0.0 before any access."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits per access; 0.0 before any access."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def conflict_misses(self) -> int:
+        """Misses classified as conflicts (0 when unclassified)."""
+        return self.miss_kinds[MissKind.CONFLICT]
+
+    @property
+    def compulsory_misses(self) -> int:
+        """Misses classified as compulsory (0 when unclassified)."""
+        return self.miss_kinds[MissKind.COMPULSORY]
+
+    @property
+    def capacity_misses(self) -> int:
+        """Misses classified as capacity (0 when unclassified)."""
+        return self.miss_kinds[MissKind.CAPACITY]
+
+    def record(self, hit: bool, write: bool, kind: MissKind | None) -> None:
+        """Account one access."""
+        self.accesses += 1
+        if write:
+            self.writes += 1
+        else:
+            self.reads += 1
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+            if kind is not None:
+                self.miss_kinds[kind] += 1
+
+    def reset(self) -> None:
+        """Zero every counter (used between experiment phases)."""
+        self.accesses = self.hits = self.misses = 0
+        self.reads = self.writes = self.evictions = 0
+        for kind in MissKind:
+            self.miss_kinds[kind] = 0
+
+
+class MissClassifier:
+    """Fully-associative LRU shadow used to label misses with a three-C kind.
+
+    Args:
+        capacity_lines: total lines of the cache being shadowed; the shadow
+            has the same capacity but infinite associativity, which is what
+            separates conflict misses from capacity misses.
+    """
+
+    def __init__(self, capacity_lines: int) -> None:
+        if capacity_lines <= 0:
+            raise ValueError("shadow capacity must be positive")
+        self.capacity_lines = capacity_lines
+        self._lru: OrderedDict[int, None] = OrderedDict()
+        self._ever_seen: set[int] = set()
+
+    def classify(self, line_address: int, real_hit: bool) -> MissKind | None:
+        """Update the shadow with this reference and classify a real miss.
+
+        Must be called for *every* access (hits included) so the shadow's
+        recency state tracks the reference stream.  Returns ``None`` for a
+        real hit, otherwise the :class:`MissKind` of the miss.
+        """
+        shadow_hit = line_address in self._lru
+        if shadow_hit:
+            self._lru.move_to_end(line_address)
+        else:
+            self._lru[line_address] = None
+            if len(self._lru) > self.capacity_lines:
+                self._lru.popitem(last=False)
+        first_touch = line_address not in self._ever_seen
+        self._ever_seen.add(line_address)
+
+        if real_hit:
+            return None
+        if first_touch:
+            return MissKind.COMPULSORY
+        if shadow_hit:
+            return MissKind.CONFLICT
+        return MissKind.CAPACITY
+
+    def reset(self) -> None:
+        """Forget all shadow state."""
+        self._lru.clear()
+        self._ever_seen.clear()

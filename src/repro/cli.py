@@ -1,0 +1,266 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``figures [fig4 fig7 ...]`` — regenerate evaluation figures and check
+  the paper's claims about each.
+* ``design CAPACITY_BYTES`` — size a prime-mapped cache for a budget and
+  itemise the added hardware (the Section-2.3 cost claim, with numbers).
+* ``compare`` — replay a strided sweep through the cache organisations.
+* ``subblock P`` — conflict-free blocking for a matrix leading dimension.
+* ``blocking`` — blocking-factor search: utilisation and full-cache
+  penalty per mapping.
+* ``validate`` — analytical-vs-simulation cross-check.
+* ``fit TRACE`` — estimate VCM parameters from a saved trace file.
+* ``report OUTPUT.md`` — write a full reproduction report.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Prime-mapped cache (Yang & Wu, ISCA 1992) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figures = sub.add_parser("figures", help="regenerate evaluation figures")
+    figures.add_argument("ids", nargs="*", help="figure ids (default: all)")
+
+    design = sub.add_parser("design", help="size a prime-mapped cache")
+    design.add_argument("capacity_bytes", type=int)
+    design.add_argument("--line-size", type=int, default=8)
+    design.add_argument("--address-bits", type=int, default=32)
+    design.add_argument("--start-registers", type=int, default=2)
+
+    compare = sub.add_parser("compare", help="replay a strided sweep")
+    compare.add_argument("--stride", type=int, default=8)
+    compare.add_argument("--length", type=int, default=4096)
+    compare.add_argument("--sweeps", type=int, default=2)
+    compare.add_argument("--c", type=int, default=13,
+                         help="Mersenne exponent (prime cache 2^c - 1 lines)")
+    compare.add_argument("--t-m", type=int, default=32)
+
+    subblock = sub.add_parser("subblock", help="conflict-free blocking")
+    subblock.add_argument("leading_dimension", type=int)
+    subblock.add_argument("--c", type=int, default=13)
+
+    blocking = sub.add_parser("blocking", help="blocking-factor search")
+    blocking.add_argument("--t-m", type=int, default=32)
+    blocking.add_argument("--banks", type=int, default=64)
+
+    validate = sub.add_parser("validate", help="analytics vs simulation")
+    validate.add_argument("--seeds", type=int, default=4)
+
+    fit = sub.add_parser("fit", help="fit VCM parameters to a trace file")
+    fit.add_argument("trace_file", help="trace written by Trace.save()")
+    fit.add_argument("--t-m", type=int, default=32)
+    fit.add_argument("--banks", type=int, default=64)
+    fit.add_argument("--min-run", type=int, default=4)
+
+    report = sub.add_parser("report", help="write a full reproduction report")
+    report.add_argument("output", help="path of the Markdown report to write")
+    report.add_argument("--simulate", action="store_true",
+                        help="include the (slow) simulation cross-check")
+    report.add_argument("--seeds", type=int, default=3)
+
+    return parser
+
+
+def _cmd_figures(args) -> int:
+    from repro.experiments import ALL_FIGURES, check_figure, render_figure
+
+    wanted = args.ids or sorted(ALL_FIGURES)
+    unknown = [w for w in wanted if w not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figures {unknown}; choose from {sorted(ALL_FIGURES)}")
+        return 2
+    failures = 0
+    for figure_id in wanted:
+        result = ALL_FIGURES[figure_id]()
+        print(render_figure(result))
+        for check in check_figure(result):
+            verdict = "PASS" if check.passed else "FAIL"
+            failures += not check.passed
+            print(f"  [{verdict}] {check.claim}  ({check.detail})")
+        print()
+    return 1 if failures else 0
+
+
+def _cmd_design(args) -> int:
+    from repro.core import hardware_cost, propose_design
+
+    design = propose_design(args.capacity_bytes, args.line_size,
+                            args.address_bits)
+    cost = hardware_cost(design, start_registers=args.start_registers)
+    print(f"prime-mapped cache for a {args.capacity_bytes}-byte budget:")
+    print(f"  c = {design.c}  ->  {design.lines} lines of "
+          f"{design.line_size_bytes} bytes = {design.capacity_bytes} bytes")
+    print(f"  capacity given up vs 2^c lines: "
+          f"{design.capacity_loss_vs_pow2:.4%}")
+    print(f"  stored tag width: {design.tag_bits} bits "
+          f"(includes 1 alias-disambiguation bit)")
+    path = design.critical_path
+    print(f"  index datapath delay {path.index_path_delay} vs address adder "
+          f"{path.memory_path_delay} gate levels "
+          f"(slack {path.slack}: claim "
+          f"{'holds' if path.no_critical_path_extension else 'NEEDS WIDER LOOKAHEAD'})")
+    print("  added hardware:")
+    print(f"    end-around-carry adder: ~{cost.adder_gates} gates")
+    print(f"    operand multiplexors:   ~{cost.mux_gates} gates")
+    print(f"    registers:              {cost.register_bits} bits")
+    print(f"    extra tag bits:         {cost.extra_tag_bits_total} "
+          f"(1 per line)")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.cache import (
+        DirectMappedCache,
+        FullyAssociativeCache,
+        PrimeMappedCache,
+    )
+    from repro.trace import replay, strided
+
+    trace = strided(0, args.stride, args.length, sweeps=args.sweeps)
+    lines = 1 << args.c
+    contenders = [
+        DirectMappedCache(num_lines=lines),
+        PrimeMappedCache(c=args.c),
+        FullyAssociativeCache(num_lines=lines),
+    ]
+    print(f"stride {args.stride}, {args.length} elements, "
+          f"{args.sweeps} sweeps, t_m={args.t_m}:")
+    if args.length > lines - 1:
+        print(f"  note: the vector ({args.length} lines) exceeds the cache "
+              f"(~{lines} lines); capacity misses will dominate every "
+              f"organisation")
+    for cache in contenders:
+        result = replay(trace, cache, t_m=args.t_m)
+        print(f"  {result.label:48s} hit {result.hit_ratio:6.1%}  "
+              f"conflicts {result.stats.conflict_misses:6d}  "
+              f"stalls {result.stall_cycles:10.0f}")
+    return 0
+
+
+def _cmd_subblock(args) -> int:
+    from repro.analytical.subblock import (
+        count_subblock_conflicts,
+        max_conflict_free_block,
+    )
+
+    lines = (1 << args.c) - 1
+    choice = max_conflict_free_block(args.leading_dimension, lines)
+    if choice.b1 == 0:
+        print(f"P = {args.leading_dimension} is a multiple of {lines}: no "
+              f"multi-column conflict-free block at c={args.c}")
+        return 1
+    conflicts = count_subblock_conflicts(
+        args.leading_dimension, choice.b1, choice.b2, lines
+    )
+    print(f"P = {args.leading_dimension}, prime cache {lines} lines:")
+    print(f"  conflict-free block {choice.b1} x {choice.b2} "
+          f"(utilisation {choice.utilization:.1%}, enumerated collisions "
+          f"{conflicts})")
+    return 0
+
+
+def _cmd_blocking(args) -> int:
+    from repro.analytical import MachineConfig
+    from repro.analytical.cc import DirectMappedModel, PrimeMappedModel
+    from repro.analytical.optimize import (
+        full_cache_penalty,
+        optimal_blocking_factor,
+    )
+
+    config = MachineConfig(num_banks=args.banks, memory_access_time=args.t_m,
+                           cache_lines=8192)
+    for label, model in (
+        ("direct 8192", DirectMappedModel(config)),
+        ("prime 8191", PrimeMappedModel(config.with_(cache_lines=8191))),
+    ):
+        choice = optimal_blocking_factor(model)
+        penalty = full_cache_penalty(model)
+        print(f"{label}: best B = {choice.blocking_factor} "
+              f"({choice.cache_utilization:.1%} of the cache, "
+              f"{choice.cycles_per_result:.2f} cycles/result); "
+              f"blocking at the full cache costs {penalty:.2f}x the optimum")
+    return 0
+
+
+def _cmd_fit(args) -> int:
+    from repro.analytical import MachineConfig
+    from repro.analytical.cc import DirectMappedModel, PrimeMappedModel
+    from repro.analytical.fit import estimate_vcm
+    from repro.trace.records import Trace
+
+    trace = Trace.load(args.trace_file)
+    try:
+        fitted = estimate_vcm(trace, min_run_length=args.min_run)
+    except ValueError as error:
+        print(f"cannot fit: {error}")
+        return 1
+    print(f"{trace!r}")
+    print(f"fitted {fitted.vcm.describe()}")
+    print(f"  vector runs: {fitted.runs}, mean length "
+          f"{fitted.mean_run_length:.1f}")
+    top = sorted(fitted.stride_histogram.items(), key=lambda kv: -kv[1])[:6]
+    print("  stride histogram (top):",
+          ", ".join(f"{s}x{n}" for s, n in top))
+    cfg = MachineConfig(num_banks=args.banks, memory_access_time=args.t_m,
+                        cache_lines=8192)
+    direct = DirectMappedModel(cfg).cycles_per_result(fitted.vcm)
+    prime = PrimeMappedModel(
+        cfg.with_(cache_lines=8191)).cycles_per_result(fitted.vcm)
+    print(f"  model prediction at t_m={args.t_m}: direct {direct:.2f} "
+          f"cycles/result, prime {prime:.2f} ({direct / prime:.2f}x)")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.report import write_report
+
+    text = write_report(args.output, include_simulation=args.simulate,
+                        seeds=args.seeds)
+    tail = text.strip().splitlines()[-1]
+    print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    print(tail)
+    return 0 if "claims reproduced" in tail and "FAIL" not in text else 1
+
+
+def _cmd_validate(args) -> int:
+    from repro.experiments.render import render_table
+    from repro.experiments.validation import validation_grid
+
+    points = validation_grid(t_m_values=(8, 16), blocks=(512, 2048),
+                             seeds=args.seeds)
+    print(render_table(
+        ["model", "t_m", "B", "predicted", "simulated", "rel err"],
+        [[p.model, p.t_m, p.block, p.predicted, p.measured,
+          p.relative_error] for p in points],
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "figures": _cmd_figures,
+    "design": _cmd_design,
+    "compare": _cmd_compare,
+    "subblock": _cmd_subblock,
+    "blocking": _cmd_blocking,
+    "fit": _cmd_fit,
+    "report": _cmd_report,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)

@@ -1,0 +1,56 @@
+"""Core prime-mapping machinery: Mersenne arithmetic and the Figure-1
+address-generation datapath."""
+
+from repro.core.address_gen import (
+    AdderCostModel,
+    AddressGenerator,
+    AddressLayout,
+    GeneratedAddress,
+)
+from repro.core.delay import (
+    CriticalPathReport,
+    critical_path_report,
+    end_around_carry_delay,
+    lookahead_adder_delay,
+    mux_delay,
+    ripple_adder_delay,
+)
+from repro.core.design import (
+    HardwareCost,
+    PrimeCacheDesign,
+    hardware_cost,
+    propose_design,
+)
+from repro.core.mersenne import (
+    MERSENNE_EXPONENTS,
+    MersenneModulus,
+    canonical,
+    eac_add,
+    fold,
+    is_mersenne_exponent,
+    nearest_mersenne_exponent,
+)
+
+__all__ = [
+    "MERSENNE_EXPONENTS",
+    "AdderCostModel",
+    "CriticalPathReport",
+    "HardwareCost",
+    "PrimeCacheDesign",
+    "AddressGenerator",
+    "AddressLayout",
+    "GeneratedAddress",
+    "MersenneModulus",
+    "canonical",
+    "critical_path_report",
+    "eac_add",
+    "end_around_carry_delay",
+    "fold",
+    "hardware_cost",
+    "is_mersenne_exponent",
+    "lookahead_adder_delay",
+    "mux_delay",
+    "nearest_mersenne_exponent",
+    "propose_design",
+    "ripple_adder_delay",
+]

@@ -1,0 +1,267 @@
+"""Functional model of the Figure-1 cache-address generation datapath.
+
+The prime-mapped cache does not change cache *lookup* at all — tag memory,
+data memory and the comparator are exactly a direct-mapped cache's.  What
+changes is how the index field presented to the data-memory decoder is
+produced.  Figure 1 of the paper shows the added datapath:
+
+* a ``c``-bit end-around-carry adder,
+* two multiplexors selecting the adder's operands,
+* a register holding the stride in Mersenne form,
+* a register holding the running cache index of the previous element,
+* optional registers caching converted vector starting indices for reuse.
+
+For the *first* element of a vector the multiplexors feed the adder the
+``tag`` and ``index`` fields of the memory address (folding the address
+modulo ``2^c - 1``); for every *subsequent* element they feed it the
+previous cache index and the converted stride.  Either way one ``c``-bit
+add per element suffices, which is why the scheme adds nothing to the
+critical path: the add is narrower than the full-width memory-address add
+the machine performs anyway.
+
+This module models that datapath bit-for-bit and *counts adder passes*, so
+the "no extra delay" claim is checkable: tests assert that element stepping
+costs exactly one pass and that start-address conversion costs
+``ceil(address_bits / c) - 1`` passes (one pass per extra chunk).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.mersenne import MersenneModulus, canonical, eac_add
+
+__all__ = [
+    "AddressLayout",
+    "GeneratedAddress",
+    "AddressGenerator",
+    "AdderCostModel",
+]
+
+
+@dataclass(frozen=True)
+class AddressLayout:
+    """Bit layout of a machine address for a cache design.
+
+    Attributes:
+        address_bits: total width of a memory address in bits.
+        offset_bits: ``W = log2(line size in addressable units)``.
+        index_bits: ``c = log2(number of lines + 1)`` for the prime cache,
+            or ``log2(number of lines)`` for a conventional cache.
+    """
+
+    address_bits: int
+    offset_bits: int
+    index_bits: int
+
+    def __post_init__(self) -> None:
+        if self.offset_bits < 0 or self.index_bits <= 0:
+            raise ValueError("field widths must be positive")
+        if self.offset_bits + self.index_bits > self.address_bits:
+            raise ValueError(
+                "offset + index fields exceed the address width "
+                f"({self.offset_bits}+{self.index_bits} > {self.address_bits})"
+            )
+
+    @property
+    def tag_bits(self) -> int:
+        """Width of the tag field (whatever the offset and index leave)."""
+        return self.address_bits - self.offset_bits - self.index_bits
+
+    def split(self, address: int) -> tuple[int, int, int]:
+        """Split a memory address into ``(tag, index_field, offset)``."""
+        if not 0 <= address < (1 << self.address_bits):
+            raise ValueError(f"address {address} exceeds {self.address_bits} bits")
+        offset = address & ((1 << self.offset_bits) - 1)
+        index = (address >> self.offset_bits) & ((1 << self.index_bits) - 1)
+        tag = address >> (self.offset_bits + self.index_bits)
+        return tag, index, offset
+
+    def line_address(self, address: int) -> int:
+        """Drop the offset field: the line-granular address used for mapping."""
+        return address >> self.offset_bits
+
+
+@dataclass(frozen=True)
+class GeneratedAddress:
+    """One element's pair of addresses, as issued by the datapath.
+
+    Attributes:
+        memory_address: full-width address for the interleaved memory
+            (used on a miss), produced by the normal address unit.
+        cache_index: the prime-mapped index (``0 .. 2^c - 2``) for the
+            data-memory decoder.
+        tag: the tag field of ``memory_address`` (stored/compared verbatim,
+            exactly as in a direct-mapped cache).
+        adder_passes: end-around-carry adder passes spent producing the
+            index for *this* element.
+    """
+
+    memory_address: int
+    cache_index: int
+    tag: int
+    adder_passes: int
+
+
+@dataclass
+class AdderCostModel:
+    """Accumulates datapath activity for 'no added delay' accounting.
+
+    Attributes:
+        element_passes: adder passes spent stepping per-element indexes.
+        conversion_passes: passes spent converting vector start addresses
+            and strides into Mersenne form.
+        stride_conversions: how many strides were loaded/converted.
+        start_conversions: how many vector starts were converted.
+    """
+
+    element_passes: int = 0
+    conversion_passes: int = 0
+    stride_conversions: int = 0
+    start_conversions: int = 0
+
+    @property
+    def total_passes(self) -> int:
+        """All adder passes, conversions included."""
+        return self.element_passes + self.conversion_passes
+
+
+@dataclass
+class AddressGenerator:
+    """The per-stream cache-address generator of Figure 1.
+
+    One instance serves one vector access stream (real hardware replicates
+    it, or re-converts on vector restart — Section 2.3 discusses that
+    trade-off; :meth:`restart_vector` models the re-conversion path).
+
+    Args:
+        layout: address bit layout; ``layout.index_bits`` is the Mersenne
+            exponent ``c``.
+
+    Example:
+        >>> gen = AddressGenerator(AddressLayout(32, 3, 5))
+        >>> first = gen.start_vector(start_address=0x100, stride_lines=3)
+        >>> nxt = gen.next_element()
+        >>> (nxt.cache_index - first.cache_index) % 31
+        3
+    """
+
+    layout: AddressLayout
+    costs: AdderCostModel = field(default_factory=AdderCostModel)
+
+    def __post_init__(self) -> None:
+        self._mod = MersenneModulus(self.layout.index_bits)
+        self._stride_lines = 0
+        self._stride_mersenne = 0
+        self._current_memory_address = 0
+        self._current_index = 0
+        self._active = False
+        #: converted start indexes, keyed by (start line address, stride),
+        #: modelling the optional start-address register file.
+        self._start_registers: dict[tuple[int, int], int] = {}
+
+    @property
+    def modulus(self) -> MersenneModulus:
+        """The Mersenne modulus this generator folds into."""
+        return self._mod
+
+    def _convert(self, value: int) -> tuple[int, int]:
+        """Fold ``value`` mod ``2^c - 1`` counting adder passes.
+
+        Returns ``(residue, passes)``.  A value already inside one chunk
+        costs zero passes; each extra chunk costs one end-around-carry add,
+        matching the paper's "a sequence of c-bit additions".
+        """
+        chunks = self._mod.fold_chunks(value)
+        acc = chunks[0]
+        passes = 0
+        for chunk in chunks[1:]:
+            acc = eac_add(acc, chunk, self._mod.c)
+            passes += 1
+        return canonical(acc, self._mod.c), passes
+
+    def set_stride(self, stride_lines: int) -> int:
+        """Load a vector stride (in lines), converting it to Mersenne form.
+
+        Conversion happens when the stride register is written — off the
+        per-element critical path.  Returns the adder passes it took.
+        """
+        if stride_lines >= 0:
+            converted, passes = self._convert(stride_lines)
+        else:
+            magnitude, passes = self._convert(-stride_lines)
+            converted = self._mod.sub(0, magnitude)
+        self._stride_lines = stride_lines
+        self._stride_mersenne = converted
+        self.costs.stride_conversions += 1
+        self.costs.conversion_passes += passes
+        return passes
+
+    def start_vector(self, start_address: int, stride_lines: int) -> GeneratedAddress:
+        """Begin a vector stream at ``start_address`` with the given stride.
+
+        The start index is computed by folding the (tag, index) fields of
+        the start address — the multiplexors select address subfields as
+        the adder operands — and is cached in the start-register file for
+        :meth:`restart_vector`.
+        """
+        self.set_stride(stride_lines)
+        line = self.layout.line_address(start_address)
+        index, passes = self._convert(line)
+        self.costs.start_conversions += 1
+        self.costs.conversion_passes += passes
+        self._start_registers[(line, stride_lines)] = index
+        self._current_memory_address = start_address
+        self._current_index = index
+        self._active = True
+        tag, _, _ = self.layout.split(start_address)
+        return GeneratedAddress(start_address, index, tag, passes)
+
+    def restart_vector(self, start_address: int, stride_lines: int) -> GeneratedAddress:
+        """Re-enter a previously started vector.
+
+        If the design paid for start registers the converted index is read
+        back for free; otherwise this degenerates to :meth:`start_vector`
+        (the 1–2 extra cycles per vector start-up the paper discusses).
+        """
+        line = self.layout.line_address(start_address)
+        cached = self._start_registers.get((line, stride_lines))
+        if cached is None:
+            return self.start_vector(start_address, stride_lines)
+        self.set_stride(stride_lines)
+        self._current_memory_address = start_address
+        self._current_index = cached
+        self._active = True
+        tag, _, _ = self.layout.split(start_address)
+        return GeneratedAddress(start_address, cached, tag, 0)
+
+    def next_element(self) -> GeneratedAddress:
+        """Step to the next vector element: one end-around-carry add.
+
+        The memory address advances by the stride through the normal
+        address unit; the cache index advances by the converted stride
+        through the ``c``-bit adder.  Both happen in parallel, hence one
+        adder pass and no critical-path growth.
+        """
+        if not self._active:
+            raise RuntimeError("next_element before start_vector")
+        self._current_memory_address += self._stride_lines << self.layout.offset_bits
+        if not 0 <= self._current_memory_address < (1 << self.layout.address_bits):
+            raise ValueError("vector walked off the end of the address space")
+        self._current_index = canonical(
+            eac_add(self._current_index, self._stride_mersenne, self._mod.c),
+            self._mod.c,
+        )
+        self.costs.element_passes += 1
+        tag, _, _ = self.layout.split(self._current_memory_address)
+        return GeneratedAddress(
+            self._current_memory_address, self._current_index, tag, 1
+        )
+
+    def generate(self, start_address: int, stride_lines: int, length: int):
+        """Yield the whole stream for a vector of ``length`` elements."""
+        if length <= 0:
+            raise ValueError("vector length must be positive")
+        yield self.start_vector(start_address, stride_lines)
+        for _ in range(length - 1):
+            yield self.next_element()

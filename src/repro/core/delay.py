@@ -1,0 +1,122 @@
+"""Gate-delay model for the 'no critical-path extension' claim.
+
+The paper's central hardware argument (Section 2.3) is that prime-mapped
+index generation adds *zero* delay to the processor's critical path,
+because the ``c``-bit end-around-carry addition runs in parallel with —
+and finishes no later than — the full-width memory-address addition every
+vector machine performs per element anyway.
+
+This module makes that claim checkable with a simple gate-level delay
+model.  Delays are in units of one two-input gate delay:
+
+* **ripple-carry adder**: ``2 * width`` (carry chain of one AND+OR per bit)
+  plus the initial propagate/generate level;
+* **carry-lookahead adder**: ``4 * ceil(log_g(width)) + 2`` for lookahead
+  groups of ``g`` (the classic two-level-per-group tree);
+* **end-around carry**: re-injecting the carry-out can at worst double a
+  naive adder, but the standard technique (compute ``a + b`` and
+  ``a + b + 1`` speculatively and select on the carry-out — a carry-select
+  variant) costs a single 2:1 multiplexor level on top of the base adder.
+
+The comparison the claim needs: ``eac_delay(c)`` vs ``adder_delay(A)``
+where ``A`` (the machine's address width, 32+ bits) is much wider than
+``c`` (13–19 bits for realistic vector caches), so the parallel index add
+always finishes first.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.address_gen import AddressLayout
+
+__all__ = [
+    "ripple_adder_delay",
+    "lookahead_adder_delay",
+    "end_around_carry_delay",
+    "mux_delay",
+    "CriticalPathReport",
+    "critical_path_report",
+]
+
+#: 2:1 multiplexor = one gate level (AND-OR with selected inputs).
+MUX_DELAY = 2
+
+
+def ripple_adder_delay(width: int) -> int:
+    """Gate delays of a ``width``-bit ripple-carry adder."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    return 2 * width + 1
+
+
+def lookahead_adder_delay(width: int, group: int = 4) -> int:
+    """Gate delays of a ``width``-bit carry-lookahead adder.
+
+    ``group`` is the lookahead fan-in; each tree level costs two gate
+    levels up (generate/propagate) and two down (carry distribution).
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if group < 2:
+        raise ValueError("lookahead group must be at least 2")
+    levels = max(1, math.ceil(math.log(width, group)))
+    return 4 * levels + 2
+
+
+def mux_delay(count: int = 1) -> int:
+    """Gate delays of ``count`` chained 2:1 multiplexor stages."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return MUX_DELAY * count
+
+
+def end_around_carry_delay(width: int, group: int = 4) -> int:
+    """Gate delays of a ``width``-bit end-around-carry (mod ``2^w - 1``) add.
+
+    Carry-select implementation: the two candidate sums (``a+b`` and
+    ``a+b+1``) are computed by parallel lookahead adders and the carry-out
+    picks one — base adder delay plus one multiplexor level.
+    """
+    return lookahead_adder_delay(width, group) + mux_delay(1)
+
+
+@dataclass(frozen=True)
+class CriticalPathReport:
+    """Delay comparison between the two parallel address paths.
+
+    Attributes:
+        memory_path_delay: gate delays of the normal full-width address
+            addition (base + stride) the machine performs per element.
+        index_path_delay: gate delays of the prime index update
+            (end-around-carry add of stride to previous index, behind the
+            operand-select multiplexor of Figure 1).
+        slack: ``memory_path_delay - index_path_delay``; non-negative
+            means the prime index is ready before the memory address —
+            the paper's claim.
+    """
+
+    memory_path_delay: int
+    index_path_delay: int
+
+    @property
+    def slack(self) -> int:
+        return self.memory_path_delay - self.index_path_delay
+
+    @property
+    def no_critical_path_extension(self) -> bool:
+        """Whether the paper's zero-added-delay claim holds."""
+        return self.slack >= 0
+
+
+def critical_path_report(layout: AddressLayout, group: int = 4) -> CriticalPathReport:
+    """Evaluate the claim for a concrete address layout.
+
+    The memory path is a full ``address_bits``-wide lookahead add; the
+    index path is the Figure-1 datapath: one operand multiplexor followed
+    by a ``c``-bit end-around-carry add.
+    """
+    memory = lookahead_adder_delay(layout.address_bits, group)
+    index = mux_delay(1) + end_around_carry_delay(layout.index_bits, group)
+    return CriticalPathReport(memory, index)

@@ -1,0 +1,150 @@
+"""Design-space helpers: sizing a prime-mapped cache and costing it.
+
+Two practical questions a designer asks before adopting the paper's
+scheme, answered as code:
+
+1. **Geometry** — given a capacity budget and line size, which Mersenne
+   exponent fits, how many lines/bytes does the prime cache lose versus
+   the power-of-two design, and how wide are its fields?
+   (:func:`propose_design`)
+2. **Cost** — what extra hardware does Figure 1 add?  The paper counts
+   "2 multiplexors, a full adder and a few registers";
+   :func:`hardware_cost` itemises that in gate-equivalents so the
+   "negligible" claim has a number attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.address_gen import AddressLayout
+from repro.core.delay import CriticalPathReport, critical_path_report
+from repro.core.mersenne import nearest_mersenne_exponent
+
+__all__ = ["PrimeCacheDesign", "propose_design", "HardwareCost", "hardware_cost"]
+
+
+@dataclass(frozen=True)
+class PrimeCacheDesign:
+    """A sized prime-mapped cache.
+
+    Attributes:
+        c: Mersenne exponent; the cache has ``2^c - 1`` lines.
+        lines: ``2^c - 1``.
+        line_size_bytes: bytes per line.
+        capacity_bytes: total data capacity.
+        layout: the address field layout (tag/index/offset).
+        tag_bits: stored tag width, including the one-bit alias
+            disambiguator prime mapping needs.
+        capacity_loss_vs_pow2: fraction of a ``2^c``-line cache's capacity
+            given up (one line in ``2^c`` — the cost of primality).
+        critical_path: delay comparison for the index datapath.
+    """
+
+    c: int
+    lines: int
+    line_size_bytes: int
+    capacity_bytes: int
+    layout: AddressLayout
+    tag_bits: int
+    capacity_loss_vs_pow2: float
+    critical_path: CriticalPathReport
+
+
+def propose_design(
+    capacity_bytes: int,
+    line_size_bytes: int = 8,
+    address_bits: int = 32,
+) -> PrimeCacheDesign:
+    """Size the largest prime-mapped cache within a capacity budget.
+
+    Args:
+        capacity_bytes: data capacity budget (e.g. ``128 * 1024`` for the
+            Alliant FX/8's 128 KB cache).
+        line_size_bytes: bytes per line; the paper's choice is 8 (one
+            double word).  Must be a power of two.
+        address_bits: machine address width (byte-granular).
+
+    Example:
+        >>> design = propose_design(128 * 1024, line_size_bytes=8)
+        >>> design.c, design.lines
+        (13, 8191)
+    """
+    if capacity_bytes <= 0:
+        raise ValueError("capacity budget must be positive")
+    if line_size_bytes <= 0 or line_size_bytes & (line_size_bytes - 1):
+        raise ValueError("line size must be a positive power of two")
+    budget_lines = capacity_bytes // line_size_bytes
+    if budget_lines < 3:
+        raise ValueError("budget is below the smallest Mersenne cache (3 lines)")
+    c = nearest_mersenne_exponent(budget_lines.bit_length() - 1)
+    lines = (1 << c) - 1
+    offset_bits = line_size_bytes.bit_length() - 1
+    layout = AddressLayout(
+        address_bits=address_bits, offset_bits=offset_bits, index_bits=c
+    )
+    return PrimeCacheDesign(
+        c=c,
+        lines=lines,
+        line_size_bytes=line_size_bytes,
+        capacity_bytes=lines * line_size_bytes,
+        layout=layout,
+        tag_bits=layout.tag_bits + 1,  # +1 disambiguates the folded alias
+        capacity_loss_vs_pow2=1.0 / (1 << c),
+        critical_path=critical_path_report(layout),
+    )
+
+
+@dataclass(frozen=True)
+class HardwareCost:
+    """Gate-equivalent itemisation of the Figure-1 additions.
+
+    Attributes:
+        adder_gates: the ``c``-bit end-around-carry adder (carry-select:
+            two c-bit adders plus a selecting mux row).
+        mux_gates: the two operand multiplexors (2 * c one-bit 2:1 muxes).
+        register_bits: stride register + current-index register, plus
+            ``start_registers`` optional vector-start registers of ``c``
+            bits each (the performance/cost trade of Section 2.3).
+        extra_tag_bits_total: one extra stored tag bit per line.
+    """
+
+    adder_gates: int
+    mux_gates: int
+    register_bits: int
+    extra_tag_bits_total: int
+
+    @property
+    def total_gate_equivalents(self) -> int:
+        """Everything, counting one register bit / tag bit as ~4 gates."""
+        return (self.adder_gates + self.mux_gates
+                + 4 * self.register_bits + 4 * self.extra_tag_bits_total)
+
+
+#: Gates per full-adder bit (XORs + majority) in the estimate.
+_FULL_ADDER_GATES_PER_BIT = 5
+#: Gates per 2:1 mux bit.
+_MUX_GATES_PER_BIT = 3
+
+
+def hardware_cost(design: PrimeCacheDesign, start_registers: int = 2) -> HardwareCost:
+    """Itemise the added hardware for a given design.
+
+    Args:
+        design: the sized cache.
+        start_registers: how many converted vector-start registers to pay
+            for (0 trades them for 1–2 extra cycles per vector restart,
+            as Section 2.3 discusses).
+    """
+    if start_registers < 0:
+        raise ValueError("start_registers must be non-negative")
+    c = design.c
+    adder = 2 * c * _FULL_ADDER_GATES_PER_BIT + c * _MUX_GATES_PER_BIT
+    muxes = 2 * c * _MUX_GATES_PER_BIT
+    registers = (2 + start_registers) * c
+    return HardwareCost(
+        adder_gates=adder,
+        mux_gates=muxes,
+        register_bits=registers,
+        extra_tag_bits_total=design.lines,
+    )

@@ -1,0 +1,222 @@
+"""Mersenne-number arithmetic for prime-mapped cache indexing.
+
+The prime-mapped cache (Yang & Wu, ISCA 1992, Section 2.3) maps a memory
+line address ``A`` to cache line ``A mod (2^c - 1)`` where ``2^c - 1`` is a
+Mersenne prime.  The whole point of choosing a Mersenne modulus is that the
+reduction never needs a divider: because ``2^c === 1 (mod 2^c - 1)``, a
+``c``-bit binary adder whose carry-out is fed back into its carry-in (an
+*end-around-carry* adder, the same circuit used for one's-complement sums)
+computes the residue of a ``2c``-bit quantity in a single add.  Reducing an
+arbitrarily wide address is a short sequence of such adds, one per ``c``-bit
+chunk of the address.
+
+This module provides the arithmetic in a bit-faithful way: every operation
+is expressed in terms of the folded additions the hardware would perform,
+and the pure ``x % (2**c - 1)`` result is only used in the test suite to
+check equivalence.
+
+A representation subtlety worth spelling out: a ``c``-bit register holds
+values ``0 .. 2^c - 1``, which is *one more* value than there are residues
+modulo ``2^c - 1``.  The all-ones word ``2^c - 1`` is congruent to ``0``;
+:func:`canonical` collapses it.  Hardware either adds a single detect-and-
+clear gate after the adder or tolerates a shadow alias of line 0 — the
+paper glosses over this, and we document and canonicalise it explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "MERSENNE_EXPONENTS",
+    "is_mersenne_exponent",
+    "nearest_mersenne_exponent",
+    "MersenneModulus",
+    "eac_add",
+    "fold",
+    "canonical",
+]
+
+#: Exponents ``c`` for which ``2^c - 1`` is prime, covering every cache size
+#: a real design could plausibly use (4 lines up to 2G lines).  The sequence
+#: is OEIS A000043 truncated at 31.
+MERSENNE_EXPONENTS: tuple[int, ...] = (2, 3, 5, 7, 13, 17, 19, 31)
+
+
+def is_mersenne_exponent(c: int) -> bool:
+    """Return ``True`` when ``2^c - 1`` is one of the supported Mersenne primes."""
+    return c in MERSENNE_EXPONENTS
+
+
+def nearest_mersenne_exponent(c: int) -> int:
+    """Return the largest supported exponent that does not exceed ``c``.
+
+    A designer with a budget of ``2^c`` cache lines picks the largest
+    Mersenne prime ``2^e - 1 <= 2^c``; since ``2^e - 1 < 2^e`` this is simply
+    the largest supported ``e <= c``.
+
+    Raises:
+        ValueError: if ``c`` is below the smallest supported exponent.
+    """
+    candidates = [e for e in MERSENNE_EXPONENTS if e <= c]
+    if not candidates:
+        raise ValueError(
+            f"no Mersenne exponent <= {c}; smallest supported is "
+            f"{MERSENNE_EXPONENTS[0]}"
+        )
+    return candidates[-1]
+
+
+def eac_add(a: int, b: int, c: int) -> int:
+    """End-around-carry addition of two ``c``-bit values.
+
+    Computes ``a + b`` with the carry-out of the ``c``-bit adder folded back
+    into the carry-in, exactly as the Figure-1 datapath does.  Both inputs
+    must already fit in ``c`` bits.  The result is a ``c``-bit value (the
+    all-ones alias of zero is *not* collapsed here; see :func:`canonical`).
+
+    Raises:
+        ValueError: if an operand does not fit in ``c`` bits.
+    """
+    mask = (1 << c) - 1
+    if not 0 <= a <= mask or not 0 <= b <= mask:
+        raise ValueError(f"operands must be {c}-bit values: got {a}, {b}")
+    s = a + b
+    s = (s & mask) + (s >> c)
+    # a + b <= 2*mask = 2^(c+1) - 2, so one fold leaves at most mask + 1;
+    # a second fold of that single carry finishes the job.
+    s = (s & mask) + (s >> c)
+    return s
+
+
+def canonical(x: int, c: int) -> int:
+    """Collapse the all-ones alias: ``2^c - 1 -> 0``.
+
+    ``x`` must be a ``c``-bit value.  Residues modulo ``2^c - 1`` live in
+    ``0 .. 2^c - 2``; the ``c``-bit pattern of all ones is the second
+    encoding of residue 0.
+    """
+    mask = (1 << c) - 1
+    if not 0 <= x <= mask:
+        raise ValueError(f"{x} is not a {c}-bit value")
+    return 0 if x == mask else x
+
+
+def fold(x: int, c: int) -> int:
+    """Reduce an arbitrary non-negative integer modulo ``2^c - 1``.
+
+    Implemented as the hardware would: repeatedly split ``x`` into its low
+    ``c`` bits and the rest, and add the pieces with :func:`eac_add`.  The
+    result is canonical (in ``0 .. 2^c - 2``).
+    """
+    if x < 0:
+        raise ValueError("fold expects a non-negative integer")
+    mask = (1 << c) - 1
+    while x > mask:
+        x = (x & mask) + (x >> c)
+    # One more fold is impossible to need here, but the all-ones alias may
+    # remain.
+    return canonical(x, c)
+
+
+@dataclass(frozen=True)
+class MersenneModulus:
+    """A Mersenne modulus ``2^c - 1`` with hardware-shaped arithmetic.
+
+    This is the arithmetic object the rest of the library builds on: the
+    prime-mapped cache uses it for index computation, the address generator
+    uses it to step vector indices, and the analytical model uses it for
+    conflict reasoning.
+
+    Attributes:
+        c: the exponent; the modulus is ``2^c - 1``.
+
+    Example:
+        >>> m = MersenneModulus(5)
+        >>> m.value
+        31
+        >>> m.reduce(5 * 31 + 7)
+        7
+    """
+
+    c: int
+
+    def __post_init__(self) -> None:
+        if self.c < 2:
+            raise ValueError("Mersenne exponent must be at least 2")
+
+    @property
+    def value(self) -> int:
+        """The modulus ``2^c - 1``."""
+        return (1 << self.c) - 1
+
+    @property
+    def is_prime(self) -> bool:
+        """Whether this modulus is one of the Mersenne *primes*.
+
+        The arithmetic works for any exponent, but the conflict-freedom
+        guarantees of the prime-mapped cache need a prime modulus.
+        """
+        return is_mersenne_exponent(self.c)
+
+    def reduce(self, x: int) -> int:
+        """Reduce ``x`` modulo ``2^c - 1`` via chunk folding."""
+        return fold(x, self.c)
+
+    def add(self, a: int, b: int) -> int:
+        """Residue addition: canonical ``(a + b) mod (2^c - 1)``.
+
+        Operands may be any non-negative integers; they are folded first
+        (callers holding residues pay nothing, since folding a residue is a
+        no-op).
+        """
+        return canonical(eac_add(self.reduce(a), self.reduce(b), self.c), self.c)
+
+    def sub(self, a: int, b: int) -> int:
+        """Residue subtraction ``(a - b) mod (2^c - 1)``.
+
+        Hardware performs subtraction by adding the one's complement of the
+        subtrahend — which is exactly the additive inverse modulo
+        ``2^c - 1`` — so this, too, is a single end-around-carry add.
+        """
+        b_res = self.reduce(b)
+        complement = self.value - b_res if b_res else 0
+        return self.add(self.reduce(a), complement)
+
+    def mul(self, a: int, b: int) -> int:
+        """Residue multiplication ``(a * b) mod (2^c - 1)``.
+
+        Not needed on the cache's critical path (strides are added, never
+        multiplied, during element stepping) but useful for analysis, e.g.
+        locating the k-th element of a strided vector directly.
+        """
+        return self.reduce(self.reduce(a) * self.reduce(b))
+
+    def convert_stride(self, stride: int) -> int:
+        """Fold a vector stride into Mersenne form.
+
+        Negative strides (descending vectors) map to their additive
+        inverse, which is what loading ``-s`` through the one's-complement
+        datapath produces.
+        """
+        if stride >= 0:
+            return self.reduce(stride)
+        return self.sub(0, -stride)
+
+    def fold_chunks(self, x: int) -> list[int]:
+        """Split ``x`` into the ``c``-bit chunks the folding adder consumes.
+
+        ``fold(x) == chunks summed with end-around carry``; exposing the
+        chunks lets the address generator count exactly how many adder
+        passes a given address width costs.
+        """
+        if x < 0:
+            raise ValueError("fold_chunks expects a non-negative integer")
+        if x == 0:
+            return [0]
+        chunks = []
+        mask = self.value
+        while x:
+            chunks.append(x & mask)
+            x >>= self.c
+        return chunks

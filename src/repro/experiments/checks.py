@@ -1,0 +1,239 @@
+"""Shape checks: does each regenerated figure show what the paper claims?
+
+Absolute cycle counts are not the reproduction target (the substrate is a
+model, not the authors' machine); the *shape* is.  Each check encodes one
+claim the paper makes about a figure — who wins, where the crossover
+falls, what stays flat — and evaluates it against the regenerated data.
+The checks are asserted in the test suite and tabulated in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.figures import ALL_FIGURES, FigureResult
+
+__all__ = ["ClaimCheck", "check_figure", "check_all_figures"]
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """One paper claim evaluated against regenerated data.
+
+    Attributes:
+        figure_id: which figure the claim belongs to.
+        claim: the paper's statement, paraphrased.
+        passed: whether the regenerated data shows it.
+        detail: the measured quantity backing the verdict.
+    """
+
+    figure_id: str
+    claim: str
+    passed: bool
+    detail: str
+
+
+def _crossover(x_values, losing, winning):
+    """First x where ``winning`` drops below ``losing`` (None if never)."""
+    for x, lose, win in zip(x_values, losing, winning):
+        if win < lose:
+            return x
+    return None
+
+
+def _flatness(values) -> float:
+    """max/min ratio of a curve (1.0 = perfectly flat)."""
+    lo, hi = min(values), max(values)
+    return hi / lo if lo > 0 else float("inf")
+
+
+def check_fig4(result: FigureResult) -> list[ClaimCheck]:
+    mm4 = result.series_by_label("MM-model B=4K").values
+    cc4 = result.series_by_label("CC-direct B=4K").values
+    mm2 = result.series_by_label("MM-model B=2K").values
+    cc2 = result.series_by_label("CC-direct B=2K").values
+    cross4 = _crossover(result.x_values, mm4, cc4)
+    cross2 = _crossover(result.x_values, mm2, cc2)
+    return [
+        ClaimCheck("fig4", "CC-direct overtakes MM past t_m ~ 20 at B=4K (paper: 20)",
+                   cross4 is not None and 12 <= cross4 <= 28,
+                   f"crossover at t_m={cross4}"),
+        ClaimCheck("fig4", "CC-direct overtakes MM past t_m ~ 7 at B=2K (paper: 7)",
+                   cross2 is not None and 4 <= cross2 <= 12,
+                   f"crossover at t_m={cross2}"),
+        ClaimCheck("fig4", "at small t_m the cacheless machine is faster",
+                   cc4[0] > mm4[0], f"t_m={result.x_values[0]}: "
+                   f"CC={cc4[0]:.2f} vs MM={mm4[0]:.2f}"),
+    ]
+
+
+def check_fig5(result: FigureResult) -> list[ClaimCheck]:
+    checks = []
+    for t_m in (8, 16):
+        mm = result.series_by_label(f"MM-model t_m={t_m}").values
+        cc = result.series_by_label(f"CC-direct t_m={t_m}").values
+        equal_at_one = abs(mm[0] - cc[0]) / mm[0] < 0.02
+        checks.append(ClaimCheck(
+            "fig5", f"models perform the same at R=1 (t_m={t_m})",
+            equal_at_one, f"MM={mm[0]:.2f} CC={cc[0]:.2f}"))
+        checks.append(ClaimCheck(
+            "fig5", f"CC wins whenever R > 1 (t_m={t_m})",
+            all(c < m for c, m in zip(cc[1:], mm[1:])),
+            f"R=2: CC={cc[1]:.2f} MM={mm[1]:.2f}"))
+    cc16 = result.series_by_label("CC-direct t_m=16").values
+    tail_change = abs(cc16[-1] - cc16[-2]) / cc16[-2]
+    checks.append(ClaimCheck(
+        "fig5", "diminishing returns: curve flattens at large R",
+        tail_change < 0.05, f"last-step change {tail_change:.1%}"))
+    return checks
+
+
+def check_fig6(result: FigureResult) -> list[ClaimCheck]:
+    checks = []
+    for t_m, lo, hi in ((16, 2048, 5120), (32, 3072, 7168)):
+        mm = result.series_by_label(f"MM-model t_m={t_m}").values
+        cc = result.series_by_label(f"CC-direct t_m={t_m}").values
+        cross = _crossover(result.x_values, cc, mm)  # where MM gets cheaper
+        checks.append(ClaimCheck(
+            "fig6",
+            f"direct-mapped cache loses to MM past B ~ "
+            f"{'4K' if t_m == 16 else '5K'} (t_m={t_m})",
+            cross is not None and lo <= cross <= hi,
+            f"crossover at B={cross}"))
+    return checks
+
+
+def check_fig7(result: FigureResult) -> list[ClaimCheck]:
+    mm = result.series_by_label("MM-model").values
+    direct = result.series_by_label("CC-direct").values
+    prime = result.series_by_label("CC-prime").values
+    last = -1  # t_m = 64 = M
+    return [
+        ClaimCheck("fig7", "prime-mapped curve stays nearly flat",
+                   _flatness(prime) < 1.6, f"max/min = {_flatness(prime):.2f}"),
+        ClaimCheck("fig7", "at t_m=M=64 prime is ~3x faster than direct (paper: 3x)",
+                   2.0 <= direct[last] / prime[last] <= 4.5,
+                   f"ratio {direct[last] / prime[last]:.2f}"),
+        ClaimCheck("fig7", "at t_m=M=64 prime is ~5x faster than MM (paper: ~5x)",
+                   3.5 <= mm[last] / prime[last] <= 6.5,
+                   f"ratio {mm[last] / prime[last]:.2f}"),
+        ClaimCheck("fig7", "prime wins over the entire t_m range",
+                   all(p <= min(d, m) for p, d, m in zip(prime, direct, mm)),
+                   "pointwise minimum"),
+        ClaimCheck("fig7", "direct-mapped CC catches up with MM near t_m ~ 24 "
+                   "(paper: ~24)",
+                   _crossover(result.x_values, mm, direct) is not None
+                   and 12 <= _crossover(result.x_values, mm, direct) <= 36,
+                   f"direct overtakes MM at t_m="
+                   f"{_crossover(result.x_values, mm, direct)}"),
+    ]
+
+
+def check_fig8(result: FigureResult) -> list[ClaimCheck]:
+    mm = result.series_by_label("MM-model").values
+    direct = result.series_by_label("CC-direct").values
+    prime = result.series_by_label("CC-prime").values
+    cross = _crossover(result.x_values, direct, mm)
+    return [
+        ClaimCheck("fig8", "direct crosses above MM near B ~ 3K (paper: ~3K)",
+                   cross is not None and 1536 <= cross <= 4608,
+                   f"crossover at B={cross}"),
+        ClaimCheck("fig8", "prime-mapped curve remains flat in B",
+                   _flatness(prime) < 1.4, f"max/min = {_flatness(prime):.2f}"),
+        ClaimCheck("fig8", "prime wins at every blocking factor",
+                   all(p <= min(d, m) * 1.001
+                       for p, d, m in zip(prime, direct, mm)),
+                   "pointwise minimum"),
+    ]
+
+
+def check_fig9(result: FigureResult) -> list[ClaimCheck]:
+    direct = result.series_by_label("CC-direct").values
+    prime = result.series_by_label("CC-prime").values
+    gaps = [d - p for d, p in zip(direct, prime)]
+    return [
+        ClaimCheck("fig9", "gap shrinks monotonically as P_stride1 grows",
+                   all(a >= b - 1e-9 for a, b in zip(gaps, gaps[1:])),
+                   f"gap {gaps[0]:.2f} -> {gaps[-1]:.2f}"),
+        ClaimCheck("fig9", "schemes tie at P_stride1 = 1",
+                   abs(direct[-1] - prime[-1]) / direct[-1] < 1e-4,
+                   f"relative difference "
+                   f"{abs(direct[-1] - prime[-1]) / direct[-1]:.2e}"),
+        ClaimCheck("fig9", "prime wins whenever unit stride is not certain",
+                   all(p < d for p, d in zip(prime[:-1], direct[:-1])),
+                   "pointwise"),
+    ]
+
+
+def check_fig10(result: FigureResult) -> list[ClaimCheck]:
+    direct = result.series_by_label("CC-direct").values
+    prime = result.series_by_label("CC-prime").values
+    ratios = [d / p for d, p in zip(direct[1:], prime[1:])]
+    return [
+        ClaimCheck("fig10", "cycle time grows with the double-stream fraction",
+                   prime[-1] > prime[0] and direct[-1] > direct[0],
+                   f"prime {prime[0]:.2f}->{prime[-1]:.2f}"),
+        ClaimCheck("fig10", "prime beats direct over all P_ds",
+                   all(p <= d for p, d in zip(prime, direct)), "pointwise"),
+        ClaimCheck("fig10", "advantage ranges from ~40% to ~2x (paper: 40%-2x)",
+                   min(ratios) >= 1.2 and max(ratios) >= 1.8,
+                   f"ratios {min(ratios):.2f}..{max(ratios):.2f}"),
+    ]
+
+
+def check_fig11a(result: FigureResult) -> list[ClaimCheck]:
+    direct = result.series_by_label("CC-direct").values
+    prime = result.series_by_label("CC-prime").values
+    return [
+        ClaimCheck("fig11a", "direct-mapped cache degrades as rows dominate",
+                   direct[-1] > direct[0] * 1.5,
+                   f"{direct[0]:.2f} -> {direct[-1]:.2f}"),
+        ClaimCheck("fig11a", "prime-mapped performance is ~flat in the mix",
+                   _flatness(prime) < 1.1, f"max/min = {_flatness(prime):.2f}"),
+        ClaimCheck("fig11a", "prime at least ties everywhere",
+                   all(p <= d * 1.001 for p, d in zip(prime, direct)),
+                   "pointwise"),
+    ]
+
+
+def check_fig11b(result: FigureResult) -> list[ClaimCheck]:
+    direct = result.series_by_label("CC-direct").values
+    prime = result.series_by_label("CC-prime").values
+    ratios = [d / p for d, p in zip(direct, prime)]
+    return [
+        ClaimCheck("fig11b", "prime outperforms direct for every B2",
+                   all(r >= 0.999 for r in ratios),
+                   f"min ratio {min(ratios):.2f}"),
+        ClaimCheck("fig11b", "improvement exceeds 2x (paper: 'more than 2')",
+                   max(ratios) > 2.0, f"max ratio {max(ratios):.2f}"),
+    ]
+
+
+_CHECKERS = {
+    "fig4": check_fig4,
+    "fig5": check_fig5,
+    "fig6": check_fig6,
+    "fig7": check_fig7,
+    "fig8": check_fig8,
+    "fig9": check_fig9,
+    "fig10": check_fig10,
+    "fig11a": check_fig11a,
+    "fig11b": check_fig11b,
+}
+
+
+def check_figure(result: FigureResult) -> list[ClaimCheck]:
+    """Evaluate every encoded claim for one regenerated figure."""
+    try:
+        checker = _CHECKERS[result.figure_id]
+    except KeyError:
+        raise ValueError(f"no checks registered for {result.figure_id!r}") from None
+    return checker(result)
+
+
+def check_all_figures() -> list[ClaimCheck]:
+    """Regenerate every figure and evaluate every claim."""
+    checks: list[ClaimCheck] = []
+    for figure_id, build in ALL_FIGURES.items():
+        checks.extend(check_figure(build()))
+    return checks

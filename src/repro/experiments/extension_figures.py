@@ -1,0 +1,146 @@
+"""Extension figures: the paper's *prose* arguments, plotted.
+
+Several of the paper's key arguments are stated in text but never given a
+figure — associativity won't help (Section 2.1), miss ratio misleads
+(Section 3.1), interleaving alone needs absurd bank counts (intro, via
+Bailey), and utilisation must stay low on a conventional cache (Section
+3.4's closing observation).  Each function here turns one of those
+arguments into a data series in the same :class:`FigureResult` shape as
+the reproduced figures, so they render, check and report identically.
+"""
+
+from __future__ import annotations
+
+from repro.analytical.bandwidth import expected_effective_bandwidth
+from repro.analytical.base import MachineConfig
+from repro.analytical.cc import DirectMappedModel, PrimeMappedModel
+from repro.analytical.missratio import demonstrate_miss_ratio_fallacy
+from repro.analytical.mm import MMModel
+from repro.analytical.set_assoc import SetAssociativeModel
+from repro.analytical.vcm import VCM
+from repro.experiments.figures import DEFAULTS, FigureResult, FigureSeries
+
+__all__ = [
+    "extension_associativity",
+    "extension_missratio",
+    "extension_bandwidth",
+    "extension_utilization",
+    "ALL_EXTENSION_FIGURES",
+]
+
+
+def _config(t_m: int = 32, banks: int = 64, cache_lines: int = 8192):
+    return MachineConfig(num_banks=banks, memory_access_time=t_m,
+                         cache_lines=cache_lines)
+
+
+def extension_associativity(block_values=None) -> FigureResult:
+    """Section 2.1 plotted: k-way curves collapse onto each other while
+    the prime-mapped curve sits below them all."""
+    block_values = list(block_values or [512, 1024, 2048, 4096, 8192])
+    curves: dict[str, list[float]] = {
+        "1-way (cyclic)": [], "2-way LRU": [], "8-way LRU": [],
+        "CC-prime": [],
+    }
+    for block in block_values:
+        vcm = VCM(blocking_factor=block, reuse_factor=block,
+                  p_ds=DEFAULTS["p_ds"])
+        curves["1-way (cyclic)"].append(
+            SetAssociativeModel(_config(), ways=1).cycles_per_result(vcm))
+        curves["2-way LRU"].append(
+            SetAssociativeModel(_config(), ways=2).cycles_per_result(vcm))
+        curves["8-way LRU"].append(
+            SetAssociativeModel(_config(), ways=8).cycles_per_result(vcm))
+        curves["CC-prime"].append(
+            PrimeMappedModel(_config(cache_lines=8191))
+            .cycles_per_result(vcm))
+    return FigureResult(
+        "ext-assoc",
+        "Associativity cannot remove strided conflicts; prime mapping can",
+        "blocking factor B", block_values,
+        "clock cycles per result",
+        [FigureSeries(k, v) for k, v in curves.items()],
+        notes="M=64, t_m=32, C=8192 (prime 8191), cyclic-LRU counting",
+    )
+
+
+def extension_missratio(block_values=None) -> FigureResult:
+    """Section 3.1 plotted: the direct-mapped hit ratio stays healthy
+    while its cycles cross above the cacheless machine."""
+    block_values = list(block_values or [1024, 2048, 4096, 6144, 8192])
+    hit_ratio, cc_cycles, mm_cycles = [], [], []
+    for block in block_values:
+        vcm = VCM(blocking_factor=block, reuse_factor=block,
+                  p_ds=DEFAULTS["p_ds"])
+        cfg = _config(t_m=16, banks=32)
+        view = demonstrate_miss_ratio_fallacy(
+            DirectMappedModel(cfg), MMModel(cfg), vcm)
+        hit_ratio.append(view.hit_ratio)
+        cc_cycles.append(view.cc_cycles)
+        mm_cycles.append(view.mm_cycles)
+    return FigureResult(
+        "ext-missratio",
+        "A healthy hit ratio does not mean the cache is winning",
+        "blocking factor B", block_values,
+        "hit ratio / clock cycles per result",
+        [FigureSeries("direct hit ratio", hit_ratio),
+         FigureSeries("direct cycles/result", cc_cycles),
+         FigureSeries("MM cycles/result", mm_cycles)],
+        notes="M=32, t_m=16, R=B, P_ds=0.1",
+    )
+
+
+def extension_bandwidth(bank_values=None) -> FigureResult:
+    """The introduction's interleaving argument plotted: expected
+    effective bandwidth of a single random-stride stream vs bank count."""
+    bank_values = list(bank_values or [16, 32, 64, 128, 256, 512, 1024])
+    series = {f"t_m={t_m}": [] for t_m in (8, 16, 32)}
+    for banks in bank_values:
+        for t_m in (8, 16, 32):
+            cfg = MachineConfig(num_banks=banks, memory_access_time=t_m)
+            series[f"t_m={t_m}"].append(
+                expected_effective_bandwidth(cfg, DEFAULTS["p_stride1"]))
+    return FigureResult(
+        "ext-bandwidth",
+        "Interleaving alone saturates slowly in the bank count",
+        "memory banks M", bank_values,
+        "expected effective bandwidth (elements/cycle)",
+        [FigureSeries(k, v) for k, v in series.items()],
+        notes="single stream, P_stride1=0.25",
+    )
+
+
+def extension_utilization(utilization_values=None) -> FigureResult:
+    """Section 3.4's closing observation plotted: cost of using a given
+    fraction of each cache (B = fraction * C, R = B)."""
+    utilization_values = list(utilization_values or
+                              [0.05, 0.1, 0.25, 0.5, 0.75, 1.0])
+    curves: dict[str, list[float]] = {"CC-direct": [], "CC-prime": []}
+    for fraction in utilization_values:
+        direct_cfg = _config()
+        prime_cfg = _config(cache_lines=8191)
+        for label, model, lines in (
+            ("CC-direct", DirectMappedModel(direct_cfg), 8192),
+            ("CC-prime", PrimeMappedModel(prime_cfg), 8191),
+        ):
+            block = max(1, int(fraction * lines))
+            vcm = VCM(blocking_factor=block, reuse_factor=block,
+                      p_ds=DEFAULTS["p_ds"])
+            curves[label].append(model.cycles_per_result(vcm))
+    return FigureResult(
+        "ext-utilization",
+        "The cost of actually using the cache you paid for",
+        "cache fraction used (B / C)", utilization_values,
+        "clock cycles per result",
+        [FigureSeries(k, v) for k, v in curves.items()],
+        notes="M=64, t_m=32, R=B, P_ds=0.1",
+    )
+
+
+#: Registry mirroring :data:`repro.experiments.figures.ALL_FIGURES`.
+ALL_EXTENSION_FIGURES = {
+    "ext-assoc": extension_associativity,
+    "ext-missratio": extension_missratio,
+    "ext-bandwidth": extension_bandwidth,
+    "ext-utilization": extension_utilization,
+}

@@ -1,0 +1,45 @@
+"""Plain-text rendering of regenerated figures.
+
+The paper's figures are line plots; on a terminal we render each as a
+fixed-width table (one row per x value, one column per curve), which is
+also the format EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import FigureResult
+
+__all__ = ["render_figure", "render_table"]
+
+
+def render_table(headers: list[str], rows: list[list]) -> str:
+    """A fixed-width table with a header rule."""
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def line(values):
+        return "  ".join(v.rjust(w) for v, w in zip(values, widths))
+
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def render_figure(result: FigureResult) -> str:
+    """Render one figure as a titled table."""
+    headers = [result.x_label] + [s.label for s in result.series]
+    rows = []
+    for i, x in enumerate(result.x_values):
+        rows.append([x] + [s.values[i] for s in result.series])
+    title = f"{result.figure_id}: {result.title}"
+    body = render_table(headers, rows)
+    notes = f"({result.y_label}; {result.notes})" if result.notes else ""
+    return "\n".join(filter(None, [title, notes, body]))

@@ -1,0 +1,51 @@
+"""Small statistics helpers for seed-averaged simulation measurements."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Summary", "summarize"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean and spread of one measured quantity over seeds.
+
+    Attributes:
+        mean: sample mean.
+        std: sample standard deviation (ddof=1; 0.0 for a single sample).
+        count: number of samples.
+        ci95_half_width: half-width of a normal-approximation 95%
+            confidence interval, ``1.96 * std / sqrt(n)``.
+    """
+
+    mean: float
+    std: float
+    count: int
+
+    @property
+    def ci95_half_width(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return 1.96 * self.std / math.sqrt(self.count)
+
+    def overlaps(self, other: "Summary") -> bool:
+        """Whether the two 95% intervals overlap (a cheap equivalence test)."""
+        return (
+            abs(self.mean - other.mean)
+            <= self.ci95_half_width + other.ci95_half_width
+        )
+
+
+def summarize(samples) -> Summary:
+    """Summarise an iterable of numeric samples."""
+    values = [float(v) for v in samples]
+    if not values:
+        raise ValueError("summarize needs at least one sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return Summary(mean, 0.0, 1)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return Summary(mean, math.sqrt(variance), n)

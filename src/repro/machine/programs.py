@@ -1,0 +1,164 @@
+"""Vector programs: the blocked kernels as vector instruction streams.
+
+The trace runner replays kernels reference-by-reference, which models a
+scalar machine with a cache.  A vector machine executes *vector
+instructions* — strip-mined strided loads, dual-stream loads, buffered
+stores — and that is the level the paper's timing model lives at.  This
+module compiles the memory-access structure of the canonical kernels into
+:mod:`repro.machine.ops` streams:
+
+* :func:`strided_reuse_program` — load a vector, reuse it ``R`` times
+  (the minimal VCM block);
+* :func:`matmul_program` — blocked ``C += A @ B``: per inner column
+  update, a dual-stream load of an ``A``-block column with the ``C``
+  column, and a buffered store of the updated column;
+* :func:`fft_program` — the two-phase blocked FFT: ``B2`` row sweeps at
+  stride ``B2`` with ``log2(B1)`` stage reuses, then ``B1`` unit-stride
+  column sweeps with ``log2(B2)`` reuses;
+* :func:`jacobi_program` — five-point sweeps as four shifted column loads
+  plus a column store per grid column.
+
+Compute is folded into the one-cycle-per-element load slots, as in the
+analytical model; programs describe memory behaviour, and the machines
+charge the overheads (Eq. (1)'s loop/strip/start-up structure).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.machine.ops import LoadPair, Operation, VectorLoad, VectorStore
+
+__all__ = [
+    "strided_reuse_program",
+    "matmul_program",
+    "fft_program",
+    "jacobi_program",
+]
+
+
+def strided_reuse_program(
+    base: int, stride: int, length: int, reuse: int
+) -> list[Operation]:
+    """One block: an initial load then ``reuse - 1`` cached sweeps."""
+    if reuse < 1:
+        raise ValueError("reuse must be at least 1")
+    ops: list[Operation] = [
+        VectorLoad(base=base, stride=stride, length=length)
+    ]
+    ops.extend(
+        VectorLoad(base=base, stride=stride, length=length, expect_cached=True)
+        for _ in range(reuse - 1)
+    )
+    return ops
+
+
+def matmul_program(
+    n: int,
+    block: int,
+    *,
+    base_a: int = 0,
+    base_b: int | None = None,
+    base_c: int | None = None,
+) -> list[Operation]:
+    """Blocked ``n x n`` matmul as vector ops (column-major, ld = n).
+
+    Loop structure matches :func:`repro.workloads.matmul.blocked_matmul`:
+    for each block triple, every inner ``(j, k)`` pair dual-loads the
+    ``A``-block column ``A[ib:ib+b, k]`` with the ``C`` column
+    ``C[ib:ib+b, j]`` and stores the updated ``C`` column.  The ``A``
+    column is reused across the ``j`` loop, so all but its first load in a
+    block expect cached data.
+    """
+    if n <= 0 or block <= 0 or n % block:
+        raise ValueError("n must be a positive multiple of block")
+    if base_b is None:
+        base_b = base_a + n * n + 64
+    if base_c is None:
+        base_c = base_b + n * n + 64
+    ops: list[Operation] = []
+    for jb in range(0, n, block):
+        for kb in range(0, n, block):
+            for ib in range(0, n, block):
+                for j in range(jb, jb + block):
+                    for k in range(kb, kb + block):
+                        a_column = VectorLoad(
+                            base=base_a + ib + k * n,
+                            stride=1,
+                            length=block,
+                            # the A column repeats across the j loop
+                            expect_cached=j != jb,
+                        )
+                        c_column = VectorLoad(
+                            base=base_c + ib + j * n,
+                            stride=1,
+                            length=block,
+                            expect_cached=k != kb,
+                            counts_results=False,
+                        )
+                        ops.append(LoadPair(a_column, c_column))
+                        ops.append(VectorStore(
+                            base=base_c + ib + j * n, stride=1, length=block,
+                        ))
+    return ops
+
+
+def fft_program(b1: int, b2: int, *, base: int = 0) -> list[Operation]:
+    """The blocked 2-D FFT of Section 4 as vector ops (``N = B2 x B1``,
+    column-major, rows at stride ``B2``)."""
+    for name, value in (("b1", b1), ("b2", b2)):
+        if value < 2 or value & (value - 1):
+            raise ValueError(f"{name} must be a power of two >= 2")
+    ops: list[Operation] = []
+    row_stages = int(math.log2(b1))
+    for row in range(b2):
+        ops.extend(
+            strided_reuse_program(
+                base=base + row, stride=b2, length=b1, reuse=row_stages
+            )
+        )
+    column_stages = int(math.log2(b2))
+    for column in range(b1):
+        ops.extend(
+            strided_reuse_program(
+                base=base + column * b2, stride=1, length=b2,
+                reuse=column_stages,
+            )
+        )
+    return ops
+
+
+def jacobi_program(
+    rows: int, cols: int, *, sweeps: int = 1, base: int = 0
+) -> list[Operation]:
+    """Five-point Jacobi sweeps as column-vector ops (column-major grid).
+
+    Each interior column update loads the west and east neighbour columns
+    (dual-stream) and the north/south-shifted views of its own column,
+    then stores the result.  Neighbour columns repeat between consecutive
+    ``j`` iterations and across sweeps, so re-loads expect cached data.
+    """
+    if min(rows, cols) < 3:
+        raise ValueError("grid must be at least 3x3")
+    if sweeps < 1:
+        raise ValueError("sweeps must be positive")
+    length = rows - 2
+    ops: list[Operation] = []
+    seen: set[int] = set()
+
+    def column_load(col: int, row_offset: int, counts: bool = True) -> VectorLoad:
+        start = base + row_offset + col * rows
+        cached = start in seen
+        seen.add(start)
+        return VectorLoad(base=start, stride=1, length=length,
+                          expect_cached=cached, counts_results=counts)
+
+    for _ in range(sweeps):
+        for j in range(1, cols - 1):
+            ops.append(LoadPair(column_load(j - 1, 1),
+                                column_load(j + 1, 1, counts=False)))
+            ops.append(LoadPair(column_load(j, 0),
+                                column_load(j, 2, counts=False)))
+            ops.append(VectorStore(base=base + 1 + j * rows, stride=1,
+                                   length=length))
+    return ops

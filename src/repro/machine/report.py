@@ -1,0 +1,72 @@
+"""Execution reports produced by the machine simulators.
+
+Every simulated run returns an :class:`ExecutionReport`: total cycles,
+element throughput, and a stall breakdown that mirrors the analytical
+model's terms (bank conflicts vs. cache-miss stalls vs. start-up
+overheads), so the cross-validation tests can compare like with like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ExecutionReport"]
+
+
+@dataclass
+class ExecutionReport:
+    """Cycle accounting of one simulated program or block.
+
+    Attributes:
+        cycles: total simulated cycles.
+        elements: vector elements processed (load/store/compute results).
+        results: elements counted as "results" for the paper's
+            cycles-per-result measure (one per element of the first
+            stream per sweep; a second simultaneously loaded stream
+            contributes operands, not results).
+        bank_stall_cycles: cycles lost waiting for busy memory banks.
+        miss_stall_cycles: cycles lost on non-pipelined cache misses.
+        store_stall_cycles: cycles lost to a full write buffer (zero under
+            the paper's infinite-buffer assumption).
+        overhead_cycles: loop/strip-mining/start-up cycles.
+        cache_hits / cache_misses: accesses through the vector cache.
+    """
+
+    cycles: int = 0
+    elements: int = 0
+    results: int = 0
+    bank_stall_cycles: int = 0
+    miss_stall_cycles: int = 0
+    store_stall_cycles: int = 0
+    overhead_cycles: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cycles_per_element(self) -> float:
+        """Average cycles per processed element; 0.0 for an empty run."""
+        return self.cycles / self.elements if self.elements else 0.0
+
+    @property
+    def cycles_per_result(self) -> float:
+        """The paper's plotted measure: cycles over result elements."""
+        return self.cycles / self.results if self.results else 0.0
+
+    @property
+    def miss_ratio(self) -> float:
+        """Cache miss ratio of the run (0.0 when no cache was involved)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_misses / total if total else 0.0
+
+    def merge(self, other: "ExecutionReport") -> "ExecutionReport":
+        """Accumulate another report into this one (returns self)."""
+        self.cycles += other.cycles
+        self.elements += other.elements
+        self.results += other.results
+        self.bank_stall_cycles += other.bank_stall_cycles
+        self.miss_stall_cycles += other.miss_stall_cycles
+        self.store_stall_cycles += other.store_stall_cycles
+        self.overhead_cycles += other.overhead_cycles
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        return self

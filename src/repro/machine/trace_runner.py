@@ -1,0 +1,97 @@
+"""Run recorded address traces on the cycle-level machines.
+
+This is the bridge between the *real* workloads (blocked matmul / LU /
+FFT, which emit :class:`~repro.trace.records.Trace` objects while
+computing verified results) and the executable machines: every reference
+is issued through the machine's memory system with the paper's timing
+rules, yielding end-to-end cycle counts instead of just hit ratios.
+
+Costing rules, matching the analytical model's premises:
+
+* references issue one per cycle;
+* on the MM-machine every read goes to the interleaved banks and pays any
+  bank-busy stall; writes are buffered and never stall;
+* on the CC-machine a read probes the cache: hits are free, *compulsory*
+  misses (first touch — the classifier decides) stream through the
+  pipelined memory like an initial vector load, and all other misses
+  stall the full memory access time;
+* cache writes follow the cache's write-allocate policy and never stall
+  (write buffers), but dirty evictions are counted.
+"""
+
+from __future__ import annotations
+
+from repro.cache.stats import MissKind
+from repro.machine.report import ExecutionReport
+from repro.machine.vector_machine import CCMachine, MMMachine, VectorMachine
+from repro.trace.records import Trace
+
+__all__ = ["run_trace", "compare_machines_on_trace"]
+
+
+def run_trace(machine: VectorMachine, trace: Trace) -> ExecutionReport:
+    """Issue every access of ``trace`` on ``machine``; returns the report.
+
+    The machine is reset first so reports are a function of the trace
+    alone.  On a CC-machine the cache must have been built with
+    ``classify_misses=True`` (the default) — the compulsory/conflict
+    distinction drives the stall rule.
+    """
+    machine.reset()
+    report = ExecutionReport()
+    start = machine._cycle
+
+    if isinstance(machine, CCMachine):
+        _run_cached(machine, trace, report)
+    else:
+        _run_uncached(machine, trace, report)
+
+    report.cycles = machine._cycle - start
+    report.elements = len(trace)
+    report.results = len(trace)
+    return report
+
+
+def _run_uncached(machine: MMMachine, trace: Trace,
+                  report: ExecutionReport) -> None:
+    for access in trace:
+        if access.write:
+            grant = machine.buses.request_write(machine._cycle)
+            machine.memory.access(access.address, grant)
+            machine._cycle += 1
+            continue
+        machine.buses.request_read(machine._cycle)
+        reply = machine.memory.access(access.address, machine._cycle)
+        report.bank_stall_cycles += reply.stall_cycles
+        machine._cycle += 1 + reply.stall_cycles
+
+
+def _run_cached(machine: CCMachine, trace: Trace,
+                report: ExecutionReport) -> None:
+    t_m = machine.config.t_m
+    for access in trace:
+        result = machine.cache.access(access.address, write=access.write)
+        if access.write:
+            machine.buses.request_write(machine._cycle)
+            machine._cycle += 1
+            continue
+        if result.hit:
+            report.cache_hits += 1
+            machine._cycle += 1
+            continue
+        report.cache_misses += 1
+        machine.buses.request_read(machine._cycle)
+        reply = machine.memory.access(access.address, machine._cycle)
+        report.bank_stall_cycles += reply.stall_cycles
+        if result.miss_kind is MissKind.COMPULSORY:
+            # initial loading pipelines: only the bank conflict shows
+            machine._cycle += 1 + reply.stall_cycles
+        else:
+            report.miss_stall_cycles += t_m
+            machine._cycle += 1 + reply.stall_cycles + t_m
+
+
+def compare_machines_on_trace(trace: Trace, machines: dict[str, VectorMachine]):
+    """Run one trace on several machines; returns ``{label: report}``."""
+    return {label: run_trace(machine, trace)
+            for label, machine in machines.items()}

@@ -1,0 +1,301 @@
+"""Cycle-level executable models of the paper's two vector machines.
+
+These simulators are the executable counterpart of the analytical model:
+same bank/bus substrate, same overhead constants, same stall rules — but
+driven by concrete address streams instead of expectations, so the
+analytical equations can be cross-validated (and the workload traces of
+:mod:`repro.workloads` replayed).
+
+Timing rules (Section 3.1):
+
+* one element issues per cycle per read bus; two read buses allow a
+  double-stream access to issue a pair per cycle;
+* a bank busy from a previous access stalls the whole issue pipeline until
+  it recovers (MM-model accesses are otherwise fully pipelined);
+* stores are buffered: they occupy banks and the write bus but never stall
+  (pass ``write_buffer_depth`` to replace this assumption with a finite
+  buffer that can push back);
+* every ``MVL`` strip pays ``strip_overhead + T_start`` start-up cycles,
+  and every block pays ``loop_overhead``;
+* on the CC-model, an *initial* loading sweep streams through memory like
+  the MM-model while filling the cache (compulsory misses pipeline), but a
+  sweep that expects cached data pays a non-pipelined ``t_m``-cycle stall
+  for every miss — the "single miss costs the entire memory access time"
+  premise of the paper.  A cached strip whose data is resident saves the
+  ``t_m`` component of its start-up (Eq. (4)).
+"""
+
+from __future__ import annotations
+
+from repro.analytical.base import MachineConfig
+from repro.cache.base import Cache
+from repro.machine.ops import (
+    LoadPair,
+    Operation,
+    VectorCompute,
+    VectorLoad,
+    VectorStore,
+)
+from repro.machine.report import ExecutionReport
+from repro.memory.banks import InterleavedMemory, InterleaveScheme
+from repro.memory.bus import BusSet
+from repro.memory.write_buffer import WriteBuffer
+
+__all__ = ["VectorMachine", "MMMachine", "CCMachine"]
+
+
+class VectorMachine:
+    """Common machinery of both machine models.
+
+    Args:
+        config: machine parameters (shared with the analytical model).
+        scheme: optional interleave scheme override for the memory banks.
+        memory: optional pre-built memory, for substrates the analytical
+            config cannot describe (e.g. a prime bank count for the
+            Budnik–Kuck ablation).  Overrides ``scheme``.
+        write_buffer_depth: ``None`` (default) models the paper's
+            assumption — stores are buffered and never stall.  An integer
+            attaches a finite :class:`~repro.memory.write_buffer.WriteBuffer`
+            of that depth, so store streams that out-run the banks push
+            back on the pipeline (``report.store_stall_cycles``).
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        scheme: InterleaveScheme | None = None,
+        *,
+        memory: InterleavedMemory | None = None,
+        write_buffer_depth: int | None = None,
+    ) -> None:
+        self.config = config
+        if memory is not None:
+            self.memory = memory
+        else:
+            self.memory = InterleavedMemory(config.num_banks, config.t_m, scheme)
+        self.buses = BusSet()
+        self.write_buffer = (
+            WriteBuffer(self.memory, write_buffer_depth,
+                        bus=self.buses.write_bus)
+            if write_buffer_depth is not None else None
+        )
+        self._cycle = 0
+
+    # -- model-specific hooks ---------------------------------------------------
+
+    @property
+    def stride_modulus(self) -> int:
+        """Range bound for random strides: ``M`` here, ``C`` on a CC-model."""
+        return self.config.num_banks
+
+    def _element_cycles(
+        self, address: int, load: VectorLoad, report: ExecutionReport
+    ) -> int:
+        """Cycles consumed by one element beyond its 1-cycle issue slot."""
+        raise NotImplementedError
+
+    # -- execution ---------------------------------------------------------------
+
+    @property
+    def cycle(self) -> int:
+        """Current simulated cycle."""
+        return self._cycle
+
+    def reset(self) -> None:
+        """Zero the clock and all substrate state."""
+        self._cycle = 0
+        self.memory.reset()
+        self.buses.reset()
+        if self.write_buffer is not None:
+            self.write_buffer.reset()
+
+    def execute(self, operations, *, add_loop_overhead: bool = True) -> ExecutionReport:
+        """Run a sequence of operations; returns the cycle accounting.
+
+        ``operations`` is any iterable of :data:`~repro.machine.ops.Operation`.
+        ``add_loop_overhead`` charges the per-block 10-cycle overhead once.
+        """
+        report = ExecutionReport()
+        start = self._cycle
+        if add_loop_overhead:
+            self._cycle += self.config.loop_overhead
+            report.overhead_cycles += self.config.loop_overhead
+        for op in operations:
+            self._run_op(op, report)
+        report.cycles += self._cycle - start
+        return report
+
+    def _run_op(self, op: Operation, report: ExecutionReport) -> None:
+        if isinstance(op, VectorLoad):
+            self._run_load_strips(op, None, report)
+        elif isinstance(op, LoadPair):
+            self._run_load_strips(op.first, op.second, report)
+        elif isinstance(op, VectorStore):
+            self._run_store(op, report)
+        elif isinstance(op, VectorCompute):
+            self._cycle += op.length
+            report.elements += op.length
+        else:
+            raise TypeError(f"unknown operation {op!r}")
+
+    def _strip_overhead(self, load: VectorLoad) -> int:
+        """Start-up cycles of one strip (model-specific via override)."""
+        return self.config.strip_overhead + self.config.t_start
+
+    def _run_load_strips(
+        self, first: VectorLoad, second: VectorLoad | None, report: ExecutionReport
+    ) -> None:
+        mvl = self.config.mvl
+        addresses_first = first.addresses()
+        addresses_second = second.addresses() if second is not None else []
+        for strip_start in range(0, first.length, mvl):
+            overhead = self._strip_overhead(first)
+            self._cycle += overhead
+            report.overhead_cycles += overhead
+            strip_first = addresses_first[strip_start:strip_start + mvl]
+            strip_second = addresses_second[strip_start:strip_start + mvl]
+            for k, address in enumerate(strip_first):
+                issue = self.buses.request_read(self._cycle)
+                self._cycle = max(self._cycle, issue)
+                stall = self._element_cycles(address, first, report)
+                if second is not None and k < len(strip_second):
+                    self.buses.request_read(self._cycle)
+                    stall += self._element_cycles(strip_second[k], second, report)
+                self._cycle += 1 + stall
+                report.elements += 1
+                if first.counts_results:
+                    report.results += 1
+                if second is not None and k < len(strip_second):
+                    report.elements += 1
+                    if second.counts_results:
+                        report.results += 1
+        # any second-stream tail longer than the first stream
+        if second is not None and len(addresses_second) > len(addresses_first):
+            tail = VectorLoad(
+                base=addresses_second[len(addresses_first)],
+                stride=second.stride,
+                length=len(addresses_second) - len(addresses_first),
+                expect_cached=second.expect_cached,
+                counts_results=second.counts_results,
+            )
+            self._run_load_strips(tail, None, report)
+
+    def _run_store(self, op: VectorStore, report: ExecutionReport) -> None:
+        for address in op.addresses():
+            if self.write_buffer is not None:
+                stall = self.write_buffer.store(address, self._cycle)
+                report.store_stall_cycles += stall
+                self._cycle += 1 + stall
+            else:
+                # the paper's assumption: buffered, never stalls
+                grant = self.buses.request_write(self._cycle)
+                self.memory.access(address, grant)  # occupies the bank
+                self._cycle += 1
+            report.elements += 1
+
+
+class MMMachine(VectorMachine):
+    """The cacheless memory-register machine of Figure 2.
+
+    Example:
+        >>> machine = MMMachine(MachineConfig(num_banks=8,
+        ...                                   memory_access_time=4))
+        >>> report = machine.execute([VectorLoad(base=0, stride=1, length=64)])
+        >>> report.bank_stall_cycles
+        0
+    """
+
+    def _element_cycles(
+        self, address: int, load: VectorLoad, report: ExecutionReport
+    ) -> int:
+        reply = self.memory.access(address, self._cycle)
+        report.bank_stall_cycles += reply.stall_cycles
+        return reply.stall_cycles
+
+
+class CCMachine(VectorMachine):
+    """The cache-based machine of Figure 3.
+
+    Args:
+        config: machine parameters.
+        cache: any :class:`~repro.cache.base.Cache`; the machine model does
+            not care whether it is direct-, set-associative- or
+            prime-mapped.
+        scheme: optional interleave scheme override.
+        start_registers: Section 2.3's cost/performance trade.  ``True``
+            (default) pays for registers that cache each vector's
+            converted starting index, so re-entering a vector is free;
+            ``False`` saves the registers and instead re-folds the start
+            address on every re-entry — ``start_recalc_cycles`` extra
+            cycles per cached vector start ("1 or 2 more cycles at each
+            vector start-up time").
+        start_recalc_cycles: the re-folding cost when
+            ``start_registers=False`` (the paper: one c-bit add per
+            address chunk, so 1–2 cycles for realistic layouts).
+
+    Example:
+        >>> from repro.cache import PrimeMappedCache
+        >>> machine = CCMachine(MachineConfig(num_banks=8,
+        ...                                   memory_access_time=4,
+        ...                                   cache_lines=31),
+        ...                     PrimeMappedCache(c=5))
+        >>> _ = machine.execute([VectorLoad(base=0, stride=3, length=31)])
+        >>> rerun = machine.execute([VectorLoad(base=0, stride=3, length=31,
+        ...                                     expect_cached=True)])
+        >>> rerun.cache_misses
+        0
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        cache: Cache,
+        scheme: InterleaveScheme | None = None,
+        *,
+        start_registers: bool = True,
+        start_recalc_cycles: int = 2,
+    ) -> None:
+        super().__init__(config, scheme)
+        self.cache = cache
+        if start_recalc_cycles < 0:
+            raise ValueError("start_recalc_cycles must be non-negative")
+        self.start_registers = start_registers
+        self.start_recalc_cycles = start_recalc_cycles
+
+    @property
+    def stride_modulus(self) -> int:
+        return self.cache.total_lines
+
+    def reset(self) -> None:
+        super().reset()
+        self.cache.reset()
+
+    def _strip_overhead(self, load: VectorLoad) -> int:
+        base = self.config.strip_overhead + self.config.t_start
+        if load.expect_cached:
+            base -= self.config.t_m  # operands come from the cache
+            if not self.start_registers:
+                # re-fold the starting index instead of reading a register
+                base += self.start_recalc_cycles
+        return base
+
+    def _element_cycles(
+        self, address: int, load: VectorLoad, report: ExecutionReport
+    ) -> int:
+        result = self.cache.access(address)
+        if result.hit:
+            report.cache_hits += 1
+            return 0
+        report.cache_misses += 1
+        if load.expect_cached:
+            # A conflict the processor must stall out: the full memory
+            # access time, not pipelinable (plus any bank conflict).
+            reply = self.memory.access(address, self._cycle)
+            report.bank_stall_cycles += reply.stall_cycles
+            report.miss_stall_cycles += self.config.t_m
+            return reply.stall_cycles + self.config.t_m
+        # Initial loading: compulsory misses stream through the pipelined
+        # memory exactly like the MM-model.
+        reply = self.memory.access(address, self._cycle)
+        report.bank_stall_cycles += reply.stall_cycles
+        return reply.stall_cycles

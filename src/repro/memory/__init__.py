@@ -1,0 +1,28 @@
+"""Interleaved main-memory substrate: banks with busy time, pluggable
+interleave schemes (low-order, prime, skewed) and pipelined buses."""
+
+from repro.memory.banks import (
+    InterleavedMemory,
+    InterleaveScheme,
+    LowOrderInterleave,
+    MemoryReply,
+    MemoryStats,
+    PrimeInterleave,
+    SkewedInterleave,
+)
+from repro.memory.bus import BusSet, PipelinedBus
+from repro.memory.write_buffer import WriteBuffer, WriteBufferStats
+
+__all__ = [
+    "BusSet",
+    "InterleaveScheme",
+    "InterleavedMemory",
+    "LowOrderInterleave",
+    "MemoryReply",
+    "MemoryStats",
+    "PipelinedBus",
+    "PrimeInterleave",
+    "SkewedInterleave",
+    "WriteBuffer",
+    "WriteBufferStats",
+]

@@ -1,0 +1,32 @@
+"""Vector access-pattern trace generators and trace replay utilities."""
+
+from repro.trace.patterns import (
+    fft_butterflies,
+    fft_stage_strides,
+    matrix_column,
+    matrix_diagonal,
+    matrix_row,
+    multistride,
+    row_column_mix,
+    strided,
+    subblock,
+)
+from repro.trace.records import Access, Trace
+from repro.trace.replay import ReplayResult, compare_caches, replay
+
+__all__ = [
+    "Access",
+    "ReplayResult",
+    "Trace",
+    "compare_caches",
+    "fft_butterflies",
+    "fft_stage_strides",
+    "matrix_column",
+    "matrix_diagonal",
+    "matrix_row",
+    "multistride",
+    "replay",
+    "row_column_mix",
+    "strided",
+    "subblock",
+]

@@ -1,0 +1,179 @@
+"""The paper's three vector access-pattern families, as trace generators.
+
+Section 4 evaluates the prime-mapped cache on *random multistride*,
+*sub-block* and *FFT* accesses; the discussion around Figure 11a adds
+row/column (and, in the introduction, diagonal) walks of a column-major
+matrix.  Each generator here produces the exact reference stream such a
+pattern issues, so the cache models can measure what the analytical model
+predicts.
+
+All addresses are word-granular; matrices are column-major with leading
+dimension ``P`` (element ``(i, j)`` lives at ``base + i + j * P``), as in
+the paper.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.trace.records import Trace
+
+__all__ = [
+    "strided",
+    "multistride",
+    "matrix_column",
+    "matrix_row",
+    "matrix_diagonal",
+    "row_column_mix",
+    "subblock",
+    "fft_stage_strides",
+    "fft_butterflies",
+]
+
+
+def strided(base: int, stride: int, length: int, *, sweeps: int = 1) -> Trace:
+    """``sweeps`` traversals of a constant-stride vector.
+
+    The second and later sweeps are what separate the cache designs: a
+    conflict-free mapping turns them into pure hits.
+    """
+    if length <= 0 or sweeps <= 0:
+        raise ValueError("length and sweeps must be positive")
+    addresses = [base + i * stride for i in range(length)] * sweeps
+    return Trace.from_addresses(
+        addresses, description=f"stride {stride} x{length}, {sweeps} sweeps"
+    )
+
+
+def multistride(
+    length: int,
+    num_vectors: int,
+    stride_modulus: int,
+    *,
+    p_stride1: float = 0.25,
+    sweeps: int = 2,
+    seed: int = 0,
+    address_space: int = 1 << 28,
+) -> Trace:
+    """The random-multistride pattern of Figures 7–9.
+
+    Draws ``num_vectors`` vectors with independent bases and strides from
+    the paper's distribution (unit with probability ``p_stride1``, else
+    uniform on ``2 .. stride_modulus``) and sweeps each ``sweeps`` times.
+    """
+    if not 0.0 <= p_stride1 <= 1.0:
+        raise ValueError("p_stride1 must be a probability")
+    rng = random.Random(seed)
+    trace = Trace(description=f"multistride x{num_vectors}, P1={p_stride1}")
+    for _ in range(num_vectors):
+        base = rng.randrange(address_space)
+        if rng.random() < p_stride1:
+            stride = 1
+        else:
+            stride = rng.randint(2, stride_modulus)
+        trace.extend(strided(base, stride, length, sweeps=sweeps))
+    return trace
+
+
+def matrix_column(p: int, rows: int, column: int, *, base: int = 0) -> Trace:
+    """One column of a column-major ``P``-leading-dimension matrix: stride 1."""
+    if rows <= 0:
+        raise ValueError("rows must be positive")
+    start = base + column * p
+    return Trace.from_addresses(
+        range(start, start + rows), description=f"column {column} of ldP={p}"
+    )
+
+
+def matrix_row(p: int, columns: int, row: int, *, base: int = 0) -> Trace:
+    """One row of the same matrix: stride ``P``."""
+    if columns <= 0:
+        raise ValueError("columns must be positive")
+    return Trace.from_addresses(
+        (base + row + j * p for j in range(columns)),
+        description=f"row {row} of ldP={p}",
+    )
+
+
+def matrix_diagonal(p: int, length: int, *, base: int = 0) -> Trace:
+    """The major diagonal: stride ``P + 1`` — the introduction's example of
+    a stride that can never be co-prime with a power-of-two cache at the
+    same time as the row stride ``P``."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    return Trace.from_addresses(
+        (base + i * (p + 1) for i in range(length)),
+        description=f"diagonal of ldP={p}",
+    )
+
+
+def row_column_mix(
+    p: int,
+    length: int,
+    *,
+    row_fraction: float = 0.5,
+    accesses: int = 16,
+    sweeps: int = 2,
+    seed: int = 0,
+    base: int = 0,
+) -> Trace:
+    """Figure 11a's pattern: a mix of row (stride ``P``) and column
+    (stride 1) walks of a matrix, each walked ``sweeps`` times."""
+    if not 0.0 <= row_fraction <= 1.0:
+        raise ValueError("row_fraction must be a probability")
+    rng = random.Random(seed)
+    trace = Trace(description=f"row/column mix, rows={row_fraction:.0%}")
+    for _ in range(accesses):
+        if rng.random() < row_fraction:
+            index = rng.randrange(max(1, p))
+            one = matrix_row(p, length, index, base=base)
+        else:
+            index = rng.randrange(max(1, length))
+            one = matrix_column(p, length, index, base=base)
+        for _ in range(sweeps):
+            trace.extend(Trace(list(one.accesses)))
+    return trace
+
+
+def subblock(
+    p: int, b1: int, b2: int, *, base: int = 0, sweeps: int = 1
+) -> Trace:
+    """A ``b1 x b2`` sub-block of a column-major matrix: ``b2`` unit-stride
+    column pieces whose starts are ``P`` apart (Section 4)."""
+    if b1 <= 0 or b2 <= 0 or sweeps <= 0:
+        raise ValueError("block dimensions and sweeps must be positive")
+    addresses = [
+        base + row + column * p for column in range(b2) for row in range(b1)
+    ] * sweeps
+    return Trace.from_addresses(
+        addresses, description=f"subblock {b1}x{b2} of ldP={p}"
+    )
+
+
+def fft_stage_strides(n: int) -> list[int]:
+    """Butterfly span per stage of an in-place radix-2 DIT FFT of size ``n``:
+    ``1, 2, 4, ..., n/2`` — all powers of two, the direct-mapped cache's
+    worst case."""
+    if n < 2 or n & (n - 1):
+        raise ValueError("n must be a power of two >= 2")
+    return [1 << s for s in range(n.bit_length() - 1)]
+
+
+def fft_butterflies(n: int, *, base: int = 0) -> Trace:
+    """The full reference stream of an in-place radix-2 DIT FFT.
+
+    For each stage with span ``h``, butterflies pair elements ``k`` and
+    ``k + h`` within each size-``2h`` group; each butterfly reads and
+    writes both elements.
+    """
+    trace = Trace(description=f"radix-2 FFT, n={n}")
+    for half in fft_stage_strides(n):
+        size = half * 2
+        for group in range(0, n, size):
+            for k in range(group, group + half):
+                top, bottom = base + k, base + k + half
+                trace.append(top)
+                trace.append(bottom)
+                trace.append(top, write=True)
+                trace.append(bottom, write=True)
+    return trace

@@ -1,0 +1,135 @@
+"""Address traces: the lingua franca between workloads and caches.
+
+A :class:`Trace` is an ordered sequence of word-granular memory references
+with optional read/write flags, tagged with a human-readable description of
+the access pattern that produced it.  Pattern generators
+(:mod:`repro.trace`) and real kernels (:mod:`repro.workloads`) both emit
+traces; :mod:`repro.trace.replay` feeds them to cache models and the
+machine simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["Access", "Trace"]
+
+
+@dataclass(frozen=True)
+class Access:
+    """One memory reference.
+
+    Attributes:
+        address: word-granular address.
+        write: ``True`` for a store.
+    """
+
+    address: int
+    write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError("addresses must be non-negative")
+
+
+@dataclass
+class Trace:
+    """An ordered reference stream with provenance.
+
+    Attributes:
+        accesses: the reference list.
+        description: what produced this trace (shown in reports).
+    """
+
+    accesses: list[Access] = field(default_factory=list)
+    description: str = ""
+
+    @classmethod
+    def from_addresses(
+        cls, addresses: Iterable[int], *, write: bool = False, description: str = ""
+    ) -> "Trace":
+        """Build a read-only (or write-only) trace from raw addresses."""
+        return cls(
+            [Access(int(a), write) for a in addresses], description=description
+        )
+
+    def append(self, address: int, *, write: bool = False) -> None:
+        """Record one reference."""
+        self.accesses.append(Access(int(address), write))
+
+    def extend(self, other: "Trace") -> "Trace":
+        """Concatenate another trace onto this one (returns self)."""
+        self.accesses.extend(other.accesses)
+        return self
+
+    def addresses(self) -> list[int]:
+        """Just the address stream."""
+        return [access.address for access in self.accesses]
+
+    def reads(self) -> "Trace":
+        """The read-only sub-trace."""
+        return Trace(
+            [a for a in self.accesses if not a.write],
+            description=f"{self.description} (reads)",
+        )
+
+    def writes(self) -> "Trace":
+        """The write-only sub-trace."""
+        return Trace(
+            [a for a in self.accesses if a.write],
+            description=f"{self.description} (writes)",
+        )
+
+    def unique_addresses(self) -> set[int]:
+        """Distinct addresses touched (the trace's working set)."""
+        return {access.address for access in self.accesses}
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def __iter__(self) -> Iterator[Access]:
+        return iter(self.accesses)
+
+    def __repr__(self) -> str:
+        return f"Trace({len(self.accesses)} accesses, {self.description!r})"
+
+    # -- persistence -----------------------------------------------------
+
+    def save(self, path) -> None:
+        """Write the trace to a text file.
+
+        Format: a ``#``-prefixed description line, then one access per
+        line as ``R <address>`` or ``W <address>`` — trivially diffable
+        and greppable, which matters more for traces than compactness.
+        """
+        with open(path, "w") as handle:
+            handle.write(f"# {self.description}\n")
+            for access in self.accesses:
+                kind = "W" if access.write else "R"
+                handle.write(f"{kind} {access.address}\n")
+
+    @classmethod
+    def load(cls, path) -> "Trace":
+        """Read a trace written by :meth:`save`.
+
+        Raises:
+            ValueError: on a malformed line.
+        """
+        trace = cls()
+        with open(path) as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    if line_number == 1:
+                        trace.description = line[1:].strip()
+                    continue
+                parts = line.split()
+                if len(parts) != 2 or parts[0] not in ("R", "W"):
+                    raise ValueError(
+                        f"{path}:{line_number}: malformed trace line {line!r}"
+                    )
+                trace.append(int(parts[1]), write=parts[0] == "W")
+        return trace

@@ -1,0 +1,33 @@
+"""Traced numerical kernels: blocked matmul, blocked LU, radix-2 and
+blocked FFTs, and SAXPY — each computes a numpy-verifiable result while
+emitting the address trace the computation would issue on the paper's
+machines."""
+
+from repro.workloads.fft import blocked_fft_2d, fft_radix2
+from repro.workloads.layout import ArrayHandle, Workspace
+from repro.workloads.lu import blocked_lu, lu_decompose, split_lu
+from repro.workloads.matmul import blocked_matmul, naive_matmul
+from repro.workloads.reduction import dot, matrix_sums
+from repro.workloads.saxpy import saxpy, strided_saxpy
+from repro.workloads.stencil import jacobi, jacobi_step
+from repro.workloads.transpose import blocked_transpose, transpose
+
+__all__ = [
+    "ArrayHandle",
+    "Workspace",
+    "blocked_fft_2d",
+    "blocked_lu",
+    "blocked_matmul",
+    "blocked_transpose",
+    "dot",
+    "fft_radix2",
+    "jacobi",
+    "jacobi_step",
+    "matrix_sums",
+    "lu_decompose",
+    "naive_matmul",
+    "saxpy",
+    "split_lu",
+    "strided_saxpy",
+    "transpose",
+]

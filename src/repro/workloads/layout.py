@@ -1,0 +1,113 @@
+"""Memory layout bookkeeping for traced workloads.
+
+The kernels in :mod:`repro.workloads` compute real results on numpy arrays
+*and* emit the word-granular address trace the same computation would issue
+on the paper's machines.  To do that each array needs a home in a synthetic
+address space; :class:`Workspace` hands out base addresses and
+:class:`ArrayHandle` translates element coordinates to word addresses using
+the paper's column-major convention (element ``(i, j)`` of a matrix with
+leading dimension ``ld`` lives at ``base + i + j * ld``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.records import Trace
+
+__all__ = ["ArrayHandle", "Workspace"]
+
+
+@dataclass
+class ArrayHandle:
+    """A numpy array bound to a base address in the traced address space.
+
+    Attributes:
+        name: label for diagnostics.
+        data: the backing numpy array (1-D or 2-D).
+        base: word address of element 0 / (0, 0).
+    """
+
+    name: str
+    data: np.ndarray
+    base: int
+
+    def __post_init__(self) -> None:
+        if self.data.ndim not in (1, 2):
+            raise ValueError("only vectors and matrices are supported")
+        if self.base < 0:
+            raise ValueError("base address must be non-negative")
+
+    @property
+    def leading_dimension(self) -> int:
+        """Column stride of a matrix (its row count), or 1 for a vector."""
+        return self.data.shape[0] if self.data.ndim == 2 else 1
+
+    def address(self, i: int, j: int = 0) -> int:
+        """Word address of element ``(i, j)`` (column-major)."""
+        if self.data.ndim == 1:
+            if j:
+                raise IndexError("vector handles take a single index")
+            return self.base + i
+        return self.base + i + j * self.leading_dimension
+
+    def read(self, trace: Trace, i: int, j: int = 0) -> float:
+        """Read an element, recording the access."""
+        trace.append(self.address(i, j))
+        return self.data[i] if self.data.ndim == 1 else self.data[i, j]
+
+    def write(self, trace: Trace, value, i: int, j: int = 0) -> None:
+        """Write an element, recording the access."""
+        trace.append(self.address(i, j), write=True)
+        if self.data.ndim == 1:
+            self.data[i] = value
+        else:
+            self.data[i, j] = value
+
+
+class Workspace:
+    """Allocates traced arrays in a synthetic word address space.
+
+    Consecutive allocations are padded apart so distinct arrays do not
+    accidentally share cache lines; bases can also be forced for
+    experiments that need controlled bank/line offsets.
+
+    Example:
+        >>> ws = Workspace()
+        >>> a = ws.matrix("a", np.zeros((4, 4)))
+        >>> a.address(1, 2) - a.base
+        9
+    """
+
+    def __init__(self, start: int = 0, padding: int = 64) -> None:
+        if start < 0 or padding < 0:
+            raise ValueError("start and padding must be non-negative")
+        self._next = start
+        self._padding = padding
+        self.arrays: dict[str, ArrayHandle] = {}
+
+    def _allocate(self, name: str, data: np.ndarray, base: int | None) -> ArrayHandle:
+        if name in self.arrays:
+            raise ValueError(f"array {name!r} already allocated")
+        if base is None:
+            base = self._next
+        handle = ArrayHandle(name, data, base)
+        self.arrays[name] = handle
+        self._next = max(self._next, base + data.size + self._padding)
+        return handle
+
+    def vector(self, name: str, data: np.ndarray, *, base: int | None = None):
+        """Bind a 1-D array."""
+        data = np.asarray(data)
+        if data.ndim != 1:
+            raise ValueError("vector() expects a 1-D array")
+        return self._allocate(name, data, base)
+
+    def matrix(self, name: str, data: np.ndarray, *, base: int | None = None):
+        """Bind a 2-D array (stored column-major in the traced space)."""
+        data = np.asarray(data)
+        if data.ndim != 2:
+            raise ValueError("matrix() expects a 2-D array")
+        return self._allocate(name, data, base)

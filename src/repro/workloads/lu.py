@@ -1,0 +1,95 @@
+"""Blocked LU decomposition — the paper's second canonical blocked kernel.
+
+Right-looking LU without pivoting (the paper's reference, Armstrong's
+blocked LU, measures the same structure): factor a diagonal block, solve
+the panel and row block, update the trailing matrix by blocked matmul.
+Average reuse per block works out to about ``3b/2``, which is what
+``VCM.blocked_lu`` encodes.  Numerical correctness (``L @ U == A``) is
+checked in the tests on diagonally dominant matrices, where no-pivot LU is
+stable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.records import Trace
+from repro.workloads.layout import ArrayHandle, Workspace
+
+__all__ = ["lu_decompose", "blocked_lu", "split_lu"]
+
+
+def _lu_inplace(h: ArrayHandle, trace: Trace, lo: int, hi: int) -> None:
+    """Unblocked LU on the square sub-matrix ``[lo:hi, lo:hi]``."""
+    for k in range(lo, hi):
+        pivot = h.read(trace, k, k)
+        if pivot == 0:
+            raise ZeroDivisionError("zero pivot; matrix needs pivoting")
+        for i in range(k + 1, hi):
+            lik = h.read(trace, i, k) / pivot
+            h.write(trace, lik, i, k)
+            for j in range(k + 1, hi):
+                aij = h.read(trace, i, j)
+                h.write(trace, aij - lik * h.read(trace, k, j), i, j)
+
+
+def lu_decompose(a: np.ndarray) -> tuple[np.ndarray, Trace]:
+    """Unblocked LU (no pivoting); returns the packed LU factor and trace."""
+    a = np.asarray(a, dtype=float)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError("LU needs a square matrix")
+    ws = Workspace()
+    h = ws.matrix("a", a.copy())
+    trace = Trace(description=f"LU n={a.shape[0]}")
+    _lu_inplace(h, trace, 0, a.shape[0])
+    return h.data, trace
+
+
+def blocked_lu(a: np.ndarray, block: int) -> tuple[np.ndarray, Trace]:
+    """Right-looking blocked LU; returns the packed factor and trace.
+
+    The matrix dimension must be a multiple of ``block``.
+    """
+    a = np.asarray(a, dtype=float)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError("LU needs a square matrix")
+    n = a.shape[0]
+    if block <= 0 or n % block:
+        raise ValueError("dimension must be a positive multiple of the block")
+    ws = Workspace()
+    h = ws.matrix("a", a.copy())
+    trace = Trace(description=f"blocked LU n={n}, b={block}")
+    for kb in range(0, n, block):
+        ke = kb + block
+        # 1. factor the diagonal block
+        _lu_inplace(h, trace, kb, ke)
+        # 2. panel: L21 = A21 * U11^-1 (column sweeps, unit stride)
+        for j in range(kb, ke):
+            ujj = h.read(trace, j, j)
+            for i in range(ke, n):
+                lij = h.read(trace, i, j) / ujj
+                for k in range(kb, j):
+                    lij -= h.read(trace, i, k) * h.read(trace, k, j) / ujj
+                h.write(trace, lij, i, j)
+        # 3. row block: U12 = L11^-1 * A12
+        for j in range(ke, n):
+            for i in range(kb, ke):
+                uij = h.read(trace, i, j)
+                for k in range(kb, i):
+                    uij -= h.read(trace, i, k) * h.read(trace, k, j)
+                h.write(trace, uij, i, j)
+        # 4. trailing update: A22 -= L21 @ U12 (the blocked-matmul phase)
+        for j in range(ke, n):
+            for k in range(kb, ke):
+                ukj = h.read(trace, k, j)
+                for i in range(ke, n):
+                    aij = h.read(trace, i, j)
+                    h.write(trace, aij - h.read(trace, i, k) * ukj, i, j)
+    return h.data, trace
+
+
+def split_lu(packed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Unpack the in-place factor into unit-lower ``L`` and upper ``U``."""
+    lower = np.tril(packed, -1) + np.eye(packed.shape[0])
+    upper = np.triu(packed)
+    return lower, upper

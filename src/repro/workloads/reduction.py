@@ -1,0 +1,58 @@
+"""Traced reductions: dot product and strided column/row/diagonal sums.
+
+Reductions are the purest single-stream vector accesses (``P_ds = 0``
+with the accumulator in a register), and the strided variants realise the
+introduction's motivating triple: summing a column (stride 1), a row
+(stride ``P``) and the major diagonal (stride ``P + 1``) of the same
+matrix — the three strides no power-of-two cache can make simultaneously
+conflict-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.records import Trace
+from repro.workloads.layout import Workspace
+
+__all__ = ["dot", "matrix_sums"]
+
+
+def dot(x: np.ndarray, y: np.ndarray) -> tuple[float, Trace]:
+    """Traced dot product of two vectors."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of the same length")
+    ws = Workspace()
+    hx = ws.vector("x", x.copy())
+    hy = ws.vector("y", y.copy())
+    trace = Trace(description=f"dot n={len(x)}")
+    total = 0.0
+    for i in range(len(x)):
+        total += hx.read(trace, i) * hy.read(trace, i)
+    return total, trace
+
+
+def matrix_sums(a: np.ndarray, *, repeats: int = 1) -> tuple[dict, Trace]:
+    """Sum one column, one row and the major diagonal of ``a``.
+
+    Returns ``({"column": .., "row": .., "diagonal": ..}, trace)``.  With
+    ``repeats > 1`` each walk is swept repeatedly, turning the trace into
+    a reuse test: strides 1, ``P`` and ``P + 1`` against one cache.
+    """
+    a = np.asarray(a, dtype=float)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError("matrix_sums expects a square matrix")
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    n = a.shape[0]
+    ws = Workspace()
+    h = ws.matrix("a", a.copy())
+    trace = Trace(description=f"column/row/diagonal sums n={n}")
+    sums = {"column": 0.0, "row": 0.0, "diagonal": 0.0}
+    for _ in range(repeats):
+        sums["column"] = sum(h.read(trace, i, 0) for i in range(n))
+        sums["row"] = sum(h.read(trace, 0, j) for j in range(n))
+        sums["diagonal"] = sum(h.read(trace, i, i) for i in range(n))
+    return sums, trace

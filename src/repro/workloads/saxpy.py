@@ -1,0 +1,70 @@
+"""Traced SAXPY — the paper's generic vector operation.
+
+``y <- alpha * x + y`` is the operation Section 3.1's computational model
+abstracts: load one or two streams, combine, store.  The strided variant
+exercises the non-unit-stride cases that drive the whole paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.records import Trace
+from repro.workloads.layout import Workspace
+
+__all__ = ["saxpy", "strided_saxpy"]
+
+
+def saxpy(alpha: float, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, Trace]:
+    """Unit-stride SAXPY; returns ``(alpha * x + y, trace)``.
+
+    The trace is the double-stream pattern: per element, a read of ``x``, a
+    read of ``y`` and a write of the result back to ``y``'s location.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays of the same length")
+    ws = Workspace()
+    hx = ws.vector("x", x.copy())
+    hy = ws.vector("y", y.copy())
+    trace = Trace(description=f"saxpy n={len(x)}")
+    for i in range(len(x)):
+        xi = hx.read(trace, i)
+        yi = hy.read(trace, i)
+        hy.write(trace, alpha * xi + yi, i)
+    return hy.data, trace
+
+
+def strided_saxpy(
+    alpha: float,
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    stride_x: int = 1,
+    stride_y: int = 1,
+) -> tuple[np.ndarray, Trace]:
+    """SAXPY over strided views: ``y[::sy] += alpha * x[::sx]``.
+
+    Operates on every ``stride``-th element of each array — the access
+    pattern of a row update in a column-major matrix — and returns the
+    updated ``y`` plus the trace.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.ndim != 1 or y.ndim != 1:
+        raise ValueError("x and y must be 1-D arrays")
+    if stride_x <= 0 or stride_y <= 0:
+        raise ValueError("strides must be positive")
+    count = min(
+        (len(x) + stride_x - 1) // stride_x, (len(y) + stride_y - 1) // stride_y
+    )
+    ws = Workspace()
+    hx = ws.vector("x", x.copy())
+    hy = ws.vector("y", y.copy())
+    trace = Trace(description=f"saxpy strides ({stride_x},{stride_y})")
+    for k in range(count):
+        xi = hx.read(trace, k * stride_x)
+        yi = hy.read(trace, k * stride_y)
+        hy.write(trace, alpha * xi + yi, k * stride_y)
+    return hy.data, trace

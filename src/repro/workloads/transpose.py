@@ -1,0 +1,65 @@
+"""Traced matrix transpose — rows meet columns in one kernel.
+
+Transpose is the cleanest stress test of the paper's introduction: it
+reads a column-major matrix along columns (stride 1) and writes along
+rows (stride ``P``), or vice versa, so *no* power-of-two cache geometry
+can serve both sides of the copy well when ``P`` shares factors with the
+line count.  The blocked variant moves ``b x b`` tiles, which is exactly
+the sub-block access Section 4 makes conflict-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.records import Trace
+from repro.workloads.layout import Workspace
+
+__all__ = ["transpose", "blocked_transpose"]
+
+
+def transpose(a: np.ndarray) -> tuple[np.ndarray, Trace]:
+    """Straightforward out-of-place transpose; returns ``(a.T, trace)``.
+
+    Reads column by column (unit stride), writes row by row (stride equal
+    to the destination's leading dimension).
+    """
+    a = np.asarray(a, dtype=float)
+    if a.ndim != 2:
+        raise ValueError("transpose needs a matrix")
+    rows, cols = a.shape
+    ws = Workspace()
+    src = ws.matrix("a", a.copy())
+    dst = ws.matrix("at", np.zeros((cols, rows)))
+    trace = Trace(description=f"transpose {rows}x{cols}")
+    for j in range(cols):
+        for i in range(rows):
+            value = src.read(trace, i, j)
+            dst.write(trace, value, j, i)
+    return dst.data, trace
+
+
+def blocked_transpose(a: np.ndarray, block: int) -> tuple[np.ndarray, Trace]:
+    """Tiled transpose moving ``block x block`` sub-blocks.
+
+    Dimensions must be multiples of ``block``.  Each tile is read as a
+    sub-block of the source and written as a sub-block of the
+    destination — both are the Section-4 access pattern.
+    """
+    a = np.asarray(a, dtype=float)
+    if a.ndim != 2:
+        raise ValueError("transpose needs a matrix")
+    rows, cols = a.shape
+    if block <= 0 or rows % block or cols % block:
+        raise ValueError("dimensions must be positive multiples of the block")
+    ws = Workspace()
+    src = ws.matrix("a", a.copy())
+    dst = ws.matrix("at", np.zeros((cols, rows)))
+    trace = Trace(description=f"blocked transpose {rows}x{cols}, b={block}")
+    for jb in range(0, cols, block):
+        for ib in range(0, rows, block):
+            for j in range(jb, jb + block):
+                for i in range(ib, ib + block):
+                    value = src.read(trace, i, j)
+                    dst.write(trace, value, j, i)
+    return dst.data, trace

@@ -1,0 +1,86 @@
+"""Tests for the effective-bandwidth formulas."""
+
+import pytest
+
+from repro.analytical.bandwidth import (
+    banks_needed_for_full_bandwidth,
+    effective_bandwidth_for_stride,
+    expected_effective_bandwidth,
+)
+from repro.analytical.base import MachineConfig
+
+
+def config(banks=32, t_m=16):
+    return MachineConfig(num_banks=banks, memory_access_time=t_m)
+
+
+class TestPerStride:
+    def test_unit_stride_full_rate(self):
+        assert effective_bandwidth_for_stride(1, config()) == 1.0
+
+    def test_bank_folding_throttles(self):
+        # stride 16 in 32 banks: 2 banks, t_m 16 -> 1/8 rate
+        assert effective_bandwidth_for_stride(16, config()) == pytest.approx(1 / 8)
+
+    def test_stride_m_worst_case(self):
+        assert effective_bandwidth_for_stride(32, config()) == \
+            pytest.approx(1 / 16)
+
+    def test_zero_and_negative(self):
+        assert effective_bandwidth_for_stride(0, config()) == pytest.approx(1 / 16)
+        assert effective_bandwidth_for_stride(-16, config()) == \
+            effective_bandwidth_for_stride(16, config())
+
+    def test_matches_machine_throughput(self):
+        """Closed form vs the executable banks, steady state."""
+        from repro.memory import InterleavedMemory
+
+        cfg = config(banks=16, t_m=8)
+        for stride in (1, 2, 4, 8, 16, 3):
+            memory = InterleavedMemory(cfg.num_banks, cfg.t_m)
+            cycle = 0
+            n = 512
+            for i in range(n):
+                reply = memory.access(i * stride, cycle)
+                cycle = reply.issue_cycle + 1
+            measured = n / cycle
+            predicted = effective_bandwidth_for_stride(stride, cfg)
+            assert measured == pytest.approx(predicted, rel=0.05)
+
+
+class TestExpected:
+    def test_bounds(self):
+        value = expected_effective_bandwidth(config())
+        assert 0.0 < value <= 1.0
+
+    def test_unit_probability_one(self):
+        assert expected_effective_bandwidth(config(), p_stride1=1.0) == 1.0
+
+    def test_more_banks_help(self):
+        few = expected_effective_bandwidth(config(banks=16))
+        many = expected_effective_bandwidth(config(banks=256))
+        assert many > few
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            expected_effective_bandwidth(config(), p_stride1=1.5)
+
+
+class TestBanksNeeded:
+    def test_single_unit_stream(self):
+        assert banks_needed_for_full_bandwidth(16) == 16
+
+    def test_baileys_blowup(self):
+        """The introduction's Bailey quote: dual streams at a stride-32
+        worst case and t_m = 16 already demand a four-digit bank count."""
+        assert banks_needed_for_full_bandwidth(
+            16, streams=2, worst_power_stride=32) == 1024
+
+    def test_rounds_to_power_of_two(self):
+        assert banks_needed_for_full_bandwidth(5) == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            banks_needed_for_full_bandwidth(0)
+        with pytest.raises(ValueError):
+            banks_needed_for_full_bandwidth(8, worst_power_stride=3)

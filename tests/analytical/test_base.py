@@ -1,0 +1,50 @@
+"""Tests for shared analytical configuration."""
+
+import pytest
+
+from repro.analytical.base import MachineConfig, ceil_div
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(8, 4) == 2
+
+    def test_rounds_up(self):
+        assert ceil_div(9, 4) == 3
+
+    def test_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+
+class TestMachineConfig:
+    def test_defaults_match_paper(self):
+        cfg = MachineConfig()
+        assert cfg.mvl == 64
+        assert cfg.loop_overhead == 10
+        assert cfg.strip_overhead == 15
+        assert cfg.t_start == 30 + cfg.memory_access_time
+
+    def test_t_m_alias(self):
+        assert MachineConfig(memory_access_time=24).t_m == 24
+
+    def test_m_exponent(self):
+        assert MachineConfig(num_banks=64).m_exponent == 6
+
+    def test_rejects_non_power_banks(self):
+        with pytest.raises(ValueError):
+            MachineConfig(num_banks=12)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            MachineConfig(memory_access_time=0)
+        with pytest.raises(ValueError):
+            MachineConfig(mvl=0)
+        with pytest.raises(ValueError):
+            MachineConfig(cache_lines=0)
+
+    def test_with_replaces_fields(self):
+        cfg = MachineConfig().with_(memory_access_time=40)
+        assert cfg.memory_access_time == 40
+        assert cfg.num_banks == MachineConfig().num_banks
+        assert cfg is not MachineConfig()

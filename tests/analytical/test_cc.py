@@ -1,0 +1,193 @@
+"""Tests for the CC-model analytical equations (Sections 3.3 and 4)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytical.base import MachineConfig
+from repro.analytical.cc import DirectMappedModel, PrimeMappedModel
+from repro.analytical.mm import MMModel
+from repro.analytical.vcm import VCM
+
+
+def config(**kw):
+    defaults = dict(num_banks=32, memory_access_time=16, cache_lines=8192)
+    defaults.update(kw)
+    return MachineConfig(**defaults)
+
+
+def prime_config(**kw):
+    defaults = dict(num_banks=32, memory_access_time=16, cache_lines=8191)
+    defaults.update(kw)
+    return MachineConfig(**defaults)
+
+
+class TestDirectSelfInterference:
+    @settings(max_examples=40, deadline=None)
+    @given(st.sampled_from([256, 1024, 8192]),
+           st.sampled_from([16, 100, 255, 256, 1000, 4096, 8192]),
+           st.floats(min_value=0, max_value=1))
+    def test_closed_form_matches_sum_form(self, cache_lines, block, p1):
+        if block > cache_lines:
+            return
+        model = DirectMappedModel(config(cache_lines=cache_lines))
+        closed = model.self_interference(block, p1, "random")
+        summed = model.self_interference_sum_form(block, p1)
+        assert closed == pytest.approx(summed, rel=1e-9)
+
+    def test_closed_form_matches_exhaustive_expectation(self):
+        """Average conflict misses over every stride 2..C, brute-force."""
+        cache_lines, block = 64, 48
+        model = DirectMappedModel(config(cache_lines=cache_lines))
+        t_m = model.config.t_m
+        brute = 0.0
+        for s in range(2, cache_lines + 1):
+            footprint = cache_lines // math.gcd(cache_lines, s)
+            brute += max(0, block - footprint) * t_m
+        brute /= cache_lines - 1
+        assert model.self_interference(block, 0.0, "random") == pytest.approx(brute)
+
+    def test_power_of_two_block_special_case(self):
+        """Paper: for B a power of two, I_s^C = (1-P1)(B^2-1)/(3(C-1)) t_m."""
+        model = DirectMappedModel(config(cache_lines=8192))
+        block = 2048
+        expected = (1 - 0.25) * (block**2 - 1) / (3 * (8192 - 1)) * 16
+        assert model.self_interference(block, 0.25, "random") == \
+            pytest.approx(expected)
+
+    def test_unit_probability_kills_interference(self):
+        model = DirectMappedModel(config())
+        assert model.self_interference(4096, 1.0, "random") == 0.0
+
+    def test_fixed_stride(self):
+        model = DirectMappedModel(config(cache_lines=64))
+        # stride 16 in a 64-line cache: footprint 4, block 10 -> 6 misses
+        assert model.self_stalls_for_stride(10, 16) == 6 * 16
+
+    def test_fixed_unit_stride_conflict_free_within_capacity(self):
+        model = DirectMappedModel(config())
+        assert model.self_stalls_for_stride(4096, 1) == 0.0
+
+
+class TestPrimeSelfInterference:
+    def test_eq8(self):
+        model = PrimeMappedModel(prime_config())
+        block, p1, t_m, c = 4096, 0.25, 16, 8191
+        expected = (1 - p1) * (block - 1) / (c - 1) * t_m
+        assert model.self_interference(block, p1, "random") == \
+            pytest.approx(expected)
+
+    def test_much_smaller_than_direct(self):
+        direct = DirectMappedModel(config())
+        prime = PrimeMappedModel(prime_config())
+        d = direct.self_interference(4096, 0.25, "random")
+        p = prime.self_interference(4096, 0.25, "random")
+        assert p < d / 100
+
+    def test_fixed_stride_conflict_free(self):
+        model = PrimeMappedModel(prime_config())
+        for stride in (2, 7, 512, 4096, 8192):
+            assert model.self_stalls_for_stride(4096, stride) == 0.0
+
+    def test_stride_multiple_of_modulus_collapses(self):
+        model = PrimeMappedModel(prime_config())
+        assert model.self_stalls_for_stride(100, 8191) == 99 * 16
+        assert model.self_stalls_for_stride(100, 2 * 8191) == 99 * 16
+
+
+class TestCrossInterference:
+    def test_simple_footprint_formula(self):
+        model = DirectMappedModel(config())
+        vcm = VCM(blocking_factor=4096, reuse_factor=2, p_ds=0.5)
+        expected = 4096**2 * 0.5 / 8192 * 16
+        assert model.cross_interference(vcm) == pytest.approx(expected)
+
+    def test_zero_without_double_streams(self):
+        model = DirectMappedModel(config())
+        vcm = VCM(blocking_factor=4096, reuse_factor=2, p_ds=0.0, s2=None)
+        assert model.cross_interference(vcm) == 0.0
+
+    def test_expected_footprint_mode_prime_severer(self):
+        """The refinement reproduces the paper's remark: the prime cache's
+        larger footprint makes its cross-interference worse."""
+        vcm = VCM(blocking_factor=4096, reuse_factor=2, p_ds=0.5,
+                  p_stride1_s1=0.25)
+        direct = DirectMappedModel(config(), footprint_mode="expected")
+        prime = PrimeMappedModel(prime_config(), footprint_mode="expected")
+        assert prime.cross_interference(vcm) > direct.cross_interference(vcm)
+
+    def test_expected_footprint_below_simple(self):
+        model = DirectMappedModel(config(), footprint_mode="expected")
+        simple = DirectMappedModel(config(), footprint_mode="simple")
+        vcm = VCM(blocking_factor=4096, reuse_factor=2, p_ds=0.5,
+                  p_stride1_s1=0.25)
+        assert model.cross_interference(vcm) < simple.cross_interference(vcm)
+
+    def test_direct_expected_footprint_brute_force(self):
+        cache_lines, block = 64, 48
+        model = DirectMappedModel(config(cache_lines=cache_lines),
+                                  footprint_mode="expected")
+        brute = 0.0
+        for s in range(2, cache_lines + 1):
+            brute += min(block, cache_lines // math.gcd(cache_lines, s))
+        brute /= cache_lines - 1
+        assert model.expected_footprint(block, 0.0) == pytest.approx(brute)
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            DirectMappedModel(config(), footprint_mode="bogus")
+
+
+class TestExecutionTime:
+    def test_reuse_one_equals_mm_block(self):
+        """With R = 1 the CC-model only does the initial (memory-speed)
+        load, so its time equals the MM-model's block time."""
+        cfg = config()
+        vcm = VCM(blocking_factor=1024, reuse_factor=1, p_ds=0.3)
+        assert DirectMappedModel(cfg).total_time(vcm) == \
+            pytest.approx(MMModel(cfg).block_time(vcm))
+
+    def test_cached_sweep_start_up_reduced(self):
+        cfg = config()
+        model = DirectMappedModel(cfg)
+        vcm = VCM(blocking_factor=1024, reuse_factor=2, p_ds=0.0,
+                  s1=1, s2=None, p_stride1_s1=1.0)
+        strips = math.ceil(1024 / cfg.mvl)
+        expected = 10 + strips * (15 + cfg.t_start - cfg.t_m) + 1024 * 1.0
+        assert model.cached_block_time(vcm) == pytest.approx(expected)
+
+    def test_prime_beats_direct_beyond_small_blocks(self):
+        cfg_d, cfg_p = config(), prime_config()
+        vcm = VCM(blocking_factor=4096, reuse_factor=4096, p_ds=0.3)
+        direct = DirectMappedModel(cfg_d).cycles_per_result(vcm)
+        prime = PrimeMappedModel(cfg_p).cycles_per_result(vcm)
+        assert prime < direct
+
+    def test_cycles_per_result_improves_with_reuse(self):
+        model = PrimeMappedModel(prime_config())
+        few = VCM(blocking_factor=1024, reuse_factor=2, p_ds=0.3)
+        many = VCM(blocking_factor=1024, reuse_factor=64, p_ds=0.3)
+        assert model.cycles_per_result(many) < model.cycles_per_result(few)
+
+    def test_total_time_scales_with_problem_size(self):
+        model = PrimeMappedModel(prime_config())
+        vcm = VCM(blocking_factor=1024, reuse_factor=8, p_ds=0.2)
+        assert model.total_time(vcm, problem_size=8192) == \
+            pytest.approx(8 * model.total_time(vcm, problem_size=1024))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sampled_from([512, 1024, 2048, 4096]),
+           st.sampled_from([4, 8, 16, 32]),
+           st.floats(min_value=0, max_value=0.9))
+    def test_prime_never_loses_to_direct_on_random_strides(
+        self, block, t_m, p_ds
+    ):
+        """Section 4's headline: over random strides the prime mapping is
+        at least as good as direct for every (B, t_m, P_ds) combination."""
+        vcm = VCM(blocking_factor=block, reuse_factor=block, p_ds=p_ds)
+        direct = DirectMappedModel(config(memory_access_time=t_m))
+        prime = PrimeMappedModel(prime_config(memory_access_time=t_m))
+        assert prime.cycles_per_result(vcm) <= \
+            direct.cycles_per_result(vcm) * 1.001

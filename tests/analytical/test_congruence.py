@@ -1,0 +1,100 @@
+"""Tests for the cross-interference congruence machinery."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytical.congruence import (
+    average_cross_stalls,
+    cross_stalls,
+    expected_cross_stalls,
+    solve_linear_congruence,
+)
+
+
+class TestSolveLinearCongruence:
+    @given(st.integers(min_value=0, max_value=100),
+           st.integers(min_value=0, max_value=100),
+           st.integers(min_value=1, max_value=64))
+    def test_solutions_satisfy_congruence(self, a, b, m):
+        solutions = solve_linear_congruence(a, b, m)
+        for x in solutions:
+            assert 0 <= x < m
+            assert (a * x - b) % m == 0
+
+    @given(st.integers(min_value=0, max_value=100),
+           st.integers(min_value=0, max_value=100),
+           st.integers(min_value=1, max_value=32))
+    def test_solution_count_is_gcd_or_zero(self, a, b, m):
+        solutions = solve_linear_congruence(a, b, m)
+        g = math.gcd(a % m, m)
+        brute = [x for x in range(m) if (a * x - b) % m == 0]
+        assert sorted(solutions) == brute
+        assert len(solutions) in (0, g)
+
+    def test_no_solution(self):
+        assert solve_linear_congruence(2, 1, 4) == []
+
+    def test_modulus_one(self):
+        assert solve_linear_congruence(0, 0, 1) == [0]
+
+    def test_rejects_bad_modulus(self):
+        with pytest.raises(ValueError):
+            solve_linear_congruence(1, 1, 0)
+
+
+def brute_cross_stalls(s1, s2, d, banks, mvl, t_m):
+    total = 0
+    for i in range(mvl):
+        for j in range(mvl):
+            if (s1 * i - s2 * j - d) % banks == 0 and abs(i - j) < t_m:
+                total += t_m - abs(i - j)
+    return total
+
+
+class TestCrossStalls:
+    @settings(max_examples=40)
+    @given(st.integers(min_value=1, max_value=16),
+           st.integers(min_value=1, max_value=16),
+           st.integers(min_value=1, max_value=16),
+           st.sampled_from([4, 8, 16]),
+           st.sampled_from([4, 8]))
+    def test_matches_brute_force(self, s1, s2, d, banks, t_m):
+        mvl = 16
+        assert cross_stalls(s1, s2, d, banks, mvl, t_m) == \
+            brute_cross_stalls(s1, s2, d, banks, mvl, t_m)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            cross_stalls(1, 1, 1, 8, 0, 4)
+        with pytest.raises(ValueError):
+            expected_cross_stalls(8, 16, 0)
+
+
+class TestExpectedCrossStalls:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=20),
+           st.integers(min_value=1, max_value=20),
+           st.sampled_from([4, 8, 16]),
+           st.sampled_from([3, 6, 10]))
+    def test_average_over_d_is_stride_independent(self, s1, s2, banks, t_m):
+        """The key collapse: averaging over uniform D makes I_c^M
+        independent of both strides."""
+        mvl = 16
+        averaged = average_cross_stalls(s1, s2, banks, mvl, t_m)
+        closed = expected_cross_stalls(banks, mvl, t_m)
+        assert averaged == pytest.approx(closed)
+
+    def test_scales_inversely_with_banks(self):
+        small = expected_cross_stalls(8, 64, 8)
+        large = expected_cross_stalls(32, 64, 8)
+        assert small == pytest.approx(4 * large)
+
+    def test_grows_with_busy_time(self):
+        assert expected_cross_stalls(32, 64, 16) > expected_cross_stalls(32, 64, 4)
+
+    def test_tiny_vector(self):
+        # mvl=1: only the (0,0) pair, weight t_m
+        assert expected_cross_stalls(8, 1, 5) == pytest.approx(5 / 8)

@@ -1,0 +1,106 @@
+"""Tests for the blocked-FFT analytical model (Section 4)."""
+
+import pytest
+
+from repro.analytical.base import MachineConfig
+from repro.analytical.cc import DirectMappedModel, PrimeMappedModel
+from repro.analytical.fft import BlockedFFTModel, FFTShape
+
+
+def direct_model(**kw):
+    defaults = dict(num_banks=64, memory_access_time=32, cache_lines=8192)
+    defaults.update(kw)
+    return BlockedFFTModel(DirectMappedModel(MachineConfig(**defaults)))
+
+
+def prime_model(**kw):
+    defaults = dict(num_banks=64, memory_access_time=32, cache_lines=8191)
+    defaults.update(kw)
+    return BlockedFFTModel(PrimeMappedModel(MachineConfig(**defaults)))
+
+
+class TestFFTShape:
+    def test_valid(self):
+        shape = FFTShape(b1=256, b2=64)
+        assert shape.n == 16384
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            FFTShape(b1=100, b2=64)
+        with pytest.raises(ValueError):
+            FFTShape(b1=256, b2=1)
+
+
+class TestRowConflicts:
+    def test_direct_mapped_row_conflicts_formula(self):
+        """Paper: misses = B1 - C/gcd(B2, C) when positive."""
+        model = direct_model(cache_lines=8192)
+        shape = FFTShape(b1=1024, b2=64)
+        # gcd(64, 8192) = 64 -> footprint 128 < B1=1024 -> 896 misses
+        assert model.row_conflict_misses(shape) == pytest.approx(1024 - 128)
+
+    def test_direct_small_b2_fits(self):
+        model = direct_model(cache_lines=8192)
+        shape = FFTShape(b1=1024, b2=4)
+        # footprint 2048 >= 1024 -> conflict-free
+        assert model.row_conflict_misses(shape) == 0.0
+
+    def test_prime_mapped_rows_conflict_free(self):
+        model = prime_model()
+        for b2 in (4, 16, 64, 256, 1024, 4096):
+            assert model.row_conflict_misses(FFTShape(b1=1024, b2=b2)) == 0.0
+
+    def test_prime_conflicts_only_at_modulus_multiple(self):
+        """B2 can never be a multiple of the odd prime 8191 while being a
+        power of two, so the prime cache is conflict-free for every legal
+        FFT shape — the paper's 'optimization is guaranteed'."""
+        model = prime_model()
+        for exp in range(2, 14):
+            shape = FFTShape(b1=4, b2=2**exp)
+            assert model.row_conflict_misses(shape) == 0.0
+
+
+class TestExecutionTime:
+    def test_prime_beats_direct_across_b2(self):
+        """Figure 11b's shape: prime wins for every B2, by >2x where the
+        row footprint collapses."""
+        n = 2**16
+        ratios = []
+        for b2_exp in range(4, 12):
+            b2 = 2**b2_exp
+            shape = FFTShape(b1=n // b2, b2=b2)
+            d = direct_model().cycles_per_point(shape)
+            p = prime_model().cycles_per_point(shape)
+            assert p <= d * 1.001
+            ratios.append(d / p)
+        assert max(ratios) > 2.0
+
+    def test_phase_decomposition(self):
+        model = prime_model()
+        shape = FFTShape(b1=256, b2=256)
+        assert model.total_time(shape) == pytest.approx(
+            model.row_phase_time(shape) + model.column_phase_time(shape)
+        )
+
+    def test_cycles_per_point_positive_and_reasonable(self):
+        model = prime_model()
+        cycles = model.cycles_per_point(FFTShape(b1=1024, b2=64))
+        assert 1.0 < cycles < 100.0
+
+    def test_direct_degrades_with_memory_gap(self):
+        shape = FFTShape(b1=1024, b2=64)
+        slow = direct_model(memory_access_time=64).cycles_per_point(shape)
+        fast = direct_model(memory_access_time=8).cycles_per_point(shape)
+        assert slow > fast
+
+    def test_prime_flat_in_memory_gap_relative_to_direct(self):
+        shape = FFTShape(b1=1024, b2=64)
+        prime_growth = (
+            prime_model(memory_access_time=64).cycles_per_point(shape)
+            / prime_model(memory_access_time=8).cycles_per_point(shape)
+        )
+        direct_growth = (
+            direct_model(memory_access_time=64).cycles_per_point(shape)
+            / direct_model(memory_access_time=8).cycles_per_point(shape)
+        )
+        assert prime_growth < direct_growth

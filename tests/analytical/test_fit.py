@@ -1,0 +1,108 @@
+"""Tests for VCM parameter estimation from traces."""
+
+import pytest
+
+from repro.analytical.fit import estimate_vcm, split_stride_runs
+from repro.trace.patterns import multistride, strided
+from repro.trace.records import Trace
+
+
+class TestSplitStrideRuns:
+    def test_single_run(self):
+        runs = split_stride_runs(strided(10, 3, 8))
+        assert len(runs) == 1
+        assert runs[0].base == 10
+        assert runs[0].stride == 3
+        assert runs[0].length == 8
+
+    def test_two_runs(self):
+        trace = strided(0, 1, 5).extend(strided(1000, 7, 5))
+        runs = split_stride_runs(trace)
+        assert [r.stride for r in runs] == [1, 7]
+
+    def test_lone_reference_is_length_one(self):
+        trace = Trace.from_addresses([5])
+        runs = split_stride_runs(trace)
+        assert runs[0].length == 1
+        assert runs[0].stride == 0
+
+    def test_writes_excluded_by_default(self):
+        trace = Trace()
+        for i in range(6):
+            trace.append(i)
+            trace.append(1000 + i, write=True)
+        runs = split_stride_runs(trace)
+        assert len(runs) == 1
+        assert runs[0].stride == 1
+
+    def test_empty_trace(self):
+        assert split_stride_runs(Trace()) == []
+
+    def test_boundary_between_runs_detected(self):
+        # stride changes mid-stream: 0,2,4 then 5,6,7
+        trace = Trace.from_addresses([0, 2, 4, 5, 6, 7])
+        runs = split_stride_runs(trace)
+        assert [r.stride for r in runs] == [2, 1]
+        assert [r.length for r in runs] == [3, 3]
+
+
+class TestEstimateVCM:
+    def test_recovers_known_parameters(self):
+        # 20 vectors of length 64, all unit stride, each swept 3 times
+        trace = Trace()
+        for v in range(20):
+            trace.extend(strided(v << 16, 1, 64, sweeps=3))
+        fitted = estimate_vcm(trace)
+        assert fitted.vcm.blocking_factor == 64
+        assert fitted.vcm.p_stride1_s1 == 1.0
+        assert fitted.vcm.reuse_factor == pytest.approx(3.0)
+
+    def test_recovers_stride_mix(self):
+        trace = multistride(length=64, num_vectors=200, stride_modulus=64,
+                            p_stride1=0.5, sweeps=1, seed=3)
+        fitted = estimate_vcm(trace)
+        assert fitted.vcm.p_stride1_s1 == pytest.approx(0.5, abs=0.12)
+        assert fitted.runs >= 200
+
+    def test_rejects_scalar_trace(self):
+        trace = Trace.from_addresses([5, 100, 3, 77, 42])
+        with pytest.raises(ValueError):
+            estimate_vcm(trace)
+
+    def test_min_run_length_filters_noise(self):
+        trace = strided(0, 1, 64)
+        trace.extend(Trace.from_addresses([9999, 5, 731]))
+        fitted = estimate_vcm(trace, min_run_length=8)
+        assert fitted.runs == 1
+        assert fitted.vcm.blocking_factor == 64
+
+    def test_real_kernel_fits_sensibly(self):
+        """The blocked 2-D FFT's row phase is stride-B2 vectors of length
+        B1: the estimator should see non-unit strides and vector lengths
+        around B1."""
+        import numpy as np
+
+        from repro.workloads import blocked_fft_2d
+
+        x = np.arange(256, dtype=complex)
+        _, trace = blocked_fft_2d(x, b2=16)
+        fitted = estimate_vcm(trace, min_run_length=8)
+        assert fitted.vcm.p_stride1_s1 < 1.0       # row phase is strided
+        assert 16 in fitted.stride_histogram       # stride B2 present
+        assert fitted.vcm.blocking_factor >= 16
+
+    def test_fitted_vcm_feeds_the_models(self):
+        """End to end: fit a kernel trace, evaluate the analytical models
+        on the fitted tuple."""
+        from repro.analytical import DirectMappedModel, MachineConfig
+        from repro.analytical.cc import PrimeMappedModel
+
+        trace = multistride(length=128, num_vectors=50, stride_modulus=512,
+                            p_stride1=0.25, sweeps=2, seed=1)
+        fitted = estimate_vcm(trace)
+        cfg = MachineConfig(num_banks=32, memory_access_time=16,
+                            cache_lines=8192)
+        direct = DirectMappedModel(cfg).cycles_per_result(fitted.vcm)
+        prime = PrimeMappedModel(
+            cfg.with_(cache_lines=8191)).cycles_per_result(fitted.vcm)
+        assert prime <= direct

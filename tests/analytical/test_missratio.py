@@ -1,0 +1,90 @@
+"""Tests for the miss-ratio view and the paper's metric argument."""
+
+import pytest
+
+from repro.analytical.base import MachineConfig
+from repro.analytical.cc import DirectMappedModel, PrimeMappedModel
+from repro.analytical.missratio import (
+    cached_sweep_misses,
+    demonstrate_miss_ratio_fallacy,
+    workload_miss_ratio,
+)
+from repro.analytical.mm import MMModel
+from repro.analytical.vcm import VCM
+
+
+def config(**kw):
+    defaults = dict(num_banks=32, memory_access_time=16, cache_lines=8192)
+    defaults.update(kw)
+    return MachineConfig(**defaults)
+
+
+class TestCachedSweepMisses:
+    def test_prime_single_stream_matches_eq8(self):
+        model = PrimeMappedModel(config(cache_lines=8191))
+        vcm = VCM(blocking_factor=4096, reuse_factor=2, p_ds=0.0, s2=None,
+                  p_stride1_s1=0.25)
+        expected = 0.75 * (4096 - 1) / (8191 - 1)
+        assert cached_sweep_misses(model, vcm) == pytest.approx(expected)
+
+    def test_unit_stride_has_no_sweep_misses(self):
+        model = DirectMappedModel(config())
+        vcm = VCM(blocking_factor=4096, reuse_factor=2, p_ds=0.0, s2=None,
+                  s1=1)
+        assert cached_sweep_misses(model, vcm) == 0.0
+
+    def test_double_stream_adds_misses(self):
+        model = DirectMappedModel(config())
+        single = VCM(blocking_factor=4096, reuse_factor=2, p_ds=0.0, s2=None)
+        double = VCM(blocking_factor=4096, reuse_factor=2, p_ds=0.5)
+        assert cached_sweep_misses(model, double) > \
+            cached_sweep_misses(model, single)
+
+
+class TestWorkloadMissRatio:
+    def test_reuse_one_is_all_compulsory(self):
+        model = PrimeMappedModel(config(cache_lines=8191))
+        vcm = VCM(blocking_factor=1024, reuse_factor=1, p_ds=0.0, s2=None)
+        assert workload_miss_ratio(model, vcm) == pytest.approx(1.0)
+
+    def test_ratio_falls_with_reuse(self):
+        model = PrimeMappedModel(config(cache_lines=8191))
+        few = VCM(blocking_factor=1024, reuse_factor=2, p_ds=0.0, s2=None)
+        many = VCM(blocking_factor=1024, reuse_factor=32, p_ds=0.0, s2=None)
+        assert workload_miss_ratio(model, many) < \
+            workload_miss_ratio(model, few)
+
+    def test_capped_at_one(self):
+        model = DirectMappedModel(config(cache_lines=256))
+        vcm = VCM(blocking_factor=256, reuse_factor=2, p_ds=0.5,
+                  p_stride1_s1=0.0, p_stride1_s2=0.0)
+        assert workload_miss_ratio(model, vcm) <= 1.0
+
+    def test_prime_ratio_below_direct(self):
+        vcm = VCM(blocking_factor=4096, reuse_factor=64, p_ds=0.1)
+        direct = workload_miss_ratio(DirectMappedModel(config()), vcm)
+        prime = workload_miss_ratio(
+            PrimeMappedModel(config(cache_lines=8191)), vcm)
+        assert prime < direct
+
+
+class TestFallacy:
+    def test_healthy_hit_ratio_can_still_lose(self):
+        """The paper's argument, exhibited: at B = 8K / t_m = 16 the
+        direct-mapped cache posts a hit ratio above 75% yet runs slower
+        than the machine with no cache at all (Figure 6's right edge)."""
+        cc = DirectMappedModel(config(memory_access_time=16))
+        mm = MMModel(config(memory_access_time=16))
+        vcm = VCM(blocking_factor=4096, reuse_factor=4096, p_ds=0.1)
+        view = demonstrate_miss_ratio_fallacy(cc, mm, vcm)
+        assert view.hit_ratio > 0.85
+        assert view.cache_loses
+
+    def test_prime_cache_does_not_fall_for_it(self):
+        cc = PrimeMappedModel(config(memory_access_time=16,
+                                     cache_lines=8191))
+        mm = MMModel(config(memory_access_time=16))
+        vcm = VCM(blocking_factor=8191, reuse_factor=8191, p_ds=0.1)
+        view = demonstrate_miss_ratio_fallacy(cc, mm, vcm)
+        assert view.hit_ratio > 0.95
+        assert not view.cache_loses

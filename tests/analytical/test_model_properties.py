@@ -1,0 +1,131 @@
+"""Property-based invariants of the analytical models.
+
+Hypothesis draws machine configurations and workloads; the assertions are
+structural truths of the Section-3/4 equations — dominance, monotonicity,
+limits — that must hold across the whole parameter space, not just at the
+figures' operating points.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytical.base import MachineConfig
+from repro.analytical.cc import DirectMappedModel, PrimeMappedModel
+from repro.analytical.mm import MMModel
+from repro.analytical.vcm import VCM
+
+configs = st.builds(
+    MachineConfig,
+    num_banks=st.sampled_from([16, 32, 64]),
+    memory_access_time=st.sampled_from([2, 4, 8, 16, 32]),
+    cache_lines=st.just(8192),
+)
+
+vcms = st.builds(
+    VCM,
+    blocking_factor=st.sampled_from([64, 256, 1024, 4096, 8191]),
+    reuse_factor=st.sampled_from([1, 2, 8, 64]),
+    p_ds=st.sampled_from([0.0, 0.1, 0.5]),
+    s2=st.just("random"),
+    p_stride1_s1=st.floats(min_value=0.0, max_value=1.0),
+    p_stride1_s2=st.sampled_from([0.0, 0.25, 1.0]),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(configs, vcms)
+def test_prime_never_loses_to_direct(config, vcm):
+    """Section 4's dominance claim over the whole random-stride space."""
+    direct = DirectMappedModel(config).cycles_per_result(vcm)
+    prime = PrimeMappedModel(
+        config.with_(cache_lines=8191)).cycles_per_result(vcm)
+    assert prime <= direct * (1 + 1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(configs, vcms)
+def test_cycles_per_result_at_least_one(config, vcm):
+    """One result per cycle is the pipelined ideal; no model beats it."""
+    for model in (MMModel(config), DirectMappedModel(config),
+                  PrimeMappedModel(config.with_(cache_lines=8191))):
+        assert model.cycles_per_result(vcm) >= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(vcms, st.sampled_from([16, 32, 64]))
+def test_monotone_in_memory_time(vcm, banks):
+    """Slower memory never speeds any machine up."""
+    times = [2, 8, 32]
+    for make in (
+        lambda cfg: MMModel(cfg),
+        lambda cfg: DirectMappedModel(cfg),
+        lambda cfg: PrimeMappedModel(cfg.with_(cache_lines=8191)),
+    ):
+        values = [
+            make(MachineConfig(num_banks=banks, memory_access_time=t,
+                               cache_lines=8192)).cycles_per_result(vcm)
+            for t in times
+        ]
+        assert values[0] <= values[1] <= values[2]
+
+
+@settings(max_examples=40, deadline=None)
+@given(configs, st.sampled_from([64, 1024, 4096]),
+       st.sampled_from([1, 2, 8, 32]),
+       st.floats(min_value=0.0, max_value=1.0))
+def test_reuse_never_hurts_prime_single_stream(config, block, reuse, p1):
+    """For single-stream workloads, a cached prime sweep is never dearer
+    than the memory sweep it replaces, so cycles per result are
+    non-increasing in R.  (With double streams this can *fail* — cached
+    cross-interference may exceed pipelined memory stalls, which is
+    exactly how the CC-model loses to the MM-model in Figure 4 — so the
+    property is deliberately scoped to P_ds = 0.)"""
+    model = PrimeMappedModel(config.with_(cache_lines=8191))
+
+    def cycles(r):
+        vcm = VCM(blocking_factor=block, reuse_factor=r, p_ds=0.0,
+                  s2=None, p_stride1_s1=p1)
+        return model.cycles_per_result(vcm)
+
+    assert cycles(reuse * 2) <= cycles(reuse) * (1 + 1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(configs, st.sampled_from([64, 1024, 4096]),
+       st.sampled_from([1.0, 8.0]))
+def test_unit_stride_certainty_makes_mappings_equal(config, block, reuse):
+    """At P_stride1 = 1 (and no double streams) the mapping is irrelevant:
+    the equations must coincide."""
+    vcm = VCM(blocking_factor=block, reuse_factor=reuse, p_ds=0.0,
+              s2=None, p_stride1_s1=1.0)
+    direct = DirectMappedModel(config).cycles_per_result(vcm)
+    prime = PrimeMappedModel(
+        config.with_(cache_lines=8191)).cycles_per_result(vcm)
+    assert direct == pytest.approx(prime, rel=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(configs, st.sampled_from([64, 1024, 4096]))
+def test_reuse_one_collapses_cc_to_mm(config, block):
+    """With R = 1 the cache never gets used: Eq. (4) must reduce to the
+    initial load, i.e. the MM-model block time."""
+    vcm = VCM(blocking_factor=block, reuse_factor=1, p_ds=0.2)
+    mm_time = MMModel(config).block_time(vcm)
+    for model in (DirectMappedModel(config),
+                  PrimeMappedModel(config.with_(cache_lines=8191))):
+        assert model.total_time(vcm) == pytest.approx(mm_time)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from([16, 32, 64]), st.sampled_from([2, 4, 8, 16]),
+       st.floats(min_value=0.0, max_value=1.0))
+def test_mm_self_interference_nonnegative_and_bounded(banks, t_m, p1):
+    """I_s^M is a stall count: non-negative, and bounded by every element
+    waiting out the whole busy time."""
+    if t_m > banks:
+        return
+    config = MachineConfig(num_banks=banks, memory_access_time=t_m)
+    model = MMModel(config)
+    value = model.self_interference(p1, "random")
+    assert 0.0 <= value <= config.mvl * (t_m - 1)

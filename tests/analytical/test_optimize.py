@@ -1,0 +1,136 @@
+"""Tests for the design-space search utilities."""
+
+import pytest
+
+from repro.analytical.base import MachineConfig
+from repro.analytical.cc import DirectMappedModel, PrimeMappedModel
+from repro.analytical.mm import MMModel
+from repro.analytical.optimize import (
+    crossover_memory_time,
+    optimal_blocking_factor,
+)
+from repro.analytical.vcm import VCM
+
+
+def direct_model(t_m=32):
+    return DirectMappedModel(
+        MachineConfig(num_banks=64, memory_access_time=t_m, cache_lines=8192)
+    )
+
+
+def prime_model(t_m=32):
+    return PrimeMappedModel(
+        MachineConfig(num_banks=64, memory_access_time=t_m, cache_lines=8191)
+    )
+
+
+class TestOptimalBlockingFactor:
+    def test_direct_optimum_uses_small_cache_fraction(self):
+        """The paper's 'utilisation is very poor' observation: the
+        direct-mapped optimum leaves most of the cache idle."""
+        choice = optimal_blocking_factor(direct_model())
+        assert choice.cache_utilization < 0.5
+
+    def test_prime_curve_is_flat_up_to_full_cache(self):
+        """For the prime cache the cost curve is nearly flat: blocking at
+        the entire cache costs only a few percent over the optimum."""
+        from repro.analytical.optimize import full_cache_penalty
+
+        assert full_cache_penalty(prime_model()) < 1.2
+
+    def test_direct_pays_heavily_for_full_cache_blocks(self):
+        from repro.analytical.optimize import full_cache_penalty
+
+        assert full_cache_penalty(direct_model()) > 2.0
+
+    def test_prime_cheaper_than_direct_at_their_own_optima(self):
+        direct = optimal_blocking_factor(direct_model())
+        prime = optimal_blocking_factor(prime_model())
+        assert prime.cycles_per_result < direct.cycles_per_result
+
+    def test_custom_candidates(self):
+        choice = optimal_blocking_factor(prime_model(), candidates=[128, 256])
+        assert choice.blocking_factor in (128, 256)
+
+    def test_out_of_range_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_blocking_factor(prime_model(), candidates=[0, 10**9])
+
+    def test_custom_reuse_function(self):
+        # square-root reuse (b x b blocks reused b times, B = b^2)
+        choice = optimal_blocking_factor(
+            prime_model(), reuse_of_block=lambda b: max(1.0, b ** 0.5)
+        )
+        assert choice.blocking_factor >= 1
+
+
+class TestCrossoverMemoryTime:
+    def test_matches_figure4_crossovers(self):
+        """The Figure-4 numbers, via the search API."""
+        def factory(cache_lines):
+            def make(t_m):
+                cfg = MachineConfig(num_banks=32, memory_access_time=t_m,
+                                    cache_lines=cache_lines)
+                return DirectMappedModel(cfg)
+            return make
+
+        def mm(t_m):
+            return MMModel(MachineConfig(num_banks=32, memory_access_time=t_m,
+                                         cache_lines=8192))
+
+        def vcm_for(block):
+            return lambda t_m: VCM(blocking_factor=block, reuse_factor=block,
+                                   p_ds=0.1)
+
+        cross_4k = crossover_memory_time(
+            vcm_for(4096), cache_model_factory=factory(8192),
+            mm_model_factory=mm)
+        cross_2k = crossover_memory_time(
+            vcm_for(2048), cache_model_factory=factory(8192),
+            mm_model_factory=mm)
+        assert 15 <= cross_4k <= 25    # paper: ~20
+        assert 4 <= cross_2k <= 10     # paper: ~7
+
+    def test_prime_crossover_is_earlier(self):
+        def mm(t_m):
+            return MMModel(MachineConfig(num_banks=32, memory_access_time=t_m,
+                                         cache_lines=8192))
+
+        def make_vcm(t_m):
+            return VCM(blocking_factor=4096, reuse_factor=4096, p_ds=0.1)
+
+        direct_cross = crossover_memory_time(
+            make_vcm,
+            cache_model_factory=lambda t: DirectMappedModel(
+                MachineConfig(num_banks=32, memory_access_time=t,
+                              cache_lines=8192)),
+            mm_model_factory=mm)
+        prime_cross = crossover_memory_time(
+            make_vcm,
+            cache_model_factory=lambda t: PrimeMappedModel(
+                MachineConfig(num_banks=32, memory_access_time=t,
+                              cache_lines=8191)),
+            mm_model_factory=mm)
+        assert prime_cross < direct_cross
+
+    def test_none_when_cache_never_wins(self):
+        def mm(t_m):
+            return MMModel(MachineConfig(num_banks=32, memory_access_time=t_m))
+
+        result = crossover_memory_time(
+            lambda t: VCM(blocking_factor=8192, reuse_factor=1, p_ds=0.1),
+            cache_model_factory=lambda t: DirectMappedModel(
+                MachineConfig(num_banks=32, memory_access_time=t,
+                              cache_lines=8192)),
+            mm_model_factory=mm,
+            t_m_range=range(2, 8),
+        )
+        assert result is None
+
+    def test_type_check_on_mm_factory(self):
+        with pytest.raises(TypeError):
+            crossover_memory_time(
+                lambda t: VCM(blocking_factor=64, reuse_factor=2, p_ds=0.1),
+                cache_model_factory=lambda t: direct_model(t),
+                mm_model_factory=lambda t: direct_model(t),
+            )

@@ -1,0 +1,143 @@
+"""Tests for conflict-free sub-block access analysis (Section 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytical.subblock import (
+    conflict_free_bounds,
+    count_subblock_conflicts,
+    is_conflict_free,
+    max_conflict_free_block,
+    satisfies_paper_conditions,
+    subblock_line_map,
+    utilization,
+)
+
+PRIME_LINES = 127  # 2^7 - 1
+DIRECT_LINES = 128
+
+
+class TestBounds:
+    def test_paper_choice(self):
+        p = 300
+        b1, b2 = conflict_free_bounds(p, PRIME_LINES)
+        residue = p % PRIME_LINES
+        assert b1 == min(residue, PRIME_LINES - residue)
+        assert b2 == PRIME_LINES // b1
+
+    def test_degenerate_multiple(self):
+        b1, b2 = conflict_free_bounds(2 * PRIME_LINES, PRIME_LINES)
+        assert b1 == 0 and b2 == 0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            conflict_free_bounds(0, PRIME_LINES)
+
+    def test_corrected_condition_checks_rho(self):
+        p = 300  # residue 46, rho = 46
+        assert is_conflict_free(p, 46, 2, PRIME_LINES)
+        assert not is_conflict_free(p, 47, 2, PRIME_LINES)
+        assert not is_conflict_free(p, 46, 3, PRIME_LINES)
+
+    def test_condition_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            is_conflict_free(300, 0, 1, PRIME_LINES)
+        with pytest.raises(ValueError):
+            satisfies_paper_conditions(300, 1, 0, PRIME_LINES)
+
+    def test_degenerate_p_allows_single_column(self):
+        assert is_conflict_free(PRIME_LINES, 100, 1, PRIME_LINES)
+        assert not is_conflict_free(PRIME_LINES, 100, 2, PRIME_LINES)
+
+    def test_paper_condition_counterexample(self):
+        """Documents the loose spot in the paper's stated conditions: the
+        literal check accepts (32, 3) for P mod C = 66, but column 2 wraps
+        onto column 0 (see module docstring)."""
+        p, c = 127 * 2 + 66, PRIME_LINES
+        assert satisfies_paper_conditions(p, 32, 3, c)
+        assert count_subblock_conflicts(p, 32, 3, c) > 0
+        # the corrected condition refuses it
+        assert not is_conflict_free(p, 32, 3, c)
+
+
+class TestEnumeration:
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=1, max_value=2000),
+           st.integers(min_value=0, max_value=5000))
+    def test_paper_maximal_choice_is_conflict_free(self, p, start):
+        """Property: the paper's recommended (b1, b2) enumerates to zero
+        collisions in the prime-mapped cache, from any start."""
+        b1, b2 = conflict_free_bounds(p, PRIME_LINES)
+        if b1 == 0:
+            return
+        assert count_subblock_conflicts(p, b1, b2, PRIME_LINES, start) == 0
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=1, max_value=2000),
+           st.integers(min_value=1, max_value=127),
+           st.integers(min_value=1, max_value=127))
+    def test_corrected_condition_is_sufficient(self, p, b1, b2):
+        """Property: whatever is_conflict_free accepts really has zero
+        collisions (soundness of the corrected condition)."""
+        if not is_conflict_free(p, b1, b2, PRIME_LINES):
+            return
+        assert count_subblock_conflicts(p, b1, b2, PRIME_LINES) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=1, max_value=2000))
+    def test_max_block_utilisation(self, p):
+        choice = max_conflict_free_block(p, PRIME_LINES)
+        if choice.b1 == 0:
+            return
+        assert choice.utilization == utilization(choice.b1, choice.b2, PRIME_LINES)
+        assert choice.utilization <= 1.0
+
+    def test_near_full_utilisation_possible(self):
+        """For a leading dimension with a large residue the conflict-free
+        block fills most of the prime cache."""
+        p = PRIME_LINES * 3 + 63  # residue 63, b1=63, b2=2 -> 126/127
+        choice = max_conflict_free_block(p, PRIME_LINES)
+        assert choice.utilization > 0.95
+        assert count_subblock_conflicts(p, choice.b1, choice.b2, PRIME_LINES) == 0
+
+    def test_direct_mapped_pathological_leading_dimension(self):
+        """P a multiple of the power-of-two line count stacks every column
+        onto the same lines; the prime cache still reaches ~99% utilisation
+        for the same P."""
+        p = 2 * DIRECT_LINES  # 256
+        assert count_subblock_conflicts(p, 2, 2, DIRECT_LINES) > 0
+        choice = max_conflict_free_block(p, PRIME_LINES)
+        assert choice.utilization > 0.95
+        assert count_subblock_conflicts(p, choice.b1, choice.b2, PRIME_LINES) == 0
+
+    def test_line_map_size(self):
+        lines = subblock_line_map(300, 4, 5, PRIME_LINES)
+        assert len(lines) == 20
+        assert all(0 <= line < PRIME_LINES for line in lines)
+
+    def test_line_map_rejects_bad_modulus(self):
+        with pytest.raises(ValueError):
+            subblock_line_map(300, 4, 5, 0)
+
+    def test_utilization_requires_positive_cache(self):
+        with pytest.raises(ValueError):
+            utilization(2, 2, 0)
+
+    def test_simulated_cache_agrees_with_enumeration(self):
+        """End-to-end: replaying the sub-block through a PrimeMappedCache
+        twice yields zero conflict misses when the bounds hold."""
+        from repro.cache import PrimeMappedCache
+
+        p = 300
+        choice = max_conflict_free_block(p, PRIME_LINES)
+        cache = PrimeMappedCache(c=7)
+        addresses = [
+            row + column * p
+            for column in range(choice.b2)
+            for row in range(choice.b1)
+        ]
+        for address in addresses:
+            cache.access(address)
+        assert all(cache.access(address).hit for address in addresses)
+        assert cache.stats.conflict_misses == 0

@@ -1,0 +1,93 @@
+"""Tests for the seven-tuple vector computational model."""
+
+import math
+
+import pytest
+
+from repro.analytical.vcm import VCM
+
+
+class TestValidation:
+    def test_valid_default(self):
+        vcm = VCM(blocking_factor=1024, reuse_factor=32, p_ds=0.25)
+        assert vcm.B == 1024 and vcm.R == 32
+        assert vcm.p_ss == 0.75
+
+    def test_rejects_bad_blocking(self):
+        with pytest.raises(ValueError):
+            VCM(blocking_factor=0, reuse_factor=1, p_ds=0)
+
+    def test_rejects_reuse_below_one(self):
+        with pytest.raises(ValueError):
+            VCM(blocking_factor=16, reuse_factor=0.5, p_ds=0)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            VCM(blocking_factor=16, reuse_factor=1, p_ds=1.5)
+
+    def test_rejects_bad_stride_spec(self):
+        with pytest.raises(ValueError):
+            VCM(blocking_factor=16, reuse_factor=1, p_ds=0, s1=3.5)
+
+    def test_double_stream_needs_second_stride(self):
+        with pytest.raises(ValueError):
+            VCM(blocking_factor=16, reuse_factor=1, p_ds=0.5, s2=None)
+
+    def test_single_stream_allows_undefined_s2(self):
+        vcm = VCM(blocking_factor=16, reuse_factor=1, p_ds=0.0, s2=None)
+        assert vcm.s2 is None
+
+    def test_second_stream_length(self):
+        vcm = VCM(blocking_factor=1000, reuse_factor=2, p_ds=0.2)
+        assert vcm.second_stream_length == pytest.approx(200)
+
+
+class TestCanonicalInstantiations:
+    def test_blocked_matmul(self):
+        vcm = VCM.blocked_matmul(b=16)
+        assert vcm.blocking_factor == 256
+        assert vcm.reuse_factor == 16
+        assert vcm.p_ds == pytest.approx(1 / 16)
+
+    def test_blocked_matmul_b1(self):
+        vcm = VCM.blocked_matmul(b=1)
+        assert vcm.p_ds == 1.0
+
+    def test_blocked_lu_reuse(self):
+        vcm = VCM.blocked_lu(b=16)
+        assert vcm.blocking_factor == 256
+        assert vcm.reuse_factor == pytest.approx(24.0)
+
+    def test_blocked_fft(self):
+        vcm = VCM.blocked_fft(b=1024)
+        assert vcm.blocking_factor == 1024
+        assert vcm.reuse_factor == pytest.approx(math.log2(1024))
+        assert vcm.p_ds == 0.0
+        assert vcm.p_stride1_s1 == 0.0
+
+    def test_blocked_fft_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            VCM.blocked_fft(b=1000)
+
+    def test_row_column(self):
+        vcm = VCM.row_column(b=512, reuse=8)
+        assert vcm.s1 == 1 and vcm.s2 == "random"
+        assert vcm.p_stride1_s1 == 1.0
+        assert vcm.p_stride1_s2 == 0.0
+
+    def test_overrides(self):
+        vcm = VCM.blocked_matmul(b=8, p_stride1_s1=0.9)
+        assert vcm.p_stride1_s1 == 0.9
+
+    def test_matmul_example_from_paper(self):
+        """Paper Section 3.1: b x b blocking gives P_ss = (b-1)/b and a
+        second vector of length B * P_ds = b."""
+        b = 32
+        vcm = VCM.blocked_matmul(b=b)
+        assert vcm.p_ss == pytest.approx((b - 1) / b)
+        assert vcm.second_stream_length == pytest.approx(b)
+
+    def test_describe_renders_tuple(self):
+        text = VCM(blocking_factor=16, reuse_factor=2, p_ds=0.0, s2=None).describe()
+        assert text.startswith("VCM=[16, 2, 0")
+        assert "-" in text

@@ -1,0 +1,113 @@
+"""Tests for Belady's OPT replacement (Section 2.1's open question)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import FullyAssociativeCache
+from repro.cache.belady import simulate_opt
+from repro.trace.patterns import strided
+from repro.trace.records import Trace
+
+
+class TestMechanics:
+    def test_validation(self):
+        trace = Trace.from_addresses([0])
+        with pytest.raises(ValueError):
+            simulate_opt(trace, total_lines=0)
+        with pytest.raises(ValueError):
+            simulate_opt(trace, total_lines=8, num_sets=3)
+        with pytest.raises(ValueError):
+            simulate_opt(trace, total_lines=8, line_size_words=3)
+
+    def test_fit_in_cache_all_hits_after_cold(self):
+        trace = strided(0, 1, 4, sweeps=3)
+        result = simulate_opt(trace, total_lines=8)
+        assert result.stats.misses == 4
+        assert result.stats.hits == 8
+
+    def test_cyclic_sweep_opt_hit_rate(self):
+        """The textbook result: on a cyclic sweep of W > C lines, OPT's
+        steady-state hit rate is (C-1)/(W-1) per reuse access — strictly
+        more than the C-1-per-sweep lower bound of naive pinning."""
+        capacity, working, sweeps = 8, 12, 5
+        trace = strided(0, 1, working, sweeps=sweeps)
+        result = simulate_opt(trace, total_lines=capacity)
+        reuse_accesses = (sweeps - 1) * working
+        lower = (sweeps - 1) * (capacity - 1)
+        upper = reuse_accesses * (capacity - 1) / (working - 1) + capacity
+        assert lower <= result.stats.hits <= upper
+
+    def test_line_size_grouping(self):
+        trace = Trace.from_addresses([0, 1, 2, 3])
+        result = simulate_opt(trace, total_lines=2, line_size_words=2)
+        assert result.stats.misses == 2
+        assert result.stats.hits == 2
+
+    def test_write_accounting(self):
+        trace = Trace()
+        trace.append(0, write=True)
+        trace.append(0, write=True)
+        result = simulate_opt(trace, total_lines=2)
+        assert result.stats.writes == 2
+        assert result.stats.hits == 1
+
+
+class TestOptimality:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1,
+                    max_size=200))
+    def test_opt_never_below_lru(self, addresses):
+        """The defining property: OPT's hits upper-bound LRU's on any
+        trace, for the same fully-associative geometry."""
+        trace = Trace.from_addresses(addresses)
+        opt = simulate_opt(trace, total_lines=8)
+        lru = FullyAssociativeCache(num_lines=8, classify_misses=False)
+        for address in addresses:
+            lru.access(address)
+        assert opt.stats.hits >= lru.stats.hits
+
+    def test_lru_zero_opt_positive_on_cyclic_sweep(self):
+        """Stone's point with the ceiling attached: LRU gets nothing from
+        an over-capacity cyclic sweep, OPT gets C - 1 hits per sweep."""
+        trace = strided(0, 1, 12, sweeps=4)
+        lru = FullyAssociativeCache(num_lines=8, classify_misses=False)
+        for access in trace:
+            lru.access(access.address)
+        opt = simulate_opt(trace, total_lines=8)
+        assert lru.stats.hits == 0
+        assert opt.stats.hits >= 3 * 7
+
+
+class TestReplacementCannotFixMapping:
+    def test_direct_mapped_opt_equals_lru(self):
+        """One way means no choice: OPT on a direct-mapped geometry is
+        identical to LRU — replacement cannot fix a folding conflict."""
+        from repro.cache import DirectMappedCache
+
+        trace = strided(0, 16, 64, sweeps=2)  # folds onto 4 of 64 lines
+        opt = simulate_opt(trace, total_lines=64, num_sets=64)
+        direct = DirectMappedCache(num_lines=64, classify_misses=False)
+        for access in trace:
+            direct.access(access.address)
+        assert opt.stats.hits == direct.stats.hits == 0
+
+    def test_prime_mapping_beats_clairvoyance(self):
+        """The punchline for Section 2.1's question: the unimplementable
+        OPT on the folding power-of-two cache still loses to the plain
+        prime mapping with no policy at all."""
+        from repro.cache import PrimeMappedCache
+
+        trace = strided(0, 16, 100, sweeps=3)
+        opt_direct = simulate_opt(trace, total_lines=128, num_sets=16)  # 8-way
+        prime = PrimeMappedCache(c=7)
+        for access in trace:
+            prime.access(access.address)
+        assert prime.stats.hits > opt_direct.stats.hits
+
+    def test_opt_on_prime_geometry_supported(self):
+        result = simulate_opt(
+            strided(0, 8, 127, sweeps=2), total_lines=127, num_sets=127,
+            set_of=lambda line: line % 127,
+        )
+        assert result.stats.hits == 127  # conflict-free, OPT irrelevant

@@ -1,0 +1,158 @@
+"""Property-based invariants across cache organisations.
+
+These run arbitrary (hypothesis-generated) reference streams through the
+cache models and assert structural truths that must hold for *any* trace:
+conservation laws of the statistics, the three-C partition, LRU capacity
+monotonicity, equivalences between organisations, and the prime cache's
+defining guarantee.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (
+    DirectMappedCache,
+    FullyAssociativeCache,
+    PrimeMappedCache,
+    SetAssociativeCache,
+)
+
+#: compact address streams that still produce evictions and revisits
+traces = st.lists(st.integers(min_value=0, max_value=255), min_size=1,
+                  max_size=300)
+
+
+@settings(max_examples=60)
+@given(traces)
+def test_stats_conservation(addresses):
+    """hits + misses == accesses and the three-C kinds partition misses."""
+    cache = DirectMappedCache(num_lines=16)
+    for address in addresses:
+        cache.access(address)
+    stats = cache.stats
+    assert stats.hits + stats.misses == stats.accesses == len(addresses)
+    assert (stats.compulsory_misses + stats.capacity_misses
+            + stats.conflict_misses) == stats.misses
+
+
+@settings(max_examples=60)
+@given(traces)
+def test_compulsory_misses_equal_distinct_lines(addresses):
+    """Every first touch is compulsory, and nothing else is."""
+    cache = PrimeMappedCache(c=5)
+    for address in addresses:
+        cache.access(address)
+    assert cache.stats.compulsory_misses == len(set(addresses))
+
+
+@settings(max_examples=60)
+@given(traces)
+def test_residency_never_exceeds_capacity(addresses):
+    for cache in (DirectMappedCache(num_lines=8), PrimeMappedCache(c=3),
+                  SetAssociativeCache(num_sets=4, num_ways=2)):
+        for address in addresses:
+            cache.access(address)
+        assert len(cache.resident_lines()) <= cache.total_lines
+
+
+@settings(max_examples=40)
+@given(traces)
+def test_fully_associative_lru_capacity_monotone(addresses):
+    """The LRU inclusion property: a bigger fully-associative LRU cache
+    never has fewer hits on the same trace."""
+    small = FullyAssociativeCache(num_lines=8)
+    large = FullyAssociativeCache(num_lines=32)
+    for address in addresses:
+        small.access(address)
+        large.access(address)
+    assert large.stats.hits >= small.stats.hits
+
+
+@settings(max_examples=40)
+@given(traces)
+def test_fully_associative_never_conflicts(addresses):
+    cache = FullyAssociativeCache(num_lines=8)
+    for address in addresses:
+        cache.access(address)
+    assert cache.stats.conflict_misses == 0
+
+
+@settings(max_examples=40)
+@given(traces)
+def test_direct_mapped_is_one_way_set_associative(addresses):
+    """DirectMappedCache and a 1-way SetAssociativeCache are the same
+    machine, access for access."""
+    direct = DirectMappedCache(num_lines=16)
+    one_way = SetAssociativeCache(num_sets=16, num_ways=1)
+    for address in addresses:
+        a = direct.access(address)
+        b = one_way.access(address)
+        assert (a.hit, a.set_index, a.victim_line) == \
+            (b.hit, b.set_index, b.victim_line)
+
+
+@settings(max_examples=40)
+@given(st.integers(min_value=1, max_value=400),
+       st.integers(min_value=0, max_value=1000),
+       st.integers(min_value=1, max_value=120))
+def test_prime_matches_fully_associative_on_strided_sweeps(stride, start,
+                                                           length):
+    """The design goal as a property: on any single strided sweep that
+    fits the cache, the prime mapping's miss count equals a
+    fully-associative cache's, for any stride not a multiple of the
+    modulus."""
+    c = 5
+    modulus = 2**c - 1
+    if stride % modulus == 0:
+        return
+    length = min(length, modulus)
+    addresses = [start + i * stride for i in range(length)] * 2
+    prime = PrimeMappedCache(c=c)
+    full = FullyAssociativeCache(num_lines=modulus)
+    for address in addresses:
+        prime.access(address)
+        full.access(address)
+    assert prime.stats.misses == full.stats.misses == len(set(addresses))
+
+
+@settings(max_examples=40)
+@given(traces)
+def test_reset_restores_cold_behaviour(addresses):
+    """Running a trace, resetting, and re-running gives identical stats."""
+    cache = SetAssociativeCache(num_sets=4, num_ways=2)
+    for address in addresses:
+        cache.access(address)
+    first = (cache.stats.hits, cache.stats.misses, cache.stats.evictions)
+    cache.reset()
+    for address in addresses:
+        cache.access(address)
+    assert (cache.stats.hits, cache.stats.misses,
+            cache.stats.evictions) == first
+
+
+@settings(max_examples=40)
+@given(traces, st.integers(min_value=1, max_value=3))
+def test_line_size_reduces_to_line_granular_trace(addresses, log_line):
+    """A cache with 2^k-word lines behaves exactly like a one-word-line
+    cache fed the line-granular addresses."""
+    line_size = 1 << log_line
+    wide = DirectMappedCache(num_lines=8, line_size_words=line_size)
+    narrow = DirectMappedCache(num_lines=8, line_size_words=1)
+    for address in addresses:
+        a = wide.access(address)
+        b = narrow.access(address >> log_line)
+        assert a.hit == b.hit
+
+
+@settings(max_examples=30)
+@given(st.integers(min_value=1, max_value=500))
+def test_prime_footprint_formula(stride):
+    """lines_touched_by_stride agrees with a long simulated sweep."""
+    cache = PrimeMappedCache(c=5)
+    predicted = cache.lines_touched_by_stride(stride)
+    for i in range(31 * 4):
+        cache.access(i * stride)
+    assert len({cache.set_of(i * stride) for i in range(31 * 4)}) == predicted
+    assert predicted == 31 // math.gcd(31, stride)

@@ -1,0 +1,77 @@
+"""Tests for cache statistics and the three-C miss classifier."""
+
+import pytest
+
+from repro.cache.stats import CacheStats, MissClassifier, MissKind
+
+
+class TestCacheStats:
+    def test_ratios_empty(self):
+        stats = CacheStats()
+        assert stats.miss_ratio == 0.0
+        assert stats.hit_ratio == 0.0
+
+    def test_record_and_ratios(self):
+        stats = CacheStats()
+        stats.record(hit=True, write=False, kind=None)
+        stats.record(hit=False, write=True, kind=MissKind.CONFLICT)
+        assert stats.accesses == 2
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.reads == 1 and stats.writes == 1
+        assert stats.hit_ratio == 0.5
+        assert stats.conflict_misses == 1
+        assert stats.compulsory_misses == 0
+
+    def test_reset(self):
+        stats = CacheStats()
+        stats.record(hit=False, write=False, kind=MissKind.CAPACITY)
+        stats.evictions = 3
+        stats.reset()
+        assert stats.accesses == 0
+        assert stats.evictions == 0
+        assert stats.capacity_misses == 0
+
+
+class TestMissClassifier:
+    def test_first_touch_is_compulsory(self):
+        clf = MissClassifier(capacity_lines=2)
+        assert clf.classify(0, real_hit=False) is MissKind.COMPULSORY
+
+    def test_hit_returns_none(self):
+        clf = MissClassifier(capacity_lines=2)
+        clf.classify(0, real_hit=False)
+        assert clf.classify(0, real_hit=True) is None
+
+    def test_conflict_when_shadow_hits(self):
+        clf = MissClassifier(capacity_lines=2)
+        clf.classify(0, real_hit=False)
+        clf.classify(1, real_hit=False)
+        # 0 still fits in a 2-line fully-associative cache: a real miss on
+        # it is a mapping conflict.
+        assert clf.classify(0, real_hit=False) is MissKind.CONFLICT
+
+    def test_capacity_when_shadow_evicted(self):
+        clf = MissClassifier(capacity_lines=2)
+        for line in (0, 1, 2):
+            clf.classify(line, real_hit=False)
+        # 0 was evicted from the 2-line shadow by 1, 2.
+        assert clf.classify(0, real_hit=False) is MissKind.CAPACITY
+
+    def test_shadow_is_lru_not_fifo(self):
+        clf = MissClassifier(capacity_lines=2)
+        clf.classify(0, real_hit=False)
+        clf.classify(1, real_hit=False)
+        clf.classify(0, real_hit=True)   # refresh 0
+        clf.classify(2, real_hit=False)  # evicts 1, not 0
+        assert clf.classify(0, real_hit=False) is MissKind.CONFLICT
+        assert clf.classify(1, real_hit=False) is MissKind.CAPACITY
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            MissClassifier(0)
+
+    def test_reset_forgets_history(self):
+        clf = MissClassifier(capacity_lines=2)
+        clf.classify(0, real_hit=False)
+        clf.reset()
+        assert clf.classify(0, real_hit=False) is MissKind.COMPULSORY

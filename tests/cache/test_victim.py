@@ -1,0 +1,95 @@
+"""Tests for the victim-cache baseline."""
+
+import pytest
+
+from repro.cache import DirectMappedCache, PrimeMappedCache
+from repro.cache.victim import VictimCache
+from repro.trace.patterns import strided
+
+
+class TestBasics:
+    def test_rejects_empty_buffer(self):
+        with pytest.raises(ValueError):
+            VictimCache(DirectMappedCache(num_lines=4), entries=0)
+
+    def test_rescue_after_conflict_eviction(self):
+        vc = VictimCache(DirectMappedCache(num_lines=4), entries=2)
+        vc.access(0)
+        vc.access(4)   # evicts 0 into the buffer
+        vc.access(0)   # rescued
+        assert vc.victim_stats.swaps == 1
+        assert vc.misses_costing_memory() == 2
+
+    def test_buffer_is_lru(self):
+        vc = VictimCache(DirectMappedCache(num_lines=4), entries=2)
+        # evictions into the 2-entry buffer: 0, then 1 (displacing nothing),
+        # then 2 (displacing 0) -> buffer holds {1, 2}
+        for address in (0, 1, 2, 4, 5, 6):
+            vc.access(address)
+        vc.access(0)   # 0 was displaced: no rescue (and 4 enters the buffer)
+        assert vc.victim_stats.swaps == 0
+        vc.access(2)   # 2 survived in the buffer: rescued
+        assert vc.victim_stats.swaps == 1
+
+    def test_ping_pong_fully_absorbed(self):
+        """The victim cache's best case: two lines alternating in one set."""
+        vc = VictimCache(DirectMappedCache(num_lines=4), entries=1)
+        vc.access(0)
+        vc.access(4)
+        for _ in range(10):
+            vc.access(0)
+            vc.access(4)
+        assert vc.misses_costing_memory() == 2  # only the compulsory pair
+
+    def test_describe_and_stats_passthrough(self):
+        vc = VictimCache(DirectMappedCache(num_lines=4), entries=2)
+        assert "victim2" in vc.describe()
+        vc.access(0)
+        assert vc.stats.accesses == 1
+
+    def test_reset(self):
+        vc = VictimCache(DirectMappedCache(num_lines=4), entries=2)
+        vc.access(0)
+        vc.access(4)
+        vc.reset()
+        assert vc.victim_stats.inserted == 0
+        vc.access(0)
+        vc.access(4)
+        vc.access(0)
+        assert vc.victim_stats.swaps == 1
+
+
+class TestStructuralLimit:
+    def test_small_buffer_cannot_absorb_vector_runs(self):
+        """A stride-16 sweep folds 64 lines onto 4 cache lines: eviction
+        runs of 16 overwhelm a 4-entry buffer, so the reuse sweep still
+        goes to memory for almost everything."""
+        vc = VictimCache(DirectMappedCache(num_lines=64), entries=4)
+        trace = strided(0, 16, 64, sweeps=2)
+        for access in trace:
+            vc.access(access.address)
+        # 64 compulsory + almost all of the 64 reuse accesses
+        assert vc.misses_costing_memory() > 64 + 48
+
+    def test_prime_mapping_beats_victim_buffer_on_strides(self):
+        vc = VictimCache(DirectMappedCache(num_lines=128), entries=8)
+        prime = PrimeMappedCache(c=7)
+        trace = strided(0, 16, 100, sweeps=3)
+        for access in trace:
+            vc.access(access.address)
+            prime.access(access.address)
+        assert prime.stats.misses == 100  # compulsory only
+        assert vc.misses_costing_memory() > 200
+
+    def test_buffer_size_monotonicity_on_short_runs(self):
+        """For eviction runs shorter than the buffer, more entries rescue
+        more of the reuse sweep."""
+        def memory_misses(entries):
+            vc = VictimCache(DirectMappedCache(num_lines=16), entries=entries)
+            # stride 4 folds 8 lines onto 4 sets: runs of 2 per set
+            trace = strided(0, 4, 8, sweeps=4)
+            for access in trace:
+                vc.access(access.address)
+            return vc.misses_costing_memory()
+
+        assert memory_misses(8) <= memory_misses(2) <= memory_misses(1)

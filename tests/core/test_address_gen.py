@@ -1,0 +1,121 @@
+"""Tests for the Figure-1 address-generation datapath model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.address_gen import AddressGenerator, AddressLayout
+
+
+def layout(c=5, offset=3, width=32):
+    return AddressLayout(address_bits=width, offset_bits=offset, index_bits=c)
+
+
+class TestAddressLayout:
+    def test_tag_bits(self):
+        assert layout().tag_bits == 32 - 3 - 5
+
+    def test_split_roundtrip(self):
+        lay = layout()
+        address = 0xDEADBEE
+        tag, index, offset = lay.split(address)
+        assert (tag << 8 | index << 3 | offset) == address
+
+    def test_split_rejects_wide_address(self):
+        with pytest.raises(ValueError):
+            layout().split(1 << 32)
+
+    def test_line_address_drops_offset(self):
+        assert layout().line_address(0b101_110) == 0b101
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            AddressLayout(address_bits=8, offset_bits=5, index_bits=5)
+        with pytest.raises(ValueError):
+            AddressLayout(address_bits=32, offset_bits=-1, index_bits=5)
+
+
+class TestAddressGenerator:
+    def test_start_index_is_modulo_of_line_address(self):
+        gen = AddressGenerator(layout())
+        first = gen.start_vector(start_address=0x1238, stride_lines=1)
+        assert first.cache_index == (0x1238 >> 3) % 31
+
+    @given(
+        st.integers(min_value=0, max_value=2**20),
+        st.integers(min_value=1, max_value=200),
+        st.integers(min_value=2, max_value=64),
+    )
+    def test_stream_indexes_match_direct_modulo(self, start_line, stride, length):
+        gen = AddressGenerator(layout(c=5, offset=0))
+        stream = list(gen.generate(start_line, stride, length))
+        for k, element in enumerate(stream):
+            assert element.memory_address == start_line + k * stride
+            assert element.cache_index == (start_line + k * stride) % 31
+
+    def test_negative_stride_stream(self):
+        gen = AddressGenerator(layout(c=5, offset=0))
+        stream = list(gen.generate(1000, -7, 20))
+        for k, element in enumerate(stream):
+            assert element.cache_index == (1000 - 7 * k) % 31
+
+    def test_element_step_costs_exactly_one_adder_pass(self):
+        gen = AddressGenerator(layout())
+        gen.start_vector(0, 4)
+        before = gen.costs.element_passes
+        element = gen.next_element()
+        assert element.adder_passes == 1
+        assert gen.costs.element_passes == before + 1
+
+    def test_start_conversion_cost_is_chunks_minus_one(self):
+        # 32-bit address, 3 offset bits -> 29-bit line address; c=5 gives
+        # ceil(29/5)=6 chunks -> 5 end-around-carry adds worst case.
+        gen = AddressGenerator(layout())
+        first = gen.start_vector((1 << 32) - 8, stride_lines=1)
+        assert first.adder_passes == 5
+
+    def test_small_start_address_costs_no_passes(self):
+        gen = AddressGenerator(layout())
+        first = gen.start_vector(0x18, stride_lines=1)  # line 3, one chunk
+        assert first.adder_passes == 0
+
+    def test_restart_uses_start_register_for_free(self):
+        gen = AddressGenerator(layout())
+        first = gen.start_vector(0x4000, 8)
+        again = gen.restart_vector(0x4000, 8)
+        assert again.cache_index == first.cache_index
+        assert again.adder_passes == 0
+
+    def test_restart_unknown_vector_falls_back_to_conversion(self):
+        gen = AddressGenerator(layout())
+        fresh = gen.restart_vector(0x8000, 2)
+        assert fresh.cache_index == (0x8000 >> 3) % 31
+
+    def test_next_element_requires_start(self):
+        gen = AddressGenerator(layout())
+        with pytest.raises(RuntimeError):
+            gen.next_element()
+
+    def test_walking_off_address_space_raises(self):
+        gen = AddressGenerator(AddressLayout(10, 0, 5))
+        gen.start_vector(1020, 4)
+        with pytest.raises(ValueError):
+            gen.next_element()
+
+    def test_generate_rejects_empty_vector(self):
+        gen = AddressGenerator(layout())
+        with pytest.raises(ValueError):
+            list(gen.generate(0, 1, 0))
+
+    def test_tag_matches_memory_address_field(self):
+        gen = AddressGenerator(layout())
+        for element in gen.generate(0x12340, 16, 10):
+            expected_tag, _, _ = layout().split(element.memory_address)
+            assert element.tag == expected_tag
+
+    def test_stride_conversion_counted_off_critical_path(self):
+        gen = AddressGenerator(layout(c=5, offset=0, width=32))
+        gen.set_stride((1 << 20) + 3)  # multi-chunk stride
+        assert gen.costs.stride_conversions == 1
+        assert gen.costs.conversion_passes >= 1
+        assert gen.costs.element_passes == 0

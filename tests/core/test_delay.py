@@ -1,0 +1,68 @@
+"""Tests for the gate-delay model behind the zero-added-delay claim."""
+
+import pytest
+
+from repro.core.address_gen import AddressLayout
+from repro.core.delay import (
+    critical_path_report,
+    end_around_carry_delay,
+    lookahead_adder_delay,
+    mux_delay,
+    ripple_adder_delay,
+)
+
+
+class TestAdderDelays:
+    def test_ripple_grows_linearly(self):
+        assert ripple_adder_delay(16) - ripple_adder_delay(8) == 16
+
+    def test_lookahead_grows_logarithmically(self):
+        assert lookahead_adder_delay(64) == lookahead_adder_delay(33)
+        assert lookahead_adder_delay(64) < ripple_adder_delay(64)
+
+    def test_lookahead_group_trade(self):
+        assert lookahead_adder_delay(64, group=8) <= \
+            lookahead_adder_delay(64, group=2)
+
+    def test_end_around_carry_is_one_mux_extra(self):
+        assert end_around_carry_delay(13) == \
+            lookahead_adder_delay(13) + mux_delay(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ripple_adder_delay(0)
+        with pytest.raises(ValueError):
+            lookahead_adder_delay(8, group=1)
+        with pytest.raises(ValueError):
+            mux_delay(-1)
+
+
+class TestCriticalPath:
+    @pytest.mark.parametrize("address_bits,c", [(32, 13), (32, 7), (32, 5),
+                                                (64, 13)])
+    def test_claim_holds_for_realistic_configs(self, address_bits, c):
+        """The paper's claim: the c-bit index add (behind its operand mux)
+        finishes no later than the full-width address add, for every
+        realistic cache size against 32- and 64-bit addresses."""
+        layout = AddressLayout(address_bits=address_bits, offset_bits=3,
+                               index_bits=c)
+        report = critical_path_report(layout)
+        assert report.no_critical_path_extension, report
+
+    def test_slack_is_difference(self):
+        layout = AddressLayout(address_bits=32, offset_bits=3, index_bits=13)
+        report = critical_path_report(layout)
+        assert report.slack == \
+            report.memory_path_delay - report.index_path_delay
+
+    def test_boundary_config_needs_granularity_choice(self):
+        """Honest edge of the conservative model: with 4-bit lookahead
+        groups a 19-bit index adder has as many tree levels as a 64-bit
+        address adder, and the Figure-1 muxes then tip the balance; a
+        finer lookahead granularity (group=2) restores the claim.  Real
+        implementations fold the operand mux into the first adder level."""
+        layout = AddressLayout(address_bits=64, offset_bits=3, index_bits=19)
+        coarse = critical_path_report(layout, group=4)
+        fine = critical_path_report(layout, group=2)
+        assert not coarse.no_critical_path_extension
+        assert fine.no_critical_path_extension

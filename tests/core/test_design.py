@@ -1,0 +1,72 @@
+"""Tests for the prime-cache design-space helpers."""
+
+import pytest
+
+from repro.core.design import hardware_cost, propose_design
+
+
+class TestProposeDesign:
+    def test_alliant_fx8_sizing(self):
+        """The paper's worked example: 128 KB cache, 8-byte lines ->
+        16K double words -> c = 13 is not enough (8191 < 16384)... the
+        largest Mersenne prime within 16K lines is 2^13 - 1 = 8191."""
+        design = propose_design(128 * 1024, line_size_bytes=8)
+        assert design.c == 13
+        assert design.lines == 8191
+        assert design.capacity_bytes == 8191 * 8
+
+    def test_vax6000_sizing(self):
+        # 1 MB cache, 8-byte lines -> 128K lines -> 2^17 - 1
+        design = propose_design(1 << 20, line_size_bytes=8)
+        assert design.c == 17
+        assert design.lines == (1 << 17) - 1
+
+    def test_capacity_loss_is_one_line_in_pow2(self):
+        design = propose_design(64 * 1024, line_size_bytes=8)
+        assert design.capacity_loss_vs_pow2 == pytest.approx(1 / (1 << design.c))
+
+    def test_tag_includes_alias_bit(self):
+        design = propose_design(128 * 1024, line_size_bytes=8,
+                                address_bits=32)
+        # 32 - 3 offset - 13 index = 16 architectural tag bits, +1 alias
+        assert design.tag_bits == 17
+
+    def test_critical_path_attached_and_clean(self):
+        design = propose_design(128 * 1024)
+        assert design.critical_path.no_critical_path_extension
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            propose_design(0)
+        with pytest.raises(ValueError):
+            propose_design(1024, line_size_bytes=3)
+        with pytest.raises(ValueError):
+            propose_design(8, line_size_bytes=8)  # below 3 lines
+
+
+class TestHardwareCost:
+    def test_itemisation_scales_with_c(self):
+        small = hardware_cost(propose_design(4 * 1024))
+        large = hardware_cost(propose_design(1 << 20))
+        assert large.adder_gates > small.adder_gates
+        assert large.mux_gates > small.mux_gates
+
+    def test_paper_inventory(self):
+        """The paper: '2 multiplexors, a full adder and a few registers'.
+        For c = 13 that is on the order of a couple hundred gates of
+        logic — negligible next to a 64 KB data array."""
+        cost = hardware_cost(propose_design(128 * 1024))
+        logic_gates = cost.adder_gates + cost.mux_gates
+        assert logic_gates < 300
+        # the dominant add-on is the per-line alias tag bit
+        assert cost.extra_tag_bits_total == 8191
+
+    def test_start_register_trade(self):
+        design = propose_design(128 * 1024)
+        none = hardware_cost(design, start_registers=0)
+        four = hardware_cost(design, start_registers=4)
+        assert four.register_bits - none.register_bits == 4 * design.c
+
+    def test_rejects_negative_registers(self):
+        with pytest.raises(ValueError):
+            hardware_cost(propose_design(4 * 1024), start_registers=-1)

@@ -1,0 +1,67 @@
+"""Tests for the extension figures (the paper's prose arguments, plotted)."""
+
+import pytest
+
+from repro.experiments.extension_figures import (
+    ALL_EXTENSION_FIGURES,
+    extension_associativity,
+    extension_bandwidth,
+    extension_missratio,
+    extension_utilization,
+)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("figure_id", sorted(ALL_EXTENSION_FIGURES))
+    def test_builds_aligned_series(self, figure_id):
+        result = ALL_EXTENSION_FIGURES[figure_id]()
+        assert result.figure_id == figure_id
+        for series in result.series:
+            assert len(series.values) == len(result.x_values)
+            assert all(v > 0 for v in series.values)
+
+    def test_renderable(self):
+        from repro.experiments.render import render_figure
+
+        text = render_figure(extension_associativity([1024, 4096]))
+        assert "ext-assoc" in text
+
+
+class TestShapes:
+    def test_associativity_curves_collapse(self):
+        result = extension_associativity()
+        one = result.series_by_label("1-way (cyclic)").values
+        eight = result.series_by_label("8-way LRU").values
+        prime = result.series_by_label("CC-prime").values
+        for a, b in zip(one, eight):
+            assert a == pytest.approx(b, rel=0.02)
+        assert all(p < a for p, a in zip(prime, eight))
+
+    def test_missratio_fallacy_visible(self):
+        result = extension_missratio()
+        hits = result.series_by_label("direct hit ratio").values
+        cc = result.series_by_label("direct cycles/result").values
+        mm = result.series_by_label("MM cycles/result").values
+        # somewhere the hit ratio is still healthy while cycles lose
+        fallacy = [h > 0.8 and c > m for h, c, m in zip(hits, cc, mm)]
+        assert any(fallacy)
+
+    def test_bandwidth_monotone_in_banks_and_inverse_in_tm(self):
+        result = extension_bandwidth()
+        for t_m in (8, 16, 32):
+            series = result.series_by_label(f"t_m={t_m}").values
+            assert series == sorted(series)
+        fast = result.series_by_label("t_m=8").values
+        slow = result.series_by_label("t_m=32").values
+        assert all(f >= s for f, s in zip(fast, slow))
+
+    def test_utilization_gap_widens(self):
+        result = extension_utilization()
+        direct = result.series_by_label("CC-direct").values
+        prime = result.series_by_label("CC-prime").values
+        gaps = [d - p for d, p in zip(direct, prime)]
+        assert gaps[-1] > gaps[0]
+        # prime stays within ~20% of its cheapest point out to full use
+        assert max(prime) / min(prime) < 1.25
+        # direct more than doubles
+        assert max(direct) / min(direct) > 2.0

@@ -1,0 +1,50 @@
+"""Tests for the per-figure reproduction harness."""
+
+import pytest
+
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    figure4,
+    figure7,
+    figure9,
+    figure11b,
+)
+
+
+class TestFigureStructure:
+    def test_registry_covers_all_evaluation_figures(self):
+        assert set(ALL_FIGURES) == {
+            "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "fig11a", "fig11b",
+        }
+
+    @pytest.mark.parametrize("figure_id", sorted(ALL_FIGURES))
+    def test_every_figure_builds_aligned_series(self, figure_id):
+        result = ALL_FIGURES[figure_id]()
+        assert result.figure_id == figure_id
+        assert result.x_values
+        assert result.series
+        for series in result.series:
+            assert len(series.values) == len(result.x_values)
+            assert all(v > 0 for v in series.values)
+
+    def test_series_by_label(self):
+        result = figure7([8, 16])
+        assert result.series_by_label("CC-prime").values
+        with pytest.raises(KeyError):
+            result.series_by_label("nonexistent")
+
+    def test_custom_sweep_values(self):
+        result = figure4([8, 16, 32])
+        assert result.x_values == [8, 16, 32]
+
+    def test_fig9_endpoints(self):
+        result = figure9([0.0, 1.0])
+        direct = result.series_by_label("CC-direct").values
+        prime = result.series_by_label("CC-prime").values
+        assert prime[0] < direct[0]
+        assert prime[1] == pytest.approx(direct[1], rel=1e-4)
+
+    def test_fig11b_x_axis_is_b2(self):
+        result = figure11b([4, 6], n=1 << 12)
+        assert result.x_values == [16, 64]

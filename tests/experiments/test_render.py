@@ -1,0 +1,36 @@
+"""Tests for plain-text figure rendering."""
+
+from repro.experiments.figures import figure7
+from repro.experiments.render import render_figure, render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["x", "value"], [[1, 2.5], [10, 3.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert set(lines[1]) <= {"-", " "}
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestRenderFigure:
+    def test_contains_title_series_and_values(self):
+        result = figure7([16, 32])
+        text = render_figure(result)
+        assert "fig7" in text
+        assert "CC-prime" in text
+        assert "16" in text and "32" in text
+
+    def test_row_count_matches_sweep(self):
+        result = figure7([8, 16, 24])
+        body_lines = render_figure(result).splitlines()
+        # title + notes + header + rule + 3 data rows
+        assert len(body_lines) == 7

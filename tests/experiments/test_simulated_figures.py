@@ -1,0 +1,73 @@
+"""Tests for the simulation-backed figure regeneration (small grids)."""
+
+import pytest
+
+from repro.experiments.simulated_figures import (
+    figure7_simulated,
+    figure8_simulated,
+)
+from repro.experiments.stats import Summary, summarize
+
+
+class TestSummarize:
+    def test_single_sample(self):
+        summary = summarize([3.0])
+        assert summary.mean == 3.0
+        assert summary.std == 0.0
+        assert summary.ci95_half_width == 0.0
+
+    def test_mean_and_std(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(1.0)
+        assert summary.count == 3
+
+    def test_ci_shrinks_with_samples(self):
+        few = summarize([1.0, 2.0])
+        many = summarize([1.0, 2.0] * 8)
+        assert many.ci95_half_width < few.ci95_half_width
+
+    def test_overlap(self):
+        a = summarize([1.0, 1.1, 0.9])
+        b = summarize([1.05, 1.15, 0.95])
+        c = summarize([5.0, 5.1, 4.9])
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_summary_is_frozen(self):
+        with pytest.raises(AttributeError):
+            summarize([1.0]).mean = 2.0  # type: ignore[misc]
+
+
+class TestSimulatedFigures:
+    def test_fig7_structure(self):
+        result = figure7_simulated([8, 32], block=256, reuse=4, seeds=1,
+                                   blocks=2)
+        assert result.x_values == [8, 32]
+        assert {s.label for s in result.series} == {
+            "MM-model", "CC-direct", "CC-prime"}
+        for series in result.series:
+            assert len(series.values) == 2
+            assert all(v >= 1.0 for v in series.values)
+
+    def test_fig7_mm_grows_with_memory_gap(self):
+        result = figure7_simulated([8, 48], block=256, reuse=4, seeds=1,
+                                   blocks=2)
+        mm = result.series_by_label("MM-model").values
+        assert mm[1] > mm[0]
+
+    def test_fig8_structure(self):
+        result = figure8_simulated([256, 1024], t_m=16, reuse=4, seeds=1,
+                                   blocks=2)
+        assert result.x_values == [256, 1024]
+        assert all(len(s.values) == 2 for s in result.series)
+
+    def test_deterministic_given_seeds(self):
+        a = figure7_simulated([16], block=256, reuse=4, seeds=2, blocks=2)
+        b = figure7_simulated([16], block=256, reuse=4, seeds=2, blocks=2)
+        for series_a, series_b in zip(a.series, b.series):
+            assert series_a.values == series_b.values

@@ -1,0 +1,30 @@
+"""Tests for the sub-block utilisation study."""
+
+from repro.experiments.subblock_study import subblock_study
+
+
+class TestSubblockStudy:
+    def test_prime_always_conflict_free(self):
+        for row in subblock_study():
+            assert row.prime_conflicts == 0
+
+    def test_degenerate_leading_dimension_handled(self):
+        rows = subblock_study([127, 254], c=7)
+        assert all(r.b1 == 0 and r.b2 == 0 for r in rows)
+
+    def test_generic_dimensions_reach_high_utilisation(self):
+        rows = [r for r in subblock_study() if r.b1 > 0]
+        assert rows
+        assert max(r.prime_utilization for r in rows) > 0.95
+
+    def test_direct_mapped_conflicts_appear(self):
+        """Some generic leading dimension must show the contrast: the same
+        block shape collides in the power-of-two cache."""
+        rows = subblock_study()
+        assert any(r.direct_conflicts > 0 for r in rows if r.b1 > 0)
+
+    def test_custom_dimension_list(self):
+        rows = subblock_study([300], c=7)
+        assert len(rows) == 1
+        assert rows[0].leading_dimension == 300
+        assert rows[0].b1 == min(300 % 127, 127 - 300 % 127)

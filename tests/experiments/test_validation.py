@@ -1,0 +1,40 @@
+"""Cross-validation tests: analytical model vs machine simulation."""
+
+import pytest
+
+from repro.experiments.validation import validate_point, validation_grid
+
+
+class TestValidatePoint:
+    def test_mm_single_stream_close(self):
+        point = validate_point("mm", t_m=8, block=512, seeds=8, blocks=4)
+        assert point.relative_error < 0.30
+
+    def test_prime_single_stream_close(self):
+        point = validate_point("prime", t_m=8, block=512, seeds=6, blocks=4)
+        assert point.relative_error < 0.30
+
+    def test_direct_single_stream_order_of_magnitude(self):
+        # direct-mapped conflict behaviour is bursty (one unlucky stride
+        # thrashes a whole block), so the tolerance is looser
+        point = validate_point("direct", t_m=8, block=512, seeds=8, blocks=4)
+        assert point.relative_error < 0.8
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            validate_point("bogus", t_m=8, block=512)
+
+    def test_point_records_inputs(self):
+        point = validate_point("mm", t_m=16, block=512, seeds=2, blocks=1)
+        assert point.model == "mm"
+        assert point.t_m == 16
+        assert point.block == 512
+
+
+class TestValidationGrid:
+    def test_small_grid_runs(self):
+        points = validation_grid(models=("mm",), t_m_values=(8,),
+                                 blocks=(512,), seeds=3)
+        assert len(points) == 1
+        assert points[0].predicted > 1.0
+        assert points[0].measured > 1.0

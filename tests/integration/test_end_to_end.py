@@ -1,0 +1,150 @@
+"""End-to-end integration: the layers agree with each other.
+
+Each test here crosses at least two packages — core vs cache, workloads
+vs machines, analytical vs simulation, design helper vs executable cache —
+checking that the pieces describe the *same* system.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analytical import (
+    DirectMappedModel,
+    MachineConfig,
+    MMModel,
+    PrimeMappedModel,
+    VCM,
+)
+from repro.cache import DirectMappedCache, PrimeMappedCache
+from repro.core import AddressGenerator, AddressLayout, propose_design
+from repro.machine import CCMachine, MMMachine, VCMDriver, run_trace
+from repro.trace import replay, strided
+from repro.workloads import blocked_matmul, fft_radix2
+
+
+class TestCoreCacheConsistency:
+    def test_address_generator_matches_cache_mapping(self):
+        """The Figure-1 datapath and the cache's set function are the same
+        mapping: for any stream, generated indexes equal set_of(line)."""
+        c = 7
+        layout = AddressLayout(address_bits=24, offset_bits=0, index_bits=c)
+        generator = AddressGenerator(layout)
+        cache = PrimeMappedCache(c=c)
+        for start, stride, length in [(0, 1, 50), (12345, 37, 200),
+                                      (999, -3, 100), (2**20, 128, 300)]:
+            for element in generator.generate(start, stride, length):
+                assert element.cache_index == cache.set_of(
+                    element.memory_address
+                ), (start, stride)
+
+    def test_design_helper_builds_working_cache(self):
+        """propose_design's geometry, instantiated, delivers the
+        conflict-free sweep it promises."""
+        design = propose_design(64 * 1024, line_size_bytes=8)
+        cache = PrimeMappedCache(c=design.c, line_size_words=1)
+        assert cache.total_lines == design.lines
+        sweep = strided(0, 2**design.c, design.lines, sweeps=2)
+        result = replay(sweep, cache, t_m=16)
+        assert result.stats.conflict_misses == 0
+        assert result.hit_ratio == pytest.approx(0.5)
+
+
+class TestWorkloadMachineAgreement:
+    def test_matmul_story_holds_in_all_three_views(self):
+        """Blocked matmul with a power-of-two leading dimension: the
+        analytical model, the trace replay and the cycle-level machine all
+        rank prime ahead of direct."""
+        # view 1: analytical, the paper's VCM instantiation
+        cfg = MachineConfig(num_banks=32, memory_access_time=16,
+                            cache_lines=128)
+        vcm = VCM.blocked_matmul(b=8, p_ds=1 / 8)
+        analytical_direct = DirectMappedModel(cfg).cycles_per_result(vcm)
+        analytical_prime = PrimeMappedModel(
+            cfg.with_(cache_lines=127)).cycles_per_result(vcm)
+        assert analytical_prime <= analytical_direct
+
+        # views 2 and 3: the real kernel's trace
+        rng = np.random.default_rng(0)
+        a, b = rng.standard_normal((32, 32)), rng.standard_normal((32, 32))
+        product, trace = blocked_matmul(a, b, block=4)
+        np.testing.assert_allclose(product, a @ b, rtol=1e-10)
+
+        replay_direct = replay(trace, DirectMappedCache(num_lines=128),
+                               t_m=16)
+        replay_prime = replay(trace, PrimeMappedCache(c=7), t_m=16)
+        assert replay_prime.stall_cycles < replay_direct.stall_cycles
+
+        machine_direct = run_trace(
+            CCMachine(cfg, DirectMappedCache(num_lines=128)), trace)
+        machine_prime = run_trace(
+            CCMachine(cfg.with_(cache_lines=127), PrimeMappedCache(c=7)),
+            trace)
+        assert machine_prime.cycles < machine_direct.cycles
+
+    def test_fft_machine_vs_mm_machine(self):
+        """A real FFT trace on the cached machine beats the cacheless
+        machine once the memory gap is large."""
+        x = np.arange(64, dtype=complex)
+        _, trace = fft_radix2(x)
+        cfg = MachineConfig(num_banks=16, memory_access_time=16,
+                            cache_lines=127)
+        cached = run_trace(CCMachine(cfg, PrimeMappedCache(c=7)), trace)
+        uncached = run_trace(MMMachine(cfg), trace)
+        assert cached.cycles < uncached.cycles
+
+
+class TestAnalyticalSimulationAgreement:
+    def test_double_stream_ordering_consistent(self):
+        """With double streams on, analytical and simulated agree on the
+        machine ranking even where absolute cross-interference models are
+        rough."""
+        cfg_direct = MachineConfig(num_banks=32, memory_access_time=32,
+                                   cache_lines=8192)
+        cfg_prime = cfg_direct.with_(cache_lines=8191)
+        vcm = VCM(blocking_factor=2048, reuse_factor=16, p_ds=0.2,
+                  s1=512, s2=1, p_stride1_s2=1.0)
+
+        a_direct = DirectMappedModel(cfg_direct).cycles_per_result(vcm)
+        a_prime = PrimeMappedModel(cfg_prime).cycles_per_result(vcm)
+        a_mm = MMModel(cfg_direct).cycles_per_result(vcm)
+        assert a_prime < a_direct
+        assert a_prime < a_mm
+
+        def mean(factory, seeds=3):
+            return sum(
+                VCMDriver(factory(), seed=s).run(vcm).cycles_per_result
+                for s in range(seeds)
+            ) / seeds
+
+        s_direct = mean(lambda: CCMachine(
+            cfg_direct, DirectMappedCache(num_lines=8192,
+                                          classify_misses=False)))
+        s_prime = mean(lambda: CCMachine(
+            cfg_prime, PrimeMappedCache(c=13, classify_misses=False)))
+        s_mm = mean(lambda: MMMachine(cfg_direct))
+        assert s_prime < s_direct
+        assert s_prime < s_mm
+
+    def test_fft_analytical_vs_trace_ranking(self):
+        """The Figure-11b ranking (prime ahead of direct for the blocked
+        FFT) also appears when the real blocked kernel's trace replays
+        through same-size caches."""
+        from repro.analytical import BlockedFFTModel, FFTShape
+        from repro.workloads import blocked_fft_2d
+
+        cfg = MachineConfig(num_banks=32, memory_access_time=32,
+                            cache_lines=128)
+        shape = FFTShape(b1=32, b2=32)
+        model_direct = BlockedFFTModel(
+            DirectMappedModel(cfg)).cycles_per_point(shape)
+        model_prime = BlockedFFTModel(
+            PrimeMappedModel(cfg.with_(cache_lines=127))).cycles_per_point(shape)
+        assert model_prime < model_direct
+
+        x = np.arange(1024, dtype=complex)
+        result, trace = blocked_fft_2d(x, b2=32)
+        np.testing.assert_allclose(result, np.fft.fft(x), atol=1e-7)
+        replay_direct = replay(trace, DirectMappedCache(num_lines=128),
+                               t_m=32)
+        replay_prime = replay(trace, PrimeMappedCache(c=7), t_m=32)
+        assert replay_prime.stall_cycles < replay_direct.stall_cycles

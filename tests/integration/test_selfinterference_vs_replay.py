@@ -1,0 +1,94 @@
+"""Validate the cache self-interference models against trace replay.
+
+The analytical ``I_s^C`` terms are expectations over the stride
+distribution; here we materialise that distribution as synthetic traces
+(one stride draw per vector, swept twice) and replay them through the real
+cache models, comparing measured reuse-sweep misses against the
+expectations.
+
+Two conventions exist and both are checked:
+
+* the paper's Eq. (5)/(6) count ``B - C/gcd`` misses per sweep (only the
+  folded-out lines) — optimistic for cyclic sweeps;
+* the cyclic-LRU count of :class:`SetAssociativeModel` (all-or-nothing per
+  set) — what a real direct-mapped cache does.
+
+The replay must match the cyclic model almost exactly and be bounded below
+by the paper's count.
+"""
+
+import random
+
+import pytest
+
+from repro.analytical.base import MachineConfig
+from repro.analytical.cc import DirectMappedModel
+from repro.analytical.set_assoc import SetAssociativeModel
+from repro.cache import DirectMappedCache, PrimeMappedCache
+
+
+def measured_reuse_misses(cache, block, stride, *, base=0):
+    """Misses of the second sweep over one strided vector."""
+    addresses = [base + i * stride for i in range(block)]
+    for address in addresses:
+        cache.access(address)
+    before = cache.stats.misses
+    for address in addresses:
+        cache.access(address)
+    return cache.stats.misses - before
+
+
+class TestFixedStride:
+    @pytest.mark.parametrize("stride,block", [
+        (16, 100), (64, 100), (2, 100), (3, 100), (128, 50), (8, 16),
+    ])
+    def test_direct_mapped_matches_cyclic_model(self, stride, block):
+        cache_lines, t_m = 128, 16
+        model = SetAssociativeModel(
+            MachineConfig(num_banks=32, memory_access_time=t_m,
+                          cache_lines=cache_lines), ways=1)
+        cache = DirectMappedCache(num_lines=cache_lines,
+                                  classify_misses=False)
+        measured = measured_reuse_misses(cache, block, stride)
+        predicted = model.self_stalls_for_stride(block, stride) / t_m
+        assert measured == pytest.approx(predicted), (stride, block)
+
+    @pytest.mark.parametrize("stride,block", [(16, 100), (64, 100), (8, 16)])
+    def test_paper_count_is_a_lower_bound(self, stride, block):
+        cache_lines, t_m = 128, 16
+        paper = DirectMappedModel(
+            MachineConfig(num_banks=32, memory_access_time=t_m,
+                          cache_lines=cache_lines))
+        cache = DirectMappedCache(num_lines=cache_lines,
+                                  classify_misses=False)
+        measured = measured_reuse_misses(cache, block, stride)
+        paper_count = paper.self_stalls_for_stride(block, stride) / t_m
+        assert measured >= paper_count - 1e-9
+
+    @pytest.mark.parametrize("stride", [2, 3, 8, 16, 64, 126])
+    def test_prime_mapped_reuse_misses_zero(self, stride):
+        cache = PrimeMappedCache(c=7, classify_misses=False)
+        assert measured_reuse_misses(cache, 100, stride) == 0
+
+
+class TestRandomStrideExpectation:
+    def test_seed_averaged_replay_matches_cyclic_expectation(self):
+        """Draw many strides from the paper's distribution, replay, and
+        compare the average reuse-sweep miss count with the cyclic model's
+        closed expectation."""
+        cache_lines, t_m, block, p1 = 128, 16, 96, 0.25
+        model = SetAssociativeModel(
+            MachineConfig(num_banks=32, memory_access_time=t_m,
+                          cache_lines=cache_lines), ways=1)
+        expected = model.self_interference(block, p1, "random") / t_m
+
+        rng = random.Random(11)
+        draws = 400
+        total = 0
+        for _ in range(draws):
+            stride = 1 if rng.random() < p1 else rng.randint(2, cache_lines)
+            cache = DirectMappedCache(num_lines=cache_lines,
+                                      classify_misses=False)
+            total += measured_reuse_misses(cache, block, stride)
+        average = total / draws
+        assert average == pytest.approx(expected, rel=0.15)

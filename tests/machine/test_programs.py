@@ -1,0 +1,129 @@
+"""Tests for the vector-program builders."""
+
+import pytest
+
+from repro.analytical.base import MachineConfig
+from repro.cache import DirectMappedCache, PrimeMappedCache
+from repro.machine import CCMachine, MMMachine
+from repro.machine.ops import LoadPair, VectorLoad, VectorStore
+from repro.machine.programs import (
+    fft_program,
+    jacobi_program,
+    matmul_program,
+    strided_reuse_program,
+)
+
+
+def cc(cache, banks=16, t_m=16):
+    return CCMachine(
+        MachineConfig(num_banks=banks, memory_access_time=t_m,
+                      cache_lines=cache.total_lines),
+        cache,
+    )
+
+
+class TestStridedReuseProgram:
+    def test_structure(self):
+        ops = strided_reuse_program(0, 8, 64, reuse=3)
+        assert len(ops) == 3
+        assert not ops[0].expect_cached
+        assert all(op.expect_cached for op in ops[1:])
+
+    def test_rejects_zero_reuse(self):
+        with pytest.raises(ValueError):
+            strided_reuse_program(0, 1, 8, reuse=0)
+
+
+class TestMatmulProgram:
+    def test_op_counts(self):
+        n, b = 16, 4
+        ops = matmul_program(n, b)
+        pairs = [op for op in ops if isinstance(op, LoadPair)]
+        stores = [op for op in ops if isinstance(op, VectorStore)]
+        expected_updates = (n // b) ** 3 * b * b
+        assert len(pairs) == expected_updates
+        assert len(stores) == expected_updates
+
+    def test_a_column_reuse_flags(self):
+        ops = matmul_program(8, 4)
+        pairs = [op for op in ops if isinstance(op, LoadPair)]
+        # first j iteration loads A fresh; later j iterations expect cache
+        assert not pairs[0].first.expect_cached
+        # within one block: j == jb covers the first b pairs, then j moves
+        # on and the A column re-loads expect cached data
+        assert pairs[4].first.expect_cached
+
+    def test_block_must_divide(self):
+        with pytest.raises(ValueError):
+            matmul_program(10, 4)
+
+    def test_prime_machine_wins_on_power_of_two_ld(self):
+        """n = 32 columns are 32 words apart: the A-block's columns fold
+        onto each other in a 128-line direct-mapped cache but spread in
+        the 127-line prime cache."""
+        ops = matmul_program(32, 8)
+        direct = cc(DirectMappedCache(num_lines=128)).execute(ops)
+        prime = cc(PrimeMappedCache(c=7)).execute(ops)
+        assert prime.miss_stall_cycles < direct.miss_stall_cycles
+        assert prime.cycles < direct.cycles
+
+
+class TestFFTProgram:
+    def test_op_counts(self):
+        b1 = b2 = 16
+        ops = fft_program(b1, b2)
+        loads = [op for op in ops if isinstance(op, VectorLoad)]
+        assert len(loads) == b2 * 4 + b1 * 4  # log2(16) sweeps per vector
+
+    def test_row_phase_stride(self):
+        ops = fft_program(16, 8)
+        first = next(op for op in ops if isinstance(op, VectorLoad))
+        assert first.stride == 8
+        assert first.length == 16
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            fft_program(12, 8)
+
+    def test_prime_machine_wins(self):
+        """Power-of-two row strides thrash the direct cache's row phase."""
+        ops = fft_program(64, 64)
+        direct = cc(DirectMappedCache(num_lines=128)).execute(ops)
+        prime = cc(PrimeMappedCache(c=7)).execute(ops)
+        assert prime.cycles < direct.cycles
+
+    def test_mm_machine_runs_it_too(self):
+        ops = fft_program(16, 16)
+        report = MMMachine(
+            MachineConfig(num_banks=16, memory_access_time=8)
+        ).execute(ops)
+        assert report.elements == 16 * 16 * 4 * 2
+
+
+class TestJacobiProgram:
+    def test_op_counts(self):
+        rows, cols = 10, 10
+        ops = jacobi_program(rows, cols)
+        pairs = [op for op in ops if isinstance(op, LoadPair)]
+        stores = [op for op in ops if isinstance(op, VectorStore)]
+        assert len(pairs) == 2 * (cols - 2)
+        assert len(stores) == cols - 2
+
+    def test_second_sweep_expects_cached(self):
+        ops = jacobi_program(8, 8, sweeps=2)
+        pairs = [op for op in ops if isinstance(op, LoadPair)]
+        half = len(pairs) // 2
+        assert all(p.first.expect_cached for p in pairs[half + 1:])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            jacobi_program(2, 8)
+        with pytest.raises(ValueError):
+            jacobi_program(8, 8, sweeps=0)
+
+    def test_grid_fits_prime_cache_stall_free(self):
+        """An 11-column grid of 11-point columns (121 words) fits the
+        127-line prime cache: the second sweep runs without miss stalls."""
+        ops = jacobi_program(11, 11, sweeps=2)
+        report = cc(PrimeMappedCache(c=7)).execute(ops)
+        assert report.miss_stall_cycles == 0

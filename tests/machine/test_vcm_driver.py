@@ -1,0 +1,108 @@
+"""Tests for the VCM workload driver."""
+
+import pytest
+
+from repro.analytical.base import MachineConfig
+from repro.analytical.vcm import VCM
+from repro.cache import DirectMappedCache, PrimeMappedCache
+from repro.machine import CCMachine, MMMachine, VCMDriver
+
+
+def mm_machine(banks=32, t_m=8):
+    return MMMachine(MachineConfig(num_banks=banks, memory_access_time=t_m))
+
+
+def cc_machine(cache, banks=32, t_m=8):
+    cfg = MachineConfig(num_banks=banks, memory_access_time=t_m,
+                        cache_lines=cache.total_lines)
+    return CCMachine(cfg, cache)
+
+
+class TestDriverMechanics:
+    def test_reproducible_with_seed(self):
+        vcm = VCM(blocking_factor=256, reuse_factor=4, p_ds=0.25)
+        a = VCMDriver(mm_machine(), seed=3).run(vcm)
+        # fresh machine, same seed
+        b = VCMDriver(mm_machine(), seed=3).run(vcm)
+        assert a.cycles_per_result == b.cycles_per_result
+
+    def test_different_seeds_differ(self):
+        vcm = VCM(blocking_factor=256, reuse_factor=4, p_ds=0.25)
+        a = VCMDriver(mm_machine(), seed=1).run(vcm)
+        b = VCMDriver(mm_machine(), seed=2).run(vcm)
+        assert a.cycles_per_result != b.cycles_per_result
+
+    def test_results_count_first_stream_only(self):
+        vcm = VCM(blocking_factor=128, reuse_factor=2, p_ds=0.5)
+        driven = VCMDriver(mm_machine(), seed=0).run(vcm)
+        assert driven.report.results == 128 * 2
+        assert driven.report.elements > driven.report.results
+
+    def test_problem_size_scales_blocks(self):
+        vcm = VCM(blocking_factor=128, reuse_factor=2, p_ds=0.0, s2=None)
+        small = VCMDriver(mm_machine(), seed=0).run(vcm, problem_size=128)
+        large = VCMDriver(mm_machine(), seed=0).run(vcm, problem_size=512)
+        assert large.report.elements == 4 * small.report.elements
+
+    def test_fixed_strides_are_respected(self):
+        vcm = VCM(blocking_factor=64, reuse_factor=1, p_ds=0.0, s1=7, s2=None)
+        machine = mm_machine()
+        VCMDriver(machine, seed=0).run(vcm)
+        banks_hit = set(machine.memory.stats.bank_accesses)
+        assert banks_hit == {(i * 7) % 32 for i in range(64)} | set()  # mod base
+
+    def test_bad_stride_spec_raises(self):
+        driver = VCMDriver(mm_machine())
+        with pytest.raises(ValueError):
+            driver._draw_stride(None, 0.5)
+
+
+class TestCrossValidation:
+    """The executable machines should track the analytical equations."""
+
+    def seeds_mean(self, make_machine, vcm, seeds=5):
+        total = 0.0
+        for seed in range(seeds):
+            total += VCMDriver(make_machine(), seed=seed).run(vcm).cycles_per_result
+        return total / seeds
+
+    def test_mm_single_stream_matches_model(self):
+        from repro.analytical.mm import MMModel
+
+        vcm = VCM(blocking_factor=1024, reuse_factor=1, p_ds=0.0, s2=None,
+                  p_stride1_s1=0.25)
+        cfg = MachineConfig(num_banks=32, memory_access_time=8)
+        predicted = MMModel(cfg).cycles_per_result(vcm)
+        measured = self.seeds_mean(lambda: MMMachine(cfg), vcm, seeds=12)
+        assert measured == pytest.approx(predicted, rel=0.30)
+
+    def test_cc_prime_cached_sweeps_match_model(self):
+        from repro.analytical.cc import PrimeMappedModel
+
+        vcm = VCM(blocking_factor=1024, reuse_factor=16, p_ds=0.0, s2=None,
+                  p_stride1_s1=0.25)
+        cfg = MachineConfig(num_banks=32, memory_access_time=8,
+                            cache_lines=8191)
+        predicted = PrimeMappedModel(cfg).cycles_per_result(vcm)
+        measured = self.seeds_mean(
+            lambda: CCMachine(cfg, PrimeMappedCache(c=13)), vcm, seeds=6
+        )
+        assert measured == pytest.approx(predicted, rel=0.30)
+
+    def test_ordering_prime_beats_direct_beats_mm(self):
+        """Shape check at a large memory gap: the Figure-7 ordering, with a
+        deterministic power-of-two stride so the direct-mapped thrashing is
+        guaranteed rather than a draw of the stride lottery."""
+        vcm = VCM(blocking_factor=2048, reuse_factor=32, p_ds=0.0,
+                  s1=512, s2=None)
+        t_m, banks = 32, 32
+        mm_mean = self.seeds_mean(lambda: mm_machine(banks, t_m), vcm, seeds=2)
+        direct_mean = self.seeds_mean(
+            lambda: cc_machine(DirectMappedCache(num_lines=8192), banks, t_m),
+            vcm, seeds=2)
+        prime_mean = self.seeds_mean(
+            lambda: cc_machine(PrimeMappedCache(c=13), banks, t_m),
+            vcm, seeds=2)
+        assert prime_mean < direct_mean
+        assert prime_mean < mm_mean
+        assert direct_mean > 2 * prime_mean  # thrash costs t_m per element

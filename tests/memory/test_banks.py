@@ -1,0 +1,146 @@
+"""Tests for the interleaved memory substrate."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory import (
+    InterleavedMemory,
+    LowOrderInterleave,
+    PrimeInterleave,
+    SkewedInterleave,
+)
+
+
+class TestSchemes:
+    def test_low_order_bank_selection(self):
+        scheme = LowOrderInterleave(8)
+        assert scheme.bank_of(13) == 5
+
+    def test_low_order_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            LowOrderInterleave(6)
+
+    def test_prime_requires_prime(self):
+        with pytest.raises(ValueError):
+            PrimeInterleave(9)
+        PrimeInterleave(31)  # fine
+
+    def test_skewed_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            SkewedInterleave(7)
+
+    @given(st.sampled_from([2, 4, 8, 16, 32, 64]),
+           st.integers(min_value=1, max_value=128))
+    def test_low_order_stride_period(self, banks, stride):
+        scheme = LowOrderInterleave(banks)
+        assert scheme.banks_visited_by_stride(stride) == \
+            banks // math.gcd(banks, stride)
+
+    @given(st.sampled_from([7, 17, 31]), st.integers(min_value=1, max_value=128))
+    def test_prime_stride_period_is_all_banks_unless_multiple(self, banks, stride):
+        scheme = PrimeInterleave(banks)
+        expected = 1 if stride % banks == 0 else banks
+        assert scheme.banks_visited_by_stride(stride) == expected
+
+    def test_zero_stride_visits_one_bank(self):
+        assert LowOrderInterleave(8).banks_visited_by_stride(0) == 1
+
+    def test_skewed_breaks_power_of_two_stride(self):
+        """Stride M hits one bank under low-order but spreads under skew."""
+        banks = 16
+        low = LowOrderInterleave(banks)
+        skew = SkewedInterleave(banks)
+        low_banks = {low.bank_of(i * banks) for i in range(banks)}
+        skew_banks = {skew.bank_of(i * banks) for i in range(banks)}
+        assert len(low_banks) == 1
+        assert len(skew_banks) == banks
+
+
+class TestInterleavedMemory:
+    def test_first_access_no_stall(self):
+        memory = InterleavedMemory(num_banks=4, access_time=8)
+        reply = memory.access(0, cycle=0)
+        assert reply.stall_cycles == 0
+        assert reply.ready_cycle == 8
+
+    def test_busy_bank_stalls(self):
+        memory = InterleavedMemory(num_banks=4, access_time=8)
+        memory.access(0, cycle=0)
+        reply = memory.access(4, cycle=1)  # same bank 0
+        assert reply.stall_cycles == 7
+        assert reply.issue_cycle == 8
+
+    def test_different_banks_overlap(self):
+        memory = InterleavedMemory(num_banks=4, access_time=8)
+        for i in range(4):
+            assert memory.access(i, cycle=i).stall_cycles == 0
+
+    def test_unit_stride_sweep_stall_free_when_tm_below_banks(self):
+        memory = InterleavedMemory(num_banks=8, access_time=8)
+        cycle = 0
+        for i in range(64):
+            reply = memory.access(i, cycle)
+            cycle = reply.issue_cycle + 1
+        assert memory.stats.stall_cycles == 0
+
+    def test_stride_period_conflicts_match_formula(self):
+        """Stride s visiting k = M/gcd banks with t_m > k stalls
+        (t_m - k) per revisit — the I_s^M building block."""
+        banks, t_m, stride = 8, 6, 4   # k = 2 banks
+        memory = InterleavedMemory(num_banks=banks, access_time=t_m)
+        cycle = 0
+        stalls_per_access = []
+        for i in range(16):
+            reply = memory.access(i * stride, cycle)
+            stalls_per_access.append(reply.stall_cycles)
+            cycle = reply.issue_cycle + 1
+        # steady state: every sweep of k=2 accesses waits t_m - k in total
+        sweeps = [sum(stalls_per_access[i:i + 2]) for i in range(4, 16, 2)]
+        assert sweeps == [t_m - 2] * 6
+
+    def test_peek_does_not_issue(self):
+        memory = InterleavedMemory(num_banks=4, access_time=8)
+        memory.access(0, cycle=0)
+        assert memory.peek_stall(4, cycle=1) == 7
+        assert memory.stats.accesses == 1
+
+    def test_stats_and_reset(self):
+        memory = InterleavedMemory(num_banks=4, access_time=8)
+        memory.access(0, 0)
+        memory.access(0, 0)
+        assert memory.stats.accesses == 2
+        assert memory.stats.stall_cycles == 8
+        assert memory.stats.stalls_per_access == 4.0
+        memory.reset()
+        assert memory.stats.accesses == 0
+        assert memory.access(0, 0).stall_cycles == 0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            InterleavedMemory(num_banks=4, access_time=0)
+        memory = InterleavedMemory(num_banks=4, access_time=2)
+        with pytest.raises(ValueError):
+            memory.access(-1, 0)
+
+    def test_scheme_mismatch(self):
+        with pytest.raises(ValueError):
+            InterleavedMemory(num_banks=8, access_time=4,
+                              scheme=LowOrderInterleave(4))
+
+    def test_prime_scheme_removes_power_stride_conflicts(self):
+        """The BSP ablation: stride-16 sweeps conflict in 16 power-of-two
+        banks but not in 17 prime banks (t_m < banks)."""
+        def run(memory):
+            cycle = 0
+            for i in range(64):
+                reply = memory.access(i * 16, cycle)
+                cycle = reply.issue_cycle + 1
+            return memory.stats.stall_cycles
+
+        low = InterleavedMemory(16, 8)
+        prime = InterleavedMemory(17, 8, scheme=PrimeInterleave(17))
+        assert run(low) > 0
+        assert run(prime) == 0

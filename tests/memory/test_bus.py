@@ -1,0 +1,51 @@
+"""Tests for the pipelined bus models."""
+
+from repro.memory import BusSet, PipelinedBus
+
+
+class TestPipelinedBus:
+    def test_one_transfer_per_cycle(self):
+        bus = PipelinedBus()
+        assert bus.request(0) == 0
+        assert bus.request(0) == 1
+        assert bus.request(0) == 2
+
+    def test_idle_bus_grants_immediately(self):
+        bus = PipelinedBus()
+        bus.request(0)
+        assert bus.request(10) == 10
+
+    def test_wait_accounting(self):
+        bus = PipelinedBus()
+        bus.request(0)
+        bus.request(0)
+        assert bus.wait_cycles == 1
+        assert bus.transfers == 2
+
+    def test_reset(self):
+        bus = PipelinedBus()
+        bus.request(5)
+        bus.reset()
+        assert bus.request(0) == 0
+        assert bus.transfers == 1
+
+
+class TestBusSet:
+    def test_two_reads_same_cycle_no_wait(self):
+        buses = BusSet()
+        assert buses.request_read(0) == 0
+        assert buses.request_read(0) == 0   # second read bus
+        assert buses.request_read(0) == 1   # both busy now
+
+    def test_write_bus_independent(self):
+        buses = BusSet()
+        buses.request_read(0)
+        assert buses.request_write(0) == 0
+
+    def test_reset(self):
+        buses = BusSet()
+        buses.request_read(0)
+        buses.request_write(0)
+        buses.reset()
+        assert buses.request_read(0) == 0
+        assert buses.request_write(0) == 0

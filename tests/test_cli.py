@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_design_defaults(self):
+        args = build_parser().parse_args(["design", "65536"])
+        assert args.capacity_bytes == 65536
+        assert args.line_size == 8
+
+    def test_compare_flags(self):
+        args = build_parser().parse_args(
+            ["compare", "--stride", "16", "--t-m", "8"]
+        )
+        assert args.stride == 16
+        assert args.t_m == 8
+
+
+class TestCommands:
+    def test_design(self, capsys):
+        assert main(["design", "131072"]) == 0
+        out = capsys.readouterr().out
+        assert "c = 13" in out
+        assert "8191 lines" in out
+        assert "claim holds" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--stride", "8", "--length", "1000",
+                     "--c", "13", "--t-m", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "PrimeMappedCache" in out
+        assert "DirectMappedCache" in out
+
+    def test_compare_capacity_warning(self, capsys):
+        main(["compare", "--length", "4096", "--c", "7"])
+        assert "capacity misses" in capsys.readouterr().out
+
+    def test_subblock(self, capsys):
+        assert main(["subblock", "300", "--c", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "46 x 2" in out
+        assert "collisions 0" in out
+
+    def test_subblock_degenerate(self, capsys):
+        assert main(["subblock", "254", "--c", "7"]) == 1
+        assert "multiple" in capsys.readouterr().out
+
+    def test_blocking(self, capsys):
+        assert main(["blocking", "--t-m", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "direct 8192" in out and "prime 8191" in out
+
+    def test_figures_single(self, capsys):
+        assert main(["figures", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out
+        assert "[PASS]" in out
+        assert "[FAIL]" not in out
+
+    def test_figures_unknown(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().out
+
+    def test_validate_small(self, capsys):
+        assert main(["validate", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted" in out
+
+    def test_report(self, capsys, tmp_path):
+        out = tmp_path / "report.md"
+        assert main(["report", str(out)]) == 0
+        text = out.read_text()
+        assert "claims reproduced: 29/29" in text
+        assert "FAIL" not in text
+        assert "## fig11b" in text
+
+    def test_fit(self, capsys, tmp_path):
+        from repro.trace.patterns import multistride
+
+        path = tmp_path / "t.trace"
+        multistride(length=64, num_vectors=20, stride_modulus=128,
+                    p_stride1=0.5, sweeps=2, seed=0).save(path)
+        assert main(["fit", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "fitted VCM=" in out
+        assert "model prediction" in out
+
+    def test_fit_rejects_scalar_trace(self, capsys, tmp_path):
+        from repro.trace.records import Trace
+
+        path = tmp_path / "scalar.trace"
+        Trace.from_addresses([3, 99, 7]).save(path)
+        assert main(["fit", str(path)]) == 1
+        assert "cannot fit" in capsys.readouterr().out

@@ -1,0 +1,216 @@
+"""Edge-case sweep across public APIs: validation paths, boundary values,
+and small behaviours not covered by the per-module suites."""
+
+import numpy as np
+import pytest
+
+from repro.analytical import (
+    BlockedFFTModel,
+    DirectMappedModel,
+    FFTShape,
+    MachineConfig,
+    PrimeMappedModel,
+    VCM,
+)
+from repro.cache import (
+    DirectMappedCache,
+    FullyAssociativeCache,
+    PrimeMappedCache,
+    SetAssociativeCache,
+)
+from repro.machine import CCMachine, MMMachine, VCMDriver, VectorLoad
+from repro.trace.records import Trace
+
+
+class TestCacheBaseValidation:
+    def test_negative_address_rejected(self):
+        cache = DirectMappedCache(num_lines=8)
+        with pytest.raises(ValueError):
+            cache.access(-1)
+        with pytest.raises(ValueError):
+            cache.line_of(-5)
+
+    def test_zero_lines_rejected(self):
+        with pytest.raises(ValueError):
+            FullyAssociativeCache(num_lines=0)
+
+    def test_non_power_line_size_rejected(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache(num_lines=8, line_size_words=6)
+
+    def test_contains_does_not_mutate(self):
+        cache = DirectMappedCache(num_lines=8)
+        cache.access(0)
+        accesses_before = cache.stats.accesses
+        assert cache.contains(0)
+        assert not cache.contains(1)
+        assert cache.stats.accesses == accesses_before
+
+    def test_single_line_cache(self):
+        cache = FullyAssociativeCache(num_lines=1)
+        assert not cache.access(0).hit
+        assert cache.access(0).hit
+        assert not cache.access(1).hit
+        assert not cache.access(0).hit
+
+    def test_largest_supported_prime_cache_constructible(self):
+        # c=17: 131071 lines; constructing must be cheap (lazy state)
+        cache = PrimeMappedCache(c=17, classify_misses=False)
+        assert cache.total_lines == (1 << 17) - 1
+        assert cache.access((1 << 17) - 1).set_index == 0
+
+
+class TestVCMEdges:
+    def test_reuse_factor_exactly_one(self):
+        vcm = VCM(blocking_factor=64, reuse_factor=1.0, p_ds=0.0, s2=None)
+        assert vcm.R == 1.0
+
+    def test_p_ds_one_all_double(self):
+        vcm = VCM(blocking_factor=64, reuse_factor=1, p_ds=1.0)
+        assert vcm.p_ss == 0.0
+        assert vcm.second_stream_length == 64
+
+    def test_blocking_factor_one(self):
+        vcm = VCM(blocking_factor=1, reuse_factor=1, p_ds=0.0, s2=None)
+        model = PrimeMappedModel(MachineConfig(cache_lines=8191))
+        assert model.cycles_per_result(vcm) >= 1.0
+
+    def test_fractional_reuse(self):
+        vcm = VCM(blocking_factor=64, reuse_factor=1.5, p_ds=0.0, s2=None)
+        model = DirectMappedModel(MachineConfig())
+        assert model.total_time(vcm) > 0
+
+
+class TestAnalyticalEdges:
+    def test_tiny_cache_model(self):
+        model = DirectMappedModel(MachineConfig(cache_lines=4))
+        vcm = VCM(blocking_factor=4, reuse_factor=4, p_ds=0.0, s2=None)
+        assert model.cycles_per_result(vcm) >= 1.0
+
+    def test_block_bigger_than_cache(self):
+        model = PrimeMappedModel(MachineConfig(cache_lines=8191))
+        vcm = VCM(blocking_factor=20000, reuse_factor=2, p_ds=0.0, s2=None)
+        # the formulas keep working; conflicts just grow
+        assert model.cycles_per_result(vcm) > 1.0
+
+    def test_fft_minimum_shape(self):
+        shape = FFTShape(b1=2, b2=2)
+        model = BlockedFFTModel(PrimeMappedModel(MachineConfig(cache_lines=8191)))
+        assert model.cycles_per_point(shape) > 0
+
+    def test_t_m_one_cycle(self):
+        cfg = MachineConfig(memory_access_time=1)
+        vcm = VCM(blocking_factor=64, reuse_factor=2, p_ds=0.3)
+        for model in (DirectMappedModel(cfg),
+                      PrimeMappedModel(cfg.with_(cache_lines=8191))):
+            assert model.cycles_per_result(vcm) >= 1.0
+
+
+class TestMachineEdges:
+    def test_length_one_vector(self):
+        machine = MMMachine(MachineConfig(num_banks=8, memory_access_time=4))
+        report = machine.execute([VectorLoad(base=0, stride=1, length=1)])
+        assert report.elements == 1
+        assert report.results == 1
+
+    def test_exact_mvl_multiple_strips(self):
+        machine = MMMachine(MachineConfig(num_banks=8, memory_access_time=4))
+        report = machine.execute([VectorLoad(base=0, stride=1, length=128)])
+        strips = 2
+        cfg = machine.config
+        assert report.overhead_cycles == \
+            cfg.loop_overhead + strips * (cfg.strip_overhead + cfg.t_start)
+
+    def test_mvl_plus_one_costs_extra_strip(self):
+        machine = MMMachine(MachineConfig(num_banks=8, memory_access_time=4))
+        a = machine.execute([VectorLoad(base=0, stride=1, length=64)],
+                            add_loop_overhead=False)
+        machine.reset()
+        b = machine.execute([VectorLoad(base=0, stride=1, length=65)],
+                            add_loop_overhead=False)
+        cfg = machine.config
+        assert b.overhead_cycles - a.overhead_cycles == \
+            cfg.strip_overhead + cfg.t_start
+
+    def test_driver_rounds_fractional_reuse(self):
+        vcm = VCM(blocking_factor=64, reuse_factor=2.6, p_ds=0.0, s2=None)
+        machine = MMMachine(MachineConfig(num_banks=8, memory_access_time=4))
+        driven = VCMDriver(machine, seed=0).run(vcm)
+        # round(2.6) = 3 sweeps of 64 elements
+        assert driven.report.results == 192
+
+    def test_driver_piece_boundary(self):
+        """B * P_ds that does not divide B still covers every element."""
+        vcm = VCM(blocking_factor=100, reuse_factor=1, p_ds=0.3)
+        machine = MMMachine(MachineConfig(num_banks=8, memory_access_time=4))
+        driven = VCMDriver(machine, seed=0).run(vcm)
+        assert driven.report.results == 100
+
+    def test_cc_machine_empty_program(self):
+        machine = CCMachine(
+            MachineConfig(num_banks=8, memory_access_time=4, cache_lines=31),
+            PrimeMappedCache(c=5),
+        )
+        report = machine.execute([])
+        assert report.cycles == machine.config.loop_overhead
+        assert report.elements == 0
+
+
+class TestTraceEdges:
+    def test_empty_trace_properties(self):
+        trace = Trace()
+        assert len(trace) == 0
+        assert trace.unique_addresses() == set()
+        assert trace.reads().addresses() == []
+
+    def test_replay_empty_trace(self):
+        from repro.trace.replay import replay
+
+        result = replay(Trace(), DirectMappedCache(num_lines=8))
+        assert result.stats.accesses == 0
+        assert result.stall_cycles == 0
+        assert result.hit_ratio == 0.0
+
+
+class TestWorkloadEdges:
+    def test_one_by_one_matmul(self):
+        from repro.workloads import naive_matmul
+
+        result, trace = naive_matmul(np.array([[3.0]]), np.array([[4.0]]))
+        assert result[0, 0] == 12.0
+        assert len(trace) == 4  # read b, read c, read a, write c
+
+    def test_two_point_fft(self):
+        from repro.workloads import fft_radix2
+
+        result, _ = fft_radix2(np.array([1.0, 2.0], dtype=complex))
+        np.testing.assert_allclose(result, [3.0, -1.0])
+
+    def test_block_equal_to_matrix(self):
+        from repro.workloads import blocked_matmul
+
+        a = np.eye(4)
+        result, _ = blocked_matmul(a, a, block=4)
+        np.testing.assert_allclose(result, a)
+
+    def test_lu_block_equal_to_matrix(self):
+        from repro.workloads import blocked_lu, split_lu
+
+        a = np.array([[4.0, 1.0], [1.0, 3.0]])
+        packed, _ = blocked_lu(a, block=2)
+        lower, upper = split_lu(packed)
+        np.testing.assert_allclose(lower @ upper, a)
+
+
+class TestSetAssocEdges:
+    def test_ways_equal_capacity_is_fully_associative(self):
+        wide = SetAssociativeCache(num_sets=1, num_ways=8)
+        full = FullyAssociativeCache(num_lines=8)
+        for address in [0, 8, 16, 0, 24, 8, 32, 40, 48, 0]:
+            assert wide.access(address).hit == full.access(address).hit
+
+    def test_victim_line_none_until_full(self):
+        cache = SetAssociativeCache(num_sets=1, num_ways=4)
+        for address in range(4):
+            assert cache.access(address).victim_line is None
+        assert cache.access(4).victim_line is not None

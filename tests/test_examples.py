@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs clean end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "faster than direct" in result.stdout
+
+    def test_blocked_matmul_study(self):
+        result = run_example("blocked_matmul_study.py")
+        assert result.returncode == 0, result.stderr
+        assert "analytical blocked matmul" in result.stdout
+
+    def test_fft_study(self):
+        result = run_example("fft_study.py")
+        assert result.returncode == 0, result.stderr
+        assert "fig11b" in result.stdout
+
+    def test_conflict_free_blocking(self):
+        result = run_example("conflict_free_blocking.py", "300")
+        assert result.returncode == 0, result.stderr
+        assert "conflict-free block" in result.stdout
+
+    def test_hardware_design_tour(self):
+        result = run_example("hardware_design_tour.py", "65536")
+        assert result.returncode == 0, result.stderr
+        assert "zero-added-delay check" in result.stdout
+
+    def test_reproduce_figures_subset(self):
+        result = run_example("reproduce_figures.py", "fig9", "fig11b")
+        assert result.returncode == 0, result.stderr
+        assert "paper claims reproduced" in result.stdout
+        assert "FAIL" not in result.stdout
+
+    def test_reproduce_figures_rejects_unknown(self):
+        result = run_example("reproduce_figures.py", "fig99")
+        assert result.returncode != 0
+
+    def test_conflict_remedies_tour(self):
+        result = run_example("conflict_remedies_tour.py")
+        assert result.returncode == 0, result.stderr
+        assert "prime-mapped" in result.stdout
+
+    def test_lu_study(self):
+        result = run_example("lu_study.py")
+        assert result.returncode == 0, result.stderr
+        assert "analytical blocked LU" in result.stdout

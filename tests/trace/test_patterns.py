@@ -1,0 +1,131 @@
+"""Tests for access-pattern trace generators."""
+
+import pytest
+
+from repro.trace.patterns import (
+    fft_butterflies,
+    fft_stage_strides,
+    matrix_column,
+    matrix_diagonal,
+    matrix_row,
+    multistride,
+    row_column_mix,
+    strided,
+    subblock,
+)
+
+
+class TestStrided:
+    def test_basic(self):
+        assert strided(10, 3, 4).addresses() == [10, 13, 16, 19]
+
+    def test_sweeps_repeat(self):
+        trace = strided(0, 2, 3, sweeps=2)
+        assert trace.addresses() == [0, 2, 4, 0, 2, 4]
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            strided(0, 1, 0)
+        with pytest.raises(ValueError):
+            strided(0, 1, 4, sweeps=0)
+
+
+class TestMultistride:
+    def test_reproducible(self):
+        a = multistride(16, 4, 64, seed=1)
+        b = multistride(16, 4, 64, seed=1)
+        assert a.addresses() == b.addresses()
+
+    def test_length(self):
+        trace = multistride(16, 4, 64, sweeps=3)
+        assert len(trace) == 16 * 4 * 3
+
+    def test_all_unit_strides(self):
+        trace = multistride(8, 3, 64, p_stride1=1.0, sweeps=1, seed=0)
+        addresses = trace.addresses()
+        for v in range(3):
+            vec = addresses[v * 8:(v + 1) * 8]
+            assert all(b - a == 1 for a, b in zip(vec, vec[1:]))
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            multistride(8, 1, 64, p_stride1=2.0)
+
+
+class TestMatrixWalks:
+    def test_column_is_unit_stride(self):
+        trace = matrix_column(100, 5, 2)
+        assert trace.addresses() == [200, 201, 202, 203, 204]
+
+    def test_row_is_p_stride(self):
+        trace = matrix_row(100, 4, 3)
+        assert trace.addresses() == [3, 103, 203, 303]
+
+    def test_diagonal_is_p_plus_one(self):
+        trace = matrix_diagonal(100, 3)
+        assert trace.addresses() == [0, 101, 202]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            matrix_column(10, 0, 0)
+        with pytest.raises(ValueError):
+            matrix_row(10, 0, 0)
+        with pytest.raises(ValueError):
+            matrix_diagonal(10, 0)
+
+    def test_row_column_mix_extremes(self):
+        rows_only = row_column_mix(64, 8, row_fraction=1.0, accesses=4, seed=0)
+        # every access is a row: consecutive addresses differ by P
+        addresses = rows_only.addresses()
+        assert all(
+            (b - a) == 64
+            for a, b in zip(addresses, addresses[1:])
+            if b > a and (b - a) != 0 and b != addresses[0]
+        ) or len(set(addresses)) > 1
+
+    def test_row_column_mix_reproducible(self):
+        a = row_column_mix(64, 8, seed=5)
+        b = row_column_mix(64, 8, seed=5)
+        assert a.addresses() == b.addresses()
+
+    def test_row_column_mix_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            row_column_mix(64, 8, row_fraction=-0.1)
+
+
+class TestSubblock:
+    def test_layout(self):
+        trace = subblock(100, 2, 3)
+        assert trace.addresses() == [0, 1, 100, 101, 200, 201]
+
+    def test_base_offset_and_sweeps(self):
+        trace = subblock(10, 1, 2, base=5, sweeps=2)
+        assert trace.addresses() == [5, 15, 5, 15]
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            subblock(10, 0, 2)
+
+
+class TestFFT:
+    def test_stage_strides(self):
+        assert fft_stage_strides(16) == [1, 2, 4, 8]
+
+    def test_stage_strides_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            fft_stage_strides(12)
+
+    def test_butterfly_counts(self):
+        n = 16
+        trace = fft_butterflies(n)
+        # log2(n) stages, n/2 butterflies each, 4 references per butterfly
+        assert len(trace) == 4 * (n // 2) * 4
+
+    def test_butterfly_read_write_balance(self):
+        trace = fft_butterflies(8)
+        assert len(trace.reads()) == len(trace.writes())
+
+    def test_all_addresses_in_range(self):
+        n = 32
+        trace = fft_butterflies(n, base=100)
+        assert all(100 <= a < 100 + n for a in trace.addresses())

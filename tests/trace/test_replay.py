@@ -1,0 +1,71 @@
+"""Tests for trace replay through cache models."""
+
+from repro.cache import DirectMappedCache, FullyAssociativeCache, PrimeMappedCache
+from repro.trace.patterns import fft_butterflies, strided, subblock
+from repro.trace.records import Trace
+from repro.trace.replay import compare_caches, replay
+
+
+class TestReplay:
+    def test_resets_cache_first(self):
+        cache = DirectMappedCache(num_lines=8)
+        cache.access(0)
+        result = replay(Trace.from_addresses([0]), cache)
+        assert result.stats.accesses == 1
+        assert result.stats.misses == 1  # cold again after reset
+
+    def test_stall_cost_excludes_compulsory(self):
+        cache = DirectMappedCache(num_lines=8)
+        trace = strided(0, 1, 8, sweeps=2)
+        result = replay(trace, cache, t_m=10)
+        # 8 compulsory misses, second sweep all hits -> zero stalls
+        assert result.stall_cycles == 0
+        assert result.hit_ratio == 0.5
+
+    def test_conflict_misses_cost_t_m(self):
+        cache = DirectMappedCache(num_lines=8)
+        trace = strided(0, 8, 4, sweeps=2)  # all four map to line 0
+        result = replay(trace, cache, t_m=10)
+        # sweep 2: 4 conflict misses
+        assert result.stall_cycles == 40
+
+    def test_label_present(self):
+        result = replay(strided(0, 1, 4), DirectMappedCache(num_lines=8))
+        assert "sets=8" in result.label
+
+
+class TestCompareCaches:
+    def test_prime_wins_fft_trace(self):
+        trace = fft_butterflies(256)
+        results = compare_caches(
+            trace,
+            [DirectMappedCache(num_lines=64), PrimeMappedCache(c=6,
+                                                               allow_composite=True),
+             PrimeMappedCache(c=7)],
+        )
+        assert len(results) == 3
+
+    def test_prime_matches_fully_associative_on_strides(self):
+        """The design goal: prime-mapped ~ fully-associative conflict
+        behaviour on strided sweeps, at direct-mapped lookup cost."""
+        for stride in (2, 8, 32, 33, 100):
+            trace = strided(0, stride, 31, sweeps=3)
+            prime = replay(trace, PrimeMappedCache(c=5), t_m=10)
+            full = replay(trace, FullyAssociativeCache(num_lines=31), t_m=10)
+            assert prime.stats.misses == full.stats.misses
+
+    def test_direct_loses_on_power_stride(self):
+        trace = strided(0, 16, 31, sweeps=3)
+        direct = replay(trace, DirectMappedCache(num_lines=32), t_m=10)
+        prime = replay(trace, PrimeMappedCache(c=5), t_m=10)
+        assert prime.stall_cycles == 0
+        assert direct.stall_cycles > 0
+
+    def test_subblock_trace_conflict_free_in_prime(self):
+        from repro.analytical.subblock import max_conflict_free_block
+
+        p = 300
+        choice = max_conflict_free_block(p, 127)
+        trace = subblock(p, choice.b1, choice.b2, sweeps=2)
+        result = replay(trace, PrimeMappedCache(c=7), t_m=10)
+        assert result.stall_cycles == 0

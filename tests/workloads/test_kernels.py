@@ -1,0 +1,162 @@
+"""Correctness and trace-shape tests for the traced numerical kernels."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    blocked_fft_2d,
+    blocked_lu,
+    blocked_matmul,
+    fft_radix2,
+    lu_decompose,
+    naive_matmul,
+    saxpy,
+    split_lu,
+    strided_saxpy,
+)
+
+
+def random_matrix(n, m=None, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, m or n))
+
+
+def dominant_matrix(n, seed=0):
+    a = random_matrix(n, seed=seed)
+    return a + n * np.eye(n)
+
+
+class TestSaxpy:
+    def test_result_matches_numpy(self):
+        x, y = np.arange(8.0), np.ones(8)
+        result, trace = saxpy(2.0, x, y)
+        np.testing.assert_allclose(result, 2.0 * x + y)
+        assert len(trace) == 3 * 8  # two reads + one write per element
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            saxpy(1.0, np.zeros(4), np.zeros(5))
+
+    def test_strided_result(self):
+        x, y = np.arange(16.0), np.zeros(16)
+        result, _ = strided_saxpy(3.0, x, y, stride_x=2, stride_y=4)
+        expected = np.zeros(16)
+        expected[::4] += 3.0 * x[::2][:4]
+        np.testing.assert_allclose(result, expected)
+
+    def test_strided_trace_strides(self):
+        x, y = np.zeros(16), np.zeros(16)
+        _, trace = strided_saxpy(1.0, x, y, stride_x=4, stride_y=1)
+        reads = trace.reads().addresses()
+        x_reads = reads[0::2]
+        assert all(b - a == 4 for a, b in zip(x_reads, x_reads[1:]))
+
+    def test_strided_rejects_bad_stride(self):
+        with pytest.raises(ValueError):
+            strided_saxpy(1.0, np.zeros(4), np.zeros(4), stride_x=0)
+
+
+class TestMatmul:
+    def test_naive_matches_numpy(self):
+        a, b = random_matrix(6, 5, seed=1), random_matrix(5, 7, seed=2)
+        result, trace = naive_matmul(a, b)
+        np.testing.assert_allclose(result, a @ b, rtol=1e-12)
+        assert len(trace) > 0
+
+    def test_blocked_matches_numpy(self):
+        a, b = random_matrix(8, seed=3), random_matrix(8, seed=4)
+        result, _ = blocked_matmul(a, b, block=4)
+        np.testing.assert_allclose(result, a @ b, rtol=1e-12)
+
+    def test_blocked_equals_naive(self):
+        a, b = random_matrix(6, seed=5), random_matrix(6, seed=6)
+        blocked, _ = blocked_matmul(a, b, block=3)
+        naive, _ = naive_matmul(a, b)
+        np.testing.assert_allclose(blocked, naive, rtol=1e-12)
+
+    def test_block_must_divide(self):
+        with pytest.raises(ValueError):
+            blocked_matmul(random_matrix(6), random_matrix(6), block=4)
+
+    def test_incompatible_shapes(self):
+        with pytest.raises(ValueError):
+            naive_matmul(random_matrix(4, 3), random_matrix(4, 4))
+
+    def test_blocked_same_update_count_as_naive(self):
+        """Blocking reorders but does not change the n^3 multiply-add
+        updates: both kernels write C exactly n^3 times."""
+        a, b = random_matrix(8, seed=7), random_matrix(8, seed=8)
+        _, blocked_trace = blocked_matmul(a, b, block=4)
+        _, naive_trace = naive_matmul(a, b)
+        assert len(blocked_trace.writes()) == len(naive_trace.writes()) == 8**3
+
+
+class TestLU:
+    def test_unblocked_factor(self):
+        a = dominant_matrix(6)
+        packed, _ = lu_decompose(a)
+        lower, upper = split_lu(packed)
+        np.testing.assert_allclose(lower @ upper, a, rtol=1e-10)
+
+    def test_blocked_factor(self):
+        a = dominant_matrix(8, seed=9)
+        packed, _ = blocked_lu(a, block=4)
+        lower, upper = split_lu(packed)
+        np.testing.assert_allclose(lower @ upper, a, rtol=1e-10)
+
+    def test_blocked_equals_unblocked(self):
+        a = dominant_matrix(6, seed=10)
+        blocked, _ = blocked_lu(a, block=2)
+        unblocked, _ = lu_decompose(a)
+        np.testing.assert_allclose(blocked, unblocked, rtol=1e-10)
+
+    def test_zero_pivot_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            lu_decompose(np.zeros((3, 3)))
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            lu_decompose(np.zeros((3, 4)))
+
+    def test_block_must_divide(self):
+        with pytest.raises(ValueError):
+            blocked_lu(dominant_matrix(6), block=4)
+
+
+class TestFFT:
+    @pytest.mark.parametrize("n", [2, 8, 64, 256])
+    def test_radix2_matches_numpy(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        result, _ = fft_radix2(x)
+        np.testing.assert_allclose(result, np.fft.fft(x), atol=1e-9)
+
+    def test_radix2_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            fft_radix2(np.zeros(12))
+
+    def test_radix2_trace_spans_are_powers_of_two(self):
+        _, trace = fft_radix2(np.arange(16, dtype=complex))
+        reads = trace.reads().addresses()
+        spans = {abs(b - a) for a, b in zip(reads[0::2], reads[1::2])}
+        assert spans <= {1, 2, 4, 8}
+
+    @pytest.mark.parametrize("n,b2", [(16, 4), (64, 8), (256, 16), (256, 4)])
+    def test_blocked_2d_matches_numpy(self, n, b2):
+        rng = np.random.default_rng(n + b2)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        result, _ = blocked_fft_2d(x, b2)
+        np.testing.assert_allclose(result, np.fft.fft(x), atol=1e-8)
+
+    def test_blocked_2d_rejects_bad_b2(self):
+        with pytest.raises(ValueError):
+            blocked_fft_2d(np.zeros(16, dtype=complex), 3)
+        with pytest.raises(ValueError):
+            blocked_fft_2d(np.zeros(16, dtype=complex), 16)
+
+    def test_blocked_2d_row_phase_stride_is_b2(self):
+        _, trace = blocked_fft_2d(np.arange(64, dtype=complex), 8)
+        reads = trace.reads().addresses()
+        first_row_reads = reads[:8]
+        assert all(b - a == 8 for a, b in zip(first_row_reads,
+                                              first_row_reads[1:]))

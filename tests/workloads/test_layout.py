@@ -1,0 +1,60 @@
+"""Tests for traced array layout."""
+
+import numpy as np
+import pytest
+
+from repro.trace.records import Trace
+from repro.workloads.layout import ArrayHandle, Workspace
+
+
+class TestArrayHandle:
+    def test_vector_addressing(self):
+        h = ArrayHandle("v", np.zeros(8), base=100)
+        assert h.address(3) == 103
+
+    def test_matrix_addressing_column_major(self):
+        h = ArrayHandle("m", np.zeros((4, 3)), base=10)
+        assert h.address(2, 1) == 10 + 2 + 4
+
+    def test_vector_rejects_second_index(self):
+        h = ArrayHandle("v", np.zeros(8), base=0)
+        with pytest.raises(IndexError):
+            h.address(1, 1)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            ArrayHandle("t", np.zeros((2, 2, 2)), base=0)
+
+    def test_read_write_record_trace(self):
+        h = ArrayHandle("m", np.zeros((2, 2)), base=50)
+        trace = Trace()
+        h.write(trace, 7.0, 1, 1)
+        assert h.read(trace, 1, 1) == 7.0
+        assert trace.addresses() == [53, 53]
+        assert [a.write for a in trace] == [True, False]
+
+
+class TestWorkspace:
+    def test_non_overlapping_allocations(self):
+        ws = Workspace()
+        a = ws.matrix("a", np.zeros((4, 4)))
+        b = ws.vector("b", np.zeros(8))
+        assert b.base >= a.base + 16
+
+    def test_explicit_base(self):
+        ws = Workspace()
+        v = ws.vector("v", np.zeros(4), base=1000)
+        assert v.base == 1000
+
+    def test_duplicate_name_rejected(self):
+        ws = Workspace()
+        ws.vector("v", np.zeros(4))
+        with pytest.raises(ValueError):
+            ws.vector("v", np.zeros(4))
+
+    def test_shape_validation(self):
+        ws = Workspace()
+        with pytest.raises(ValueError):
+            ws.vector("v", np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            ws.matrix("m", np.zeros(4))
