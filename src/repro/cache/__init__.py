@@ -6,7 +6,7 @@ from repro.cache.alternative_mappings import (
     ColumnAssociativeCache,
     XorMappedCache,
 )
-from repro.cache.base import AccessResult, Cache
+from repro.cache.base import MISS_KIND_CODES, AccessResult, BatchResult, Cache
 from repro.cache.belady import BeladyResult, simulate_opt
 from repro.cache.direct import DirectMappedCache
 from repro.cache.fully_assoc import FullyAssociativeCache
@@ -30,9 +30,11 @@ from repro.cache.stats import CacheStats, MissClassifier, MissKind
 
 __all__ = [
     "AccessResult",
+    "BatchResult",
     "BeladyResult",
     "Cache",
     "CacheStats",
+    "MISS_KIND_CODES",
     "ColumnAssociativeCache",
     "DirectMappedCache",
     "FIFOPolicy",

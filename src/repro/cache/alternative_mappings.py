@@ -23,6 +23,9 @@ residual strided conflicts the Mersenne modulus removes — quantified in
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro.cache.base import Cache
 from repro.cache.set_assoc import SetAssociativeCache
 
 __all__ = ["XorMappedCache", "ColumnAssociativeCache"]
@@ -75,6 +78,15 @@ class XorMappedCache(SetAssociativeCache):
         for field in range(1, self.fold_fields + 1):
             index ^= (line_address >> (field * self._index_bits)) \
                 & (self.num_sets - 1)
+        return index
+
+    def _map_sets_batch(self, lines: np.ndarray) -> np.ndarray:
+        if type(self).set_of is not XorMappedCache.set_of:
+            return Cache._map_sets_batch(self, lines)
+        mask = self.num_sets - 1
+        index = lines & mask
+        for field in range(1, self.fold_fields + 1):
+            index ^= (lines >> (field * self._index_bits)) & mask
         return index
 
 

@@ -139,6 +139,16 @@ class PrefetchingCache:
         """Capacity of the wrapped cache."""
         return self.cache.total_lines
 
+    @property
+    def classifies_misses(self) -> bool:
+        """Whether the wrapped cache runs the three-C classifier."""
+        return self.cache.classifies_misses
+
+    @property
+    def line_size_words(self) -> int:
+        """Line size of the wrapped cache."""
+        return self.cache.line_size_words
+
     def describe(self) -> str:
         """Geometry plus prefetch scheme."""
         inner = (self.cache.describe() if hasattr(self.cache, "describe")

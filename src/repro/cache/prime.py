@@ -26,6 +26,11 @@ The simulator simply stores full line addresses, which is equivalent.
 
 from __future__ import annotations
 
+import math
+
+import numpy as np
+
+from repro.cache.base import Cache
 from repro.cache.set_assoc import SetAssociativeCache
 from repro.core.mersenne import MersenneModulus
 
@@ -104,15 +109,50 @@ class PrimeMappedCache(SetAssociativeCache):
         """Prime mapping: fold the line address modulo ``2^c - 1``."""
         return self.modulus.reduce(line_address)
 
-    def lines_touched_by_stride(self, stride: int) -> int:
-        """Distinct cache lines a long stride-``stride`` sweep visits.
+    def _map_sets_batch(self, lines: np.ndarray) -> np.ndarray:
+        """Chunked Mersenne folding over a whole line-address array.
 
-        ``(2^c - 1) / gcd(2^c - 1, stride)`` — equal to the full capacity
-        for every stride that is not a multiple of the modulus, which is
-        the heart of the conflict-freedom argument.
+        The vectorised counterpart of :func:`repro.core.mersenne.fold`:
+        repeatedly add the low ``c`` bits to the rest (the end-around-
+        carry datapath, one array op per chunk) until every element fits
+        in ``c`` bits, then collapse the all-ones alias of zero.
         """
-        import math
+        if type(self).set_of is not PrimeMappedCache.set_of:
+            return Cache._map_sets_batch(self, lines)
+        c = self.modulus.c
+        mask = self.modulus.value
+        folded = lines.copy()
+        while True:
+            high = folded >> c
+            if not high.any():
+                break
+            folded = (folded & mask) + high
+        folded[folded == mask] = 0
+        return folded
 
+    def lines_touched_by_stride(self, stride: int) -> int:
+        """Distinct cache lines a long stride-``stride`` word sweep visits.
+
+        ``stride`` is in *words*; the mapping operates on line addresses,
+        so the word stride is converted to line geometry first.  When the
+        stride is a whole number of lines the answer is the classic
+        ``(2^c - 1) / gcd(2^c - 1, stride / line_size_words)`` — full
+        capacity for every stride that is not a multiple of the modulus,
+        the heart of the conflict-freedom argument.  A fractional line
+        stride advances ``stride / g`` lines every ``line_size_words / g``
+        elements (``g = gcd(stride, line_size_words)``), visiting several
+        line-offset phases per period; the count below enumerates the
+        phases exactly (for a base-aligned sweep).
+        """
         if stride == 0:
             return 1
-        return self.modulus.value // math.gcd(self.modulus.value, abs(stride))
+        word_stride = abs(stride)
+        g = math.gcd(word_stride, self.line_size_words)
+        line_stride = word_stride // g
+        period = self.line_size_words // g
+        value = self.modulus.value
+        d = math.gcd(value, line_stride)
+        phases = {
+            (k * line_stride // period) % d for k in range(period)
+        }
+        return len(phases) * (value // d)

@@ -14,8 +14,16 @@ cache it is equivalent up to one disambiguation bit — see
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.cache.base import Cache
-from repro.cache.replacement import ReplacementPolicy, make_policy
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+from repro.cache.stats import MissKind
 
 __all__ = ["SetAssociativeCache"]
 
@@ -77,6 +85,87 @@ class SetAssociativeCache(Cache):
     def set_of(self, line_address: int) -> int:
         """Conventional indexing: low bits of the line address."""
         return line_address % self.num_sets
+
+    def _map_sets_batch(self, lines: np.ndarray) -> np.ndarray:
+        if type(self).set_of is not SetAssociativeCache.set_of:
+            # A subclass changed the index function without providing a
+            # vectorised version: fall back to the per-element loop.
+            return Cache._map_sets_batch(self, lines)
+        if self.num_sets & (self.num_sets - 1) == 0:
+            return lines & (self.num_sets - 1)
+        return lines % self.num_sets
+
+    def _replay_premapped(self, lines, sets, writes, hits_out, kinds_out):
+        # Direct-mapped fast path: with one way, no classifier and a
+        # deterministic (state-inert at 1 way) replacement policy, the
+        # whole access state machine collapses to "is the set's current
+        # line this line" — run it over plain lists with no method calls.
+        if (
+            self.num_ways != 1
+            or self._classifier is not None
+            or kinds_out is not None
+            or not isinstance(self.policy, (LRUPolicy, FIFOPolicy))
+        ):
+            return super()._replay_premapped(
+                lines, sets, writes, hits_out, kinds_out
+            )
+        current = [-1] * self.num_sets
+        dirty = bytearray(self.num_sets)
+        for set_index, ways in enumerate(self._ways):
+            if ways:
+                current[set_index] = ways[0]
+        for set_index, dirty_ways in enumerate(self._dirty):
+            if dirty_ways:
+                dirty[set_index] = 1
+        hit_count = miss_count = evictions = 0
+        if writes is None and hits_out is None:
+            for line, set_index in zip(lines, sets):
+                if current[set_index] == line:
+                    hit_count += 1
+                else:
+                    miss_count += 1
+                    if current[set_index] >= 0:
+                        evictions += 1
+                    current[set_index] = line
+                    dirty[set_index] = 0
+        else:
+            write_allocate = self.write_allocate
+            append = hits_out.append if hits_out is not None else None
+            for i in range(len(lines)):
+                line = lines[i]
+                set_index = sets[i]
+                write = writes is not None and writes[i]
+                if current[set_index] == line:
+                    hit_count += 1
+                    if write:
+                        dirty[set_index] = 1
+                    if append is not None:
+                        append(True)
+                else:
+                    miss_count += 1
+                    if not write or write_allocate:
+                        if current[set_index] >= 0:
+                            evictions += 1
+                        current[set_index] = line
+                        dirty[set_index] = 1 if write else 0
+                    if append is not None:
+                        append(False)
+        # Write the final residency back into the canonical per-set
+        # structures so later scalar accesses observe the same state.
+        for set_index in set(sets):
+            line = current[set_index]
+            ways = self._ways[set_index]
+            where = self._where[set_index]
+            dirty_ways = self._dirty[set_index]
+            ways.clear()
+            where.clear()
+            dirty_ways.clear()
+            if line >= 0:
+                ways[0] = line
+                where[line] = 0
+                if dirty[set_index]:
+                    dirty_ways.add(0)
+        return hit_count, miss_count, evictions, {kind: 0 for kind in MissKind}
 
     def _lookup(self, line_address: int, set_index: int) -> bool:
         return line_address in self._where[set_index]

@@ -21,12 +21,15 @@ Costing rules, matching the analytical model's premises:
 
 from __future__ import annotations
 
+from repro.cache.base import MISS_KIND_CODES
 from repro.cache.stats import MissKind
 from repro.machine.report import ExecutionReport
 from repro.machine.vector_machine import CCMachine, MMMachine, VectorMachine
 from repro.trace.records import Trace
 
 __all__ = ["run_trace", "compare_machines_on_trace"]
+
+_COMPULSORY = MISS_KIND_CODES[MissKind.COMPULSORY]
 
 
 def run_trace(machine: VectorMachine, trace: Trace) -> ExecutionReport:
@@ -68,6 +71,45 @@ def _run_uncached(machine: MMMachine, trace: Trace,
 
 def _run_cached(machine: CCMachine, trace: Trace,
                 report: ExecutionReport) -> None:
+    t_m = machine.config.t_m
+    access_many = getattr(machine.cache, "access_many", None)
+    if access_many is None:
+        _run_cached_scalar(machine, trace, report)
+        return
+    # The cache's state evolution does not depend on the clock, so the
+    # whole probe sequence can run on the batched path up front; the
+    # timing loop then only touches the banks on misses.
+    addresses, writes = trace.as_arrays()
+    batch = access_many(addresses, writes,
+                        return_hits=True, return_kinds=True)
+    hits = batch.hits.tolist()
+    kinds = batch.miss_kinds.tolist()
+    address_list = addresses.tolist()
+    write_list = writes.tolist() if writes is not None else None
+    for i, address in enumerate(address_list):
+        if write_list is not None and write_list[i]:
+            machine.buses.request_write(machine._cycle)
+            machine._cycle += 1
+            continue
+        if hits[i]:
+            report.cache_hits += 1
+            machine._cycle += 1
+            continue
+        report.cache_misses += 1
+        machine.buses.request_read(machine._cycle)
+        reply = machine.memory.access(address, machine._cycle)
+        report.bank_stall_cycles += reply.stall_cycles
+        if kinds[i] == _COMPULSORY:
+            # initial loading pipelines: only the bank conflict shows
+            machine._cycle += 1 + reply.stall_cycles
+        else:
+            report.miss_stall_cycles += t_m
+            machine._cycle += 1 + reply.stall_cycles + t_m
+
+
+def _run_cached_scalar(machine: CCMachine, trace: Trace,
+                       report: ExecutionReport) -> None:
+    """Per-access reference path for caches without ``access_many``."""
     t_m = machine.config.t_m
     for access in trace:
         result = machine.cache.access(access.address, write=access.write)

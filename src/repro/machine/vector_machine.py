@@ -27,6 +27,8 @@ Timing rules (Section 3.1):
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.analytical.base import MachineConfig
 from repro.cache.base import Cache
 from repro.machine.ops import (
@@ -89,10 +91,27 @@ class VectorMachine:
         return self.config.num_banks
 
     def _element_cycles(
-        self, address: int, load: VectorLoad, report: ExecutionReport
+        self, address: int, load: VectorLoad, report: ExecutionReport,
+        hit: bool | None = None,
     ) -> int:
-        """Cycles consumed by one element beyond its 1-cycle issue slot."""
+        """Cycles consumed by one element beyond its 1-cycle issue slot.
+
+        ``hit`` carries a pre-computed cache outcome from
+        :meth:`_probe_loads` (``None`` when the caller did not batch the
+        probes, or on a cacheless machine, where it is ignored).
+        """
         raise NotImplementedError
+
+    def _probe_loads(self, addresses_first, addresses_second):
+        """Pre-compute cache outcomes for a (pair of) load stream(s).
+
+        Returns ``(hits_first, hits_second)`` — per-element hit lists in
+        issue order — or ``(None, None)`` when there is no cache to probe
+        (the MM-machine) or the cache has no batched path.  Cache state is
+        clock-independent, so probing the whole operation up front through
+        :meth:`~repro.cache.base.Cache.access_many` is exact.
+        """
+        return None, None
 
     # -- execution ---------------------------------------------------------------
 
@@ -148,6 +167,9 @@ class VectorMachine:
         mvl = self.config.mvl
         addresses_first = first.addresses()
         addresses_second = second.addresses() if second is not None else []
+        hits_first, hits_second = self._probe_loads(
+            addresses_first, addresses_second
+        )
         for strip_start in range(0, first.length, mvl):
             overhead = self._strip_overhead(first)
             self._cycle += overhead
@@ -157,10 +179,17 @@ class VectorMachine:
             for k, address in enumerate(strip_first):
                 issue = self.buses.request_read(self._cycle)
                 self._cycle = max(self._cycle, issue)
-                stall = self._element_cycles(address, first, report)
+                stall = self._element_cycles(
+                    address, first, report,
+                    None if hits_first is None else hits_first[strip_start + k],
+                )
                 if second is not None and k < len(strip_second):
                     self.buses.request_read(self._cycle)
-                    stall += self._element_cycles(strip_second[k], second, report)
+                    stall += self._element_cycles(
+                        strip_second[k], second, report,
+                        None if hits_second is None
+                        else hits_second[strip_start + k],
+                    )
                 self._cycle += 1 + stall
                 report.elements += 1
                 if first.counts_results:
@@ -206,7 +235,8 @@ class MMMachine(VectorMachine):
     """
 
     def _element_cycles(
-        self, address: int, load: VectorLoad, report: ExecutionReport
+        self, address: int, load: VectorLoad, report: ExecutionReport,
+        hit: bool | None = None,
     ) -> int:
         reply = self.memory.access(address, self._cycle)
         report.bank_stall_cycles += reply.stall_cycles
@@ -279,11 +309,38 @@ class CCMachine(VectorMachine):
                 base += self.start_recalc_cycles
         return base
 
+    def _probe_loads(self, addresses_first, addresses_second):
+        access_many = getattr(self.cache, "access_many", None)
+        if access_many is None:
+            return None, None
+        n1, n2 = len(addresses_first), len(addresses_second)
+        if n1 == 0:
+            return [], []
+        # Issue order interleaves the two streams pairwise (the strip loop
+        # slices both by the same offsets); any second-stream tail beyond
+        # the first stream is replayed by a recursive _run_load_strips
+        # call, which probes itself.
+        paired = min(n1, n2)
+        interleaved = np.empty(2 * paired + (n1 - paired), dtype=np.int64)
+        first_arr = np.asarray(addresses_first, dtype=np.int64)
+        interleaved[0:2 * paired:2] = first_arr[:paired]
+        interleaved[1:2 * paired:2] = np.asarray(
+            addresses_second[:paired], dtype=np.int64
+        )
+        interleaved[2 * paired:] = first_arr[paired:]
+        hits = access_many(interleaved, return_hits=True).hits
+        hits_first = np.empty(n1, dtype=bool)
+        hits_first[:paired] = hits[0:2 * paired:2]
+        hits_first[paired:] = hits[2 * paired:]
+        return hits_first.tolist(), hits[1:2 * paired:2].tolist()
+
     def _element_cycles(
-        self, address: int, load: VectorLoad, report: ExecutionReport
+        self, address: int, load: VectorLoad, report: ExecutionReport,
+        hit: bool | None = None,
     ) -> int:
-        result = self.cache.access(address)
-        if result.hit:
+        if hit is None:
+            hit = self.cache.access(address).hit
+        if hit:
             report.cache_hits += 1
             return 0
         report.cache_misses += 1

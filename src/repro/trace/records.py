@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+import numpy as np
+
 __all__ = ["Access", "Trace"]
 
 
@@ -66,6 +68,30 @@ class Trace:
     def addresses(self) -> list[int]:
         """Just the address stream."""
         return [access.address for access in self.accesses]
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """The trace as numpy arrays for the batched replay path.
+
+        Returns ``(addresses, writes)`` — an ``int64`` address array plus
+        a bool write-flag array, or ``None`` in place of the flags for an
+        all-read trace (the common case, which lets replays skip per-access
+        write handling entirely).
+        """
+        count = len(self.accesses)
+        addresses = np.fromiter(
+            (access.address for access in self.accesses),
+            dtype=np.int64,
+            count=count,
+        )
+        if any(access.write for access in self.accesses):
+            writes = np.fromiter(
+                (access.write for access in self.accesses),
+                dtype=np.bool_,
+                count=count,
+            )
+        else:
+            writes = None
+        return addresses, writes
 
     def reads(self) -> "Trace":
         """The read-only sub-trace."""

@@ -175,6 +175,33 @@ class TestPrimeMapped:
         assert cache.lines_touched_by_stride(62) == 1
         assert cache.lines_touched_by_stride(0) == 1
 
+    @pytest.mark.parametrize("line_size", [2, 4])
+    @pytest.mark.parametrize(
+        "stride", [1, 2, 3, 4, 8, 16, 31, 62, 124, 33, 100]
+    )
+    def test_lines_touched_by_stride_wide_lines(self, line_size, stride):
+        """Regression: the word stride must be reduced to line geometry —
+        a sweep of whole-line stride ``62`` words on 2-word lines pins a
+        single cache line, not the full capacity."""
+        cache = PrimeMappedCache(c=5, line_size_words=line_size)
+        predicted = cache.lines_touched_by_stride(stride)
+        period = cache.modulus.value * cache.line_size_words
+        visited = {
+            cache.set_of(cache.line_of(i * stride))
+            for i in range(4 * period)
+        }
+        assert predicted == len(visited)
+
+    def test_lines_touched_whole_line_stride_reduces(self):
+        # 62 words == 31 lines on 2-word lines: every element lands on
+        # cache line 0 (the pre-fix prediction happened to coincide here;
+        # the 124-word case below did not).
+        cache = PrimeMappedCache(c=5, line_size_words=2)
+        assert cache.lines_touched_by_stride(62) == 1
+        wide = PrimeMappedCache(c=5, line_size_words=4)
+        assert wide.lines_touched_by_stride(124) == 1
+        assert wide.lines_touched_by_stride(4) == 31
+
     def test_tag_overhead_is_one_bit(self):
         assert PrimeMappedCache(c=13).tag_overhead_bits == 1
 

@@ -34,6 +34,46 @@ class TestReplay:
         assert "sets=8" in result.label
 
 
+class TestStallCostingWithoutClassifier:
+    """Regression: with ``classify_misses=False`` the compulsory count
+    used to read as zero, charging ``t_m`` for *every* miss.  The
+    fallback counts distinct lines touched instead, which is exact for
+    plain caches since replay starts from a reset cache."""
+
+    def test_cold_sweep_has_no_stalls(self):
+        cache = DirectMappedCache(num_lines=8, classify_misses=False)
+        trace = strided(0, 1, 8, sweeps=2)
+        result = replay(trace, cache, t_m=10)
+        # 8 compulsory misses, second sweep all hits — previously 80
+        assert result.stall_cycles == 0
+
+    def test_conflict_stalls_match_classifier_on(self):
+        trace = strided(0, 8, 4, sweeps=2)  # all four map to line 0
+        classified = replay(
+            trace, DirectMappedCache(num_lines=8), t_m=10)
+        unclassified = replay(
+            trace, DirectMappedCache(num_lines=8, classify_misses=False),
+            t_m=10)
+        assert unclassified.stall_cycles == classified.stall_cycles == 40
+
+    def test_wide_lines_count_lines_not_words(self):
+        # 16 words on 4-word lines touch 4 distinct lines: 4 compulsory
+        # misses, and the second sweep hits — no stalls either way
+        cache = DirectMappedCache(
+            num_lines=8, line_size_words=4, classify_misses=False)
+        result = replay(strided(0, 1, 16, sweeps=2), cache, t_m=10)
+        assert result.stats.misses == 4
+        assert result.stall_cycles == 0
+
+    def test_classifier_on_and_off_agree_on_fft(self):
+        trace = fft_butterflies(128)
+        on = replay(trace, PrimeMappedCache(c=5), t_m=10)
+        off = replay(
+            trace, PrimeMappedCache(c=5, classify_misses=False), t_m=10)
+        assert on.stall_cycles == off.stall_cycles
+        assert on.stats.misses == off.stats.misses
+
+
 class TestCompareCaches:
     def test_prime_wins_fft_trace(self):
         trace = fft_butterflies(256)
