@@ -211,6 +211,19 @@ class Cache(ABC):
             count=lines.size,
         )
 
+    def _replay_premapped_arrays(self, lines, sets, want_hits: bool):
+        """Closed-form replay of a read-only pre-mapped batch, if possible.
+
+        ``lines``/``sets`` are int64 arrays.  Returns ``(hits, misses,
+        evictions, kind_counts, hits_array)`` — ``hits_array`` may be
+        ``None`` when ``want_hits`` is false — or ``None`` when no
+        vectorised replay applies, in which case :meth:`access_many`
+        falls back to the sequential :meth:`_replay_premapped` loop.
+        Only consulted for read-only batches with no per-access
+        miss-kind output.
+        """
+        return None
+
     def _replay_premapped(self, lines, sets, writes, hits_out, kinds_out):
         """Sequential residency loop over pre-mapped line/set lists.
 
@@ -303,7 +316,7 @@ class Cache(ABC):
         Returns:
             A :class:`BatchResult` with this batch's stats delta.
         """
-        addrs = np.ascontiguousarray(addresses, dtype=np.int64)
+        addrs = np.asarray(addresses, dtype=np.int64)
         if addrs.ndim != 1:
             raise ValueError("addresses must be one-dimensional")
         n = addrs.size
@@ -338,14 +351,25 @@ class Cache(ABC):
                 for kind in MissKind
             }
         else:
-            lines = addrs >> self._offset_bits
+            lines = addrs >> self._offset_bits if self._offset_bits else addrs
             sets = self._map_sets_batch(lines)
-            hit_count, miss_count, evictions, kind_counts = (
-                self._replay_premapped(
-                    lines.tolist(), sets.tolist(), writes_list,
-                    hits_out, kinds_out,
-                )
+            replay = (
+                self._replay_premapped_arrays(lines, sets, return_hits)
+                if writes_list is None and kinds_out is None else None
             )
+            if replay is not None:
+                hit_count, miss_count, evictions, kind_counts, hits_arr = (
+                    replay
+                )
+                if return_hits:
+                    hits_out = hits_arr
+            else:
+                hit_count, miss_count, evictions, kind_counts = (
+                    self._replay_premapped(
+                        lines.tolist(), sets.tolist(), writes_list,
+                        hits_out, kinds_out,
+                    )
+                )
             stats = self.stats
             stats.accesses += n
             stats.hits += hit_count
@@ -353,8 +377,9 @@ class Cache(ABC):
             stats.reads += n - writes_total
             stats.writes += writes_total
             stats.evictions += evictions
-            for kind, count in kind_counts.items():
-                stats.miss_kinds[kind] += count
+            if any(kind_counts.values()):
+                for kind, count in kind_counts.items():
+                    stats.miss_kinds[kind] += count
 
         delta = CacheStats(
             accesses=n,

@@ -110,25 +110,17 @@ class PrimeMappedCache(SetAssociativeCache):
         return self.modulus.reduce(line_address)
 
     def _map_sets_batch(self, lines: np.ndarray) -> np.ndarray:
-        """Chunked Mersenne folding over a whole line-address array.
+        """Vectorised Mersenne folding over a whole line-address array.
 
-        The vectorised counterpart of :func:`repro.core.mersenne.fold`:
-        repeatedly add the low ``c`` bits to the rest (the end-around-
-        carry datapath, one array op per chunk) until every element fits
-        in ``c`` bits, then collapse the all-ones alias of zero.
+        The end-around-carry fold of :func:`repro.core.mersenne.fold`
+        (repeatedly add the low ``c`` bits to the rest, then collapse the
+        all-ones alias of zero) computes exactly ``lines mod (2^c - 1)``
+        — that congruence is the whole point of the design — so the
+        batched form is a single vectorised modulo.
         """
         if type(self).set_of is not PrimeMappedCache.set_of:
             return Cache._map_sets_batch(self, lines)
-        c = self.modulus.c
-        mask = self.modulus.value
-        folded = lines.copy()
-        while True:
-            high = folded >> c
-            if not high.any():
-                break
-            folded = (folded & mask) + high
-        folded[folded == mask] = 0
-        return folded
+        return lines % self.modulus.value
 
     def lines_touched_by_stride(self, stride: int) -> int:
         """Distinct cache lines a long stride-``stride`` word sweep visits.

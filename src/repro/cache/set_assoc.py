@@ -27,6 +27,10 @@ from repro.cache.stats import MissKind
 
 __all__ = ["SetAssociativeCache"]
 
+# template for the (classifier-less) batched replay's zero kind counts;
+# copied per call so callers may own the returned dict
+_ZERO_KINDS = {kind: 0 for kind in MissKind}
+
 
 class SetAssociativeCache(Cache):
     """N-way set-associative cache with a pluggable replacement policy.
@@ -81,6 +85,18 @@ class SetAssociativeCache(Cache):
         self._ways: list[dict[int, int]] = [dict() for _ in range(num_sets)]
         self._where: list[dict[int, int]] = [dict() for _ in range(num_sets)]
         self._dirty: list[set[int]] = [set() for _ in range(num_sets)]
+        # One-way batched replay keeps residency in a numpy mirror
+        # (resident line per set, -1 empty, plus a dirty bitmap) so whole
+        # batches never touch the per-set dicts.  ``_mirror_ok`` marks the
+        # mirror as current; ``_dicts_stale`` marks the dicts as behind
+        # the mirror (every scalar-path reader syncs them back first).
+        self._mirror: np.ndarray | None = None
+        self._mirror_dirty: np.ndarray | None = None
+        self._mirror_ok = False
+        self._dicts_stale = False
+        # scratch for the replay's duplicate-set test (content carries no
+        # meaning between calls; only same-call writes are read back)
+        self._replay_scratch: np.ndarray | None = None
 
     def set_of(self, line_address: int) -> int:
         """Conventional indexing: low bits of the line address."""
@@ -95,7 +111,125 @@ class SetAssociativeCache(Cache):
             return lines & (self.num_sets - 1)
         return lines % self.num_sets
 
+    def _load_mirror(self) -> np.ndarray:
+        """Bring the one-way residency mirror up to date; returns it."""
+        if self._mirror is None:
+            self._mirror = np.full(self.num_sets, -1, dtype=np.int64)
+            self._mirror_dirty = np.zeros(self.num_sets, dtype=bool)
+        if not self._mirror_ok:
+            mirror = self._mirror
+            mirror.fill(-1)
+            self._mirror_dirty.fill(False)
+            for set_index, ways in enumerate(self._ways):
+                if ways:
+                    mirror[set_index] = ways[0]
+            for set_index, dirty_ways in enumerate(self._dirty):
+                if dirty_ways:
+                    self._mirror_dirty[set_index] = True
+            self._mirror_ok = True
+        return self._mirror
+
+    def _sync_dicts(self) -> None:
+        """Rebuild the per-set dicts from the mirror after batched replay
+        left them behind (every scalar-path reader calls this first)."""
+        if not self._dicts_stale:
+            return
+        self._dicts_stale = False
+        resident = np.flatnonzero(self._mirror >= 0)
+        lines = self._mirror[resident]
+        ways_all, where_all, dirty_all = self._ways, self._where, self._dirty
+        for i in range(self.num_sets):
+            if ways_all[i]:
+                ways_all[i] = {}
+                where_all[i] = {}
+                dirty_all[i] = set()
+        for s, line in zip(resident.tolist(), lines.tolist()):
+            ways_all[s] = {0: line}
+            where_all[s] = {line: 0}
+        for s in np.flatnonzero(self._mirror_dirty).tolist():
+            dirty_all[s] = {0}
+
+    def _replay_premapped_arrays(self, lines, sets, want_hits: bool):
+        # Read-only one-way replay in closed form: with a single way and
+        # no classifier, the set's content before access i is simply the
+        # line of the most recent earlier access to the same set (every
+        # access, hit or miss, leaves its own line resident).  A stable
+        # sort by set index makes that predecessor the previous element
+        # of each sort group, so the whole hit bitmap is one comparison,
+        # evaluated against the numpy residency mirror — no dict traffic.
+        if (
+            self.num_ways != 1
+            or self._classifier is not None
+            or not isinstance(self.policy, (LRUPolicy, FIFOPolicy))
+        ):
+            return None
+        n = lines.size
+        kind_counts = dict(_ZERO_KINDS)
+        if n == 0:
+            return 0, 0, 0, kind_counts, np.empty(0, dtype=bool)
+        mirror = self._load_mirror()
+        prev_unsorted = mirror[sets]
+        hits_vs_mirror = lines == prev_unsorted
+        if hits_vs_mirror.all():
+            # Every access matches current residency, so the sequential
+            # replay is all hits even with repeated sets (a repeat keeps
+            # re-installing the very same line) and no state changes —
+            # the steady-state sweep case, settled with no sort at all.
+            return (n, 0, 0, kind_counts,
+                    hits_vs_mirror if want_hits else None)
+        if self._replay_scratch is None:
+            self._replay_scratch = np.empty(self.num_sets, dtype=np.intp)
+        scratch = self._replay_scratch
+        idx = np.arange(n)
+        scratch[sets] = idx
+        if bool((scratch[sets] == idx).all()):
+            # No set repeats inside the batch (scatter-then-gather read
+            # every index back unchanged), so each access's predecessor is
+            # the mirror itself and the replay needs no sort at all.
+            hits = hits_vs_mirror
+            hit_count = int(np.count_nonzero(hits))
+            miss = ~hits
+            evictions = int(np.count_nonzero(miss & (prev_unsorted >= 0)))
+            mirror[sets] = lines
+            self._mirror_dirty[sets[miss]] = False
+            self._dicts_stale = True
+            return (hit_count, n - hit_count, evictions, kind_counts,
+                    hits if want_hits else None)
+        order = np.argsort(sets, kind="stable")
+        sorted_sets = sets[order]
+        sorted_lines = lines[order]
+        first = np.empty(n, dtype=bool)
+        first[0] = True
+        np.not_equal(sorted_sets[1:], sorted_sets[:-1], out=first[1:])
+        prev = np.empty(n, dtype=np.int64)
+        prev[1:] = sorted_lines[:-1]
+        prev[first] = mirror[sorted_sets[first]]
+        hits_sorted = sorted_lines == prev
+        hit_count = int(np.count_nonzero(hits_sorted))
+        miss_count = n - hit_count
+        evictions = int(np.count_nonzero(~hits_sorted & (prev >= 0)))
+        hits = None
+        if want_hits:
+            hits = np.empty(n, dtype=bool)
+            hits[order] = hits_sorted
+        if miss_count:
+            # The last access of each sort group leaves its line resident;
+            # a set's dirty mark survives only if the whole group hit
+            # (reads never dirty, and every miss installs a clean line).
+            last = np.empty(n, dtype=bool)
+            last[-1] = True
+            last[:-1] = first[1:]
+            group_missed = np.logical_or.reduceat(
+                ~hits_sorted, np.flatnonzero(first)
+            )
+            touched = sorted_sets[last]
+            mirror[touched] = sorted_lines[last]
+            self._mirror_dirty[touched[group_missed]] = False
+            self._dicts_stale = True
+        return hit_count, miss_count, evictions, kind_counts, hits
+
     def _replay_premapped(self, lines, sets, writes, hits_out, kinds_out):
+        self._sync_dicts()
         # Direct-mapped fast path: with one way, no classifier and a
         # deterministic (state-inert at 1 way) replacement policy, the
         # whole access state machine collapses to "is the set's current
@@ -152,6 +286,7 @@ class SetAssociativeCache(Cache):
                         append(False)
         # Write the final residency back into the canonical per-set
         # structures so later scalar accesses observe the same state.
+        self._mirror_ok = False
         for set_index in set(sets):
             line = current[set_index]
             ways = self._ways[set_index]
@@ -165,20 +300,30 @@ class SetAssociativeCache(Cache):
                 where[line] = 0
                 if dirty[set_index]:
                     dirty_ways.add(0)
-        return hit_count, miss_count, evictions, {kind: 0 for kind in MissKind}
+        return hit_count, miss_count, evictions, dict(_ZERO_KINDS)
 
     def _lookup(self, line_address: int, set_index: int) -> bool:
+        if self._dicts_stale:
+            self._sync_dicts()
         return line_address in self._where[set_index]
 
     def _touch(self, line_address: int, set_index: int) -> None:
+        if self._dicts_stale:
+            self._sync_dicts()
         self.policy.on_hit(set_index, self._where[set_index][line_address])
 
     def _mark_dirty(self, line_address: int, set_index: int) -> None:
+        if self._dicts_stale:
+            self._sync_dicts()
+        self._mirror_ok = False
         self._dirty[set_index].add(self._where[set_index][line_address])
 
     def _fill(
         self, line_address: int, set_index: int, dirty: bool
     ) -> tuple[int | None, bool]:
+        if self._dicts_stale:
+            self._sync_dicts()
+        self._mirror_ok = False
         ways = self._ways[set_index]
         if len(ways) < self.num_ways:
             way = next(w for w in range(self.num_ways) if w not in ways)
@@ -197,16 +342,23 @@ class SetAssociativeCache(Cache):
         return victim, victim_dirty
 
     def resident_lines(self) -> set[int]:
+        if self._dicts_stale:
+            self._sync_dicts()
         resident: set[int] = set()
         for where in self._where:
             resident.update(where)
         return resident
 
     def invalidate_all(self) -> None:
+        self._dicts_stale = False
         for i in range(self.num_sets):
             self._ways[i].clear()
             self._where[i].clear()
             self._dirty[i].clear()
+        if self._mirror is not None:
+            self._mirror.fill(-1)
+            self._mirror_dirty.fill(False)
+            self._mirror_ok = True
         self.policy.reset()
 
     def describe(self) -> str:

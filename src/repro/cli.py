@@ -3,7 +3,8 @@
 Commands:
 
 * ``figures [fig4 fig7 ...]`` — regenerate evaluation figures and check
-  the paper's claims about each.
+  the paper's claims about each; ``--simulated [--seeds N] [--workers N]``
+  re-measures fig7/fig8 on the cycle-level machines instead.
 * ``design CAPACITY_BYTES`` — size a prime-mapped cache for a budget and
   itemise the added hardware (the Section-2.3 cost claim, with numbers).
 * ``compare`` — replay a strided sweep through the cache organisations.
@@ -32,6 +33,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     figures = sub.add_parser("figures", help="regenerate evaluation figures")
     figures.add_argument("ids", nargs="*", help="figure ids (default: all)")
+    figures.add_argument("--simulated", action="store_true",
+                         help="measure fig7/fig8 on the cycle-level machines "
+                              "instead of the analytical closed forms")
+    figures.add_argument("--seeds", type=int, default=8,
+                         help="seeds per simulated point (with --simulated)")
+    figures.add_argument("--workers", type=int, default=None,
+                         help="process-pool width for simulated seed "
+                              "sampling (with --simulated; default serial)")
 
     design = sub.add_parser("design", help="size a prime-mapped cache")
     design.add_argument("capacity_bytes", type=int)
@@ -75,6 +84,23 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_figures(args) -> int:
     from repro.experiments import ALL_FIGURES, check_figure, render_figure
+
+    if args.simulated:
+        from repro.experiments import figure7_simulated, figure8_simulated
+
+        simulated = {"fig7": figure7_simulated, "fig8": figure8_simulated}
+        wanted = args.ids or sorted(simulated)
+        unknown = [w for w in wanted if w not in simulated]
+        if unknown:
+            print(f"unknown simulated figures {unknown}; "
+                  f"choose from {sorted(simulated)}")
+            return 2
+        for figure_id in wanted:
+            result = simulated[figure_id](seeds=args.seeds,
+                                          workers=args.workers)
+            print(render_figure(result))
+            print()
+        return 0
 
     wanted = args.ids or sorted(ALL_FIGURES)
     unknown = [w for w in wanted if w not in ALL_FIGURES]

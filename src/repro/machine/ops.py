@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 __all__ = ["VectorLoad", "VectorStore", "VectorCompute", "LoadPair", "Operation"]
 
 
@@ -57,6 +59,10 @@ class VectorLoad:
         """The element addresses, in issue order."""
         return [self.base + i * self.stride for i in range(self.length)]
 
+    def address_array(self) -> np.ndarray:
+        """The element addresses as an int64 array, in issue order."""
+        return self.base + np.arange(self.length, dtype=np.int64) * self.stride
+
 
 @dataclass(frozen=True)
 class VectorStore:
@@ -76,6 +82,10 @@ class VectorStore:
         """The element addresses, in issue order."""
         return [self.base + i * self.stride for i in range(self.length)]
 
+    def address_array(self) -> np.ndarray:
+        """The element addresses as an int64 array, in issue order."""
+        return self.base + np.arange(self.length, dtype=np.int64) * self.stride
+
 
 @dataclass(frozen=True)
 class VectorCompute:
@@ -90,7 +100,14 @@ class VectorCompute:
 
 @dataclass(frozen=True)
 class LoadPair:
-    """Two vector loads issued simultaneously (a double-stream access)."""
+    """Two vector loads issued simultaneously (a double-stream access).
+
+    The streams may have different lengths: the machine interleaves both
+    element-by-element for ``min`` of the two lengths per strip, and the
+    longer stream's tail elements are replayed as a standalone
+    :class:`VectorLoad` after the shared strips finish, so no element is
+    ever dropped regardless of which stream is longer.
+    """
 
     first: VectorLoad
     second: VectorLoad

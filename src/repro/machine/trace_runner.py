@@ -57,16 +57,59 @@ def run_trace(machine: VectorMachine, trace: Trace) -> ExecutionReport:
 
 def _run_uncached(machine: MMMachine, trace: Trace,
                   report: ExecutionReport) -> None:
+    # Flat-local transcription of the per-access rules: the loop carries
+    # the clock, bank state, and bus/stat counters in locals and writes
+    # them back once.  Because the clock strictly increases between bus
+    # requests, read grants alternate read0/read1 and no request ever
+    # waits, so the bus writeback is a pure counter update.
+    mem = machine.memory
+    bank_of = mem.scheme.bank_of
+    free = mem._bank_free_at
+    t_m = mem.access_time
+    bank_counts = mem.stats._bank_counts
+    cycle = machine._cycle
+    bank_stall = 0
+    write_stall = 0
+    reads = 0
+    writes_seen = 0
+    last_read = [0, 0]
+    last_write = 0
     for access in trace:
+        address = access.address
+        if address < 0:
+            raise ValueError("addresses must be non-negative")
+        bank = bank_of(address)
+        ready = free[bank]
+        stall = ready - cycle if ready > cycle else 0
+        free[bank] = cycle + stall + t_m
+        bank_counts[bank] += 1
         if access.write:
-            grant = machine.buses.request_write(machine._cycle)
-            machine.memory.access(access.address, grant)
-            machine._cycle += 1
-            continue
-        machine.buses.request_read(machine._cycle)
-        reply = machine.memory.access(access.address, machine._cycle)
-        report.bank_stall_cycles += reply.stall_cycles
-        machine._cycle += 1 + reply.stall_cycles
+            # buffered: the stall delays the bank, never the clock
+            write_stall += stall
+            writes_seen += 1
+            last_write = cycle
+            cycle += 1
+        else:
+            bank_stall += stall
+            last_read[reads & 1] = cycle
+            reads += 1
+            cycle += 1 + stall
+    report.bank_stall_cycles += bank_stall
+    machine._cycle = cycle
+    stats = mem.stats
+    stats.accesses += reads + writes_seen
+    stats.stall_cycles += bank_stall + write_stall
+    bus0, bus1 = machine.buses.read_buses
+    bus0.transfers += (reads + 1) // 2
+    bus1.transfers += reads // 2
+    if reads:
+        bus0._next_free = max(bus0._next_free, last_read[0] + 1)
+    if reads > 1:
+        bus1._next_free = max(bus1._next_free, last_read[1] + 1)
+    write_bus = machine.buses.write_bus
+    write_bus.transfers += writes_seen
+    if writes_seen:
+        write_bus._next_free = max(write_bus._next_free, last_write + 1)
 
 
 def _run_cached(machine: CCMachine, trace: Trace,
@@ -86,25 +129,68 @@ def _run_cached(machine: CCMachine, trace: Trace,
     kinds = batch.miss_kinds.tolist()
     address_list = addresses.tolist()
     write_list = writes.tolist() if writes is not None else None
+    # Flat-local transcription of the per-access rules (see
+    # ``_run_uncached``): only misses touch the banks and the read buses,
+    # hits and buffered writes just tick the clock, and the strictly
+    # increasing clock means no bus request ever waits.
+    mem = machine.memory
+    bank_of = mem.scheme.bank_of
+    free = mem._bank_free_at
+    mem_t_m = mem.access_time
+    bank_counts = mem.stats._bank_counts
+    cycle = machine._cycle
+    cache_hits = 0
+    misses = 0
+    bank_stall = 0
+    conflicts = 0
+    last_read = [0, 0]
+    writes_seen = 0
+    last_write = 0
     for i, address in enumerate(address_list):
         if write_list is not None and write_list[i]:
-            machine.buses.request_write(machine._cycle)
-            machine._cycle += 1
+            writes_seen += 1
+            last_write = cycle
+            cycle += 1
             continue
         if hits[i]:
-            report.cache_hits += 1
-            machine._cycle += 1
+            cache_hits += 1
+            cycle += 1
             continue
-        report.cache_misses += 1
-        machine.buses.request_read(machine._cycle)
-        reply = machine.memory.access(address, machine._cycle)
-        report.bank_stall_cycles += reply.stall_cycles
+        if address < 0:
+            raise ValueError("addresses must be non-negative")
+        bank = bank_of(address)
+        ready = free[bank]
+        stall = ready - cycle if ready > cycle else 0
+        free[bank] = cycle + stall + mem_t_m
+        bank_counts[bank] += 1
+        bank_stall += stall
+        last_read[misses & 1] = cycle
+        misses += 1
         if kinds[i] == _COMPULSORY:
             # initial loading pipelines: only the bank conflict shows
-            machine._cycle += 1 + reply.stall_cycles
+            cycle += 1 + stall
         else:
-            report.miss_stall_cycles += t_m
-            machine._cycle += 1 + reply.stall_cycles + t_m
+            conflicts += 1
+            cycle += 1 + stall + t_m
+    report.cache_hits += cache_hits
+    report.cache_misses += misses
+    report.bank_stall_cycles += bank_stall
+    report.miss_stall_cycles += t_m * conflicts
+    machine._cycle = cycle
+    stats = mem.stats
+    stats.accesses += misses
+    stats.stall_cycles += bank_stall
+    bus0, bus1 = machine.buses.read_buses
+    bus0.transfers += (misses + 1) // 2
+    bus1.transfers += misses // 2
+    if misses:
+        bus0._next_free = max(bus0._next_free, last_read[0] + 1)
+    if misses > 1:
+        bus1._next_free = max(bus1._next_free, last_read[1] + 1)
+    write_bus = machine.buses.write_bus
+    write_bus.transfers += writes_seen
+    if writes_seen:
+        write_bus._next_free = max(write_bus._next_free, last_write + 1)
 
 
 def _run_cached_scalar(machine: CCMachine, trace: Trace,

@@ -23,6 +23,12 @@ Timing rules (Section 3.1):
   for every miss — the "single miss costs the entire memory access time"
   premise of the paper.  A cached strip whose data is resident saves the
   ``t_m`` component of its start-up (Eq. (4)).
+
+Both machines execute loads and stores through a vectorised strip-level
+timing engine by default (see :meth:`VectorMachine._run_load_batched` for
+the dispatch rules and ``docs/architecture.md`` for the derivations);
+``fast_path=False`` selects the per-element scalar reference loop, which
+the engine reproduces bit-for-bit.
 """
 
 from __future__ import annotations
@@ -60,6 +66,12 @@ class VectorMachine:
             attaches a finite :class:`~repro.memory.write_buffer.WriteBuffer`
             of that depth, so store streams that out-run the banks push
             back on the pipeline (``report.store_stall_cycles``).
+        fast_path: run loads/stores through the vectorised strip-level
+            timing engine whenever a batched mode applies (the default).
+            ``False`` forces the per-element scalar reference loop; the
+            two paths produce bit-for-bit identical
+            :class:`~repro.machine.report.ExecutionReport` accounting
+            (enforced by a Hypothesis property test).
     """
 
     def __init__(
@@ -69,6 +81,7 @@ class VectorMachine:
         *,
         memory: InterleavedMemory | None = None,
         write_buffer_depth: int | None = None,
+        fast_path: bool = True,
     ) -> None:
         self.config = config
         if memory is not None:
@@ -81,7 +94,21 @@ class VectorMachine:
                         bus=self.buses.write_bus)
             if write_buffer_depth is not None else None
         )
+        self.fast_path = fast_path
         self._cycle = 0
+        # memo for the zero-stall whole-op geometry of _run_load_batched:
+        # (period, miss_count, overhead) -> (p_seen, per-bank access
+        # counts, per-bank finish offsets from the op's start cycle) —
+        # everything in it is cycle0- and base-independent
+        self._zero_stall_geometry: dict[tuple, tuple] = {}
+        # memo for stalling all-miss-prefix loads: because the bank
+        # sequence is periodic, an op only ever touches its first-period
+        # banks, so (lengths, period, overhead, residual per-bank busy
+        # offsets from cycle0) fully determines the op's stalls, end
+        # cycle, and the banks' new busy offsets.  Sweeps repeat the same
+        # op shape back-to-back, so the bank state reaches a fixed point
+        # relative to the op start and this memo hits almost always.
+        self._strip_service_memo: dict[tuple, tuple] = {}
 
     # -- model-specific hooks ---------------------------------------------------
 
@@ -105,10 +132,13 @@ class VectorMachine:
     def _probe_loads(self, addresses_first, addresses_second):
         """Pre-compute cache outcomes for a (pair of) load stream(s).
 
-        Returns ``(hits_first, hits_second)`` — per-element hit lists in
-        issue order — or ``(None, None)`` when there is no cache to probe
-        (the MM-machine) or the cache has no batched path.  Cache state is
-        clock-independent, so probing the whole operation up front through
+        ``addresses_first``/``addresses_second`` are int64 address arrays
+        (``None`` for a single-stream load).  Returns ``(hits_first,
+        hits_second)`` — per-element boolean hit arrays in issue order,
+        the second truncated to the paired slot count — or ``(None,
+        None)`` when there is no cache to probe (the MM-machine) or the
+        cache has no batched path.  Cache state is clock-independent, so
+        probing the whole operation up front through
         :meth:`~repro.cache.base.Cache.access_many` is exact.
         """
         return None, None
@@ -164,12 +194,53 @@ class VectorMachine:
     def _run_load_strips(
         self, first: VectorLoad, second: VectorLoad | None, report: ExecutionReport
     ) -> None:
-        mvl = self.config.mvl
-        addresses_first = first.addresses()
-        addresses_second = second.addresses() if second is not None else []
-        hits_first, hits_second = self._probe_loads(
-            addresses_first, addresses_second
+        addr_first = first.address_array()
+        addr_second = second.address_array() if second is not None else None
+        # With the fast path off, skip the batched cache probe too: the
+        # reference loop then classifies each element through the scalar
+        # ``cache.access`` inside ``_element_cycles``, exercising (and
+        # costing) the plain per-element machinery end to end.
+        hits_first, hits_second = (
+            self._probe_loads(addr_first, addr_second)
+            if self.fast_path else (None, None)
         )
+        if not (self.fast_path and self._run_load_batched(
+                first, second, addr_first, addr_second,
+                hits_first, hits_second, report)):
+            self._run_load_scalar(first, second, addr_first, addr_second,
+                                  hits_first, hits_second, report)
+        # any second-stream tail longer than the first stream replays as a
+        # standalone load (its elements were not probed above)
+        if second is not None and second.length > first.length:
+            tail = VectorLoad(
+                base=int(addr_second[first.length]),
+                stride=second.stride,
+                length=second.length - first.length,
+                expect_cached=second.expect_cached,
+                counts_results=second.counts_results,
+            )
+            self._run_load_strips(tail, None, report)
+
+    def _run_load_scalar(
+        self,
+        first: VectorLoad,
+        second: VectorLoad | None,
+        addr_first,
+        addr_second,
+        hits_first,
+        hits_second,
+        report: ExecutionReport,
+    ) -> None:
+        """Per-element reference loop: the semantics every batched mode of
+        :meth:`_run_load_batched` must reproduce bit-for-bit, and the
+        fallback for shapes no batched mode covers."""
+        mvl = self.config.mvl
+        addresses_first = addr_first.tolist()
+        addresses_second = (addr_second.tolist()
+                            if addr_second is not None else [])
+        if hits_first is not None:
+            hits_first = hits_first.tolist()
+            hits_second = hits_second.tolist()
         for strip_start in range(0, first.length, mvl):
             overhead = self._strip_overhead(first)
             self._cycle += overhead
@@ -198,28 +269,314 @@ class VectorMachine:
                     report.elements += 1
                     if second.counts_results:
                         report.results += 1
-        # any second-stream tail longer than the first stream
-        if second is not None and len(addresses_second) > len(addresses_first):
-            tail = VectorLoad(
-                base=addresses_second[len(addresses_first)],
-                stride=second.stride,
-                length=len(addresses_second) - len(addresses_first),
-                expect_cached=second.expect_cached,
-                counts_results=second.counts_results,
-            )
-            self._run_load_strips(tail, None, report)
+
+    def _run_load_batched(
+        self,
+        first: VectorLoad,
+        second: VectorLoad | None,
+        addr_first,
+        addr_second,
+        hits_first,
+        hits_second,
+        report: ExecutionReport,
+    ) -> bool:
+        """Dispatch one load operation onto the vectorised strip engine.
+
+        Returns ``False`` when no batched mode applies, in which case the
+        caller runs the scalar reference loop.  Modes, in dispatch order:
+
+        * both streams of a pair touch memory (every MM-machine pair; CC
+          pairs where both streams miss) → :meth:`_run_pair_flat`, an
+          exact flat loop with the per-element machinery hoisted;
+        * no stream touches memory (CC all-hit op) → O(1) per strip;
+        * one active stream, contiguous all-miss prefix, pipelined misses
+          (MM loads, CC initial sweeps) → per-strip
+          :meth:`~repro.memory.banks.InterleavedMemory.service_many`
+          closed form;
+        * one active stream, sparse or conflict-stall misses (CC
+          ``expect_cached`` sweeps, mixed-hit initial sweeps) →
+          :meth:`~repro.memory.banks.InterleavedMemory.service_at` over
+          the miss subsequence.
+
+        The scalar loop still runs when the machine has a cache without
+        ``access_many``, or when a read bus could make a grant lag the
+        clock (never the case for machine-issued streams, but guarded so
+        hand-driven substrates keep exact semantics).
+        """
+        cycle0 = self._cycle
+        buses = self.buses
+        if (buses.read_buses[0]._next_free > cycle0
+                or buses.read_buses[1]._next_free > cycle0):
+            return False
+        if hits_first is None and getattr(self, "cache", None) is not None:
+            return False
+        mem = self.memory
+        mvl = self.config.mvl
+        overhead = self._strip_overhead(first)
+        t_m = self.config.t_m
+        n1 = first.length
+        paired = min(n1, second.length) if second is not None else 0
+        if hits_first is not None:
+            m1 = n1 - int(np.count_nonzero(hits_first))
+            m2 = (paired - int(np.count_nonzero(hits_second[:paired]))
+                  if second is not None else 0)
+        else:
+            m1, m2 = n1, paired
+        if m1 and m2:
+            self._run_pair_flat(first, second, addr_first, addr_second,
+                                hits_first, hits_second, report)
+            return True
+        n_strips = -(-n1 // mvl)
+        total_overhead = n_strips * overhead
+        report.overhead_cycles += total_overhead
+        report.elements += n1 + paired
+        if first.counts_results:
+            report.results += n1
+        if second is not None and second.counts_results:
+            report.results += paired
+        if hits_first is not None:
+            report.cache_hits += (n1 + paired) - m1 - m2
+            report.cache_misses += m1 + m2
+        if m1:
+            m, load, array, hits_active = m1, first, addr_first, hits_first
+        elif m2:
+            m, load, array = m2, second, addr_second
+            hits_active = hits_second[:paired]
+        else:
+            # pure cache traffic: overhead plus one cycle per slot
+            self._cycle = cycle0 + total_overhead + n1
+            buses.claim_reads_batch(paired, n1 - paired, self._cycle)
+            return True
+        expect = hits_first is not None and load.expect_cached
+        prefix = hits_active is None or not bool(hits_active[:m].any())
+        if not expect and prefix:
+            # contiguous all-miss prefix: a pipelined one-per-cycle stream
+            # (the MM-model shape) — per-strip closed-form recurrence
+            period = mem.scheme.exact_stride_period(load.stride)
+            free = mem._bank_free_at
+            first_list = key = None
+            if period is not None:
+                # Periodic bank sequence: the op only ever touches the
+                # ``p_seen`` distinct banks of its first period, and
+                # their first visits are elements ``0..p_seen-1``.
+                p_seen = min(period, m)
+                first_banks = mem.scheme.bank_of_batch(array[:p_seen])
+                if t_m <= period:
+                    # Zero-stall whole-op form.  Same-bank accesses sit
+                    # at least ``period >= t_m`` issue slots apart (strip
+                    # overheads only widen the gap), so the op never
+                    # stalls on itself; with no stalls element ``k``
+                    # issues exactly at
+                    # ``cycle0 + (k // mvl + 1) * overhead + k``, so the
+                    # op is stall-free iff every touched bank's residual
+                    # busy time clears its first-visit issue cycle.  The
+                    # geometry (visit counts, issue/finish offsets) is
+                    # base- and cycle-independent, hence memoized.
+                    geo_key = (period, m, overhead)
+                    cached = self._zero_stall_geometry.get(geo_key)
+                    if cached is None:
+                        offs = np.arange(p_seen, dtype=np.int64)
+                        issue_off = (offs // mvl + 1) * overhead + offs
+                        reps = (m - 1 - offs) // period
+                        last_k = offs + period * reps
+                        finish_off = ((last_k // mvl + 1) * overhead
+                                      + last_k + t_m)
+                        cached = (reps + 1, issue_off, finish_off)
+                        if len(self._zero_stall_geometry) < 256:
+                            self._zero_stall_geometry[geo_key] = cached
+                    bank_counts, issue_off, finish_off = cached
+                    free_arr = np.asarray(free, dtype=np.int64)
+                    if bool((free_arr[first_banks]
+                             <= cycle0 + issue_off).all()):
+                        free_arr[first_banks] = cycle0 + finish_off
+                        mem._bank_free_at = free_arr.tolist()
+                        mem._record_batch(first_banks, bank_counts, m, 0)
+                        end = cycle0 + total_overhead + n1
+                        self._cycle = end
+                        buses.claim_reads_batch(paired, n1 - paired, end)
+                        return True
+                # Stalling op: the residual busy offsets of the touched
+                # banks (relative to cycle0) fully determine the op's
+                # stalls, end cycle, and the banks' new busy offsets —
+                # sweeps repeat the same op shape back-to-back and the
+                # bank state reaches a fixed point relative to the op
+                # start, so replay the memoized outcome when available.
+                # A bank already free at cycle0 can never stall the op
+                # and is overwritten by the op's own visits, so negative
+                # offsets clamp to zero without changing the outcome.
+                first_list = first_banks.tolist()
+                deltas = tuple(
+                    max(free[b] - cycle0, 0) for b in first_list
+                )
+                key = (n1, m, period, overhead, deltas)
+                memo = self._strip_service_memo.get(key)
+                if memo is not None:
+                    stall, end_off, new_deltas, bank_counts = memo
+                    for b, nd in zip(first_list, new_deltas):
+                        free[b] = cycle0 + nd
+                    mem._record_batch(first_list, bank_counts, m, stall)
+                    report.bank_stall_cycles += stall
+                    end = cycle0 + end_off
+                    self._cycle = end
+                    buses.claim_reads_batch(paired, n1 - paired, end)
+                    return True
+            bank_stall = 0
+            cycle = cycle0
+            for strip_start in range(0, n1, mvl):
+                cycle += overhead
+                strip_len = min(mvl, n1 - strip_start)
+                active = min(m, strip_start + strip_len) - strip_start
+                if active > 0:
+                    batch = mem.service_many(
+                        array[strip_start:strip_start + active], cycle,
+                        stride=load.stride,
+                    )
+                    bank_stall += batch.stall_cycles
+                    cycle = batch.final_cycle
+                    cycle += strip_len - active
+                else:
+                    cycle += strip_len
+            report.bank_stall_cycles += bank_stall
+            if first_list is not None and len(self._strip_service_memo) < 4096:
+                free = mem._bank_free_at
+                self._strip_service_memo[key] = (
+                    bank_stall,
+                    cycle - cycle0,
+                    tuple(free[b] - cycle0 for b in first_list),
+                    [(m - 1 - j) // period + 1
+                     for j in range(len(first_list))],
+                )
+            self._cycle = cycle
+            buses.claim_reads_batch(paired, n1 - paired, cycle)
+            return True
+        # sparse misses: conflict-stall sweeps space every access t_m+1
+        # apart (vectorised inside service_at); mixed-hit initial sweeps
+        # take service_at's exact sequential fallback
+        positions = np.flatnonzero(~hits_active)
+        strip_of = positions // mvl
+        at_cycles = cycle0 + (strip_of + 1) * overhead + positions
+        if expect:
+            at_cycles = at_cycles + t_m * np.arange(m, dtype=np.int64)
+        batch = mem.service_at(array[positions], at_cycles)
+        report.bank_stall_cycles += batch.stall_cycles
+        end = cycle0 + total_overhead + n1 + batch.stall_cycles
+        if expect:
+            report.miss_stall_cycles += t_m * m
+            end += t_m * m
+        self._cycle = end
+        buses.claim_reads_batch(paired, n1 - paired, end)
+        return True
+
+    def _run_pair_flat(
+        self,
+        first: VectorLoad,
+        second: VectorLoad,
+        addr_first,
+        addr_second,
+        hits_first,
+        hits_second,
+        report: ExecutionReport,
+    ) -> None:
+        """Exact flat-loop engine for pairs where both streams touch memory.
+
+        Replicates the scalar reference cycle-for-cycle with the
+        interpreter overhead hoisted: bank state, hit flags and counters
+        live in locals, the per-element ``MemoryReply`` allocation and bus
+        steering are bypassed, and stats/bus grants are claimed in one
+        batch at the end.
+        """
+        mvl = self.config.mvl
+        overhead = self._strip_overhead(first)
+        t_m = self.memory.access_time
+        bank_of = self.memory.scheme.bank_of
+        free = self.memory._bank_free_at
+        cycle = self._cycle
+        n1 = first.length
+        paired = min(n1, second.length)
+        a1 = addr_first.tolist()
+        a2 = addr_second.tolist()
+        h1 = hits_first.tolist() if hits_first is not None else None
+        h2 = hits_second.tolist() if hits_second is not None else None
+        pen1 = t_m if (h1 is not None and first.expect_cached) else 0
+        pen2 = t_m if (h2 is not None and second.expect_cached) else 0
+        counts: dict[int, int] = {}
+        bank_stall = 0
+        miss_penalty = 0
+        accesses = 0
+        n_strips = 0
+        for strip_start in range(0, n1, mvl):
+            n_strips += 1
+            cycle += overhead
+            for k in range(strip_start, min(strip_start + mvl, n1)):
+                stall = 0
+                if h1 is None or not h1[k]:
+                    bank = bank_of(a1[k])
+                    ready = free[bank]
+                    wait = ready - cycle if ready > cycle else 0
+                    free[bank] = cycle + wait + t_m
+                    counts[bank] = counts.get(bank, 0) + 1
+                    accesses += 1
+                    bank_stall += wait
+                    stall = wait + pen1
+                    miss_penalty += pen1
+                if k < paired and (h2 is None or not h2[k]):
+                    bank = bank_of(a2[k])
+                    ready = free[bank]
+                    wait = ready - cycle if ready > cycle else 0
+                    free[bank] = cycle + wait + t_m
+                    counts[bank] = counts.get(bank, 0) + 1
+                    accesses += 1
+                    bank_stall += wait
+                    stall += wait + pen2
+                    miss_penalty += pen2
+                cycle += 1 + stall
+        self.memory._record_batch(counts.keys(), counts.values(),
+                                  accesses, bank_stall)
+        report.overhead_cycles += n_strips * overhead
+        report.bank_stall_cycles += bank_stall
+        report.miss_stall_cycles += miss_penalty
+        if h1 is not None:
+            hit_count = (int(np.count_nonzero(hits_first))
+                         + int(np.count_nonzero(hits_second[:paired])))
+            report.cache_hits += hit_count
+            report.cache_misses += (n1 + paired) - hit_count
+        report.elements += n1 + paired
+        if first.counts_results:
+            report.results += n1
+        if second.counts_results:
+            report.results += paired
+        self.buses.claim_reads_batch(paired, n1 - paired, cycle)
+        self._cycle = cycle
 
     def _run_store(self, op: VectorStore, report: ExecutionReport) -> None:
-        for address in op.addresses():
-            if self.write_buffer is not None:
+        if self.write_buffer is not None:
+            if self.fast_path:
+                stall, cycle = self.write_buffer.store_many(
+                    op.address_array(), self._cycle
+                )
+                report.store_stall_cycles += stall
+                report.elements += op.length
+                self._cycle = cycle
+                return
+            for address in op.addresses():
                 stall = self.write_buffer.store(address, self._cycle)
                 report.store_stall_cycles += stall
                 self._cycle += 1 + stall
-            else:
-                # the paper's assumption: buffered, never stalls
-                grant = self.buses.request_write(self._cycle)
-                self.memory.access(address, grant)  # occupies the bank
-                self._cycle += 1
+                report.elements += 1
+            return
+        # the paper's assumption: buffered, never stalls — one store per
+        # cycle, so the whole stream is a closed-form bank-queue update
+        if self.fast_path and self.buses.write_bus._next_free <= self._cycle:
+            self.memory.service_writes(op.address_array(), self._cycle,
+                                       stride=op.stride)
+            self.buses.write_bus.claim_batch(op.length, self._cycle + op.length)
+            self._cycle += op.length
+            report.elements += op.length
+            return
+        for address in op.addresses():
+            grant = self.buses.request_write(self._cycle)
+            self.memory.access(address, grant)  # occupies the bank
+            self._cycle += 1
             report.elements += 1
 
 
@@ -284,8 +641,11 @@ class CCMachine(VectorMachine):
         *,
         start_registers: bool = True,
         start_recalc_cycles: int = 2,
+        write_buffer_depth: int | None = None,
+        fast_path: bool = True,
     ) -> None:
-        super().__init__(config, scheme)
+        super().__init__(config, scheme, write_buffer_depth=write_buffer_depth,
+                         fast_path=fast_path)
         self.cache = cache
         if start_recalc_cycles < 0:
             raise ValueError("start_recalc_cycles must be non-negative")
@@ -313,26 +673,26 @@ class CCMachine(VectorMachine):
         access_many = getattr(self.cache, "access_many", None)
         if access_many is None:
             return None, None
-        n1, n2 = len(addresses_first), len(addresses_second)
-        if n1 == 0:
-            return [], []
+        if addresses_second is None:
+            hits = access_many(addresses_first, return_hits=True).hits
+            return hits, np.empty(0, dtype=bool)
+        n1 = len(addresses_first)
+        n2 = len(addresses_second)
         # Issue order interleaves the two streams pairwise (the strip loop
         # slices both by the same offsets); any second-stream tail beyond
         # the first stream is replayed by a recursive _run_load_strips
         # call, which probes itself.
         paired = min(n1, n2)
         interleaved = np.empty(2 * paired + (n1 - paired), dtype=np.int64)
-        first_arr = np.asarray(addresses_first, dtype=np.int64)
-        interleaved[0:2 * paired:2] = first_arr[:paired]
-        interleaved[1:2 * paired:2] = np.asarray(
-            addresses_second[:paired], dtype=np.int64
-        )
-        interleaved[2 * paired:] = first_arr[paired:]
+        interleaved[0:2 * paired:2] = addresses_first[:paired]
+        if paired:
+            interleaved[1:2 * paired:2] = addresses_second[:paired]
+        interleaved[2 * paired:] = addresses_first[paired:]
         hits = access_many(interleaved, return_hits=True).hits
         hits_first = np.empty(n1, dtype=bool)
         hits_first[:paired] = hits[0:2 * paired:2]
         hits_first[paired:] = hits[2 * paired:]
-        return hits_first.tolist(), hits[1:2 * paired:2].tolist()
+        return hits_first, hits[1:2 * paired:2]
 
     def _element_cycles(
         self, address: int, load: VectorLoad, report: ExecutionReport,

@@ -226,3 +226,61 @@ class TestNoAllocateShadowRegression:
         cache.access(0, write=True)   # hit: refreshes recency of line 0
         cache.access(2)               # evicts line 1 (LRU), not line 0
         assert cache.access(0).hit
+
+
+class TestReplayFastBranches:
+    """The mirror-replay shortcuts (all-hit, duplicate-free scatter) must
+    stay exact — including with duplicate sets inside one batch and
+    across ``invalidate_all``."""
+
+    @staticmethod
+    def _pair(**kw):
+        return (DirectMappedCache(num_lines=16, **kw),
+                DirectMappedCache(num_lines=16, **kw))
+
+    @staticmethod
+    def _same(a, b):
+        assert (a.stats.hits, a.stats.misses, a.stats.evictions) == (
+            b.stats.hits, b.stats.misses, b.stats.evictions)
+        assert a.resident_lines() == b.resident_lines()
+
+    def test_all_hit_batch_with_duplicate_sets(self):
+        scalar, batched = self._pair(classify_misses=False)
+        warm = np.arange(8, dtype=np.int64)
+        stream = np.array([0, 3, 0, 7, 3, 0], dtype=np.int64)  # repeats
+        for cache in (scalar, batched):
+            cache.access_many(warm)
+        for address in stream.tolist():
+            scalar.access(address)
+        result = batched.access_many(stream, return_hits=True)
+        assert result.hits.all()
+        self._same(scalar, batched)
+
+    def test_duplicate_free_batch_scatter_path(self):
+        scalar, batched = self._pair(classify_misses=False)
+        stream = np.array([5, 21, 3, 64, 40, 9], dtype=np.int64)  # distinct sets
+        for address in stream.tolist():
+            scalar.access(address)
+        batched.access_many(stream)
+        self._same(scalar, batched)
+
+    def test_duplicate_sets_with_misses_fall_back_exactly(self):
+        scalar, batched = self._pair(classify_misses=False)
+        stream = np.array([5, 21, 5, 21, 37, 5], dtype=np.int64)  # set 5 x4
+        for address in stream.tolist():
+            scalar.access(address)
+        batched.access_many(stream)
+        self._same(scalar, batched)
+
+    def test_invalidate_all_between_batches(self):
+        scalar, batched = self._pair(classify_misses=False)
+        stream = np.arange(0, 32, 2, dtype=np.int64)
+        for cache in (scalar, batched):
+            cache.access_many(stream) if cache is batched else [
+                cache.access(a) for a in stream.tolist()]
+            cache.invalidate_all()
+        assert batched.resident_lines() == set()
+        for address in stream.tolist():
+            scalar.access(address)
+        batched.access_many(stream)
+        self._same(scalar, batched)

@@ -71,3 +71,17 @@ class TestSimulatedFigures:
         b = figure7_simulated([16], block=256, reuse=4, seeds=2, blocks=2)
         for series_a, series_b in zip(a.series, b.series):
             assert series_a.values == series_b.values
+
+    def test_process_pool_matches_serial(self):
+        serial = figure7_simulated([16], block=256, reuse=4, seeds=2,
+                                   blocks=2)
+        pooled = figure7_simulated([16], block=256, reuse=4, seeds=2,
+                                   blocks=2, workers=2)
+        for series_a, series_b in zip(serial.series, pooled.series):
+            assert series_a.values == series_b.values
+
+    def test_full_reuse_default_noted(self):
+        # defaults run the paper's steady state, R = B — no truncation
+        result = figure7_simulated([8], block=64, seeds=1, blocks=1)
+        assert "R=64" in result.notes
+        assert "truncat" not in result.notes.lower()

@@ -199,6 +199,38 @@ class TestDoubleStream:
         assert report.elements == 28
         assert report.results == 8
 
+    def test_second_tail_not_dropped_regression(self):
+        """The strip loop iterates over the *first* stream's length; a
+        longer second stream's tail used to be silently dropped.  Every
+        tail element must reach the cache and the accounting, on both
+        timing paths."""
+        from repro.machine.ops import LoadPair
+
+        def run(fast):
+            config = MachineConfig(num_banks=16, memory_access_time=4,
+                                   mvl=8, cache_lines=64)
+            machine = CCMachine(
+                config, DirectMappedCache(64, classify_misses=False),
+                fast_path=fast,
+            )
+            pair = LoadPair(
+                VectorLoad(base=0, stride=1, length=5),
+                VectorLoad(base=100, stride=1, length=21,
+                           counts_results=False),
+            )
+            return machine, machine.execute([pair], add_loop_overhead=False)
+
+        for fast in (False, True):
+            machine, report = run(fast)
+            assert report.elements == 26
+            assert report.results == 5
+            # all 26 distinct lines missed once and were installed —
+            # including the 16 tail elements beyond the first stream
+            assert report.cache_misses == 26
+            assert machine.cache.stats.accesses == 26
+            resident = machine.cache.resident_lines()
+            assert all(100 + i in resident for i in range(21))
+
 
 class TestStartRegisterTrade:
     def test_recalculation_costs_extra_per_cached_strip(self):

@@ -1,0 +1,117 @@
+"""The batched bank-service calls versus their scalar reference loops.
+
+``service_many`` / ``service_at`` / ``service_writes`` each document the
+exact per-access loop they collapse into closed numpy form.  These tests
+replay randomized streams through both formulations on independent
+memories — starting from identical (possibly dirty) bank states — and
+require identical stall totals, final cycles, bank free times, and
+statistics, including the ``bank_accesses`` view that merges the scalar
+and batched accumulators.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.memory.banks import InterleavedMemory
+
+SEED = 0xB4A2
+
+
+def _pair(num_banks: int, t_m: int, warm: list[int] | None = None):
+    a = InterleavedMemory(num_banks=num_banks, access_time=t_m)
+    b = InterleavedMemory(num_banks=num_banks, access_time=t_m)
+    if warm:
+        a._bank_free_at = list(warm)
+        b._bank_free_at = list(warm)
+    return a, b
+
+
+def _state(memory: InterleavedMemory):
+    return (
+        list(memory._bank_free_at),
+        memory.stats.accesses,
+        memory.stats.stall_cycles,
+        dict(memory.stats.bank_accesses),
+    )
+
+
+def _cases(rng: random.Random, count: int):
+    for _ in range(count):
+        num_banks = rng.choice([2, 4, 16, 64])
+        t_m = rng.choice([1, 2, 4, 7, 32])
+        stride = rng.choice([0, 1, 2, 3, 8, 64, -3, rng.randrange(-70, 70)])
+        n = rng.randrange(1, 130)
+        base = rng.randrange(0, 1 << 16) + (n * abs(stride) if stride < 0
+                                            else 0)
+        start = rng.randrange(0, 500)
+        warm = [rng.randrange(0, start + 3 * t_m)
+                for _ in range(num_banks)]
+        addresses = [base + i * stride for i in range(n)]
+        yield num_banks, t_m, stride, addresses, start, warm
+
+
+def test_service_many_matches_pipelined_access_loop():
+    rng = random.Random(SEED)
+    for num_banks, t_m, stride, addresses, start, warm in _cases(rng, 150):
+        ref, fast = _pair(num_banks, t_m, warm)
+        cycle, total = start, 0
+        for address in addresses:
+            reply = ref.access(address, cycle)
+            total += reply.stall_cycles
+            cycle += 1 + reply.stall_cycles
+        batch = fast.service_many(addresses, start, stride=stride)
+        assert (batch.stall_cycles, batch.final_cycle) == (total, cycle)
+        assert _state(fast) == _state(ref)
+
+
+def test_service_at_matches_cumulative_delay_loop():
+    rng = random.Random(SEED + 1)
+    for num_banks, t_m, stride, addresses, start, warm in _cases(rng, 150):
+        # both the sparse (>= t_m gaps) and dense regimes
+        gap = rng.choice([1, 2, t_m, t_m + 3])
+        cycles = [start + i * gap for i in range(len(addresses))]
+        ref, fast = _pair(num_banks, t_m, warm)
+        delay, total = 0, 0
+        for address, cycle in zip(addresses, cycles):
+            reply = ref.access(address, cycle + delay)
+            total += reply.stall_cycles
+            delay += reply.stall_cycles
+        batch = fast.service_at(addresses, cycles)
+        assert batch.stall_cycles == total
+        assert _state(fast) == _state(ref)
+
+
+def test_service_writes_matches_fixed_rate_store_loop():
+    rng = random.Random(SEED + 2)
+    for num_banks, t_m, stride, addresses, start, warm in _cases(rng, 150):
+        ref, fast = _pair(num_banks, t_m, warm)
+        for k, address in enumerate(addresses):
+            ref.access(address, start + k)
+        queued = fast.service_writes(addresses, start, stride=stride)
+        assert queued == ref.stats.stall_cycles
+        assert _state(fast) == _state(ref)
+
+
+def test_batched_stats_merge_with_scalar_accesses():
+    """The dual accumulators (scalar list + batched array) present one
+    coherent ``bank_accesses`` view."""
+    memory = InterleavedMemory(num_banks=4, access_time=2)
+    memory.access(0, 0)
+    memory.access(1, 1)
+    memory.service_many([0, 1, 2, 3, 4, 5], 10, stride=1)
+    assert memory.stats.accesses == 8
+    assert memory.stats.bank_accesses == {0: 3, 1: 3, 2: 1, 3: 1}
+    memory.reset()
+    assert memory.stats.accesses == 0
+    assert memory.stats.bank_accesses == {}
+
+
+def test_negative_addresses_rejected():
+    memory = InterleavedMemory(num_banks=4, access_time=2)
+    with pytest.raises(ValueError):
+        memory.service_many([3, -1], 0, stride=-4)
+    with pytest.raises(ValueError):
+        memory.service_writes([-5], 0)

@@ -68,6 +68,33 @@ class TestCommands:
         assert main(["figures", "fig99"]) == 2
         assert "unknown" in capsys.readouterr().out
 
+    def test_figures_simulated_flags_parse(self):
+        args = build_parser().parse_args(
+            ["figures", "--simulated", "fig7", "--seeds", "2",
+             "--workers", "4"]
+        )
+        assert args.simulated and args.seeds == 2 and args.workers == 4
+
+    def test_figures_simulated(self, capsys, monkeypatch):
+        import repro.experiments as experiments
+
+        seen = {}
+        real = experiments.figure7_simulated
+
+        def tiny(seeds, workers):
+            seen["seeds"], seen["workers"] = seeds, workers
+            return real([8], block=64, reuse=2, seeds=1, blocks=1)
+
+        monkeypatch.setattr(experiments, "figure7_simulated", tiny)
+        assert main(["figures", "--simulated", "fig7",
+                     "--seeds", "2", "--workers", "3"]) == 0
+        assert seen == {"seeds": 2, "workers": 3}
+        assert "fig7" in capsys.readouterr().out
+
+    def test_figures_simulated_unknown(self, capsys):
+        assert main(["figures", "--simulated", "fig4"]) == 2
+        assert "unknown simulated" in capsys.readouterr().out
+
     def test_validate_small(self, capsys):
         assert main(["validate", "--seeds", "1"]) == 0
         out = capsys.readouterr().out
