@@ -20,6 +20,10 @@ pair ``(i, j)`` matches exactly one value of ``D`` (namely
 independent of the strides.  :func:`expected_cross_stalls` implements the
 closed form; :func:`cross_stalls` the per-``(s1, s2, D)`` exact count that
 the tests average to confirm the collapse.
+
+The ``congruence`` oracle of :mod:`repro.verify` sweeps everything here
+against brute-force enumeration (and its mutation self-check proves a
+solver that loses the multi-solution family is caught).
 """
 
 from __future__ import annotations

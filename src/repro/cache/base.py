@@ -299,6 +299,11 @@ class Cache(ABC):
     ) -> BatchResult:
         """Reference a whole address array; the trace-replay fast path.
 
+        Equivalence with the scalar :meth:`access` state machine — per
+        access, per statistic, per resident line — is swept by the
+        ``cache-batch`` oracle of :mod:`repro.verify` in addition to the
+        Hypothesis property tests.
+
         Semantically identical to calling :meth:`access` once per element
         (same statistics, including the three-C split, same final
         residency and replacement state) but without per-access

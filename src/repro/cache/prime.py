@@ -134,7 +134,9 @@ class PrimeMappedCache(SetAssociativeCache):
         stride advances ``stride / g`` lines every ``line_size_words / g``
         elements (``g = gcd(stride, line_size_words)``), visiting several
         line-offset phases per period; the count below enumerates the
-        phases exactly (for a base-aligned sweep).
+        phases exactly (for a base-aligned sweep).  The ``prime-geometry``
+        oracle of :mod:`repro.verify` sweeps this count against direct
+        enumeration of the visited line slots.
         """
         if stride == 0:
             return 1

@@ -5,6 +5,11 @@ Commands:
 * ``figures [fig4 fig7 ...]`` — regenerate evaluation figures and check
   the paper's claims about each; ``--simulated [--seeds N] [--workers N]``
   re-measures fig7/fig8 on the cycle-level machines instead.
+* ``check [fig4 ...]`` — figure-claim checks only (no rendering); exits
+  nonzero if any claim fails.
+* ``verify [--quick|--deep]`` — differential verification: oracle
+  sweeps, golden-baseline diff, mutation self-check (see
+  ``docs/verification.md``); exits nonzero on any mismatch.
 * ``design CAPACITY_BYTES`` — size a prime-mapped cache for a budget and
   itemise the added hardware (the Section-2.3 cost claim, with numbers).
 * ``compare`` — replay a strided sweep through the cache organisations.
@@ -41,6 +46,37 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--workers", type=int, default=None,
                          help="process-pool width for simulated seed "
                               "sampling (with --simulated; default serial)")
+    figures.add_argument("--base-seed", type=int, default=0,
+                         help="base seed the per-sample seeds derive from "
+                              "(with --simulated; results are identical "
+                              "for any --workers value)")
+
+    check = sub.add_parser("check", help="figure-claim checks only")
+    check.add_argument("ids", nargs="*", help="figure ids (default: all)")
+
+    verify = sub.add_parser(
+        "verify", help="differential verification (oracles, golden "
+                       "baselines, mutation self-check)")
+    depth = verify.add_mutually_exclusive_group()
+    depth.add_argument("--quick", action="store_true",
+                       help="CI-sized sweep (default)")
+    depth.add_argument("--deep", action="store_true",
+                       help="scheduled-tier sweep (several times larger)")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="base seed for the oracle case grids")
+    verify.add_argument("--bless", action="store_true",
+                        help="recompute and rewrite the golden baselines "
+                             "under results/golden/, then exit")
+    verify.add_argument("--json", metavar="PATH", default=None,
+                        help="also write the report as JSON (CI artifact)")
+    verify.add_argument("--mutate", metavar="NAME", default=None,
+                        help="inject one catalogued fault during the "
+                             "oracle sweep (exits nonzero when caught); "
+                             "see repro.verify.mutations.MUTATIONS")
+    verify.add_argument("--no-selfcheck", action="store_true",
+                        help="skip the mutation self-check layer")
+    verify.add_argument("--no-golden", action="store_true",
+                        help="skip the golden-baseline diff")
 
     design = sub.add_parser("design", help="size a prime-mapped cache")
     design.add_argument("capacity_bytes", type=int)
@@ -97,7 +133,8 @@ def _cmd_figures(args) -> int:
             return 2
         for figure_id in wanted:
             result = simulated[figure_id](seeds=args.seeds,
-                                          workers=args.workers)
+                                          workers=args.workers,
+                                          base_seed=args.base_seed)
             print(render_figure(result))
             print()
         return 0
@@ -117,6 +154,58 @@ def _cmd_figures(args) -> int:
             print(f"  [{verdict}] {check.claim}  ({check.detail})")
         print()
     return 1 if failures else 0
+
+
+def _cmd_check(args) -> int:
+    from repro.experiments import ALL_FIGURES, check_figure
+
+    wanted = args.ids or sorted(ALL_FIGURES)
+    unknown = [w for w in wanted if w not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figures {unknown}; choose from {sorted(ALL_FIGURES)}")
+        return 2
+    failures = 0
+    for figure_id in wanted:
+        for check in check_figure(ALL_FIGURES[figure_id]()):
+            verdict = "PASS" if check.passed else "FAIL"
+            failures += not check.passed
+            print(f"{figure_id}: [{verdict}] {check.claim}  ({check.detail})")
+    print(f"{'FAILED' if failures else 'ok'}: {failures} claim(s) failing")
+    return 1 if failures else 0
+
+
+def _cmd_verify(args) -> int:
+    from pathlib import Path
+
+    from repro.verify import bless, run_verification
+    from repro.verify.mutations import MUTATIONS
+
+    if args.bless:
+        for path in bless():
+            print(f"blessed {path}")
+        return 0
+
+    mode = "deep" if args.deep else "quick"
+    if args.mutate is not None:
+        if args.mutate not in MUTATIONS:
+            print(f"unknown mutation {args.mutate!r}; choose from "
+                  f"{sorted(MUTATIONS)}")
+            return 2
+        # with a fault deliberately active, golden drift and the
+        # self-check would only restate it — run the oracle sweep alone
+        with MUTATIONS[args.mutate].apply():
+            report = run_verification(mode, seed=args.seed,
+                                      golden=False, selfcheck=False)
+    else:
+        report = run_verification(
+            mode, seed=args.seed,
+            golden=not args.no_golden,
+            selfcheck=not args.no_selfcheck)
+    print(report.render())
+    if args.json:
+        Path(args.json).write_text(report.to_json() + "\n")
+        print(f"wrote {args.json}")
+    return 0 if report.ok else 1
 
 
 def _cmd_design(args) -> int:
@@ -276,6 +365,8 @@ def _cmd_validate(args) -> int:
 
 _COMMANDS = {
     "figures": _cmd_figures,
+    "check": _cmd_check,
+    "verify": _cmd_verify,
     "design": _cmd_design,
     "compare": _cmd_compare,
     "subblock": _cmd_subblock,

@@ -78,32 +78,46 @@ def _sample(make_machine, vcm: VCM, seed: int, problem_size: int) -> float:
     )
 
 
+def _sample_seeds(base_seed: int, seeds: int) -> list[int]:
+    """The per-sample driver seeds for one grid point.
+
+    Derived from the *base seed and sample index only* — never from the
+    worker a sample happens to land on — so any ``workers`` value (and
+    any future scheduling change) yields bit-identical figures.
+    """
+    return [base_seed * 1_000_003 + i for i in range(seeds)]
+
+
 def _measure(
     make_machine, vcm: VCM, seeds: int, blocks: int,
-    workers: int | None = None,
+    workers: int | None = None, base_seed: int = 0,
 ) -> float:
     """Seed-averaged cycles per result for one machine at one grid point.
 
     ``workers`` > 1 fans the per-seed runs out over a process pool; the
     default (``None`` or 1, e.g. under pytest) stays serial in-process.
+    Results are identical either way: the sample seeds come from
+    :func:`_sample_seeds` and ``pool.map`` preserves input order.
     """
     problem_size = vcm.blocking_factor * blocks
+    sample_seeds = _sample_seeds(base_seed, seeds)
     if workers is not None and workers > 1:
         with ProcessPoolExecutor(max_workers=min(workers, seeds)) as pool:
             samples = list(pool.map(
                 partial(_sample, make_machine, vcm,
                         problem_size=problem_size),
-                range(seeds),
+                sample_seeds,
             ))
     else:
         samples = [_sample(make_machine, vcm, seed, problem_size)
-                   for seed in range(seeds)]
+                   for seed in sample_seeds]
     return summarize(samples).mean
 
 
 def figure7_simulated(
     t_m_values=None, *, block: int = 1024, reuse: int | None = None,
     seeds: int = 8, blocks: int = 6, workers: int | None = None,
+    base_seed: int = 0,
 ) -> FigureResult:
     """Figure 7's three curves, measured on the cycle-level machines.
 
@@ -111,7 +125,8 @@ def figure7_simulated(
     ``blocks`` independent blocks per run sample the stride distribution;
     with one block the direct-mapped curve is a single draw of the stride
     lottery and noisy.  ``workers`` parallelises seed sampling across
-    processes.
+    processes; ``base_seed`` shifts the whole seed family without
+    affecting worker-invariance.
     """
     t_m_values = list(t_m_values or (8, 16, 32, 48, 64))
     reuse_factor = block if reuse is None else reuse
@@ -125,7 +140,8 @@ def figure7_simulated(
     for t_m in t_m_values:
         for label, factory in _machines(t_m, num_banks=64).items():
             curves[label].append(
-                _measure(factory, vcm, seeds, blocks, workers=workers))
+                _measure(factory, vcm, seeds, blocks, workers=workers,
+                         base_seed=base_seed))
     return FigureResult(
         "fig7",
         "Figure 7 regenerated by cycle-level simulation",
@@ -139,6 +155,7 @@ def figure7_simulated(
 def figure8_simulated(
     block_values=None, *, t_m: int = 32, reuse: int | None = None,
     seeds: int = 8, blocks: int = 6, workers: int | None = None,
+    base_seed: int = 0,
 ) -> FigureResult:
     """Figure 8's three curves, measured on the cycle-level machines.
 
@@ -158,7 +175,8 @@ def figure8_simulated(
         )
         for label, factory in _machines(t_m, num_banks=64).items():
             curves[label].append(
-                _measure(factory, vcm, seeds, blocks, workers=workers))
+                _measure(factory, vcm, seeds, blocks, workers=workers,
+                         base_seed=base_seed))
     return FigureResult(
         "fig8",
         "Figure 8 regenerated by cycle-level simulation",

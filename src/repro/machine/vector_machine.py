@@ -71,7 +71,8 @@ class VectorMachine:
             ``False`` forces the per-element scalar reference loop; the
             two paths produce bit-for-bit identical
             :class:`~repro.machine.report.ExecutionReport` accounting
-            (enforced by a Hypothesis property test).
+            (enforced by a Hypothesis property test and swept by the
+            ``machine-timing`` oracle of :mod:`repro.verify`).
     """
 
     def __init__(

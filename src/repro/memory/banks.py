@@ -341,6 +341,10 @@ class InterleavedMemory:
     ) -> BatchReply:
         """Service a pipelined one-element-per-cycle stream in one call.
 
+        The ``machine-timing`` and ``analytical-vs-simulated`` oracles of
+        :mod:`repro.verify` sweep this closed form against the sequential
+        recurrence and the Eq. (1)–(3) stall formulas.
+
         Semantically identical to::
 
             cycle, total = start_cycle, 0

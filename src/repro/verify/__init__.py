@@ -1,0 +1,66 @@
+"""Differential verification: oracles, golden baselines, mutation
+self-checks.
+
+The three layers (see ``docs/verification.md``):
+
+* :mod:`repro.verify.oracles` + :mod:`repro.verify.runner` — every
+  fast/derived implementation swept against its reference over seeded
+  case grids, reporting structured mismatches.
+* :mod:`repro.verify.golden` — figure/simulation results pinned as
+  committed JSON under ``results/golden/`` with per-metric tolerances.
+* :mod:`repro.verify.mutations` — known faults injected to prove each
+  is caught by at least one oracle.
+
+:func:`run_verification` composes all three into one
+:class:`~repro.verify.result.VerifyReport`; the CLI's ``repro verify``
+is a thin wrapper around it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.verify.golden import bless, compare
+from repro.verify.mutations import MUTATIONS, Mutation, run_selfcheck
+from repro.verify.oracles import ORACLES, Oracle, default_oracles
+from repro.verify.result import (
+    GoldenDiff,
+    Mismatch,
+    MutationOutcome,
+    OracleOutcome,
+    VerifyReport,
+)
+from repro.verify.runner import DifferentialRunner
+
+__all__ = [
+    "MUTATIONS",
+    "ORACLES",
+    "DifferentialRunner",
+    "GoldenDiff",
+    "Mismatch",
+    "Mutation",
+    "MutationOutcome",
+    "Oracle",
+    "OracleOutcome",
+    "VerifyReport",
+    "bless",
+    "compare",
+    "default_oracles",
+    "run_selfcheck",
+    "run_verification",
+]
+
+
+def run_verification(
+    mode: str = "quick", *, seed: int = 0,
+    golden_dir: Path | None = None,
+    golden: bool = True, selfcheck: bool = True,
+) -> VerifyReport:
+    """One full verification pass: oracle sweep, golden diff, self-check."""
+    report = VerifyReport(mode=mode, seed=seed)
+    report.oracles = DifferentialRunner(seed=seed).run(mode)
+    if golden:
+        report.golden = compare(golden_dir)
+    if selfcheck:
+        report.selfcheck = run_selfcheck(seed=seed, mode=mode)
+    return report

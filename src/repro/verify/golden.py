@@ -1,0 +1,222 @@
+"""Golden-baseline regression: figure and simulation results pinned as
+committed JSON under ``results/golden/``.
+
+Three metric sets cover the three layers that produce numbers:
+
+* ``figures`` — every point of every analytical figure (Eqs. 1–8 swept
+  over the paper's grids).  Pure closed forms: pinned at ``1e-9``
+  relative tolerance, so any change to the equations, the calibrated
+  defaults, or the congruence machinery shows up as drift.
+* ``replay`` — cache statistics (hits, misses, three-C kinds) of fixed
+  seeded traces replayed through each cache organisation.  Integers:
+  pinned exactly.
+* ``machine`` — cycle counts and stall breakdowns of seeded VCM runs on
+  the MM/CC machines, plus a small ``figure7_simulated`` grid point.
+  Deterministic given the seed: pinned exactly for integer metrics, at
+  ``1e-9`` for seed-averaged means.
+
+Workflow: ``repro verify --bless`` recomputes and rewrites the files;
+a tier-1 test and ``repro verify`` diff fresh runs against them.  A
+*deliberate* behaviour change therefore ships with the re-blessed JSON
+in the same commit, making the numeric consequences reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from repro.verify.result import GoldenDiff
+
+__all__ = [
+    "GOLDEN_DIR",
+    "METRIC_SETS",
+    "MetricSet",
+    "bless",
+    "compare",
+    "compute_metrics",
+]
+
+#: Committed baselines live at the repo root, three levels above this file
+#: (src/repro/verify/golden.py -> repo).
+GOLDEN_DIR = Path(__file__).resolve().parents[3] / "results" / "golden"
+
+
+@dataclass(frozen=True)
+class MetricSet:
+    """One golden baseline file: a name, a tolerance, and a recompute."""
+
+    name: str
+    tolerance: float
+    compute: Callable[[], dict[str, float]]
+    description: str = ""
+
+
+def _figures_metrics() -> dict[str, float]:
+    from repro.experiments.figures import ALL_FIGURES
+
+    metrics: dict[str, float] = {}
+    for figure_id, build in ALL_FIGURES.items():
+        result = build()
+        for series in result.series:
+            for x, value in zip(result.x_values, series.values):
+                metrics[f"{figure_id}/{series.label}/x={x}"] = float(value)
+    return metrics
+
+
+def _replay_metrics() -> dict[str, float]:
+    import random
+
+    from repro.cache import (
+        DirectMappedCache,
+        FullyAssociativeCache,
+        MissKind,
+        PrimeMappedCache,
+        SetAssociativeCache,
+    )
+
+    caches = {
+        "direct": DirectMappedCache(num_lines=128),
+        "prime": PrimeMappedCache(c=7),
+        "set2": SetAssociativeCache(num_sets=64, num_ways=2),
+        "full": FullyAssociativeCache(num_lines=128),
+    }
+    rng = random.Random(20260806)
+    # one shared trace: strided sweeps (reused) plus a random tail, with
+    # a sprinkling of writes — enough to exercise fold, kinds, eviction
+    addresses: list[int] = []
+    for _ in range(6):
+        base = rng.randrange(1 << 12)
+        stride = rng.randint(1, 300)
+        vector = [base + i * stride for i in range(200)]
+        addresses.extend(vector * 2)
+    addresses.extend(rng.randrange(1 << 11) for _ in range(500))
+    writes = [rng.random() < 0.2 for _ in addresses]
+
+    metrics: dict[str, float] = {}
+    for name, cache in caches.items():
+        cache.access_many(np.asarray(addresses, dtype=np.int64),
+                          np.asarray(writes, dtype=bool))
+        for field in ("hits", "misses", "evictions", "writes"):
+            metrics[f"{name}/{field}"] = float(getattr(cache.stats, field))
+        for kind in MissKind:
+            metrics[f"{name}/miss_kinds/{kind.value}"] = float(
+                cache.stats.miss_kinds[kind])
+    return metrics
+
+
+def _machine_metrics() -> dict[str, float]:
+    from repro.analytical.base import MachineConfig
+    from repro.analytical.vcm import VCM
+    from repro.cache import DirectMappedCache, PrimeMappedCache
+    from repro.experiments.simulated_figures import figure7_simulated
+    from repro.machine import CCMachine, MMMachine, VCMDriver
+
+    metrics: dict[str, float] = {}
+    vcm = VCM(blocking_factor=192, reuse_factor=3, p_ds=0.2, s2="random",
+              p_stride1_s1=0.25, p_stride1_s2=0.25)
+    config = MachineConfig(num_banks=16, memory_access_time=12,
+                           cache_lines=128)
+    machines = {
+        "mm": MMMachine(config),
+        "cc-direct": CCMachine(config, DirectMappedCache(
+            num_lines=128, classify_misses=False)),
+        "cc-prime": CCMachine(
+            config.with_(cache_lines=127),
+            PrimeMappedCache(c=7, classify_misses=False)),
+    }
+    for name, machine in machines.items():
+        report = VCMDriver(machine, seed=3).run(vcm, problem_size=384).report
+        for field in ("cycles", "results", "bank_stall_cycles",
+                      "miss_stall_cycles", "store_stall_cycles",
+                      "overhead_cycles", "cache_hits", "cache_misses"):
+            metrics[f"{name}/{field}"] = float(getattr(report, field))
+
+    grid = figure7_simulated([16], block=256, reuse=4, seeds=2, blocks=2)
+    for series in grid.series:
+        metrics[f"fig7sim/{series.label}/x=16"] = float(series.values[0])
+    return metrics
+
+
+METRIC_SETS: dict[str, MetricSet] = {
+    ms.name: ms
+    for ms in (
+        MetricSet("figures", 1e-9, _figures_metrics,
+                  "every point of every analytical figure (Eqs. 1-8)"),
+        MetricSet("replay", 0.0, _replay_metrics,
+                  "cache statistics of fixed seeded traces"),
+        MetricSet("machine", 1e-9, _machine_metrics,
+                  "cycle counts of seeded VCM runs on the machines"),
+    )
+}
+
+
+def compute_metrics(name: str) -> dict[str, float]:
+    """Freshly recompute one metric set."""
+    return METRIC_SETS[name].compute()
+
+
+def _path(name: str, golden_dir: Path | None) -> Path:
+    return (golden_dir or GOLDEN_DIR) / f"{name}.json"
+
+
+def bless(golden_dir: Path | None = None,
+          names: list[str] | None = None) -> list[Path]:
+    """Recompute and rewrite the golden baselines; returns written paths."""
+    written = []
+    for name in names or sorted(METRIC_SETS):
+        metric_set = METRIC_SETS[name]
+        path = _path(name, golden_dir)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "metric_set": name,
+            "description": metric_set.description,
+            "default_tolerance": metric_set.tolerance,
+            "tolerances": {},
+            "metrics": metric_set.compute(),
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        written.append(path)
+    return written
+
+
+def _within(expected: float, actual: float, tolerance: float) -> bool:
+    if tolerance == 0.0:
+        return expected == actual
+    return math.isclose(actual, expected,
+                        rel_tol=tolerance, abs_tol=tolerance)
+
+
+def compare(golden_dir: Path | None = None,
+            names: list[str] | None = None) -> list[GoldenDiff]:
+    """Diff fresh metric computations against the blessed baselines."""
+    diffs: list[GoldenDiff] = []
+    for name in names or sorted(METRIC_SETS):
+        metric_set = METRIC_SETS[name]
+        path = _path(name, golden_dir)
+        if not path.exists():
+            diffs.append(GoldenDiff(
+                metric_set=name, metric="(baseline file)", expected=None,
+                actual=None, tolerance=metric_set.tolerance))
+            continue
+        blessed = json.loads(path.read_text())
+        default_tolerance = blessed.get("default_tolerance",
+                                        metric_set.tolerance)
+        overrides = blessed.get("tolerances", {})
+        fresh = metric_set.compute()
+        for metric in sorted(set(blessed["metrics"]) | set(fresh)):
+            tolerance = overrides.get(metric, default_tolerance)
+            expected = blessed["metrics"].get(metric)
+            actual = fresh.get(metric)
+            if expected is None or actual is None:
+                diffs.append(GoldenDiff(name, metric, expected, actual,
+                                        tolerance))
+            elif not _within(expected, actual, tolerance):
+                diffs.append(GoldenDiff(name, metric, expected, actual,
+                                        tolerance))
+    return diffs

@@ -1,0 +1,205 @@
+"""Mutation self-check: inject known faults and prove the net catches
+them.
+
+A differential harness that has never seen a failure proves nothing —
+the oracles could all be vacuous.  This module keeps a catalogue of
+representative faults (the bugs this codebase has actually had, or
+almost had: an off-by-one in the Mersenne index fold, a dropped
+bank-busy stall in the batched memory path, a wrong modulus in the
+prime-cache stall formula, a congruence solver that loses the
+multi-solution family, a phase-collapsed stride footprint) and, for
+each, temporarily monkey-patches the fault in, re-runs the oracle
+sweep, and records which oracles noticed.  A mutation nobody catches is
+a *hole* in the verification net and fails the run.
+
+Faults are injected by swapping attributes on the real classes/modules
+(and restored in a ``finally``), so both the mutated code and the
+oracles exercise exactly the import paths production uses.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import ExitStack, contextmanager
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.verify.result import MutationOutcome
+
+__all__ = ["MUTATIONS", "Mutation", "run_selfcheck"]
+
+
+@contextmanager
+def _patched(obj, attr: str, replacement):
+    original = getattr(obj, attr)
+    setattr(obj, attr, replacement)
+    try:
+        yield
+    finally:
+        setattr(obj, attr, original)
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One catalogued fault.
+
+    Attributes:
+        name: catalogue key.
+        description: what the fault breaks, in implementation terms.
+        expected_oracles: the oracles designed to catch it (the
+            self-check only *requires* one catcher, but tests pin these).
+        apply: context manager injecting the fault while active.
+    """
+
+    name: str
+    description: str
+    expected_oracles: tuple[str, ...]
+    apply: Callable
+
+
+@contextmanager
+def _fold_modulus_off_by_one():
+    from repro.cache.prime import PrimeMappedCache
+
+    def bad_map_sets_batch(self, lines):
+        # the classic fold bug: modulus constant off by one, so the
+        # batched index fold disagrees with the scalar set_of
+        return lines % (self.modulus.value - 1)
+
+    with _patched(PrimeMappedCache, "_map_sets_batch", bad_map_sets_batch):
+        yield
+
+
+@contextmanager
+def _dropped_bank_busy_stall():
+    from repro.memory import banks
+
+    original = banks.InterleavedMemory.service_many
+
+    def bad_service_many(self, addresses, start_cycle, *, stride=None):
+        reply = original(self, addresses, start_cycle, stride=stride)
+        # the batched path "forgets" that busy banks stall the stream
+        return banks.BatchReply(
+            accesses=reply.accesses, stall_cycles=0,
+            final_cycle=reply.final_cycle - reply.stall_cycles)
+
+    with _patched(banks.InterleavedMemory, "service_many",
+                  bad_service_many):
+        yield
+
+
+@contextmanager
+def _wrong_mersenne_modulus():
+    from repro.analytical.cc import PrimeMappedModel
+
+    def bad_self_stalls(self, block, stride):
+        # folding by 2^c instead of the Mersenne prime 2^c - 1 destroys
+        # the conflict-freedom law the whole design rests on
+        wrong = self.config.cache_lines + 1
+        if stride != 0 and stride % wrong != 0:
+            footprint = wrong // math.gcd(wrong, abs(stride))
+            misses = max(0.0, block - footprint)
+        else:
+            misses = max(0.0, block - 1)
+        return misses * self.config.t_m
+
+    with _patched(PrimeMappedModel, "self_stalls_for_stride",
+                  bad_self_stalls):
+        yield
+
+
+@contextmanager
+def _congruence_lost_solutions():
+    from repro.analytical import congruence
+
+    original = congruence.solve_linear_congruence
+
+    def bad_solve(a, b, m):
+        # keeps only the principal solution, dropping the other
+        # gcd(a, m) - 1 members of the solution family
+        return original(a, b, m)[:1]
+
+    with _patched(congruence, "solve_linear_congruence", bad_solve):
+        yield
+
+
+@contextmanager
+def _phase_collapsed_footprint():
+    from repro.cache.prime import PrimeMappedCache
+
+    def bad_lines_touched(self, stride):
+        # ignores the line-offset phases of fractional-line strides and
+        # reports the single-phase count
+        if stride == 0:
+            return 1
+        word_stride = abs(stride)
+        g = math.gcd(word_stride, self.line_size_words)
+        line_stride = word_stride // g
+        value = self.modulus.value
+        return value // math.gcd(value, line_stride)
+
+    with _patched(PrimeMappedCache, "lines_touched_by_stride",
+                  bad_lines_touched):
+        yield
+
+
+MUTATIONS: dict[str, Mutation] = {
+    m.name: m
+    for m in (
+        Mutation(
+            "fold-modulus-off-by-one",
+            "batched Mersenne index fold uses modulus 2^c - 2 while the "
+            "scalar set_of folds by 2^c - 1",
+            ("cache-batch",),
+            _fold_modulus_off_by_one),
+        Mutation(
+            "dropped-bank-busy-stall",
+            "InterleavedMemory.service_many reports zero stall cycles "
+            "for busy-bank collisions",
+            ("machine-timing", "analytical-vs-simulated"),
+            _dropped_bank_busy_stall),
+        Mutation(
+            "wrong-mersenne-modulus",
+            "PrimeMappedModel.self_stalls_for_stride folds strides by "
+            "2^c instead of the Mersenne prime 2^c - 1",
+            ("analytical-vs-simulated",),
+            _wrong_mersenne_modulus),
+        Mutation(
+            "congruence-lost-solutions",
+            "solve_linear_congruence returns only the principal solution "
+            "of a*x === b (mod m)",
+            ("congruence",),
+            _congruence_lost_solutions),
+        Mutation(
+            "phase-collapsed-footprint",
+            "lines_touched_by_stride ignores the line-offset phases of "
+            "fractional-line strides",
+            ("prime-geometry",),
+            _phase_collapsed_footprint),
+    )
+}
+
+
+def run_selfcheck(*, seed: int = 0, mode: str = "quick",
+                  mutations: list[str] | None = None) -> list[MutationOutcome]:
+    """Inject each catalogued fault and record which oracles catch it.
+
+    Runs the full oracle sweep (same seed and depth as the main run)
+    under each fault in turn, so the self-check certifies the *actual*
+    net, not a special-cased one.
+    """
+    from repro.verify.runner import DifferentialRunner
+
+    runner = DifferentialRunner(seed=seed)
+    outcomes = []
+    for name in mutations or sorted(MUTATIONS):
+        mutation = MUTATIONS[name]
+        with ExitStack() as stack:
+            stack.enter_context(mutation.apply())
+            swept = runner.run(mode)
+        outcomes.append(MutationOutcome(
+            mutation=mutation.name,
+            description=mutation.description,
+            expected_oracles=mutation.expected_oracles,
+            caught_by=[o.oracle for o in swept if o.mismatches]))
+    return outcomes

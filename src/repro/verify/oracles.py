@@ -1,0 +1,683 @@
+"""The oracle registry: every fast/derived implementation paired with its
+reference.
+
+An *oracle* cross-checks two independent computations of the same
+quantity and reports the first diverging value.  The registry pins the
+four load-bearing pairs of this reproduction (plus the prime-mapping
+geometry law):
+
+* ``cache-batch`` — the batched :meth:`repro.cache.base.Cache.access_many`
+  fast path against the scalar :meth:`~repro.cache.base.Cache.access`
+  state machine, per access and per statistic.
+* ``machine-timing`` — the vectorised strip-level timing engine
+  (``fast_path=True``) against the per-element scalar machine loop,
+  bit-for-bit over the full :class:`~repro.machine.report.ExecutionReport`.
+* ``analytical-vs-simulated`` — the analytical CC/MM stall formulas
+  against executable caches and banks: exact number-theoretic laws for
+  fixed strides, statistical tolerances for the stochastic VCM grid.
+* ``congruence`` — :mod:`repro.analytical.congruence` against brute-force
+  enumeration of the congruence equations.
+* ``prime-geometry`` — :meth:`PrimeMappedCache.lines_touched_by_stride`
+  against direct enumeration of the visited line slots.
+
+Each oracle supplies ``build_cases(mode, rng)`` (seeded, reproducible
+case configurations — plain JSON-safe dicts) and ``check_case(config)``
+(pure: rebuild everything from the config, return divergences).  The
+:class:`~repro.verify.runner.DifferentialRunner` sweeps them and wraps
+divergences into structured :class:`~repro.verify.result.Mismatch`
+records.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.analytical import congruence
+from repro.analytical.base import MachineConfig
+from repro.analytical.mm import MMModel, self_stalls_for_stride
+from repro.analytical.set_assoc import SetAssociativeModel
+from repro.cache import (
+    DirectMappedCache,
+    FullyAssociativeCache,
+    MissKind,
+    PrimeMappedCache,
+    SetAssociativeCache,
+)
+from repro.machine.ops import LoadPair, VectorCompute, VectorLoad, VectorStore
+from repro.machine.vector_machine import CCMachine, MMMachine
+from repro.machine.vcm_driver import VCMDriver
+from repro.analytical.vcm import VCM
+from repro.memory.banks import InterleavedMemory
+
+__all__ = ["Oracle", "ORACLES", "Divergence", "default_oracles"]
+
+#: ``(metric, expected, actual, detail)`` — one diverging value.
+Divergence = tuple
+
+
+@dataclass(frozen=True)
+class Oracle:
+    """One fast/derived implementation paired with its reference.
+
+    Attributes:
+        name: registry key (stable; mutation catalogue refers to it).
+        description: what pair of implementations is cross-checked.
+        build_cases: ``(mode, rng) -> list[config]`` — seeded sweep of
+            JSON-safe case configurations (each carries its own ``seed``).
+        check_case: ``config -> list[Divergence]`` — pure differential
+            check of one case; empty list means agreement.
+    """
+
+    name: str
+    description: str
+    build_cases: Callable[[str, random.Random], list[dict]]
+    check_case: Callable[[dict], list[Divergence]]
+
+
+def _case_counts(mode: str, quick: int, deep: int) -> int:
+    if mode not in ("quick", "deep"):
+        raise ValueError("mode must be 'quick' or 'deep'")
+    return quick if mode == "quick" else deep
+
+
+# ---------------------------------------------------------------------------
+# cache-batch: Cache.access_many vs scalar Cache.access
+# ---------------------------------------------------------------------------
+
+_CACHE_KINDS = ("direct", "prime", "set2", "full")
+
+
+def _make_case_cache(config: dict):
+    kind = config["cache"]
+    line_size = config["line_size"]
+    classify = config["classify"]
+    write_allocate = config["write_allocate"]
+    if kind == "direct":
+        return DirectMappedCache(
+            num_lines=config["lines"], line_size_words=line_size,
+            classify_misses=classify, write_allocate=write_allocate)
+    if kind == "prime":
+        return PrimeMappedCache(
+            c=config["c"], line_size_words=line_size,
+            classify_misses=classify, write_allocate=write_allocate)
+    if kind == "set2":
+        return SetAssociativeCache(
+            num_sets=config["lines"] // 2, num_ways=2,
+            line_size_words=line_size, classify_misses=classify,
+            write_allocate=write_allocate)
+    if kind == "full":
+        return FullyAssociativeCache(
+            num_lines=config["lines"], line_size_words=line_size,
+            classify_misses=classify, write_allocate=write_allocate)
+    raise ValueError(f"unknown cache kind {kind!r}")
+
+
+def _case_trace(config: dict) -> tuple[list[int], list[bool] | None]:
+    """Materialise the case's reference stream from its seeded spec."""
+    rng = random.Random(config["seed"])
+    pattern = config["pattern"]
+    length = config["length"]
+    if pattern == "strided":
+        base = rng.randrange(1 << 12)
+        stride = config["stride"]
+        addresses = [base + i * stride
+                     for i in range(length)] * config["sweeps"]
+    elif pattern == "random":
+        span = config["span"]
+        addresses = [rng.randrange(span) for _ in range(length)]
+    else:  # multistride: several vectors, fresh base+stride each, 2 sweeps
+        addresses = []
+        for _ in range(4):
+            base = rng.randrange(1 << 12)
+            stride = rng.randint(1, config["span"])
+            vector = [base + i * stride for i in range(length // 4)]
+            addresses.extend(vector * config["sweeps"])
+    write_frac = config["write_frac"]
+    if write_frac == 0:
+        return addresses, None
+    return addresses, [rng.random() < write_frac for _ in addresses]
+
+
+def _cache_batch_cases(mode: str, rng: random.Random) -> list[dict]:
+    rounds = _case_counts(mode, 3, 12)
+    # pinned: a dense reused sweep over a small prime cache, so any fold
+    # fault in the batched set mapping diverges from the scalar path
+    # regardless of what the random grid draws
+    cases = [{
+        "cache": "prime", "c": 5, "lines": 32, "line_size": 1,
+        "classify": True, "write_allocate": True, "pattern": "strided",
+        "length": 64, "stride": 1, "sweeps": 2, "span": 64,
+        "write_frac": 0.0, "seed": 0,
+    }]
+    for _ in range(rounds):
+        for kind in _CACHE_KINDS:
+            pattern = rng.choice(("strided", "random", "multistride"))
+            cases.append({
+                "cache": kind,
+                "c": rng.choice((5, 7)),
+                "lines": rng.choice((32, 128)),
+                "line_size": rng.choice((1, 4)),
+                "classify": rng.random() < 0.75,
+                "write_allocate": rng.random() < 0.75,
+                "pattern": pattern,
+                "length": rng.choice((64, 256)),
+                "stride": rng.randint(1, 200),
+                "sweeps": rng.randint(1, 3),
+                "span": rng.choice((64, 1024)),
+                "write_frac": rng.choice((0.0, 0.25)),
+                "seed": rng.randrange(1 << 30),
+            })
+    return cases
+
+
+_STAT_FIELDS = ("accesses", "hits", "misses", "reads", "writes", "evictions")
+
+
+def _check_cache_batch(config: dict) -> list[Divergence]:
+    addresses, writes = _case_trace(config)
+    reference = _make_case_cache(config)
+    candidate = _make_case_cache(config)
+
+    ref_hits, ref_kinds = [], []
+    from repro.cache.base import MISS_KIND_CODES
+    for i, address in enumerate(addresses):
+        result = reference.access(
+            address, write=writes is not None and writes[i])
+        ref_hits.append(result.hit)
+        ref_kinds.append(0 if result.miss_kind is None
+                         else MISS_KIND_CODES[result.miss_kind])
+
+    batch = candidate.access_many(
+        np.asarray(addresses, dtype=np.int64),
+        None if writes is None else np.asarray(writes, dtype=bool),
+        return_hits=True, return_kinds=True)
+
+    detail = "Cache.access_many vs Cache.access (repro/cache/base.py)"
+    for field in _STAT_FIELDS:
+        expected = getattr(reference.stats, field)
+        actual = getattr(candidate.stats, field)
+        if expected != actual:
+            return [(f"stats.{field}", expected, actual, detail)]
+        if getattr(batch.delta, field) != expected:
+            return [(f"delta.{field}", expected,
+                     getattr(batch.delta, field), detail)]
+    for kind in MissKind:
+        expected = reference.stats.miss_kinds[kind]
+        actual = candidate.stats.miss_kinds[kind]
+        if expected != actual:
+            return [(f"stats.miss_kinds[{kind.value}]", expected, actual,
+                     detail)]
+    batch_hits = batch.hits.tolist()
+    for i, (expected, actual) in enumerate(zip(ref_hits, batch_hits)):
+        if expected != actual:
+            return [(f"hits[{i}]", expected, actual, detail)]
+    batch_kinds = batch.miss_kinds.tolist()
+    for i, (expected, actual) in enumerate(zip(ref_kinds, batch_kinds)):
+        if expected != actual:
+            return [(f"miss_kinds[{i}]", expected, actual, detail)]
+    ref_resident = reference.resident_lines()
+    cand_resident = candidate.resident_lines()
+    if ref_resident != cand_resident:
+        delta = sorted(ref_resident ^ cand_resident)[:4]
+        return [("resident_lines", sorted(ref_resident)[:4],
+                 sorted(cand_resident)[:4],
+                 f"{detail}; symmetric difference starts {delta}")]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# machine-timing: vectorised strip engine vs scalar machine loop
+# ---------------------------------------------------------------------------
+
+_REPORT_FIELDS = (
+    "cycles", "elements", "results", "bank_stall_cycles",
+    "miss_stall_cycles", "store_stall_cycles", "overhead_cycles",
+    "cache_hits", "cache_misses",
+)
+
+
+def _make_case_machine(config: dict, fast_path: bool):
+    machine_config = MachineConfig(
+        num_banks=config["banks"],
+        memory_access_time=config["t_m"],
+        cache_lines=config["lines"],
+    )
+    depth = config["write_buffer_depth"]
+    if config["machine"] == "mm":
+        return MMMachine(machine_config, write_buffer_depth=depth,
+                         fast_path=fast_path)
+    if config["machine"] == "cc-direct":
+        cache = DirectMappedCache(num_lines=config["lines"])
+    else:
+        cache = PrimeMappedCache(c=config["c"])
+        machine_config = machine_config.with_(
+            cache_lines=cache.total_lines)
+    return CCMachine(machine_config, cache, write_buffer_depth=depth,
+                     fast_path=fast_path)
+
+
+def _case_ops(config: dict):
+    """Deterministic op list from the case's seeded spec.
+
+    Always includes a stride-``M`` load (every element in one bank — the
+    worst bank-busy pattern) so dropped-stall faults cannot hide, a
+    re-walk of the first vector with ``expect_cached=True`` (conflict
+    stalls on a CC machine), a mismatched-length double stream, and a
+    store sweep.
+    """
+    rng = random.Random(config["seed"])
+    banks = config["banks"]
+    base = rng.randrange(1 << 10)
+    stride = rng.choice((1, 2, banks // 2, banks, banks + 1))
+    length = rng.choice((48, 130))
+    ops = [
+        VectorLoad(base=base, stride=stride, length=length),
+        VectorLoad(base=rng.randrange(1 << 10), stride=banks, length=80),
+        VectorLoad(base=base, stride=stride, length=length,
+                   expect_cached=True),
+        LoadPair(
+            VectorLoad(base=rng.randrange(1 << 10), stride=rng.randint(1, 8),
+                       length=40),
+            VectorLoad(base=rng.randrange(1 << 10), stride=banks,
+                       length=rng.choice((24, 56)), counts_results=False),
+        ),
+        VectorStore(base=rng.randrange(1 << 10), stride=rng.randint(1, 4),
+                    length=64),
+        VectorCompute(length=32),
+    ]
+    return ops
+
+
+def _machine_timing_cases(mode: str, rng: random.Random) -> list[dict]:
+    rounds = _case_counts(mode, 2, 8)
+    cases = []
+    for _ in range(rounds):
+        for machine in ("mm", "cc-direct", "cc-prime"):
+            for kind in ("ops", "vcm"):
+                cases.append({
+                    "machine": machine,
+                    "kind": kind,
+                    "banks": rng.choice((8, 16)),
+                    "t_m": rng.choice((4, 12, 20)),
+                    "lines": 128,
+                    "c": 7,
+                    "write_buffer_depth": rng.choice((None, 4)),
+                    "block": rng.choice((96, 160)),
+                    "reuse": rng.choice((2, 3)),
+                    "p_ds": rng.choice((0.0, 0.25)),
+                    "seed": rng.randrange(1 << 30),
+                })
+    return cases
+
+
+def _check_machine_timing(config: dict) -> list[Divergence]:
+    fast = _make_case_machine(config, fast_path=True)
+    slow = _make_case_machine(config, fast_path=False)
+    detail = ("vectorised strip engine vs scalar reference loop "
+              "(repro/machine/vector_machine.py)")
+    if config["kind"] == "ops":
+        report_fast = fast.execute(_case_ops(config))
+        report_slow = slow.execute(_case_ops(config))
+    else:
+        vcm = VCM(
+            blocking_factor=config["block"],
+            reuse_factor=config["reuse"],
+            p_ds=config["p_ds"],
+            s2=None if config["p_ds"] == 0 else "random",
+        )
+        seed = config["seed"]
+        report_fast = VCMDriver(fast, seed=seed).run(
+            vcm, problem_size=2 * config["block"]).report
+        report_slow = VCMDriver(slow, seed=seed).run(
+            vcm, problem_size=2 * config["block"]).report
+        detail += " driven by VCMDriver"
+    for field in _REPORT_FIELDS:
+        expected = getattr(report_slow, field)
+        actual = getattr(report_fast, field)
+        if expected != actual:
+            return [(f"report.{field}", expected, actual, detail)]
+    if slow.cycle != fast.cycle:
+        return [("machine.cycle", slow.cycle, fast.cycle, detail)]
+    for field in ("accesses", "stall_cycles"):
+        expected = getattr(slow.memory.stats, field)
+        actual = getattr(fast.memory.stats, field)
+        if expected != actual:
+            return [(f"memory.stats.{field}", expected, actual, detail)]
+    if slow.memory.stats.bank_accesses != fast.memory.stats.bank_accesses:
+        return [("memory.stats.bank_accesses",
+                 slow.memory.stats.bank_accesses,
+                 fast.memory.stats.bank_accesses, detail)]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# analytical-vs-simulated: closed forms vs executable caches and banks
+# ---------------------------------------------------------------------------
+
+def _reuse_sweep_misses(cache, block: int, stride: int) -> int:
+    """Misses of the second sweep over one strided vector."""
+    addresses = [i * stride for i in range(block)]
+    for address in addresses:
+        cache.access(address)
+    before = cache.stats.misses
+    for address in addresses:
+        cache.access(address)
+    return cache.stats.misses - before
+
+
+def _analytical_cases(mode: str, rng: random.Random) -> list[dict]:
+    rounds = _case_counts(mode, 4, 16)
+    # pinned: stride == M puts every element in one bank (the maximal
+    # bank-busy pattern), and stride == 2^c - 1 is the prime cache's one
+    # pathological stride — the two strides a stall/modulus fault cannot
+    # dodge
+    cases = [
+        {"kind": "mm-strip", "banks": 8, "t_m": 16, "stride": 8, "seed": 0},
+        {"kind": "cc-prime-stride", "c": 5, "t_m": 16, "block": 20,
+         "stride": 31, "seed": 0},
+    ]
+    for _ in range(rounds):
+        cases.append({
+            "kind": "mm-strip",
+            "banks": rng.choice((8, 16, 32, 64)),
+            "t_m": rng.choice((8, 16, 24, 48)),
+            "stride": rng.randint(1, 96),
+            "seed": rng.randrange(1 << 30),
+        })
+        cases.append({
+            "kind": "cc-direct-stride",
+            "lines": rng.choice((64, 128)),
+            "t_m": 16,
+            "block": rng.randint(2, 128),
+            "stride": rng.randint(1, 512),
+            "seed": rng.randrange(1 << 30),
+        })
+        c = rng.choice((5, 7))
+        value = (1 << c) - 1
+        cases.append({
+            "kind": "cc-prime-stride",
+            "c": c,
+            "t_m": 16,
+            "block": rng.randint(2, value),
+            "stride": rng.choice(
+                (rng.randint(1, 4 * value), value, 2 * value, 3 * value)),
+            "seed": rng.randrange(1 << 30),
+        })
+        cases.append({
+            "kind": "mm-closed-vs-sum",
+            "banks": rng.choice((16, 32, 64)),
+            "t_m": rng.choice((4, 8, 16, 32)),
+            "seed": rng.randrange(1 << 30),
+        })
+    # the stochastic VCM grid is expensive: a fixed handful of points
+    depth = _case_counts(mode, 1, 2)
+    grid = [("mm", 0.35), ("prime", 0.35), ("direct", 0.9)]
+    for model, tolerance in grid:
+        for t_m in ((8,) if depth == 1 else (8, 16)):
+            cases.append({
+                "kind": "validation",
+                "model": model,
+                "t_m": t_m,
+                "block": 512,
+                "seeds": 4 if depth == 1 else 8,
+                "blocks": 3 if depth == 1 else 4,
+                "tolerance": tolerance,
+                "seed": 0,
+            })
+    return cases
+
+
+def _check_analytical(config: dict) -> list[Divergence]:
+    kind = config["kind"]
+    if kind == "mm-strip":
+        machine_config = MachineConfig(
+            num_banks=config["banks"],
+            memory_access_time=config["t_m"], cache_lines=128)
+        stride = config["stride"]
+        memory = InterleavedMemory(config["banks"], config["t_m"])
+        mvl = machine_config.mvl
+        addresses = np.arange(mvl, dtype=np.int64) * stride
+        warm = memory.service_many(addresses, 0, stride=stride)
+        steady = memory.service_many(
+            addresses + mvl * stride, warm.final_cycle, stride=stride)
+        predicted = self_stalls_for_stride(stride, machine_config)
+        if steady.stall_cycles != predicted:
+            return [("mm.steady_strip_stalls", steady.stall_cycles,
+                     predicted,
+                     "analytical/mm.self_stalls_for_stride vs "
+                     "memory/banks.InterleavedMemory (warmed strip)")]
+        return []
+    if kind == "cc-direct-stride":
+        lines, t_m = config["lines"], config["t_m"]
+        model = SetAssociativeModel(
+            MachineConfig(num_banks=32, memory_access_time=t_m,
+                          cache_lines=lines), ways=1)
+        cache = DirectMappedCache(num_lines=lines, classify_misses=False)
+        measured = _reuse_sweep_misses(cache, config["block"],
+                                       config["stride"])
+        predicted = model.self_stalls_for_stride(
+            config["block"], config["stride"]) / t_m
+        if measured != predicted:
+            return [("direct.reuse_sweep_misses", measured, predicted,
+                     "analytical/set_assoc.SetAssociativeModel vs "
+                     "cache/direct.DirectMappedCache replay")]
+        return []
+    if kind == "cc-prime-stride":
+        from repro.analytical.cc import PrimeMappedModel
+
+        c, t_m = config["c"], config["t_m"]
+        value = (1 << c) - 1
+        block, stride = config["block"], config["stride"]
+        cache = PrimeMappedCache(c=c, classify_misses=False)
+        measured = _reuse_sweep_misses(cache, block, stride)
+        # the conflict-freedom law: a reused sweep of B <= C elements
+        # misses everywhere iff C divides the stride, else nowhere
+        law = block if (stride != 0 and stride % value == 0) else 0
+        if measured != law:
+            return [("prime.reuse_sweep_misses", law, measured,
+                     "prime conflict-freedom law vs "
+                     "cache/prime.PrimeMappedCache replay")]
+        model = PrimeMappedModel(
+            MachineConfig(num_banks=32, memory_access_time=t_m,
+                          cache_lines=value))
+        stalls = model.self_stalls_for_stride(block, stride)
+        # Eq. (8) counts the B - 1 refills after the first; the replayed
+        # second sweep counts all B — same law, off by exactly one fill.
+        expected = (block - 1) * t_m if measured else 0.0
+        if stalls != expected:
+            return [("prime.model_stalls", expected, stalls,
+                     "analytical/cc.PrimeMappedModel.self_stalls_for_stride"
+                     " vs replayed reuse misses")]
+        return []
+    if kind == "mm-closed-vs-sum":
+        model = MMModel(MachineConfig(
+            num_banks=config["banks"],
+            memory_access_time=config["t_m"], cache_lines=128))
+        closed = model.self_interference(0.25, "random")
+        summed = model.self_interference_sum_form(0.25)
+        if not math.isclose(closed, summed, rel_tol=1e-9, abs_tol=1e-9):
+            return [("mm.I_s_closed_form", summed, closed,
+                     "Eq.(2) closed form vs divisor-function sum "
+                     "(analytical/mm.py)")]
+        return []
+    if kind == "validation":
+        from repro.experiments.validation import validate_point
+
+        point = validate_point(
+            config["model"], config["t_m"], config["block"],
+            seeds=config["seeds"], blocks=config["blocks"])
+        if point.relative_error >= config["tolerance"]:
+            return [(f"validation.{config['model']}.relative_error",
+                     f"< {config['tolerance']}", point.relative_error,
+                     f"predicted {point.predicted:.3f} vs measured "
+                     f"{point.measured:.3f} "
+                     "(experiments/validation.validate_point)")]
+        return []
+    raise ValueError(f"unknown analytical case kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# congruence: closed forms vs brute-force enumeration
+# ---------------------------------------------------------------------------
+
+def _congruence_cases(mode: str, rng: random.Random) -> list[dict]:
+    rounds = _case_counts(mode, 6, 40)
+    # pinned: gcd(6, 12) = 6 solutions — a solver that loses the
+    # multi-solution family fails here every run
+    cases = [{"kind": "solve", "a": 6, "b": 0, "m": 12, "seed": 0}]
+    for _ in range(rounds):
+        m = rng.randint(2, 64)
+        cases.append({
+            "kind": "solve",
+            "a": rng.randint(0, 2 * m),
+            "b": rng.randint(0, 2 * m),
+            "m": m,
+            "seed": rng.randrange(1 << 30),
+        })
+        banks = rng.choice((4, 8, 16))
+        cases.append({
+            "kind": "cross",
+            "s1": rng.randint(1, 2 * banks),
+            "s2": rng.randint(1, 2 * banks),
+            "d": rng.randint(1, banks),
+            "banks": banks,
+            "mvl": rng.choice((16, 32, 64)),
+            "t_m": rng.choice((4, 8, 12)),
+            "seed": rng.randrange(1 << 30),
+        })
+        cases.append({
+            "kind": "average-vs-closed",
+            "s1": rng.randint(1, 2 * banks),
+            "s2": rng.randint(1, 2 * banks),
+            "banks": banks,
+            "mvl": rng.choice((16, 32)),
+            "t_m": rng.choice((4, 8)),
+            "seed": rng.randrange(1 << 30),
+        })
+    return cases
+
+
+def _check_congruence(config: dict) -> list[Divergence]:
+    kind = config["kind"]
+    if kind == "solve":
+        a, b, m = config["a"], config["b"], config["m"]
+        brute = [x for x in range(m) if (a * x - b) % m == 0]
+        solved = sorted(congruence.solve_linear_congruence(a, b, m))
+        if solved != brute:
+            return [("solve_linear_congruence", brute, solved,
+                     "analytical/congruence.solve_linear_congruence vs "
+                     "brute-force enumeration")]
+        return []
+    if kind == "cross":
+        s1, s2, d = config["s1"], config["s2"], config["d"]
+        banks, mvl, t_m = config["banks"], config["mvl"], config["t_m"]
+        brute = sum(
+            t_m - abs(i - j)
+            for i in range(mvl) for j in range(mvl)
+            if (s1 * i - s2 * j - d) % banks == 0 and abs(i - j) < t_m
+        )
+        fast = congruence.cross_stalls(s1, s2, d, banks, mvl, t_m)
+        if fast != brute:
+            return [("cross_stalls", brute, fast,
+                     "analytical/congruence.cross_stalls vs O(MVL^2) "
+                     "double loop")]
+        return []
+    if kind == "average-vs-closed":
+        s1, s2 = config["s1"], config["s2"]
+        banks, mvl, t_m = config["banks"], config["mvl"], config["t_m"]
+        averaged = congruence.average_cross_stalls(s1, s2, banks, mvl, t_m)
+        closed = congruence.expected_cross_stalls(banks, mvl, t_m)
+        if not math.isclose(averaged, closed, rel_tol=1e-12, abs_tol=1e-9):
+            return [("expected_cross_stalls", averaged, closed,
+                     "closed form vs stride-dependent average "
+                     "(the paper's stride-independence collapse)")]
+        return []
+    raise ValueError(f"unknown congruence case kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# prime-geometry: lines_touched_by_stride vs enumeration
+# ---------------------------------------------------------------------------
+
+def _prime_geometry_cases(mode: str, rng: random.Random) -> list[dict]:
+    rounds = _case_counts(mode, 8, 48)
+    # pinned: a fractional-line stride with two line-offset phases
+    # (true footprint 2), which a phase-collapsed count reports as 1
+    cases = [{"c": 7, "line_size": 4, "stride": 254, "seed": 0}]
+    for _ in range(rounds):
+        c = rng.choice((5, 7))
+        value = (1 << c) - 1
+        line_size = rng.choice((1, 2, 4, 8))
+        stride = rng.choice((
+            rng.randint(1, 4 * value),
+            value, 2 * value,
+            value * max(1, line_size // 2),  # fractional line phases
+            line_size, 2 * line_size,
+        ))
+        cases.append({
+            "c": c,
+            "line_size": line_size,
+            "stride": stride,
+            "seed": rng.randrange(1 << 30),
+        })
+    return cases
+
+
+def _check_prime_geometry(config: dict) -> list[Divergence]:
+    cache = PrimeMappedCache(
+        c=config["c"], line_size_words=config["line_size"],
+        classify_misses=False)
+    stride = config["stride"]
+    value = cache.modulus.value
+    shift = config["line_size"].bit_length() - 1
+    elements = 2 * value * config["line_size"] + 8
+    visited = {((k * stride) >> shift) % value for k in range(elements)}
+    claimed = cache.lines_touched_by_stride(stride)
+    if claimed != len(visited):
+        return [("lines_touched_by_stride", len(visited), claimed,
+                 "cache/prime.lines_touched_by_stride vs enumeration of "
+                 "a base-aligned sweep")]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+ORACLES: dict[str, Oracle] = {
+    oracle.name: oracle
+    for oracle in (
+        Oracle(
+            "cache-batch",
+            "batched Cache.access_many vs the scalar access state machine",
+            _cache_batch_cases, _check_cache_batch),
+        Oracle(
+            "machine-timing",
+            "vectorised strip-level timing engine vs the scalar machine "
+            "reference loop",
+            _machine_timing_cases, _check_machine_timing),
+        Oracle(
+            "analytical-vs-simulated",
+            "analytical CC/MM stall formulas vs executable caches and "
+            "banks",
+            _analytical_cases, _check_analytical),
+        Oracle(
+            "congruence",
+            "congruence closed forms vs brute-force enumeration",
+            _congruence_cases, _check_congruence),
+        Oracle(
+            "prime-geometry",
+            "prime-mapping stride footprint vs enumerated line visits",
+            _prime_geometry_cases, _check_prime_geometry),
+    )
+}
+
+
+def default_oracles() -> list[Oracle]:
+    """The full registry, in deterministic order."""
+    return [ORACLES[name] for name in sorted(ORACLES)]

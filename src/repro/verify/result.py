@@ -1,0 +1,232 @@
+"""Structured results of the differential-verification subsystem.
+
+Every layer of ``repro.verify`` — the oracle sweeps, the golden-baseline
+diff, and the mutation self-check — reports through the dataclasses here,
+so one :class:`VerifyReport` can be rendered for a terminal, serialised
+to JSON for a CI artifact, and asserted on by the test suite without
+re-parsing any text.
+
+The unit of failure is a :class:`Mismatch`: *where* two implementations
+disagreed (oracle, seed, full case configuration) and *what* the first
+diverging value was — enough to re-run the exact case from the report
+alone.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One divergence between a fast/derived implementation and its oracle.
+
+    Attributes:
+        oracle: registry name of the oracle that caught it.
+        seed: the case's reproduction seed.
+        config: the full case configuration (JSON-safe scalars only), so
+            ``Oracle.check_case(config)`` replays the exact failure.
+        metric: the first diverging quantity, e.g. ``"hits[17]"`` or
+            ``"report.bank_stall_cycles"``.
+        expected: the reference implementation's value.
+        actual: the implementation under test's value.
+        detail: optional free-form context (which file/function pair).
+    """
+
+    oracle: str
+    seed: int
+    config: dict
+    metric: str
+    expected: object
+    actual: object
+    detail: str = ""
+
+    def describe(self) -> str:
+        """One actionable line: oracle, seed, config, first divergence."""
+        extra = f"  [{self.detail}]" if self.detail else ""
+        return (
+            f"{self.oracle}: {self.metric} expected {self.expected!r} "
+            f"got {self.actual!r} (seed={self.seed}, "
+            f"config={self.config!r}){extra}"
+        )
+
+
+@dataclass
+class OracleOutcome:
+    """All cases of one oracle over one sweep.
+
+    Attributes:
+        oracle: registry name.
+        description: what pair of implementations the oracle cross-checks.
+        cases: number of case configurations swept.
+        mismatches: every divergence found (empty means the pair agrees).
+    """
+
+    oracle: str
+    description: str
+    cases: int = 0
+    mismatches: list[Mismatch] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+@dataclass(frozen=True)
+class GoldenDiff:
+    """One golden-baseline metric out of tolerance (or missing).
+
+    Attributes:
+        metric_set: baseline file stem under ``results/golden/``.
+        metric: the metric key inside the file.
+        expected: the blessed value (``None`` for a metric the baseline
+            does not know — a new metric that needs re-blessing).
+        actual: the freshly computed value (``None`` when the code no
+            longer produces a blessed metric).
+        tolerance: the relative tolerance the comparison applied.
+    """
+
+    metric_set: str
+    metric: str
+    expected: float | None
+    actual: float | None
+    tolerance: float
+
+    def describe(self) -> str:
+        if self.expected is None:
+            return (f"{self.metric_set}/{self.metric}: not in the blessed "
+                    f"baseline (fresh value {self.actual!r}); re-bless with "
+                    f"`repro verify --bless`")
+        if self.actual is None:
+            return (f"{self.metric_set}/{self.metric}: blessed value "
+                    f"{self.expected!r} is no longer produced")
+        return (f"{self.metric_set}/{self.metric}: expected "
+                f"{self.expected!r} got {self.actual!r} "
+                f"(rel tol {self.tolerance:g})")
+
+
+@dataclass
+class MutationOutcome:
+    """One injected fault and which oracles caught it.
+
+    Attributes:
+        mutation: catalogue name of the injected fault.
+        description: what the fault breaks.
+        expected_oracles: oracles designed to catch this fault.
+        caught_by: oracles that actually reported a mismatch while the
+            fault was active.  Empty means the verification net has a
+            hole.
+    """
+
+    mutation: str
+    description: str
+    expected_oracles: tuple[str, ...]
+    caught_by: list[str] = field(default_factory=list)
+
+    @property
+    def caught(self) -> bool:
+        return bool(self.caught_by)
+
+
+@dataclass
+class VerifyReport:
+    """Aggregate outcome of one ``repro verify`` run."""
+
+    mode: str
+    seed: int
+    oracles: list[OracleOutcome] = field(default_factory=list)
+    golden: list[GoldenDiff] | None = None
+    selfcheck: list[MutationOutcome] | None = None
+
+    @property
+    def mismatches(self) -> list[Mismatch]:
+        """All oracle mismatches, flattened."""
+        return [m for outcome in self.oracles for m in outcome.mismatches]
+
+    @property
+    def holes(self) -> list[MutationOutcome]:
+        """Self-check mutations no oracle caught."""
+        return [m for m in self.selfcheck or [] if not m.caught]
+
+    @property
+    def ok(self) -> bool:
+        """Clean run: no mismatch, no golden drift, no self-check hole."""
+        return (not self.mismatches and not self.golden
+                and not self.holes)
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (the CI artifact)."""
+        return {
+            "mode": self.mode,
+            "seed": self.seed,
+            "ok": self.ok,
+            "oracles": [
+                {
+                    "oracle": o.oracle,
+                    "description": o.description,
+                    "cases": o.cases,
+                    "mismatches": [
+                        {
+                            "oracle": m.oracle,
+                            "seed": m.seed,
+                            "config": m.config,
+                            "metric": m.metric,
+                            "expected": repr(m.expected),
+                            "actual": repr(m.actual),
+                            "detail": m.detail,
+                        }
+                        for m in o.mismatches
+                    ],
+                }
+                for o in self.oracles
+            ],
+            "golden": None if self.golden is None else [
+                {
+                    "metric_set": d.metric_set,
+                    "metric": d.metric,
+                    "expected": d.expected,
+                    "actual": d.actual,
+                    "tolerance": d.tolerance,
+                }
+                for d in self.golden
+            ],
+            "selfcheck": None if self.selfcheck is None else [
+                {
+                    "mutation": m.mutation,
+                    "description": m.description,
+                    "expected_oracles": list(m.expected_oracles),
+                    "caught_by": m.caught_by,
+                    "caught": m.caught,
+                }
+                for m in self.selfcheck
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        """Human-readable summary, one section per layer."""
+        lines = [f"differential verification ({self.mode}, seed {self.seed})"]
+        for outcome in self.oracles:
+            verdict = "ok" if outcome.ok else f"{len(outcome.mismatches)} MISMATCH"
+            lines.append(f"  oracle {outcome.oracle:28s} "
+                         f"{outcome.cases:4d} cases  {verdict}")
+            for mismatch in outcome.mismatches:
+                lines.append(f"    {mismatch.describe()}")
+        if self.golden is not None:
+            verdict = "ok" if not self.golden else f"{len(self.golden)} DRIFT"
+            lines.append(f"  golden baselines: {verdict}")
+            for diff in self.golden:
+                lines.append(f"    {diff.describe()}")
+        if self.selfcheck is not None:
+            holes = self.holes
+            verdict = "no holes" if not holes else f"{len(holes)} HOLE"
+            lines.append(f"  mutation self-check: {verdict}")
+            for outcome in self.selfcheck:
+                status = (f"caught by {', '.join(outcome.caught_by)}"
+                          if outcome.caught else "NOT CAUGHT")
+                lines.append(f"    {outcome.mutation:32s} {status}")
+        lines.append("verdict: " + ("CLEAN" if self.ok else "FAILED"))
+        return "\n".join(lines)

@@ -1,0 +1,68 @@
+"""The seeded differential runner: sweep the oracle registry, report
+structured mismatches.
+
+The runner is deliberately small — all domain knowledge lives in the
+oracles.  Its contract:
+
+* **Reproducible.**  Case generation draws from a per-oracle
+  ``random.Random(f"{seed}:{oracle.name}")`` stream, so one oracle's
+  sweep never shifts another's, and a mismatch report names the seed and
+  the full case configuration needed to replay it in isolation.
+* **Structured.**  Each divergence an oracle returns is wrapped into a
+  :class:`~repro.verify.result.Mismatch` carrying the oracle name, the
+  case seed, the configuration, and the first diverging value.
+* **Total.**  An oracle raising mid-case is itself a finding, not a
+  crash: the exception is folded into a mismatch with metric
+  ``"exception"``.
+"""
+
+from __future__ import annotations
+
+import random
+import traceback
+
+from repro.verify.oracles import Oracle, default_oracles
+from repro.verify.result import Mismatch, OracleOutcome
+
+__all__ = ["DifferentialRunner"]
+
+
+class DifferentialRunner:
+    """Sweeps oracles over seeded case grids and collects mismatches.
+
+    Args:
+        oracles: the oracles to sweep (default: the full registry).
+        seed: base seed; each oracle derives its own independent stream.
+    """
+
+    def __init__(self, oracles: list[Oracle] | None = None, *,
+                 seed: int = 0) -> None:
+        self.oracles = default_oracles() if oracles is None else list(oracles)
+        self.seed = seed
+
+    def run(self, mode: str = "quick") -> list[OracleOutcome]:
+        """Sweep every oracle at ``mode`` depth; one outcome per oracle."""
+        return [self.run_oracle(oracle, mode) for oracle in self.oracles]
+
+    def run_oracle(self, oracle: Oracle, mode: str) -> OracleOutcome:
+        rng = random.Random(f"{self.seed}:{oracle.name}")
+        outcome = OracleOutcome(oracle=oracle.name,
+                                description=oracle.description)
+        for config in oracle.build_cases(mode, rng):
+            outcome.cases += 1
+            case_seed = int(config.get("seed", self.seed))
+            try:
+                divergences = oracle.check_case(config)
+            except Exception as exc:  # noqa: BLE001 - a crash is a finding
+                outcome.mismatches.append(Mismatch(
+                    oracle=oracle.name, seed=case_seed, config=config,
+                    metric="exception", expected="no exception",
+                    actual=f"{type(exc).__name__}: {exc}",
+                    detail=traceback.format_exc(limit=3).strip()))
+                continue
+            for metric, expected, actual, detail in divergences:
+                outcome.mismatches.append(Mismatch(
+                    oracle=oracle.name, seed=case_seed, config=config,
+                    metric=metric, expected=expected, actual=actual,
+                    detail=detail))
+        return outcome

@@ -85,3 +85,43 @@ class TestSimulatedFigures:
         result = figure7_simulated([8], block=64, seeds=1, blocks=1)
         assert "R=64" in result.notes
         assert "truncat" not in result.notes.lower()
+
+
+class TestSeedStability:
+    """Per-sample seeds derive from the base seed and sample index only,
+    never from worker scheduling — figures are identical for any
+    ``workers`` value."""
+
+    def test_sample_seeds_derive_from_base_seed(self):
+        from repro.experiments.simulated_figures import _sample_seeds
+
+        assert _sample_seeds(0, 4) == [0, 1, 2, 3]
+        assert _sample_seeds(2, 3) == [2 * 1_000_003 + i for i in range(3)]
+        # disjoint families for distinct base seeds (within typical sizes)
+        assert not set(_sample_seeds(1, 64)) & set(_sample_seeds(2, 64))
+
+    def test_one_worker_equals_four_workers(self):
+        serial = figure7_simulated([16], block=256, reuse=4, seeds=4,
+                                   blocks=2, workers=1, base_seed=9)
+        pooled = figure7_simulated([16], block=256, reuse=4, seeds=4,
+                                   blocks=2, workers=4, base_seed=9)
+        for series_a, series_b in zip(serial.series, pooled.series):
+            assert series_a.values == series_b.values
+
+    def test_base_seed_selects_a_different_sample_family(self):
+        a = figure7_simulated([16], block=256, reuse=4, seeds=2, blocks=2,
+                              base_seed=0)
+        b = figure7_simulated([16], block=256, reuse=4, seeds=2, blocks=2,
+                              base_seed=1)
+        assert any(
+            series_a.values != series_b.values
+            for series_a, series_b in zip(a.series, b.series)
+        )
+
+    def test_fig8_accepts_base_seed(self):
+        a = figure8_simulated([256], t_m=16, reuse=4, seeds=2, blocks=2,
+                              base_seed=3)
+        b = figure8_simulated([256], t_m=16, reuse=4, seeds=2, blocks=2,
+                              base_seed=3, workers=2)
+        for series_a, series_b in zip(a.series, b.series):
+            assert series_a.values == series_b.values

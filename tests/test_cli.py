@@ -81,14 +81,16 @@ class TestCommands:
         seen = {}
         real = experiments.figure7_simulated
 
-        def tiny(seeds, workers):
+        def tiny(seeds, workers, base_seed):
             seen["seeds"], seen["workers"] = seeds, workers
+            seen["base_seed"] = base_seed
             return real([8], block=64, reuse=2, seeds=1, blocks=1)
 
         monkeypatch.setattr(experiments, "figure7_simulated", tiny)
         assert main(["figures", "--simulated", "fig7",
-                     "--seeds", "2", "--workers", "3"]) == 0
-        assert seen == {"seeds": 2, "workers": 3}
+                     "--seeds", "2", "--workers", "3",
+                     "--base-seed", "5"]) == 0
+        assert seen == {"seeds": 2, "workers": 3, "base_seed": 5}
         assert "fig7" in capsys.readouterr().out
 
     def test_figures_simulated_unknown(self, capsys):
@@ -126,3 +128,92 @@ class TestCommands:
         Trace.from_addresses([3, 99, 7]).save(path)
         assert main(["fit", str(path)]) == 1
         assert "cannot fit" in capsys.readouterr().out
+
+
+class TestCheckCommand:
+    def test_all_claims_pass(self, capsys):
+        assert main(["check", "fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+        assert "0 claim(s) failing" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["check", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().out
+
+    def test_claim_failure_exits_nonzero(self, capsys, monkeypatch):
+        from repro.experiments import checks
+
+        def broken(result):
+            return [checks.ClaimCheck(result.figure_id, "forced failure",
+                                      False, "injected by test")]
+
+        monkeypatch.setitem(checks._CHECKERS, "fig9", broken)
+        assert main(["check", "fig9"]) == 1
+        out = capsys.readouterr().out
+        assert "[FAIL]" in out
+        assert "FAILED: 1 claim(s) failing" in out
+
+    def test_figures_claim_failure_exits_nonzero(self, capsys, monkeypatch):
+        from repro.experiments import checks
+
+        def broken(result):
+            return [checks.ClaimCheck(result.figure_id, "forced failure",
+                                      False, "injected by test")]
+
+        monkeypatch.setitem(checks._CHECKERS, "fig9", broken)
+        assert main(["figures", "fig9"]) == 1
+        assert "[FAIL]" in capsys.readouterr().out
+
+
+class TestVerifyCommand:
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["verify", "--deep", "--seed", "7", "--json", "r.json"])
+        assert args.deep and not args.quick
+        assert args.seed == 7
+        assert args.json == "r.json"
+
+    def test_quick_and_deep_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--quick", "--deep"])
+
+    def test_oracle_sweep_clean(self, capsys):
+        assert main(["verify", "--quick", "--no-golden",
+                     "--no-selfcheck"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: CLEAN" in out
+        assert "oracle cache-batch" in out
+
+    def test_json_artifact(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "VERIFY_report.json"
+        assert main(["verify", "--quick", "--no-golden", "--no-selfcheck",
+                     "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["ok"] is True
+        assert payload["mode"] == "quick"
+        assert {o["oracle"] for o in payload["oracles"]} >= {
+            "cache-batch", "machine-timing"}
+
+    def test_unknown_mutation(self, capsys):
+        assert main(["verify", "--mutate", "nonexistent-fault"]) == 2
+        assert "unknown mutation" in capsys.readouterr().out
+
+    def test_injected_mutation_exits_nonzero(self, capsys):
+        assert main(["verify", "--quick",
+                     "--mutate", "congruence-lost-solutions"]) == 1
+        out = capsys.readouterr().out
+        assert "MISMATCH" in out
+        assert "verdict: FAILED" in out
+
+    def test_bless_writes_baselines(self, capsys, monkeypatch, tmp_path):
+        import repro.verify as verify
+
+        def fake_bless():
+            return [tmp_path / "figures.json"]
+
+        monkeypatch.setattr(verify, "bless", fake_bless)
+        assert main(["verify", "--bless"]) == 0
+        assert "blessed" in capsys.readouterr().out

@@ -1,0 +1,97 @@
+"""Tests for the golden-baseline regression layer.
+
+``TestCommittedBaselines.test_fresh_runs_match_blessed`` is the tier-1
+regression gate: it diffs freshly computed figure/replay/machine metrics
+against the JSON committed under ``results/golden/``.  A deliberate
+behaviour change must re-bless (``repro verify --bless``) in the same
+commit.
+"""
+
+import json
+
+from repro.verify.golden import (
+    GOLDEN_DIR,
+    METRIC_SETS,
+    bless,
+    compare,
+    compute_metrics,
+)
+
+
+class TestCommittedBaselines:
+    def test_baseline_files_committed(self):
+        for name in METRIC_SETS:
+            path = GOLDEN_DIR / f"{name}.json"
+            assert path.exists(), f"missing blessed baseline {path}"
+            payload = json.loads(path.read_text())
+            assert payload["metric_set"] == name
+            assert payload["metrics"]
+
+    def test_fresh_runs_match_blessed(self):
+        diffs = compare()
+        assert diffs == [], "\n".join(d.describe() for d in diffs)
+
+
+class TestMetricSets:
+    def test_three_layers_covered(self):
+        assert set(METRIC_SETS) == {"figures", "replay", "machine"}
+
+    def test_figures_metrics_cover_every_figure(self):
+        metrics = compute_metrics("figures")
+        figure_ids = {key.split("/")[0] for key in metrics}
+        assert figure_ids == {"fig4", "fig5", "fig6", "fig7", "fig8",
+                              "fig9", "fig10", "fig11a", "fig11b"}
+
+    def test_replay_metrics_are_integral(self):
+        metrics = compute_metrics("replay")
+        assert metrics
+        assert all(value == int(value) for value in metrics.values())
+
+    def test_recompute_is_deterministic(self):
+        assert compute_metrics("replay") == compute_metrics("replay")
+
+
+class TestBlessCompare:
+    def test_round_trip_clean(self, tmp_path):
+        bless(tmp_path, names=["replay"])
+        assert compare(tmp_path, names=["replay"]) == []
+
+    def test_missing_baseline_asks_for_blessing(self, tmp_path):
+        [diff] = compare(tmp_path, names=["replay"])
+        assert diff.metric_set == "replay"
+        assert diff.expected is None
+        assert "bless" in diff.describe()
+
+    def test_drift_detected_with_values(self, tmp_path):
+        [path] = bless(tmp_path, names=["replay"])
+        payload = json.loads(path.read_text())
+        metric = sorted(payload["metrics"])[0]
+        payload["metrics"][metric] += 1.0
+        path.write_text(json.dumps(payload))
+        [diff] = compare(tmp_path, names=["replay"])
+        assert diff.metric == metric
+        assert diff.expected == diff.actual + 1.0
+        description = diff.describe()
+        assert metric in description
+        assert repr(diff.actual) in description
+
+    def test_per_metric_tolerance_override(self, tmp_path):
+        [path] = bless(tmp_path, names=["replay"])
+        payload = json.loads(path.read_text())
+        metric = sorted(payload["metrics"])[0]
+        payload["metrics"][metric] += 1.0
+        payload["tolerances"] = {metric: 10.0}
+        path.write_text(json.dumps(payload))
+        assert compare(tmp_path, names=["replay"]) == []
+
+    def test_new_and_vanished_metrics_reported(self, tmp_path):
+        [path] = bless(tmp_path, names=["replay"])
+        payload = json.loads(path.read_text())
+        dropped = sorted(payload["metrics"])[0]
+        del payload["metrics"][dropped]
+        payload["metrics"]["replay/phantom"] = 7.0
+        path.write_text(json.dumps(payload))
+        diffs = {d.metric: d for d in compare(tmp_path, names=["replay"])}
+        assert diffs[dropped].expected is None  # new metric, needs bless
+        assert diffs["replay/phantom"].actual is None  # no longer produced
+        assert "no longer produced" in diffs["replay/phantom"].describe()

@@ -1,0 +1,72 @@
+"""Tests for the mutation self-check: the net must have no holes."""
+
+from repro.verify import MUTATIONS, ORACLES, run_selfcheck
+
+
+class TestCatalogue:
+    def test_issue_faults_catalogued(self):
+        # the three faults the issue names, plus the two this codebase
+        # nearly shipped
+        assert set(MUTATIONS) == {
+            "fold-modulus-off-by-one",
+            "dropped-bank-busy-stall",
+            "wrong-mersenne-modulus",
+            "congruence-lost-solutions",
+            "phase-collapsed-footprint",
+        }
+
+    def test_expected_oracles_exist(self):
+        for mutation in MUTATIONS.values():
+            assert mutation.expected_oracles
+            for name in mutation.expected_oracles:
+                assert name in ORACLES, (mutation.name, name)
+
+
+class TestSelfCheck:
+    def test_every_mutation_caught_by_an_expected_oracle(self):
+        outcomes = run_selfcheck(seed=0, mode="quick")
+        assert len(outcomes) == len(MUTATIONS)
+        for outcome in outcomes:
+            assert outcome.caught, f"{outcome.mutation} slipped the net"
+            assert set(outcome.expected_oracles) & set(outcome.caught_by), (
+                f"{outcome.mutation} caught only by "
+                f"{outcome.caught_by}, expected one of "
+                f"{outcome.expected_oracles}")
+
+    def test_patches_are_restored(self):
+        from repro.analytical import congruence
+        from repro.cache.prime import PrimeMappedCache
+        from repro.memory.banks import InterleavedMemory
+
+        originals = (
+            PrimeMappedCache._map_sets_batch,
+            PrimeMappedCache.lines_touched_by_stride,
+            InterleavedMemory.service_many,
+            congruence.solve_linear_congruence,
+        )
+        run_selfcheck(seed=0, mode="quick",
+                      mutations=["fold-modulus-off-by-one",
+                                 "congruence-lost-solutions"])
+        assert originals == (
+            PrimeMappedCache._map_sets_batch,
+            PrimeMappedCache.lines_touched_by_stride,
+            InterleavedMemory.service_many,
+            congruence.solve_linear_congruence,
+        )
+
+    def test_single_mutation_selection(self):
+        [outcome] = run_selfcheck(seed=0, mode="quick",
+                                  mutations=["congruence-lost-solutions"])
+        assert outcome.mutation == "congruence-lost-solutions"
+        assert "congruence" in outcome.caught_by
+
+    def test_restored_world_is_clean_again(self):
+        # a fault active during the self-check must not leak into a
+        # subsequent ordinary sweep
+        run_selfcheck(seed=0, mode="quick",
+                      mutations=["dropped-bank-busy-stall"])
+        from repro.verify import DifferentialRunner
+
+        outcome = DifferentialRunner(
+            [ORACLES["machine-timing"]], seed=0).run("quick")[0]
+        assert outcome.ok, [m.describe() for m in outcome.mismatches]

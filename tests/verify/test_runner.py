@@ -1,0 +1,135 @@
+"""Tests for the differential runner's mismatch reporting.
+
+The satellite requirement: a deliberately broken toy oracle must come
+back as a *structured, actionable* report — oracle name, seed, full case
+configuration, and the first diverging value — not a stack trace or a
+bare assertion.
+"""
+
+import json
+import random
+
+from repro.verify import ORACLES, DifferentialRunner, Oracle, VerifyReport
+from repro.verify.result import Mismatch, OracleOutcome
+
+
+def _toy_cases(mode, rng):
+    return [{"value": 3, "seed": 41}, {"value": 4, "seed": 42}]
+
+
+def _broken_check(config):
+    # "fast path" squares-plus-one whenever the input is even
+    value = config["value"]
+    if value % 2 == 0:
+        return [("square", value * value, value * value + 1,
+                 "toy fast path drops the carry")]
+    return []
+
+
+BROKEN_TOY = Oracle("toy-broken", "deliberately broken toy oracle",
+                    _toy_cases, _broken_check)
+
+
+class TestMismatchReporting:
+    def test_broken_toy_oracle_yields_structured_mismatch(self):
+        outcome = DifferentialRunner([BROKEN_TOY], seed=9).run("quick")[0]
+        assert outcome.oracle == "toy-broken"
+        assert outcome.cases == 2
+        assert not outcome.ok
+        [mismatch] = outcome.mismatches
+        assert mismatch.oracle == "toy-broken"
+        assert mismatch.seed == 42
+        assert mismatch.config == {"value": 4, "seed": 42}
+        assert mismatch.metric == "square"
+        assert mismatch.expected == 16
+        assert mismatch.actual == 17
+
+    def test_describe_is_actionable(self):
+        outcome = DifferentialRunner([BROKEN_TOY], seed=9).run("quick")[0]
+        text = outcome.mismatches[0].describe()
+        # everything needed to replay the failure, in one line
+        assert "toy-broken" in text
+        assert "square" in text
+        assert "16" in text and "17" in text
+        assert "seed=42" in text
+        assert "'value': 4" in text
+        assert "drops the carry" in text
+
+    def test_crashing_oracle_is_a_finding_not_a_crash(self):
+        def explode(config):
+            raise ValueError("boom on purpose")
+
+        oracle = Oracle("toy-crash", "raises mid-case", _toy_cases, explode)
+        outcome = DifferentialRunner([oracle], seed=9).run("quick")[0]
+        assert len(outcome.mismatches) == 2
+        first = outcome.mismatches[0]
+        assert first.metric == "exception"
+        assert "ValueError: boom on purpose" in first.actual
+        assert "boom" in first.detail
+
+    def test_report_render_and_json(self):
+        report = VerifyReport(mode="quick", seed=9)
+        report.oracles = DifferentialRunner([BROKEN_TOY], seed=9).run(
+            "quick")
+        assert not report.ok
+        rendered = report.render()
+        assert "1 MISMATCH" in rendered
+        assert "verdict: FAILED" in rendered
+        payload = json.loads(report.to_json())
+        assert payload["ok"] is False
+        [mismatch] = payload["oracles"][0]["mismatches"]
+        assert mismatch["metric"] == "square"
+        assert mismatch["config"] == {"value": 4, "seed": 42}
+
+    def test_clean_report_renders_clean(self):
+        def agree(config):
+            return []
+
+        oracle = Oracle("toy-clean", "always agrees", _toy_cases, agree)
+        report = VerifyReport(mode="quick", seed=9)
+        report.oracles = DifferentialRunner([oracle], seed=9).run("quick")
+        assert report.ok
+        assert "verdict: CLEAN" in report.render()
+
+
+class TestSeeding:
+    def test_per_oracle_streams_match_documented_derivation(self):
+        captured = {}
+
+        def capture_cases(mode, rng):
+            captured["draw"] = rng.random()
+            return []
+
+        oracle = Oracle("toy-seeded", "captures its stream",
+                        capture_cases, lambda config: [])
+        DifferentialRunner([oracle], seed=5).run("quick")
+        expected = random.Random("5:toy-seeded").random()
+        assert captured["draw"] == expected
+
+    def test_runs_reproducible(self):
+        a = DifferentialRunner(seed=11).run_oracle(
+            ORACLES["congruence"], "quick")
+        b = DifferentialRunner(seed=11).run_oracle(
+            ORACLES["congruence"], "quick")
+        assert a.cases == b.cases
+        assert a.mismatches == b.mismatches
+
+
+class TestResultModel:
+    def test_outcome_ok_property(self):
+        outcome = OracleOutcome(oracle="o", description="d", cases=1)
+        assert outcome.ok
+        outcome.mismatches.append(Mismatch(
+            oracle="o", seed=1, config={}, metric="m",
+            expected=1, actual=2))
+        assert not outcome.ok
+
+    def test_report_flattens_mismatches(self):
+        report = VerifyReport(mode="quick", seed=0)
+        report.oracles = [
+            OracleOutcome(oracle="a", description="", cases=1,
+                          mismatches=[Mismatch("a", 1, {}, "x", 0, 1)]),
+            OracleOutcome(oracle="b", description="", cases=1,
+                          mismatches=[Mismatch("b", 2, {}, "y", 0, 1)]),
+        ]
+        assert [m.oracle for m in report.mismatches] == ["a", "b"]
