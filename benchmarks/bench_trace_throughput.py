@@ -1,0 +1,213 @@
+"""Benchmark: columnar trace generation versus the scalar reference path.
+
+The trace layer carries two interchangeable construction paths: the
+per-reference scalar loops (``columnar=False``, one ``Trace.append`` per
+access) and the columnar engine that emits whole ``np.arange``-built
+address blocks through ``Trace.append_block``.  This bench generates the
+two trace-heavy workloads the acceptance criteria name — a blocked matmul
+kernel and the paper's random-multistride pattern — on both paths, checks
+the traces are bit-for-bit identical and the replay reports agree
+exactly, and records generation and end-to-end (generate -> batched
+replay) throughput in ``BENCH_trace.json`` at the repo root.
+
+The end-to-end legs compare whole pipelines, not just generation: the
+scalar leg replays through the per-``Access`` compatibility view — the
+pre-columnar engine stored object lists and rebuilt address arrays with
+``np.fromiter`` on every replay, so that conversion is part of its
+honest cost — while the columnar leg streams sealed chunks into
+``access_many`` zero-copy.
+
+The acceptance bar is a >= 10x aggregate generation speedup and >= 5x
+end-to-end per workload.  Runable standalone
+(``python benchmarks/bench_trace_throughput.py``) or under pytest.  Set
+``BENCH_TRACE_SMOKE=1`` for a seconds-scale smoke run (tiny problem
+sizes, no speedup floors) — used by CI to exercise the harness and
+publish the artifact without paying the scalar paths' full runtime.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.cache import PrimeMappedCache
+from repro.trace.patterns import multistride
+from repro.trace.records import Trace
+from repro.trace.replay import replay
+from repro.workloads.matmul import blocked_matmul
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_trace.json"
+
+SMOKE = bool(os.environ.get("BENCH_TRACE_SMOKE"))
+MATMUL_N = 16 if SMOKE else 48
+MATMUL_BLOCK = 8
+MULTI_LENGTH = 256 if SMOKE else 2048
+MULTI_VECTORS = 8 if SMOKE else 64
+MULTI_SWEEPS = 2
+T_M = 16
+GEN_SPEEDUP_FLOOR = 10.0        # aggregate, generation only
+END_TO_END_FLOOR = 5.0          # per workload, generate -> batched replay
+
+
+def _make_cache():
+    # prime-mapped, no classifier: the replay fast path the kernels feed
+    return PrimeMappedCache(c=13, line_size_words=4, classify_misses=False)
+
+
+def _gen_matmul(columnar: bool):
+    rng = np.random.default_rng(7)
+    a = rng.standard_normal((MATMUL_N, MATMUL_N))
+    b = rng.standard_normal((MATMUL_N, MATMUL_N))
+    _, trace = blocked_matmul(a, b, MATMUL_BLOCK, columnar=columnar)
+    return trace
+
+
+def _gen_multistride(columnar: bool):
+    return multistride(MULTI_LENGTH, MULTI_VECTORS, 512,
+                       sweeps=MULTI_SWEEPS, seed=7, columnar=columnar)
+
+
+WORKLOADS = {
+    "blocked-matmul": _gen_matmul,
+    "multistride": _gen_multistride,
+}
+
+
+def _traces_identical(columnar, scalar) -> bool:
+    addresses_c, writes_c = columnar.as_arrays()
+    addresses_s, writes_s = scalar.as_arrays()
+    if not np.array_equal(addresses_c, addresses_s):
+        return False
+    dense_c = (writes_c if writes_c is not None
+               else np.zeros(addresses_c.size, dtype=bool))
+    dense_s = (writes_s if writes_s is not None
+               else np.zeros(addresses_s.size, dtype=bool))
+    return bool(np.array_equal(dense_c, dense_s))
+
+
+def _replay_via_access_view(trace, cache):
+    """Replay along the pre-columnar data path.
+
+    The seed engine stored ``list[Access]`` and every replay paid an
+    object walk plus two ``np.fromiter`` passes to recover address and
+    write arrays.  Reconstructing that conversion here keeps the scalar
+    end-to-end leg honest about what the object representation cost.
+    """
+    accesses = trace.accesses
+    count = len(accesses)
+    addresses = np.fromiter(
+        (access.address for access in accesses), np.int64, count=count)
+    writes = np.fromiter(
+        (access.write for access in accesses), np.bool_, count=count)
+    rebuilt = Trace(description=trace.description)
+    rebuilt.append_block(addresses, write=writes)
+    return replay(rebuilt, cache, t_m=T_M)
+
+
+def _replay_tuple(result):
+    stats = result.stats
+    return (stats.accesses, stats.hits, stats.misses, stats.reads,
+            stats.writes, stats.evictions, result.stall_cycles)
+
+
+def measure(name: str, generate) -> dict:
+    """Generate + replay one workload on both paths; returns the record."""
+
+    def timed(fn, reps: int):
+        best = float("inf")
+        value = None
+        for _ in range(reps):
+            start = time.perf_counter()
+            value = fn()
+            best = min(best, time.perf_counter() - start)
+        return best, value
+
+    gen_fast_seconds, trace_fast = timed(lambda: generate(True), reps=3)
+    gen_scalar_seconds, trace_scalar = timed(lambda: generate(False), reps=1)
+
+    if not _traces_identical(trace_fast, trace_scalar):
+        raise AssertionError(
+            f"{name}: columnar trace diverges from the scalar path")
+
+    end_fast_seconds, replay_fast = timed(
+        lambda: replay(generate(True), _make_cache(), t_m=T_M), reps=3)
+    end_scalar_seconds, replay_scalar = timed(
+        lambda: _replay_via_access_view(generate(False), _make_cache()),
+        reps=1)
+
+    if _replay_tuple(replay_fast) != _replay_tuple(replay_scalar):
+        raise AssertionError(
+            f"{name}: replay reports diverge between paths: "
+            f"{_replay_tuple(replay_fast)} != {_replay_tuple(replay_scalar)}")
+
+    accesses = len(trace_fast)
+    return {
+        "workload": name,
+        "accesses": accesses,
+        "gen_scalar_seconds": round(gen_scalar_seconds, 4),
+        "gen_columnar_seconds": round(gen_fast_seconds, 4),
+        "gen_scalar_accesses_per_sec": round(accesses / gen_scalar_seconds),
+        "gen_columnar_accesses_per_sec": round(accesses / gen_fast_seconds),
+        "gen_speedup": round(gen_scalar_seconds / gen_fast_seconds, 2),
+        "end_to_end_scalar_seconds": round(end_scalar_seconds, 4),
+        "end_to_end_columnar_seconds": round(end_fast_seconds, 4),
+        "end_to_end_speedup": round(
+            end_scalar_seconds / end_fast_seconds, 2),
+        "hit_ratio": round(replay_fast.hit_ratio, 6),
+        "reports_identical": True,
+    }
+
+
+def run() -> dict:
+    records = [measure(name, generate)
+               for name, generate in WORKLOADS.items()]
+    payload = {
+        "benchmark": "trace_throughput",
+        "workload": ("blocked matmul + multistride"
+                     + (", smoke (tiny sizes)" if SMOKE else "")),
+        "smoke": SMOKE,
+        "gen_speedup_floor": None if SMOKE else GEN_SPEEDUP_FLOOR,
+        "end_to_end_speedup_floor": None if SMOKE else END_TO_END_FLOOR,
+        "aggregate_gen_speedup": round(
+            sum(r["gen_scalar_seconds"] for r in records)
+            / sum(r["gen_columnar_seconds"] for r in records), 2),
+        "results": records,
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_columnar_generation_meets_speedup_floor():
+    payload = run()
+    for record in payload["results"]:
+        assert record["reports_identical"]
+        if not SMOKE:
+            assert record["end_to_end_speedup"] >= END_TO_END_FLOOR, (
+                f"{record['workload']}: {record['end_to_end_speedup']}x "
+                f"end-to-end < {END_TO_END_FLOOR}x floor")
+    if not SMOKE:
+        assert payload["aggregate_gen_speedup"] >= GEN_SPEEDUP_FLOOR, (
+            f"aggregate generation speedup "
+            f"{payload['aggregate_gen_speedup']}x < {GEN_SPEEDUP_FLOOR}x")
+
+
+if __name__ == "__main__":
+    result = run()
+    print(json.dumps(result, indent=2))
+    floor = result["gen_speedup_floor"]
+    status = ("ok" if floor is None
+              or result["aggregate_gen_speedup"] >= floor else "BELOW FLOOR")
+    print(f"aggregate generation: {result['aggregate_gen_speedup']}x "
+          f"({status})")
+    for record in result["results"]:
+        e2e_floor = result["end_to_end_speedup_floor"]
+        status = ("ok" if e2e_floor is None
+                  or record["end_to_end_speedup"] >= e2e_floor
+                  else "BELOW FLOOR")
+        print(f"{record['workload']}: gen {record['gen_speedup']}x, "
+              f"end-to-end {record['end_to_end_speedup']}x ({status})")

@@ -51,15 +51,18 @@ class StrideRun:
 
 def split_stride_runs(trace: Trace, *, reads_only: bool = True) -> list[StrideRun]:
     """Greedy maximal-run decomposition of a reference stream."""
-    accesses = trace.reads().accesses if reads_only else trace.accesses
+    all_addresses, write_flags = trace.as_arrays()
+    if reads_only and write_flags is not None:
+        all_addresses = all_addresses[~write_flags]
+    addresses = all_addresses.tolist()
     runs: list[StrideRun] = []
-    if not accesses:
+    if not addresses:
         return runs
-    base = accesses[0].address
+    base = addresses[0]
     stride = 0
     length = 1
-    for access in accesses[1:]:
-        step = access.address - (base + (length - 1) * stride)
+    for address in addresses[1:]:
+        step = address - (base + (length - 1) * stride)
         if length == 1:
             stride = step
             length = 2
@@ -67,7 +70,7 @@ def split_stride_runs(trace: Trace, *, reads_only: bool = True) -> list[StrideRu
             length += 1
         else:
             runs.append(StrideRun(base, stride if length > 1 else 0, length))
-            base = access.address
+            base = address
             stride = 0
             length = 1
     runs.append(StrideRun(base, stride if length > 1 else 0, length))

@@ -100,13 +100,16 @@ def simulate_opt(
         set_of = lambda line: line % num_sets  # noqa: E731 - default map
     ways = total_lines // num_sets
 
-    lines = [access.address >> offset_bits for access in trace]
+    addresses, write_flags = trace.as_arrays()
+    lines = (addresses >> offset_bits).tolist()
+    writes = (write_flags.tolist() if write_flags is not None
+              else [False] * len(lines))
     next_use = _next_use_indexes(lines)
 
     result = BeladyResult()
     resident: dict[int, dict[int, float]] = defaultdict(dict)  # set -> line -> next use
     for index, line in enumerate(lines):
-        write = trace.accesses[index].write
+        write = writes[index]
         content = resident[set_of(line)]
         if line in content:
             result.stats.record(hit=True, write=write, kind=None)

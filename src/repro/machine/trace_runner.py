@@ -58,10 +58,11 @@ def run_trace(machine: VectorMachine, trace: Trace) -> ExecutionReport:
 def _run_uncached(machine: MMMachine, trace: Trace,
                   report: ExecutionReport) -> None:
     # Flat-local transcription of the per-access rules: the loop carries
-    # the clock, bank state, and bus/stat counters in locals and writes
-    # them back once.  Because the clock strictly increases between bus
-    # requests, read grants alternate read0/read1 and no request ever
-    # waits, so the bus writeback is a pure counter update.
+    # the clock, bank state, and bus/stat counters in locals across the
+    # trace's sealed chunks and writes them back once.  Because the clock
+    # strictly increases between bus requests, read grants alternate
+    # read0/read1 and no request ever waits, so the bus writeback is a
+    # pure counter update.
     mem = machine.memory
     bank_of = mem.scheme.bank_of
     free = mem._bank_free_at
@@ -74,26 +75,27 @@ def _run_uncached(machine: MMMachine, trace: Trace,
     writes_seen = 0
     last_read = [0, 0]
     last_write = 0
-    for access in trace:
-        address = access.address
-        if address < 0:
-            raise ValueError("addresses must be non-negative")
-        bank = bank_of(address)
-        ready = free[bank]
-        stall = ready - cycle if ready > cycle else 0
-        free[bank] = cycle + stall + t_m
-        bank_counts[bank] += 1
-        if access.write:
-            # buffered: the stall delays the bank, never the clock
-            write_stall += stall
-            writes_seen += 1
-            last_write = cycle
-            cycle += 1
-        else:
-            bank_stall += stall
-            last_read[reads & 1] = cycle
-            reads += 1
-            cycle += 1 + stall
+    for chunk, chunk_writes in trace.iter_blocks():
+        address_list = chunk.tolist()
+        write_list = (chunk_writes.tolist()
+                      if chunk_writes is not None else None)
+        for i, address in enumerate(address_list):
+            bank = bank_of(address)
+            ready = free[bank]
+            stall = ready - cycle if ready > cycle else 0
+            free[bank] = cycle + stall + t_m
+            bank_counts[bank] += 1
+            if write_list is not None and write_list[i]:
+                # buffered: the stall delays the bank, never the clock
+                write_stall += stall
+                writes_seen += 1
+                last_write = cycle
+                cycle += 1
+            else:
+                bank_stall += stall
+                last_read[reads & 1] = cycle
+                reads += 1
+                cycle += 1 + stall
     report.bank_stall_cycles += bank_stall
     machine._cycle = cycle
     stats = mem.stats
@@ -119,20 +121,15 @@ def _run_cached(machine: CCMachine, trace: Trace,
     if access_many is None:
         _run_cached_scalar(machine, trace, report)
         return
-    # The cache's state evolution does not depend on the clock, so the
-    # whole probe sequence can run on the batched path up front; the
+    # The cache's state evolution does not depend on the clock, so each
+    # chunk's probe sequence can run on the batched path up front (chunks
+    # stream zero-copy off the trace's columnar store, in order); the
     # timing loop then only touches the banks on misses.
-    addresses, writes = trace.as_arrays()
-    batch = access_many(addresses, writes,
-                        return_hits=True, return_kinds=True)
-    hits = batch.hits.tolist()
-    kinds = batch.miss_kinds.tolist()
-    address_list = addresses.tolist()
-    write_list = writes.tolist() if writes is not None else None
     # Flat-local transcription of the per-access rules (see
     # ``_run_uncached``): only misses touch the banks and the read buses,
     # hits and buffered writes just tick the clock, and the strictly
-    # increasing clock means no bus request ever waits.
+    # increasing clock means no bus request ever waits.  The locals
+    # persist across chunks, so chunking does not change the timing.
     mem = machine.memory
     bank_of = mem.scheme.bank_of
     free = mem._bank_free_at
@@ -146,32 +143,37 @@ def _run_cached(machine: CCMachine, trace: Trace,
     last_read = [0, 0]
     writes_seen = 0
     last_write = 0
-    for i, address in enumerate(address_list):
-        if write_list is not None and write_list[i]:
-            writes_seen += 1
-            last_write = cycle
-            cycle += 1
-            continue
-        if hits[i]:
-            cache_hits += 1
-            cycle += 1
-            continue
-        if address < 0:
-            raise ValueError("addresses must be non-negative")
-        bank = bank_of(address)
-        ready = free[bank]
-        stall = ready - cycle if ready > cycle else 0
-        free[bank] = cycle + stall + mem_t_m
-        bank_counts[bank] += 1
-        bank_stall += stall
-        last_read[misses & 1] = cycle
-        misses += 1
-        if kinds[i] == _COMPULSORY:
-            # initial loading pipelines: only the bank conflict shows
-            cycle += 1 + stall
-        else:
-            conflicts += 1
-            cycle += 1 + stall + t_m
+    for addresses, writes in trace.iter_blocks():
+        batch = access_many(addresses, writes,
+                            return_hits=True, return_kinds=True)
+        hits = batch.hits.tolist()
+        kinds = batch.miss_kinds.tolist()
+        address_list = addresses.tolist()
+        write_list = writes.tolist() if writes is not None else None
+        for i, address in enumerate(address_list):
+            if write_list is not None and write_list[i]:
+                writes_seen += 1
+                last_write = cycle
+                cycle += 1
+                continue
+            if hits[i]:
+                cache_hits += 1
+                cycle += 1
+                continue
+            bank = bank_of(address)
+            ready = free[bank]
+            stall = ready - cycle if ready > cycle else 0
+            free[bank] = cycle + stall + mem_t_m
+            bank_counts[bank] += 1
+            bank_stall += stall
+            last_read[misses & 1] = cycle
+            misses += 1
+            if kinds[i] == _COMPULSORY:
+                # initial loading pipelines: only the bank conflict shows
+                cycle += 1 + stall
+            else:
+                conflicts += 1
+                cycle += 1 + stall + t_m
     report.cache_hits += cache_hits
     report.cache_misses += misses
     report.bank_stall_cycles += bank_stall

@@ -10,11 +10,19 @@ predicts.
 All addresses are word-granular; matrices are column-major with leading
 dimension ``P`` (element ``(i, j)`` lives at ``base + i + j * P``), as in
 the paper.
+
+Every generator has two construction paths producing bit-for-bit identical
+traces: the default **columnar** path builds the address stream with
+closed-form ``np.arange`` arithmetic and records it in whole blocks, while
+``columnar=False`` keeps the original per-reference scalar loop as the
+differential reference (the ``trace-columnar`` oracle compares the two).
 """
 
 from __future__ import annotations
 
 import random
+
+import numpy as np
 
 from repro.trace.records import Trace
 
@@ -31,7 +39,15 @@ __all__ = [
 ]
 
 
-def strided(base: int, stride: int, length: int, *, sweeps: int = 1) -> Trace:
+def _strided_block(base: int, stride: int, length: int,
+                   sweeps: int) -> np.ndarray:
+    """``sweeps`` repeats of the closed-form constant-stride walk."""
+    one = base + np.arange(length, dtype=np.int64) * stride
+    return one if sweeps == 1 else np.tile(one, sweeps)
+
+
+def strided(base: int, stride: int, length: int, *, sweeps: int = 1,
+            columnar: bool = True) -> Trace:
     """``sweeps`` traversals of a constant-stride vector.
 
     The second and later sweeps are what separate the cache designs: a
@@ -39,10 +55,13 @@ def strided(base: int, stride: int, length: int, *, sweeps: int = 1) -> Trace:
     """
     if length <= 0 or sweeps <= 0:
         raise ValueError("length and sweeps must be positive")
-    addresses = [base + i * stride for i in range(length)] * sweeps
-    return Trace.from_addresses(
-        addresses, description=f"stride {stride} x{length}, {sweeps} sweeps"
-    )
+    description = f"stride {stride} x{length}, {sweeps} sweeps"
+    if not columnar:
+        addresses = [base + i * stride for i in range(length)] * sweeps
+        return Trace.from_addresses(addresses, description=description)
+    trace = Trace(description=description)
+    trace.append_block(_strided_block(base, stride, length, sweeps))
+    return trace
 
 
 def multistride(
@@ -54,6 +73,7 @@ def multistride(
     sweeps: int = 2,
     seed: int = 0,
     address_space: int = 1 << 28,
+    columnar: bool = True,
 ) -> Trace:
     """The random-multistride pattern of Figures 7–9.
 
@@ -71,40 +91,60 @@ def multistride(
             stride = 1
         else:
             stride = rng.randint(2, stride_modulus)
-        trace.extend(strided(base, stride, length, sweeps=sweeps))
+        if columnar:
+            trace.append_block(_strided_block(base, stride, length, sweeps))
+        else:
+            for _ in range(sweeps):
+                for i in range(length):
+                    trace.append(base + i * stride)
     return trace
 
 
-def matrix_column(p: int, rows: int, column: int, *, base: int = 0) -> Trace:
+def matrix_column(p: int, rows: int, column: int, *, base: int = 0,
+                  columnar: bool = True) -> Trace:
     """One column of a column-major ``P``-leading-dimension matrix: stride 1."""
     if rows <= 0:
         raise ValueError("rows must be positive")
     start = base + column * p
-    return Trace.from_addresses(
-        range(start, start + rows), description=f"column {column} of ldP={p}"
-    )
+    description = f"column {column} of ldP={p}"
+    if not columnar:
+        return Trace.from_addresses(
+            range(start, start + rows), description=description)
+    trace = Trace(description=description)
+    trace.append_block(np.arange(start, start + rows, dtype=np.int64))
+    return trace
 
 
-def matrix_row(p: int, columns: int, row: int, *, base: int = 0) -> Trace:
+def matrix_row(p: int, columns: int, row: int, *, base: int = 0,
+               columnar: bool = True) -> Trace:
     """One row of the same matrix: stride ``P``."""
     if columns <= 0:
         raise ValueError("columns must be positive")
-    return Trace.from_addresses(
-        (base + row + j * p for j in range(columns)),
-        description=f"row {row} of ldP={p}",
-    )
+    description = f"row {row} of ldP={p}"
+    if not columnar:
+        return Trace.from_addresses(
+            (base + row + j * p for j in range(columns)),
+            description=description)
+    trace = Trace(description=description)
+    trace.append_block(_strided_block(base + row, p, columns, 1))
+    return trace
 
 
-def matrix_diagonal(p: int, length: int, *, base: int = 0) -> Trace:
+def matrix_diagonal(p: int, length: int, *, base: int = 0,
+                    columnar: bool = True) -> Trace:
     """The major diagonal: stride ``P + 1`` — the introduction's example of
     a stride that can never be co-prime with a power-of-two cache at the
     same time as the row stride ``P``."""
     if length <= 0:
         raise ValueError("length must be positive")
-    return Trace.from_addresses(
-        (base + i * (p + 1) for i in range(length)),
-        description=f"diagonal of ldP={p}",
-    )
+    description = f"diagonal of ldP={p}"
+    if not columnar:
+        return Trace.from_addresses(
+            (base + i * (p + 1) for i in range(length)),
+            description=description)
+    trace = Trace(description=description)
+    trace.append_block(_strided_block(base, p + 1, length, 1))
+    return trace
 
 
 def row_column_mix(
@@ -116,6 +156,7 @@ def row_column_mix(
     sweeps: int = 2,
     seed: int = 0,
     base: int = 0,
+    columnar: bool = True,
 ) -> Trace:
     """Figure 11a's pattern: a mix of row (stride ``P``) and column
     (stride 1) walks of a matrix, each walked ``sweeps`` times."""
@@ -126,28 +167,40 @@ def row_column_mix(
     for _ in range(accesses):
         if rng.random() < row_fraction:
             index = rng.randrange(max(1, p))
-            one = matrix_row(p, length, index, base=base)
+            start, stride = base + index, p
         else:
             index = rng.randrange(max(1, length))
-            one = matrix_column(p, length, index, base=base)
-        for _ in range(sweeps):
-            trace.extend(Trace(list(one.accesses)))
+            start, stride = base + index * p, 1
+        if columnar:
+            trace.append_block(_strided_block(start, stride, length, sweeps))
+        else:
+            for _ in range(sweeps):
+                for i in range(length):
+                    trace.append(start + i * stride)
     return trace
 
 
 def subblock(
-    p: int, b1: int, b2: int, *, base: int = 0, sweeps: int = 1
+    p: int, b1: int, b2: int, *, base: int = 0, sweeps: int = 1,
+    columnar: bool = True
 ) -> Trace:
     """A ``b1 x b2`` sub-block of a column-major matrix: ``b2`` unit-stride
     column pieces whose starts are ``P`` apart (Section 4)."""
     if b1 <= 0 or b2 <= 0 or sweeps <= 0:
         raise ValueError("block dimensions and sweeps must be positive")
-    addresses = [
-        base + row + column * p for column in range(b2) for row in range(b1)
-    ] * sweeps
-    return Trace.from_addresses(
-        addresses, description=f"subblock {b1}x{b2} of ldP={p}"
-    )
+    description = f"subblock {b1}x{b2} of ldP={p}"
+    if not columnar:
+        addresses = [
+            base + row + column * p
+            for column in range(b2) for row in range(b1)
+        ] * sweeps
+        return Trace.from_addresses(addresses, description=description)
+    block = (base
+             + np.arange(b2, dtype=np.int64)[:, None] * p
+             + np.arange(b1, dtype=np.int64)[None, :]).ravel()
+    trace = Trace(description=description)
+    trace.append_block(block if sweeps == 1 else np.tile(block, sweeps))
+    return trace
 
 
 def fft_stage_strides(n: int) -> list[int]:
@@ -159,7 +212,8 @@ def fft_stage_strides(n: int) -> list[int]:
     return [1 << s for s in range(n.bit_length() - 1)]
 
 
-def fft_butterflies(n: int, *, base: int = 0) -> Trace:
+def fft_butterflies(n: int, *, base: int = 0,
+                    columnar: bool = True) -> Trace:
     """The full reference stream of an in-place radix-2 DIT FFT.
 
     For each stage with span ``h``, butterflies pair elements ``k`` and
@@ -169,11 +223,25 @@ def fft_butterflies(n: int, *, base: int = 0) -> Trace:
     trace = Trace(description=f"radix-2 FFT, n={n}")
     for half in fft_stage_strides(n):
         size = half * 2
-        for group in range(0, n, size):
-            for k in range(group, group + half):
-                top, bottom = base + k, base + k + half
-                trace.append(top)
-                trace.append(bottom)
-                trace.append(top, write=True)
-                trace.append(bottom, write=True)
+        if columnar:
+            index = np.arange(n // 2, dtype=np.int64)
+            top = base + (index // half) * size + index % half
+            bottom = top + half
+            block = np.empty(4 * top.size, dtype=np.int64)
+            block[0::4] = top
+            block[1::4] = bottom
+            block[2::4] = top
+            block[3::4] = bottom
+            flags = np.zeros(block.size, dtype=bool)
+            flags[2::4] = True
+            flags[3::4] = True
+            trace.append_block(block, write=flags)
+        else:
+            for group in range(0, n, size):
+                for k in range(group, group + half):
+                    top, bottom = base + k, base + k + half
+                    trace.append(top)
+                    trace.append(bottom)
+                    trace.append(top, write=True)
+                    trace.append(bottom, write=True)
     return trace

@@ -65,9 +65,7 @@ def _compulsory_estimate(trace: Trace, cache) -> int:
     prefetched line; the estimate then overcounts, and the caller clamps.)
     """
     line_shift = cache.line_size_words.bit_length() - 1
-    addresses = np.fromiter(
-        (access.address for access in trace), dtype=np.int64, count=len(trace)
-    )
+    addresses, _ = trace.as_arrays()
     return int(np.unique(addresses >> line_shift).size)
 
 
@@ -83,8 +81,10 @@ def replay(trace: Trace, cache: Cache, *, t_m: int = 16) -> ReplayResult:
     cache.reset()
     access_many = getattr(cache, "access_many", None)
     if access_many is not None:
-        addresses, writes = trace.as_arrays()
-        access_many(addresses, writes)
+        # stream the trace's sealed chunks zero-copy; no Access objects
+        # and no whole-trace concatenation are ever materialised
+        for addresses, writes in trace.iter_blocks():
+            access_many(addresses, writes)
     else:
         # wrapper caches (victim buffer, prefetcher) keep their
         # per-access side effects on the scalar path

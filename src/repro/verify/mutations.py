@@ -7,7 +7,8 @@ representative faults (the bugs this codebase has actually had, or
 almost had: an off-by-one in the Mersenne index fold, a dropped
 bank-busy stall in the batched memory path, a wrong modulus in the
 prime-cache stall formula, a congruence solver that loses the
-multi-solution family, a phase-collapsed stride footprint) and, for
+multi-solution family, a phase-collapsed stride footprint, a columnar
+trace recorder that drops the last reference of every block) and, for
 each, temporarily monkey-patches the fault in, re-runs the oracle
 sweep, and records which oracles noticed.  A mutation nobody catches is
 a *hole* in the verification net and fails the run.
@@ -124,6 +125,26 @@ def _congruence_lost_solutions():
 
 
 @contextmanager
+def _columnar_block_off_by_one():
+    import numpy as np
+
+    from repro.trace.records import Trace
+
+    original = Trace.append_block
+
+    def bad_append_block(self, addresses, *, write=False):
+        # the classic block-boundary bug: the columnar recorder drops the
+        # last reference of every appended block
+        block = np.asarray(addresses, dtype=np.int64).reshape(-1)[:-1]
+        if not isinstance(write, (bool, np.bool_)):
+            write = np.asarray(write, dtype=bool).reshape(-1)[:-1]
+        original(self, block, write=write)
+
+    with _patched(Trace, "append_block", bad_append_block):
+        yield
+
+
+@contextmanager
 def _phase_collapsed_footprint():
     from repro.cache.prime import PrimeMappedCache
 
@@ -176,6 +197,12 @@ MUTATIONS: dict[str, Mutation] = {
             "fractional-line strides",
             ("prime-geometry",),
             _phase_collapsed_footprint),
+        Mutation(
+            "columnar-block-off-by-one",
+            "Trace.append_block drops the last reference of every "
+            "recorded address block",
+            ("trace-columnar",),
+            _columnar_block_off_by_one),
     )
 }
 

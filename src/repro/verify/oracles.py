@@ -19,6 +19,9 @@ geometry law):
   enumeration of the congruence equations.
 * ``prime-geometry`` — :meth:`PrimeMappedCache.lines_touched_by_stride`
   against direct enumeration of the visited line slots.
+* ``trace-columnar`` — the block-granular (columnar) trace generators and
+  workload kernels against the retained per-reference scalar paths,
+  addresses and write flags bit-for-bit.
 
 Each oracle supplies ``build_cases(mode, rng)`` (seeded, reproducible
 case configurations — plain JSON-safe dicts) and ``check_case(config)``
@@ -646,6 +649,160 @@ def _check_prime_geometry(config: dict) -> list[Divergence]:
 
 
 # ---------------------------------------------------------------------------
+# trace-columnar: block-granular generators vs the scalar reference paths
+# ---------------------------------------------------------------------------
+
+_COLUMNAR_TARGETS = (
+    "strided", "multistride", "matrix_column", "matrix_row",
+    "matrix_diagonal", "row_column_mix", "subblock", "fft_butterflies",
+    "naive_matmul", "blocked_matmul", "saxpy", "strided_saxpy",
+    "transpose", "blocked_transpose", "jacobi", "dot", "matrix_sums",
+    "lu_decompose", "blocked_lu", "fft_radix2", "blocked_fft_2d",
+)
+
+#: complex FFT kernels: numpy's SIMD complex multiply rounds the last ulp
+#: differently from its scalar multiply, so values match to tolerance only
+#: (the traces are still compared bit-for-bit)
+_COLUMNAR_APPROX_VALUES = ("fft_radix2", "blocked_fft_2d")
+
+
+def _trace_columnar_cases(mode: str, rng: random.Random) -> list[dict]:
+    rounds = _case_counts(mode, 1, 3)
+    # pinned: the length-48 double sweep diverges under any block-boundary
+    # fault in append_block regardless of what the random grid draws
+    cases = [{"target": "multistride", "seed": 0}]
+    for _ in range(rounds):
+        for target in _COLUMNAR_TARGETS:
+            cases.append({"target": target, "seed": rng.randrange(1 << 30)})
+    return cases
+
+
+def _run_columnar_target(target: str, seed: int, columnar: bool):
+    """Run one generator/kernel from its seeded spec; ``(value, trace)``."""
+    from repro.trace import patterns
+    from repro.workloads.fft import blocked_fft_2d, fft_radix2
+    from repro.workloads.lu import blocked_lu, lu_decompose
+    from repro.workloads.matmul import blocked_matmul, naive_matmul
+    from repro.workloads.reduction import dot, matrix_sums
+    from repro.workloads.saxpy import saxpy, strided_saxpy
+    from repro.workloads.stencil import jacobi
+    from repro.workloads.transpose import blocked_transpose, transpose
+
+    py = random.Random(seed)
+    rng = np.random.default_rng(seed)
+    if target == "strided":
+        return None, patterns.strided(
+            py.randrange(1 << 16), py.randint(1, 64), 48, sweeps=2,
+            columnar=columnar)
+    if target == "multistride":
+        return None, patterns.multistride(
+            24, 3, 50, seed=seed, columnar=columnar)
+    if target == "matrix_column":
+        return None, patterns.matrix_column(
+            py.randint(8, 40), 16, py.randrange(8), columnar=columnar)
+    if target == "matrix_row":
+        return None, patterns.matrix_row(
+            py.randint(8, 40), 16, py.randrange(8), columnar=columnar)
+    if target == "matrix_diagonal":
+        return None, patterns.matrix_diagonal(
+            py.randint(8, 40), 16, columnar=columnar)
+    if target == "row_column_mix":
+        return None, patterns.row_column_mix(
+            py.randint(8, 40), 12, accesses=6, seed=seed, columnar=columnar)
+    if target == "subblock":
+        return None, patterns.subblock(
+            py.randint(8, 40), 5, 4, sweeps=2, columnar=columnar)
+    if target == "fft_butterflies":
+        return None, patterns.fft_butterflies(32, columnar=columnar)
+    if target == "naive_matmul":
+        return naive_matmul(rng.standard_normal((6, 6)),
+                            rng.standard_normal((6, 6)), columnar=columnar)
+    if target == "blocked_matmul":
+        return blocked_matmul(rng.standard_normal((8, 8)),
+                              rng.standard_normal((8, 8)), 4,
+                              columnar=columnar)
+    if target == "saxpy":
+        return saxpy(1.5, rng.standard_normal(33), rng.standard_normal(33),
+                     columnar=columnar)
+    if target == "strided_saxpy":
+        return strided_saxpy(0.75, rng.standard_normal(31),
+                             rng.standard_normal(31), stride_x=3,
+                             stride_y=2, columnar=columnar)
+    if target == "transpose":
+        return transpose(rng.standard_normal((6, 9)), columnar=columnar)
+    if target == "blocked_transpose":
+        return blocked_transpose(rng.standard_normal((8, 8)), 4,
+                                 columnar=columnar)
+    if target == "jacobi":
+        return jacobi(rng.standard_normal((7, 6)), 2, columnar=columnar)
+    if target == "dot":
+        return dot(rng.standard_normal(29), rng.standard_normal(29),
+                   columnar=columnar)
+    if target == "matrix_sums":
+        return matrix_sums(rng.standard_normal((7, 7)), repeats=2,
+                           columnar=columnar)
+    if target == "lu_decompose":
+        return lu_decompose(rng.standard_normal((8, 8)) + 8 * np.eye(8),
+                            columnar=columnar)
+    if target == "blocked_lu":
+        return blocked_lu(rng.standard_normal((8, 8)) + 8 * np.eye(8), 4,
+                          columnar=columnar)
+    if target == "fft_radix2":
+        return fft_radix2(rng.standard_normal(32)
+                          + 1j * rng.standard_normal(32), columnar=columnar)
+    if target == "blocked_fft_2d":
+        return blocked_fft_2d(rng.standard_normal(32)
+                              + 1j * rng.standard_normal(32), 4,
+                              columnar=columnar)
+    raise ValueError(f"unknown columnar target {target!r}")
+
+
+def _check_trace_columnar(config: dict) -> list[Divergence]:
+    target, seed = config["target"], config["seed"]
+    value_col, trace_col = _run_columnar_target(target, seed, True)
+    value_ref, trace_ref = _run_columnar_target(target, seed, False)
+    detail = (f"columnar {target} vs retained scalar reference path "
+              "(repro/trace/patterns.py, repro/workloads/)")
+    if len(trace_col) != len(trace_ref):
+        return [(f"{target}.len", len(trace_ref), len(trace_col), detail)]
+    addr_col, flags_col = trace_col.as_arrays()
+    addr_ref, flags_ref = trace_ref.as_arrays()
+    if not np.array_equal(addr_col, addr_ref):
+        index = int(np.argmax(addr_col != addr_ref))
+        return [(f"{target}.addresses[{index}]", int(addr_ref[index]),
+                 int(addr_col[index]), detail)]
+    dense_col = (flags_col if flags_col is not None
+                 else np.zeros(addr_col.size, dtype=bool))
+    dense_ref = (flags_ref if flags_ref is not None
+                 else np.zeros(addr_ref.size, dtype=bool))
+    if not np.array_equal(dense_col, dense_ref):
+        index = int(np.argmax(dense_col != dense_ref))
+        return [(f"{target}.writes[{index}]", bool(dense_ref[index]),
+                 bool(dense_col[index]), detail)]
+    if value_col is None:
+        return []
+    if target in _COLUMNAR_APPROX_VALUES:
+        if not np.allclose(value_col, value_ref, rtol=1e-9, atol=1e-12):
+            worst = float(np.abs(np.asarray(value_col)
+                                 - np.asarray(value_ref)).max())
+            return [(f"{target}.values", "allclose", worst, detail)]
+        return []
+    if isinstance(value_col, dict):
+        for key in value_col:
+            if value_col[key] != value_ref[key]:
+                return [(f"{target}.value[{key}]", value_ref[key],
+                         value_col[key], detail)]
+        return []
+    if isinstance(value_col, float):
+        if value_col != value_ref:
+            return [(f"{target}.value", value_ref, value_col, detail)]
+        return []
+    if not np.array_equal(np.asarray(value_col), np.asarray(value_ref)):
+        return [(f"{target}.values", "bit-equal", "diverged", detail)]
+    return []
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -674,6 +831,11 @@ ORACLES: dict[str, Oracle] = {
             "prime-geometry",
             "prime-mapping stride footprint vs enumerated line visits",
             _prime_geometry_cases, _check_prime_geometry),
+        Oracle(
+            "trace-columnar",
+            "columnar trace generators and kernels vs the retained scalar "
+            "reference paths",
+            _trace_columnar_cases, _check_trace_columnar),
     )
 }
 

@@ -7,6 +7,12 @@ possible strides for a power-of-two cache — while the 2-D decomposition
 memory-hierarchy-friendly formulation the paper analyses.  Both compute
 real transforms, verified against ``numpy.fft`` in the tests, while
 emitting the address trace of the column-major data layout.
+
+The columnar paths emit bit-for-bit the same address traces as the scalar
+loops.  The numeric outputs agree to machine precision but not bitwise:
+numpy's vectorised complex multiply (SIMD) rounds the last ulp differently
+from its scalar complex multiply, so the butterfly values can differ by
+~1e-16 relative between the two paths.
 """
 
 from __future__ import annotations
@@ -30,7 +36,8 @@ def _bit_reverse_permutation(n: int) -> np.ndarray:
     return reversed_indices
 
 
-def fft_radix2(x: np.ndarray) -> tuple[np.ndarray, Trace]:
+def fft_radix2(x: np.ndarray, *,
+               columnar: bool = True) -> tuple[np.ndarray, Trace]:
     """In-place iterative radix-2 DIT FFT; returns ``(X, trace)``.
 
     The trace records the butterfly reads/writes (two reads and two writes
@@ -50,6 +57,34 @@ def fft_radix2(x: np.ndarray) -> tuple[np.ndarray, Trace]:
     while half < n:
         step = half * 2
         base_tw = np.exp(-2j * math.pi / step)
+        if columnar:
+            # one address block per stage; butterflies within a stage touch
+            # disjoint (k, k+half) pairs, so the value update vectorises
+            index = np.arange(n // 2, dtype=np.int64)
+            tops = (index // half) * step + index % half
+            bottoms = tops + half
+            block = np.empty(4 * tops.size, dtype=np.int64)
+            block[0::4] = h.base + tops
+            block[1::4] = h.base + bottoms
+            block[2::4] = h.base + tops
+            block[3::4] = h.base + bottoms
+            flags = np.zeros(block.size, dtype=bool)
+            flags[2::4] = True
+            flags[3::4] = True
+            trace.append_block(block, write=flags)
+            # cumprod reproduces the scalar loop's running w *= base_tw
+            # product order, keeping the twiddles bit-exact
+            twiddles = np.empty(half, dtype=complex)
+            twiddles[0] = 1.0 + 0j
+            if half > 1:
+                twiddles[1:] = np.cumprod(np.full(half - 1, base_tw))
+            w = np.tile(twiddles, n // step)
+            top = h.data[tops]
+            bottom = h.data[bottoms] * w
+            h.data[tops] = top + bottom
+            h.data[bottoms] = top - bottom
+            half = step
+            continue
         for group in range(0, n, step):
             w = 1.0 + 0j
             for k in range(group, group + half):
@@ -62,7 +97,8 @@ def fft_radix2(x: np.ndarray) -> tuple[np.ndarray, Trace]:
     return h.data, trace
 
 
-def blocked_fft_2d(x: np.ndarray, b2: int) -> tuple[np.ndarray, Trace]:
+def blocked_fft_2d(x: np.ndarray, b2: int, *,
+                   columnar: bool = True) -> tuple[np.ndarray, Trace]:
     """Blocked (four-step) FFT of size ``N = B2 x B1``; returns ``(X, trace)``.
 
     The input is viewed as a ``B2 x B1`` column-major matrix.  Step 1 runs
@@ -93,6 +129,13 @@ def blocked_fft_2d(x: np.ndarray, b2: int) -> tuple[np.ndarray, Trace]:
 
     # Step 1: row FFTs (each row has stride B2 in the column-major layout).
     for row in range(b2):
+        if columnar:
+            addresses = h.row_addresses(row)
+            trace.append_block(addresses)
+            transformed = np.fft.fft(h.data[row, :])
+            trace.append_block(addresses, write=True)
+            h.data[row, :] = transformed
+            continue
         values = np.array([h.read(trace, row, j) for j in range(b1)])
         transformed = np.fft.fft(values)
         for j in range(b1):
@@ -100,6 +143,18 @@ def blocked_fft_2d(x: np.ndarray, b2: int) -> tuple[np.ndarray, Trace]:
 
     # Step 2: twiddle multiply W_N^(row * column).
     for row in range(b2):
+        if columnar:
+            addresses = h.row_addresses(row)
+            block = np.empty(2 * b1, dtype=np.int64)
+            block[0::2] = addresses
+            block[1::2] = addresses
+            flags = np.zeros(block.size, dtype=bool)
+            flags[1::2] = True
+            trace.append_block(block, write=flags)
+            twiddles = np.exp(
+                -2j * math.pi * row * np.arange(b1) / n)
+            h.data[row, :] = h.data[row, :] * twiddles
+            continue
         for j in range(b1):
             value = h.read(trace, row, j)
             twiddle = np.exp(-2j * math.pi * row * j / n)
@@ -107,6 +162,13 @@ def blocked_fft_2d(x: np.ndarray, b2: int) -> tuple[np.ndarray, Trace]:
 
     # Step 3: column FFTs (unit stride).
     for j in range(b1):
+        if columnar:
+            addresses = h.column_addresses(j)
+            trace.append_block(addresses)
+            transformed = np.fft.fft(h.data[:, j])
+            trace.append_block(addresses, write=True)
+            h.data[:, j] = transformed
+            continue
         values = np.array([h.read(trace, i, j) for i in range(b2)])
         transformed = np.fft.fft(values)
         for i in range(b2):

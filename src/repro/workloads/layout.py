@@ -66,6 +66,81 @@ class ArrayHandle:
         else:
             self.data[i, j] = value
 
+    # -- columnar address builders ---------------------------------------
+    #
+    # The block-granular kernels build whole address columns with these
+    # and emit them through Trace.append_block — typically interleaved
+    # with other columns so the reference ORDER matches the scalar loops
+    # bit for bit (see docs/trace-engine.md).
+
+    def column_addresses(self, j: int, i0: int = 0,
+                         i1: int | None = None) -> np.ndarray:
+        """Addresses of matrix elements ``(i0..i1-1, j)`` — a stride-1 run."""
+        if self.data.ndim != 2:
+            raise ValueError("column_addresses needs a matrix handle")
+        if i1 is None:
+            i1 = self.data.shape[0]
+        start = self.base + i0 + j * self.leading_dimension
+        return np.arange(start, start + (i1 - i0), dtype=np.int64)
+
+    def row_addresses(self, i: int, j0: int = 0,
+                      j1: int | None = None) -> np.ndarray:
+        """Addresses of matrix elements ``(i, j0..j1-1)`` — stride ``ld``."""
+        if self.data.ndim != 2:
+            raise ValueError("row_addresses needs a matrix handle")
+        if j1 is None:
+            j1 = self.data.shape[1]
+        ld = self.leading_dimension
+        return (self.base + i + j0 * ld
+                + np.arange(j1 - j0, dtype=np.int64) * ld)
+
+    def strided_addresses(self, count: int, stride: int = 1,
+                          start: int = 0) -> np.ndarray:
+        """Addresses of vector elements ``start, start+stride, ...``."""
+        if self.data.ndim != 1:
+            raise ValueError("strided_addresses needs a vector handle")
+        return (self.base + start
+                + np.arange(count, dtype=np.int64) * stride)
+
+    # -- columnar traced element ops -------------------------------------
+
+    def read_column(self, trace: Trace, j: int, i0: int = 0,
+                    i1: int | None = None) -> np.ndarray:
+        """Read a column slice as one recorded address block."""
+        trace.append_block(self.column_addresses(j, i0, i1))
+        return self.data[i0:i1 if i1 is not None else self.data.shape[0], j]
+
+    def write_column(self, trace: Trace, values, j: int, i0: int = 0,
+                     i1: int | None = None) -> None:
+        """Write a column slice as one recorded address block."""
+        trace.append_block(self.column_addresses(j, i0, i1), write=True)
+        self.data[i0:i1 if i1 is not None else self.data.shape[0], j] = values
+
+    def read_row(self, trace: Trace, i: int, j0: int = 0,
+                 j1: int | None = None) -> np.ndarray:
+        """Read a row slice as one recorded address block."""
+        trace.append_block(self.row_addresses(i, j0, j1))
+        return self.data[i, j0:j1 if j1 is not None else self.data.shape[1]]
+
+    def write_row(self, trace: Trace, values, i: int, j0: int = 0,
+                  j1: int | None = None) -> None:
+        """Write a row slice as one recorded address block."""
+        trace.append_block(self.row_addresses(i, j0, j1), write=True)
+        self.data[i, j0:j1 if j1 is not None else self.data.shape[1]] = values
+
+    def read_strided(self, trace: Trace, count: int, stride: int = 1,
+                     start: int = 0) -> np.ndarray:
+        """Read a strided vector slice as one recorded address block."""
+        trace.append_block(self.strided_addresses(count, stride, start))
+        return self.data[start:start + count * stride:stride]
+
+    def write_strided(self, trace: Trace, values, count: int,
+                      stride: int = 1, start: int = 0) -> None:
+        """Write a strided vector slice as one recorded address block."""
+        trace.append_block(self.strided_addresses(count, stride, start),
+                           write=True)
+        self.data[start:start + count * stride:stride] = values
+
 
 class Workspace:
     """Allocates traced arrays in a synthetic word address space.

@@ -19,8 +19,12 @@ from repro.workloads.layout import ArrayHandle, Workspace
 __all__ = ["lu_decompose", "blocked_lu", "split_lu"]
 
 
-def _lu_inplace(h: ArrayHandle, trace: Trace, lo: int, hi: int) -> None:
+def _lu_inplace(h: ArrayHandle, trace: Trace, lo: int, hi: int, *,
+                columnar: bool = False) -> None:
     """Unblocked LU on the square sub-matrix ``[lo:hi, lo:hi]``."""
+    if columnar:
+        _lu_inplace_columnar(h, trace, lo, hi)
+        return
     for k in range(lo, hi):
         pivot = h.read(trace, k, k)
         if pivot == 0:
@@ -33,7 +37,49 @@ def _lu_inplace(h: ArrayHandle, trace: Trace, lo: int, hi: int) -> None:
                 h.write(trace, aij - lik * h.read(trace, k, j), i, j)
 
 
-def lu_decompose(a: np.ndarray) -> tuple[np.ndarray, Trace]:
+def _lu_inplace_columnar(h: ArrayHandle, trace: Trace,
+                         lo: int, hi: int) -> None:
+    """Block-granular unblocked LU, trace-identical to the scalar loops.
+
+    One address block per elimination step ``k``: the pivot read, then per
+    row ``i`` the (read, write) of ``L(i,k)`` followed by the
+    (read A(i,j), read A(k,j), write A(i,j)) triple per column — built as
+    a 2-D segment array so the ravel order matches the scalar i/j nesting.
+    """
+    a = h.data
+    for k in range(lo, hi):
+        pivot = a[k, k]
+        if pivot == 0:
+            trace.append(h.address(k, k))
+            raise ZeroDivisionError("zero pivot; matrix needs pivoting")
+        span = hi - (k + 1)
+        seg = np.empty((span, 2 + 3 * span), dtype=np.int64)
+        below = h.column_addresses(k, k + 1, hi)
+        seg[:, 0] = below
+        seg[:, 1] = below
+        jvec = np.arange(k + 1, hi, dtype=np.int64)
+        row_k = h.base + k + jvec * h.leading_dimension
+        a_ij = below[:, None] + (jvec[None, :] - k) * h.leading_dimension
+        seg[:, 2::3] = a_ij
+        seg[:, 3::3] = row_k[None, :]
+        seg[:, 4::3] = a_ij
+        flags = np.zeros((span, 2 + 3 * span), dtype=bool)
+        flags[:, 1] = True
+        flags[:, 4::3] = True
+        block = np.empty(1 + seg.size, dtype=np.int64)
+        block[0] = h.address(k, k)
+        block[1:] = seg.ravel()
+        block_flags = np.zeros(block.size, dtype=bool)
+        block_flags[1:] = flags.ravel()
+        trace.append_block(block, write=block_flags)
+        lik = a[k + 1:hi, k] / pivot
+        a[k + 1:hi, k] = lik
+        a[k + 1:hi, k + 1:hi] = (a[k + 1:hi, k + 1:hi]
+                                 - lik[:, None] * a[k, k + 1:hi][None, :])
+
+
+def lu_decompose(a: np.ndarray, *,
+                 columnar: bool = True) -> tuple[np.ndarray, Trace]:
     """Unblocked LU (no pivoting); returns the packed LU factor and trace."""
     a = np.asarray(a, dtype=float)
     if a.ndim != 2 or a.shape[0] != a.shape[1]:
@@ -41,11 +87,78 @@ def lu_decompose(a: np.ndarray) -> tuple[np.ndarray, Trace]:
     ws = Workspace()
     h = ws.matrix("a", a.copy())
     trace = Trace(description=f"LU n={a.shape[0]}")
-    _lu_inplace(h, trace, 0, a.shape[0])
+    _lu_inplace(h, trace, 0, a.shape[0], columnar=columnar)
     return h.data, trace
 
 
-def blocked_lu(a: np.ndarray, block: int) -> tuple[np.ndarray, Trace]:
+def _lu_panel_column(h: ArrayHandle, trace: Trace, j: int,
+                     kb: int, ke: int, n: int) -> None:
+    """Columnar panel solve for column ``j``: L21(:, j) = A21(:, j)/U11."""
+    a = h.data
+    ujj = a[j, j]
+    span = n - ke
+    width = 2 + 2 * (j - kb)
+    seg = np.empty((span, width), dtype=np.int64)
+    col_j = h.column_addresses(j, ke, n)
+    seg[:, 0] = col_j
+    for idx, k in enumerate(range(kb, j)):
+        seg[:, 1 + 2 * idx] = h.column_addresses(k, ke, n)
+        seg[:, 2 + 2 * idx] = h.address(k, j)
+    seg[:, width - 1] = col_j
+    flags = np.zeros((span, width), dtype=bool)
+    flags[:, width - 1] = True
+    block = np.empty(1 + seg.size, dtype=np.int64)
+    block[0] = h.address(j, j)
+    block[1:] = seg.ravel()
+    block_flags = np.zeros(block.size, dtype=bool)
+    block_flags[1:] = flags.ravel()
+    trace.append_block(block, write=block_flags)
+    lij = a[ke:n, j] / ujj
+    for k in range(kb, j):
+        lij = lij - (a[ke:n, k] * a[k, j]) / ujj
+    a[ke:n, j] = lij
+
+
+def _lu_row_element(h: ArrayHandle, trace: Trace, i: int, j: int,
+                    kb: int) -> None:
+    """Columnar row-block solve of one U12 element (sequential in ``i``
+    because U(i, j) depends on the U(k, j) written just above it)."""
+    a = h.data
+    span = i - kb
+    block = np.empty(2 + 2 * span, dtype=np.int64)
+    a_ij = h.address(i, j)
+    block[0] = a_ij
+    block[1:-1:2] = h.row_addresses(i, kb, i)
+    block[2:-1:2] = h.column_addresses(j, kb, i)
+    block[-1] = a_ij
+    flags = np.zeros(block.size, dtype=bool)
+    flags[-1] = True
+    trace.append_block(block, write=flags)
+    uij = a[i, j]
+    for product in (a[i, kb:i] * a[kb:i, j]).tolist():
+        uij -= product
+    a[i, j] = uij
+
+
+def _lu_trailing_column(h: ArrayHandle, trace: Trace, j: int, k: int,
+                        ke: int, n: int) -> None:
+    """Columnar trailing update of column ``j`` by panel column ``k``."""
+    a = h.data
+    span = n - ke
+    block = np.empty(1 + 3 * span, dtype=np.int64)
+    block[0] = h.address(k, j)
+    col_j = h.column_addresses(j, ke, n)
+    block[1::3] = col_j
+    block[2::3] = h.column_addresses(k, ke, n)
+    block[3::3] = col_j
+    flags = np.zeros(block.size, dtype=bool)
+    flags[3::3] = True
+    trace.append_block(block, write=flags)
+    a[ke:n, j] = a[ke:n, j] - a[ke:n, k] * a[k, j]
+
+
+def blocked_lu(a: np.ndarray, block: int, *,
+               columnar: bool = True) -> tuple[np.ndarray, Trace]:
     """Right-looking blocked LU; returns the packed factor and trace.
 
     The matrix dimension must be a multiple of ``block``.
@@ -62,9 +175,12 @@ def blocked_lu(a: np.ndarray, block: int) -> tuple[np.ndarray, Trace]:
     for kb in range(0, n, block):
         ke = kb + block
         # 1. factor the diagonal block
-        _lu_inplace(h, trace, kb, ke)
+        _lu_inplace(h, trace, kb, ke, columnar=columnar)
         # 2. panel: L21 = A21 * U11^-1 (column sweeps, unit stride)
         for j in range(kb, ke):
+            if columnar:
+                _lu_panel_column(h, trace, j, kb, ke, n)
+                continue
             ujj = h.read(trace, j, j)
             for i in range(ke, n):
                 lij = h.read(trace, i, j) / ujj
@@ -74,6 +190,9 @@ def blocked_lu(a: np.ndarray, block: int) -> tuple[np.ndarray, Trace]:
         # 3. row block: U12 = L11^-1 * A12
         for j in range(ke, n):
             for i in range(kb, ke):
+                if columnar:
+                    _lu_row_element(h, trace, i, j, kb)
+                    continue
                 uij = h.read(trace, i, j)
                 for k in range(kb, i):
                     uij -= h.read(trace, i, k) * h.read(trace, k, j)
@@ -81,6 +200,9 @@ def blocked_lu(a: np.ndarray, block: int) -> tuple[np.ndarray, Trace]:
         # 4. trailing update: A22 -= L21 @ U12 (the blocked-matmul phase)
         for j in range(ke, n):
             for k in range(kb, ke):
+                if columnar:
+                    _lu_trailing_column(h, trace, j, k, ke, n)
+                    continue
                 ukj = h.read(trace, k, j)
                 for i in range(ke, n):
                     aij = h.read(trace, i, j)

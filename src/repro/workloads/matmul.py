@@ -19,7 +19,61 @@ from repro.workloads.layout import Workspace
 __all__ = ["naive_matmul", "blocked_matmul"]
 
 
-def naive_matmul(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, Trace]:
+def _matmul_column_update(ha, hb, hc, trace, j, k, i0, i1):
+    """One (j, k) inner sweep, block-granular.
+
+    Emits the same interleaved reference order as the scalar i-loop —
+    read B(k,j), then per i: read C(i,j), read A(i,k), write C(i,j) —
+    as a single strided-interleaved address block, and applies the rank-1
+    column update elementwise (bit-exact vs the scalar arithmetic).
+    """
+    span = i1 - i0
+    block = np.empty(1 + 3 * span, dtype=np.int64)
+    block[0] = hb.address(k, j)
+    c_column = hc.column_addresses(j, i0, i1)
+    block[1::3] = c_column
+    block[2::3] = ha.column_addresses(k, i0, i1)
+    block[3::3] = c_column
+    flags = np.zeros(block.size, dtype=bool)
+    flags[3::3] = True
+    trace.append_block(block, write=flags)
+    bkj = hb.data[k, j]
+    hc.data[i0:i1, j] = hc.data[i0:i1, j] + ha.data[i0:i1, k] * bkj
+
+
+def _matmul_tile_update(ha, hb, hc, trace, jb, kb, ib, block):
+    """One ``block x block`` tile update, emitted as a single block.
+
+    Covers every (j, k) sweep of the tile in one address block — the
+    scalar reference order is preserved by raveling a (j, k, refs) array
+    whose last axis is the per-sweep interleave ``[B(k,j), C, A, C-w]``.
+    Values are applied per ``k`` as rank-1 updates over the whole tile;
+    each element still sees the same ascending-``k`` sequence of
+    multiply-adds as the scalar loop, so the arithmetic stays bit-exact.
+    """
+    je, ke, ie = jb + block, kb + block, ib + block
+    span = ie - ib
+    c_cols = np.stack([hc.column_addresses(j, ib, ie)
+                       for j in range(jb, je)])
+    a_cols = np.stack([ha.column_addresses(k, ib, ie)
+                       for k in range(kb, ke)])
+    b_rows = np.stack([hb.row_addresses(k, jb, je) for k in range(kb, ke)])
+    seg = np.empty((block, block, 1 + 3 * span), dtype=np.int64)
+    seg[:, :, 0] = b_rows.T
+    seg[:, :, 1::3] = c_cols[:, None, :]
+    seg[:, :, 2::3] = a_cols[None, :, :]
+    seg[:, :, 3::3] = c_cols[:, None, :]
+    flags = np.zeros(seg.shape, dtype=bool)
+    flags[:, :, 3::3] = True
+    trace.append_block(seg.reshape(-1), write=flags.reshape(-1))
+    for k in range(kb, ke):
+        hc.data[ib:ie, jb:je] = (
+            hc.data[ib:ie, jb:je]
+            + ha.data[ib:ie, k, None] * hb.data[k, jb:je])
+
+
+def naive_matmul(a: np.ndarray, b: np.ndarray, *,
+                 columnar: bool = True) -> tuple[np.ndarray, Trace]:
     """Unblocked triple loop (jki order: column sweeps of ``A``).
 
     The baseline whose working set is the whole matrix — what blocking
@@ -38,6 +92,9 @@ def naive_matmul(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, Trace]:
     trace = Trace(description=f"naive matmul {n}x{k_dim}x{m}")
     for j in range(m):
         for k in range(k_dim):
+            if columnar:
+                _matmul_column_update(ha, hb, hc, trace, j, k, 0, n)
+                continue
             bkj = hb.read(trace, k, j)
             for i in range(n):
                 cij = hc.read(trace, i, j)
@@ -46,7 +103,7 @@ def naive_matmul(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, Trace]:
 
 
 def blocked_matmul(
-    a: np.ndarray, b: np.ndarray, block: int
+    a: np.ndarray, b: np.ndarray, block: int, *, columnar: bool = True
 ) -> tuple[np.ndarray, Trace]:
     """Blocked ``C += A @ B`` with ``block x block`` sub-blocks.
 
@@ -73,6 +130,9 @@ def blocked_matmul(
         for kb in range(0, k_dim, block):
             for ib in range(0, n, block):
                 # C[ib:, jb:] += A[ib:, kb:] @ B[kb:, jb:], all b x b
+                if columnar:
+                    _matmul_tile_update(ha, hb, hc, trace, jb, kb, ib, block)
+                    continue
                 for j in range(jb, jb + block):
                     for k in range(kb, kb + block):
                         bkj = hb.read(trace, k, j)

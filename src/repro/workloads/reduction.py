@@ -18,7 +18,8 @@ from repro.workloads.layout import Workspace
 __all__ = ["dot", "matrix_sums"]
 
 
-def dot(x: np.ndarray, y: np.ndarray) -> tuple[float, Trace]:
+def dot(x: np.ndarray, y: np.ndarray, *,
+        columnar: bool = True) -> tuple[float, Trace]:
     """Traced dot product of two vectors."""
     x = np.asarray(x, dtype=float)
     y = np.asarray(y, dtype=float)
@@ -28,13 +29,23 @@ def dot(x: np.ndarray, y: np.ndarray) -> tuple[float, Trace]:
     hx = ws.vector("x", x.copy())
     hy = ws.vector("y", y.copy())
     trace = Trace(description=f"dot n={len(x)}")
+    if columnar:
+        n = len(x)
+        block = np.empty(2 * n, dtype=np.int64)
+        block[0::2] = hx.strided_addresses(n)
+        block[1::2] = hy.strided_addresses(n)
+        trace.append_block(block)
+        # summing the per-element products left-to-right keeps the result
+        # bit-exact vs the scalar accumulation loop
+        return sum((hx.data * hy.data).tolist(), 0.0), trace
     total = 0.0
     for i in range(len(x)):
         total += hx.read(trace, i) * hy.read(trace, i)
     return total, trace
 
 
-def matrix_sums(a: np.ndarray, *, repeats: int = 1) -> tuple[dict, Trace]:
+def matrix_sums(a: np.ndarray, *, repeats: int = 1,
+                columnar: bool = True) -> tuple[dict, Trace]:
     """Sum one column, one row and the major diagonal of ``a``.
 
     Returns ``({"column": .., "row": .., "diagonal": ..}, trace)``.  With
@@ -52,6 +63,15 @@ def matrix_sums(a: np.ndarray, *, repeats: int = 1) -> tuple[dict, Trace]:
     trace = Trace(description=f"column/row/diagonal sums n={n}")
     sums = {"column": 0.0, "row": 0.0, "diagonal": 0.0}
     for _ in range(repeats):
+        if columnar:
+            trace.append_block(h.column_addresses(0))
+            sums["column"] = sum(h.data[:, 0].tolist(), 0)
+            trace.append_block(h.row_addresses(0))
+            sums["row"] = sum(h.data[0, :].tolist(), 0)
+            trace.append_block(
+                h.base + np.arange(n, dtype=np.int64) * (n + 1))
+            sums["diagonal"] = sum(np.diagonal(h.data).tolist(), 0)
+            continue
         sums["column"] = sum(h.read(trace, i, 0) for i in range(n))
         sums["row"] = sum(h.read(trace, 0, j) for j in range(n))
         sums["diagonal"] = sum(h.read(trace, i, i) for i in range(n))

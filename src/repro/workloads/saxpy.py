@@ -15,7 +15,20 @@ from repro.workloads.layout import Workspace
 __all__ = ["saxpy", "strided_saxpy"]
 
 
-def saxpy(alpha: float, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, Trace]:
+def _saxpy_block(trace, ax, ay):
+    """Record the double-stream pattern — per element (x read, y read,
+    y write) — as one interleaved address block."""
+    block = np.empty(3 * ax.size, dtype=np.int64)
+    block[0::3] = ax
+    block[1::3] = ay
+    block[2::3] = ay
+    flags = np.zeros(block.size, dtype=bool)
+    flags[2::3] = True
+    trace.append_block(block, write=flags)
+
+
+def saxpy(alpha: float, x: np.ndarray, y: np.ndarray, *,
+          columnar: bool = True) -> tuple[np.ndarray, Trace]:
     """Unit-stride SAXPY; returns ``(alpha * x + y, trace)``.
 
     The trace is the double-stream pattern: per element, a read of ``x``, a
@@ -29,6 +42,11 @@ def saxpy(alpha: float, x: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, Trace
     hx = ws.vector("x", x.copy())
     hy = ws.vector("y", y.copy())
     trace = Trace(description=f"saxpy n={len(x)}")
+    if columnar:
+        _saxpy_block(trace, hx.strided_addresses(len(x)),
+                     hy.strided_addresses(len(y)))
+        hy.data[:] = alpha * hx.data + hy.data
+        return hy.data, trace
     for i in range(len(x)):
         xi = hx.read(trace, i)
         yi = hy.read(trace, i)
@@ -43,6 +61,7 @@ def strided_saxpy(
     *,
     stride_x: int = 1,
     stride_y: int = 1,
+    columnar: bool = True,
 ) -> tuple[np.ndarray, Trace]:
     """SAXPY over strided views: ``y[::sy] += alpha * x[::sx]``.
 
@@ -63,6 +82,13 @@ def strided_saxpy(
     hx = ws.vector("x", x.copy())
     hy = ws.vector("y", y.copy())
     trace = Trace(description=f"saxpy strides ({stride_x},{stride_y})")
+    if columnar:
+        _saxpy_block(trace, hx.strided_addresses(count, stride_x),
+                     hy.strided_addresses(count, stride_y))
+        sx, sy = stride_x, stride_y
+        hy.data[:count * sy:sy] = (alpha * hx.data[:count * sx:sx]
+                                   + hy.data[:count * sy:sy])
+        return hy.data, trace
     for k in range(count):
         xi = hx.read(trace, k * stride_x)
         yi = hy.read(trace, k * stride_y)

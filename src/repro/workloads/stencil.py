@@ -18,7 +18,8 @@ from repro.workloads.layout import Workspace
 __all__ = ["jacobi_step", "jacobi"]
 
 
-def jacobi_step(grid: np.ndarray) -> tuple[np.ndarray, Trace]:
+def jacobi_step(grid: np.ndarray, *,
+                columnar: bool = True) -> tuple[np.ndarray, Trace]:
     """One five-point Jacobi relaxation sweep; returns ``(next, trace)``.
 
     Boundary values are copied through unchanged.
@@ -32,6 +33,23 @@ def jacobi_step(grid: np.ndarray) -> tuple[np.ndarray, Trace]:
     dst = ws.matrix("next", grid.copy())
     trace = Trace(description=f"jacobi step {rows}x{cols}")
     for j in range(1, cols - 1):
+        if columnar:
+            # per interior point: north, south, west, east reads then the
+            # write — five interleaved address columns per grid column
+            span = rows - 2
+            block = np.empty(5 * span, dtype=np.int64)
+            block[0::5] = src.column_addresses(j, 0, rows - 2)
+            block[1::5] = src.column_addresses(j, 2, rows)
+            block[2::5] = src.column_addresses(j - 1, 1, rows - 1)
+            block[3::5] = src.column_addresses(j + 1, 1, rows - 1)
+            block[4::5] = dst.column_addresses(j, 1, rows - 1)
+            flags = np.zeros(block.size, dtype=bool)
+            flags[4::5] = True
+            trace.append_block(block, write=flags)
+            total = (src.data[:-2, j] + src.data[2:, j]) \
+                + src.data[1:-1, j - 1] + src.data[1:-1, j + 1]
+            dst.data[1:-1, j] = total / 4.0
+            continue
         for i in range(1, rows - 1):
             total = (
                 src.read(trace, i - 1, j)
@@ -43,13 +61,14 @@ def jacobi_step(grid: np.ndarray) -> tuple[np.ndarray, Trace]:
     return dst.data, trace
 
 
-def jacobi(grid: np.ndarray, iterations: int) -> tuple[np.ndarray, Trace]:
+def jacobi(grid: np.ndarray, iterations: int, *,
+           columnar: bool = True) -> tuple[np.ndarray, Trace]:
     """``iterations`` Jacobi sweeps, trace concatenated across sweeps."""
     if iterations < 1:
         raise ValueError("iterations must be positive")
     current = np.asarray(grid, dtype=float)
     trace = Trace(description=f"jacobi x{iterations}")
     for _ in range(iterations):
-        current, step_trace = jacobi_step(current)
+        current, step_trace = jacobi_step(current, columnar=columnar)
         trace.extend(step_trace)
     return current, trace

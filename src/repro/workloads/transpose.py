@@ -18,7 +18,20 @@ from repro.workloads.layout import Workspace
 __all__ = ["transpose", "blocked_transpose"]
 
 
-def transpose(a: np.ndarray) -> tuple[np.ndarray, Trace]:
+def _transpose_column(src, dst, trace, j, i0, i1):
+    """Move source column ``j`` rows ``i0..i1`` into destination row ``j``,
+    emitting the scalar loop's alternating read/write order as one block."""
+    block = np.empty(2 * (i1 - i0), dtype=np.int64)
+    block[0::2] = src.column_addresses(j, i0, i1)
+    block[1::2] = dst.row_addresses(j, i0, i1)
+    flags = np.zeros(block.size, dtype=bool)
+    flags[1::2] = True
+    trace.append_block(block, write=flags)
+    dst.data[j, i0:i1] = src.data[i0:i1, j]
+
+
+def transpose(a: np.ndarray, *,
+              columnar: bool = True) -> tuple[np.ndarray, Trace]:
     """Straightforward out-of-place transpose; returns ``(a.T, trace)``.
 
     Reads column by column (unit stride), writes row by row (stride equal
@@ -33,13 +46,17 @@ def transpose(a: np.ndarray) -> tuple[np.ndarray, Trace]:
     dst = ws.matrix("at", np.zeros((cols, rows)))
     trace = Trace(description=f"transpose {rows}x{cols}")
     for j in range(cols):
+        if columnar:
+            _transpose_column(src, dst, trace, j, 0, rows)
+            continue
         for i in range(rows):
             value = src.read(trace, i, j)
             dst.write(trace, value, j, i)
     return dst.data, trace
 
 
-def blocked_transpose(a: np.ndarray, block: int) -> tuple[np.ndarray, Trace]:
+def blocked_transpose(a: np.ndarray, block: int, *,
+                      columnar: bool = True) -> tuple[np.ndarray, Trace]:
     """Tiled transpose moving ``block x block`` sub-blocks.
 
     Dimensions must be multiples of ``block``.  Each tile is read as a
@@ -59,6 +76,9 @@ def blocked_transpose(a: np.ndarray, block: int) -> tuple[np.ndarray, Trace]:
     for jb in range(0, cols, block):
         for ib in range(0, rows, block):
             for j in range(jb, jb + block):
+                if columnar:
+                    _transpose_column(src, dst, trace, j, ib, ib + block)
+                    continue
                 for i in range(ib, ib + block):
                     value = src.read(trace, i, j)
                     dst.write(trace, value, j, i)

@@ -1,0 +1,219 @@
+"""Unit tests for the columnar Trace storage engine.
+
+The per-``Access`` surface is covered by ``test_records.py``; these tests
+target the block-granular API underneath it — ``append_block`` semantics,
+chunk sealing and coalescing around ``_CHUNK_TARGET``, the packed write
+bitmaps, zero-copy ``iter_blocks``, sub-traces and description merging.
+"""
+
+import numpy as np
+import pytest
+
+from repro.trace.records import _CHUNK_TARGET, Access, Trace
+
+
+def dense_flags(trace):
+    addresses, writes = trace.as_arrays()
+    if writes is None:
+        return np.zeros(addresses.size, dtype=bool)
+    return writes
+
+
+class TestAppendBlock:
+    def test_all_read_block_has_no_bitmap(self):
+        trace = Trace()
+        trace.append_block(np.arange(10, dtype=np.int64))
+        addresses, writes = trace.as_arrays()
+        assert writes is None
+        assert addresses.tolist() == list(range(10))
+
+    def test_write_true_marks_every_reference(self):
+        trace = Trace()
+        trace.append_block([3, 1, 4], write=True)
+        _, writes = trace.as_arrays()
+        assert writes.tolist() == [True, True, True]
+
+    def test_bool_array_flags_round_trip(self):
+        trace = Trace()
+        flags = np.array([False, True, False, True, True])
+        trace.append_block(np.arange(5), write=flags)
+        assert dense_flags(trace).tolist() == flags.tolist()
+        assert [a.write for a in trace] == flags.tolist()
+
+    def test_all_false_flag_array_collapses_to_no_bitmap(self):
+        trace = Trace()
+        trace.append_block(np.arange(5), write=np.zeros(5, dtype=bool))
+        _, writes = trace.as_arrays()
+        assert writes is None
+
+    def test_flag_length_mismatch_rejected(self):
+        trace = Trace()
+        with pytest.raises(ValueError, match="match addresses"):
+            trace.append_block([1, 2, 3], write=np.array([True, False]))
+
+    def test_negative_addresses_rejected(self):
+        trace = Trace()
+        with pytest.raises(ValueError, match="non-negative"):
+            trace.append_block([4, -1, 2])
+
+    def test_empty_block_is_a_no_op(self):
+        trace = Trace()
+        trace.append_block(np.empty(0, dtype=np.int64))
+        assert len(trace) == 0
+        assert trace.as_arrays()[0].size == 0
+
+    def test_multidimensional_input_is_flattened_in_order(self):
+        trace = Trace()
+        trace.append_block(np.arange(6).reshape(2, 3))
+        assert trace.addresses() == [0, 1, 2, 3, 4, 5]
+
+    def test_interleaves_with_scalar_appends_in_order(self):
+        trace = Trace()
+        trace.append(7)
+        trace.append_block([8, 9])
+        trace.append(10, write=True)
+        assert trace.addresses() == [7, 8, 9, 10]
+        assert dense_flags(trace).tolist() == [False, False, False, True]
+
+
+class TestChunking:
+    def test_small_blocks_coalesce_into_one_chunk(self):
+        trace = Trace()
+        for start in range(0, 40, 10):
+            trace.append_block(np.arange(start, start + 10))
+        chunks = list(trace.iter_blocks())
+        assert len(chunks) == 1
+        assert chunks[0][0].tolist() == list(range(40))
+
+    def test_large_block_is_adopted_zero_copy(self):
+        block = np.arange(_CHUNK_TARGET, dtype=np.int64)
+        trace = Trace()
+        trace.append_block(block)
+        [(chunk, writes)] = trace.iter_blocks()
+        assert chunk is block
+        assert writes is None
+
+    def test_chunk_boundary_splits_exactly(self):
+        trace = Trace()
+        trace.append_block(np.arange(_CHUNK_TARGET + 3, dtype=np.int64) % 97)
+        trace.append_block([5], write=True)
+        assert len(trace) == _CHUNK_TARGET + 4
+        addresses, writes = trace.as_arrays()
+        assert addresses.size == _CHUNK_TARGET + 4
+        assert writes.sum() == 1 and bool(writes[-1])
+
+    def test_scalar_appends_flush_at_chunk_target(self):
+        trace = Trace()
+        for i in range(_CHUNK_TARGET + 1):
+            trace.append(i)
+        assert len(trace) == _CHUNK_TARGET + 1
+        assert trace.as_arrays()[0][-1] == _CHUNK_TARGET
+
+    def test_bitmap_packing_survives_chunk_merge(self):
+        # two staged blocks, one all-read, one flagged: the merged
+        # chunk's bitmap must keep the flags aligned to their block
+        trace = Trace()
+        trace.append_block(np.arange(9))
+        trace.append_block(np.arange(9, 12), write=np.array([0, 1, 0], bool))
+        flags = dense_flags(trace)
+        assert flags.tolist() == [False] * 10 + [True, False]
+
+
+class TestIterBlocks:
+    def test_yields_int64_chunks_and_optional_flags(self):
+        trace = Trace()
+        trace.append_block([1, 2], write=True)
+        trace.append_block(np.arange(_CHUNK_TARGET, dtype=np.int64))
+        total = 0
+        for chunk, writes in trace.iter_blocks():
+            assert chunk.dtype == np.int64
+            assert writes is None or writes.size == chunk.size
+            total += chunk.size
+        assert total == len(trace)
+
+    def test_empty_trace_yields_nothing(self):
+        assert list(Trace().iter_blocks()) == []
+
+
+class TestSubTraces:
+    def test_reads_and_writes_partition_the_stream(self):
+        trace = Trace(description="mix")
+        trace.append_block([10, 11, 12, 13],
+                           write=np.array([0, 1, 0, 1], bool))
+        reads = trace.reads()
+        writes = trace.writes()
+        assert reads.addresses() == [10, 12]
+        assert writes.addresses() == [11, 13]
+        assert reads.description == "mix (reads)"
+        assert writes.description == "mix (writes)"
+        assert not dense_flags(reads).any()
+        assert dense_flags(writes).all()
+
+    def test_all_read_trace_has_empty_writes_subtrace(self):
+        trace = Trace.from_addresses(range(5))
+        assert len(trace.writes()) == 0
+        assert trace.reads().addresses() == list(range(5))
+
+
+class TestExtend:
+    def test_shares_sealed_chunks_zero_copy(self):
+        left = Trace(description="left")
+        left.append_block(np.arange(3))
+        right = Trace(description="right")
+        block = np.arange(_CHUNK_TARGET, dtype=np.int64)
+        right.append_block(block)
+        left.extend(right)
+        assert len(left) == _CHUNK_TARGET + 3
+        assert any(chunk is block for chunk, _ in left.iter_blocks())
+
+    def test_descriptions_merge(self):
+        left = Trace(description="left")
+        left.extend(Trace(description="right"))
+        assert left.description == "left + right"
+
+    def test_empty_description_adopts_other(self):
+        left = Trace()
+        left.extend(Trace(description="origin"))
+        assert left.description == "origin"
+
+    def test_contained_description_not_repeated(self):
+        left = Trace(description="a + b")
+        left.extend(Trace(description="b"))
+        assert left.description == "a + b"
+
+    def test_description_growth_is_capped(self):
+        trace = Trace(description="x" * 200)
+        trace.extend(Trace(description="more"))
+        trace.extend(Trace(description="even more"))
+        assert trace.description == "x" * 200 + " + ..."
+
+
+class TestCompatibilityView:
+    def test_accesses_view_matches_arrays(self):
+        trace = Trace()
+        trace.append_block([5, 6, 7], write=np.array([0, 0, 1], bool))
+        assert trace.accesses == [Access(5), Access(6), Access(7, True)]
+
+    def test_view_is_cached_until_mutation(self):
+        trace = Trace.from_addresses([1, 2])
+        first = trace.accesses
+        assert trace.accesses is first
+        trace.append(3)
+        assert trace.accesses is not first
+        assert len(trace.accesses) == 3
+
+    def test_equality_ignores_chunking(self):
+        one = Trace(description="t")
+        one.append_block(np.arange(20))
+        other = Trace(description="t")
+        for i in range(20):
+            other.append(i)
+        assert one == other
+
+    def test_save_load_round_trip(self, tmp_path):
+        trace = Trace(description="round trip")
+        trace.append_block(np.arange(100),
+                           write=(np.arange(100) % 3 == 0))
+        path = tmp_path / "trace.txt"
+        trace.save(path)
+        assert Trace.load(path) == trace

@@ -5,14 +5,15 @@ from repro.verify import MUTATIONS, ORACLES, run_selfcheck
 
 class TestCatalogue:
     def test_issue_faults_catalogued(self):
-        # the three faults the issue names, plus the two this codebase
-        # nearly shipped
+        # the three faults the issue names, the two this codebase nearly
+        # shipped, plus the columnar block-boundary fault
         assert set(MUTATIONS) == {
             "fold-modulus-off-by-one",
             "dropped-bank-busy-stall",
             "wrong-mersenne-modulus",
             "congruence-lost-solutions",
             "phase-collapsed-footprint",
+            "columnar-block-off-by-one",
         }
 
     def test_expected_oracles_exist(self):

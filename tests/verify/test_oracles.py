@@ -8,13 +8,14 @@ from repro.verify import ORACLES, DifferentialRunner, default_oracles
 
 
 class TestRegistry:
-    def test_the_five_oracles_are_registered(self):
+    def test_the_six_oracles_are_registered(self):
         assert set(ORACLES) == {
             "cache-batch",
             "machine-timing",
             "analytical-vs-simulated",
             "congruence",
             "prime-geometry",
+            "trace-columnar",
         }
 
     def test_names_and_descriptions(self):

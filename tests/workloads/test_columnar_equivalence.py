@@ -1,0 +1,221 @@
+"""Scalar-vs-columnar equivalence, property-based.
+
+Every pattern generator and workload kernel carries both a per-reference
+scalar path (``columnar=False``, the retained differential reference) and
+the block-granular columnar path.  Hypothesis draws shapes and seeds and
+asserts the two paths emit **bit-for-bit identical traces** — addresses
+and write flags — plus identical numeric results.  The only tolerance
+granted is for the two complex-FFT kernels, whose values differ from the
+scalar arithmetic in the last ulp because numpy's vectorised complex
+multiply rounds differently from the scalar one; their traces must still
+match exactly.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import patterns
+from repro.workloads.fft import blocked_fft_2d, fft_radix2
+from repro.workloads.lu import blocked_lu, lu_decompose
+from repro.workloads.matmul import blocked_matmul, naive_matmul
+from repro.workloads.reduction import dot, matrix_sums
+from repro.workloads.saxpy import saxpy, strided_saxpy
+from repro.workloads.stencil import jacobi, jacobi_step
+from repro.workloads.transpose import blocked_transpose, transpose
+
+seeds = st.integers(min_value=0, max_value=2**16)
+
+
+def assert_same_trace(columnar, scalar):
+    assert len(columnar) == len(scalar)
+    addresses_c, writes_c = columnar.as_arrays()
+    addresses_s, writes_s = scalar.as_arrays()
+    assert np.array_equal(addresses_c, addresses_s)
+    dense_c = (writes_c if writes_c is not None
+               else np.zeros(addresses_c.size, dtype=bool))
+    dense_s = (writes_s if writes_s is not None
+               else np.zeros(addresses_s.size, dtype=bool))
+    assert np.array_equal(dense_c, dense_s)
+
+
+def both(kernel, *args, **kwargs):
+    value_c, trace_c = kernel(*args, columnar=True, **kwargs)
+    value_s, trace_s = kernel(*args, columnar=False, **kwargs)
+    assert_same_trace(trace_c, trace_s)
+    return value_c, value_s
+
+
+class TestGenerators:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 1 << 20), st.integers(1, 64),
+           st.integers(1, 96), st.integers(1, 3))
+    def test_strided(self, base, stride, length, sweeps):
+        assert_same_trace(
+            patterns.strided(base, stride, length, sweeps=sweeps),
+            patterns.strided(base, stride, length, sweeps=sweeps,
+                             columnar=False))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 48), st.integers(1, 8), seeds)
+    def test_multistride(self, length, vectors, seed):
+        assert_same_trace(
+            patterns.multistride(length, vectors, 50, seed=seed),
+            patterns.multistride(length, vectors, 50, seed=seed,
+                                 columnar=False))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 40), st.integers(1, 24), st.integers(0, 8))
+    def test_matrix_walks(self, p, extent, index):
+        for columnar_gen, scalar_gen in (
+            (patterns.matrix_column(p, extent, index),
+             patterns.matrix_column(p, extent, index, columnar=False)),
+            (patterns.matrix_row(p, extent, index),
+             patterns.matrix_row(p, extent, index, columnar=False)),
+            (patterns.matrix_diagonal(p, extent),
+             patterns.matrix_diagonal(p, extent, columnar=False)),
+        ):
+            assert_same_trace(columnar_gen, scalar_gen)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 40), st.integers(1, 24), seeds)
+    def test_row_column_mix(self, p, length, seed):
+        assert_same_trace(
+            patterns.row_column_mix(p, length, accesses=6, seed=seed),
+            patterns.row_column_mix(p, length, accesses=6, seed=seed,
+                                    columnar=False))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(8, 40), st.integers(1, 8), st.integers(1, 8),
+           st.integers(1, 2))
+    def test_subblock(self, p, b1, b2, sweeps):
+        assert_same_trace(
+            patterns.subblock(p, b1, b2, sweeps=sweeps),
+            patterns.subblock(p, b1, b2, sweeps=sweeps, columnar=False))
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.sampled_from([2, 4, 8, 16, 32, 64]))
+    def test_fft_butterflies(self, n):
+        assert_same_trace(
+            patterns.fft_butterflies(n),
+            patterns.fft_butterflies(n, columnar=False))
+
+
+class TestKernelsExact:
+    """Float64 kernels: traces identical AND values bit-exact."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 64), seeds)
+    def test_saxpy(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x, y = rng.standard_normal((2, n))
+        value_c, value_s = both(saxpy, 1.5, x, y)
+        assert np.array_equal(value_c, value_s)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 8), st.integers(1, 8), st.integers(1, 10), seeds)
+    def test_strided_saxpy(self, sx, sy, count, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((count - 1) * sx + 1)
+        y = rng.standard_normal((count - 1) * sy + 1)
+        value_c, value_s = both(strided_saxpy, 0.5, x, y,
+                                stride_x=sx, stride_y=sy)
+        assert np.array_equal(value_c, value_s)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 10), st.integers(1, 10), st.integers(1, 10), seeds)
+    def test_naive_matmul(self, n, k, m, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, k))
+        b = rng.standard_normal((k, m))
+        value_c, value_s = both(naive_matmul, a, b)
+        assert np.array_equal(value_c, value_s)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 3), seeds)
+    def test_blocked_matmul(self, block, multiple, seed):
+        n = block * multiple
+        rng = np.random.default_rng(seed)
+        a, b = rng.standard_normal((2, n, n))
+        value_c, value_s = both(blocked_matmul, a, b, block)
+        assert np.array_equal(value_c, value_s)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 12), st.integers(1, 12), seeds)
+    def test_transpose(self, rows, cols, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((rows, cols))
+        value_c, value_s = both(transpose, a)
+        assert np.array_equal(value_c, value_s)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 3), st.integers(1, 3), seeds)
+    def test_blocked_transpose(self, block, mr, mc, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((block * mr, block * mc))
+        value_c, value_s = both(blocked_transpose, a, block)
+        assert np.array_equal(value_c, value_s)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(3, 12), st.integers(3, 12), st.integers(1, 3), seeds)
+    def test_jacobi(self, rows, cols, iterations, seed):
+        rng = np.random.default_rng(seed)
+        grid = rng.standard_normal((rows, cols))
+        step_c, step_s = both(jacobi_step, grid)
+        assert np.array_equal(step_c, step_s)
+        value_c, value_s = both(jacobi, grid, iterations)
+        assert np.array_equal(value_c, value_s)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 64), seeds)
+    def test_dot(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x, y = rng.standard_normal((2, n))
+        value_c, value_s = both(dot, x, y)
+        assert value_c == value_s
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 10), st.integers(1, 3), seeds)
+    def test_matrix_sums(self, n, repeats, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n))
+        value_c, value_s = both(matrix_sums, a, repeats=repeats)
+        assert value_c == value_s
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 10), seeds)
+    def test_lu_decompose(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+        value_c, value_s = both(lu_decompose, a)
+        assert np.array_equal(value_c, value_s)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 3), seeds)
+    def test_blocked_lu(self, block, multiple, seed):
+        n = block * multiple
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n)) + n * np.eye(n)
+        value_c, value_s = both(blocked_lu, a, block)
+        assert np.array_equal(value_c, value_s)
+
+
+class TestKernelsFFT:
+    """Complex kernels: traces identical, values within one ulp."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.sampled_from([2, 4, 8, 16, 32]), seeds)
+    def test_fft_radix2(self, n, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        value_c, value_s = both(fft_radix2, x)
+        assert np.allclose(value_c, value_s, rtol=1e-12, atol=1e-12)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.sampled_from([(8, 2), (8, 4), (16, 4), (32, 8)]), seeds)
+    def test_blocked_fft_2d(self, shape, seed):
+        n, b2 = shape
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        value_c, value_s = both(blocked_fft_2d, x, b2)
+        assert np.allclose(value_c, value_s, rtol=1e-12, atol=1e-12)
