@@ -4,70 +4,28 @@ The paper argues higher associativity cannot fix vector-cache conflicts:
 for the same capacity, more ways mean fewer sets, so strided sweeps still
 fold onto few sets — a sweep with ``gcd(C, s) = g`` puts ``B * g / C``
 elements in each set it touches, and once that exceeds the way count the
-set thrashes no matter the policy.  This bench replays sweeps whose strides
-straddle those thresholds through direct-mapped, 2/4/8-way LRU,
-fully-associative and prime-mapped caches of (near-)equal capacity.
+set thrashes no matter the policy.  The study itself lives in
+:func:`repro.experiments.ablations.ablation_associativity` (so
+``repro sweep`` can cache it); this bench times it and asserts the
+paper's claims on the regenerated rows.
 """
 
-from repro.cache import (
-    DirectMappedCache,
-    FullyAssociativeCache,
-    PrimeMappedCache,
-    SetAssociativeCache,
+from repro.experiments.ablations import (
+    ablation_associativity,
+    render_ablation,
 )
-from repro.experiments.render import render_table
-from repro.trace.patterns import strided
-from repro.trace.records import Trace
-from repro.trace.replay import replay
-
-LINES = 8192          # direct / set-associative capacity
-PRIME_C = 13          # 2^13 - 1 = 8191 lines: the matching Mersenne prime
-VECTOR_LENGTH = 2048
-# gcd with 8192: 1, 1, 8, 32, 64, 256 -> per-set load 0.25..64 elements
-STRIDES = [1, 7, 8, 32, 64, 256]
-
-
-def build_caches():
-    """Same-capacity contenders (prime uses the nearest Mersenne prime)."""
-    return [
-        ("direct 8192", DirectMappedCache(num_lines=LINES)),
-        ("2-way LRU", SetAssociativeCache(num_sets=LINES // 2, num_ways=2)),
-        ("4-way LRU", SetAssociativeCache(num_sets=LINES // 4, num_ways=4)),
-        ("8-way LRU", SetAssociativeCache(num_sets=LINES // 8, num_ways=8)),
-        ("fully assoc", FullyAssociativeCache(num_lines=LINES)),
-        ("prime 8191", PrimeMappedCache(c=PRIME_C)),
-    ]
-
-
-def make_trace() -> Trace:
-    """Two sweeps over each stride in the spectrum."""
-    trace = Trace(description="stride spectrum")
-    for i, stride in enumerate(STRIDES):
-        trace.extend(strided(i * (1 << 20), stride, VECTOR_LENGTH, sweeps=2))
-    return trace
-
-
-def run_ablation():
-    """Replay the stride spectrum through every organisation."""
-    trace = make_trace()
-    rows = []
-    for label, cache in build_caches():
-        result = replay(trace, cache, t_m=16)
-        rows.append([label, result.hit_ratio,
-                     result.stats.conflict_misses, result.stall_cycles])
-    return rows
 
 
 def test_associativity_ablation(benchmark, save_result):
     """Associativity shaves conflicts but cannot remove them; prime mapping
     matches full associativity outright."""
-    rows = benchmark.pedantic(run_ablation, iterations=1, rounds=1)
-    by_label = {row[0]: row for row in rows}
+    result = benchmark.pedantic(ablation_associativity,
+                                iterations=1, rounds=1)
 
-    direct = by_label["direct 8192"][2]
-    two_way = by_label["2-way LRU"][2]
-    eight_way = by_label["8-way LRU"][2]
-    prime = by_label["prime 8191"][2]
+    direct = result.row("direct 8192")[2]
+    two_way = result.row("2-way LRU")[2]
+    eight_way = result.row("8-way LRU")[2]
+    prime = result.row("prime 8191")[2]
 
     # monotone improvement with associativity...
     assert direct >= two_way >= eight_way
@@ -76,9 +34,6 @@ def test_associativity_ablation(benchmark, save_result):
     # the prime cache eliminates conflicts for these sub-capacity sweeps
     assert prime == 0
     # and therefore matches the fully-associative hit ratio
-    assert by_label["prime 8191"][1] >= by_label["fully assoc"][1] - 0.01
+    assert result.row("prime 8191")[1] >= result.row("fully assoc")[1] - 0.01
 
-    save_result("ablation_associativity", render_table(
-        ["organisation", "hit ratio", "conflict misses", "stall cycles"],
-        rows,
-    ))
+    save_result("ablation_associativity", render_ablation(result))

@@ -2,55 +2,21 @@
 
 Budnik–Kuck/BSP attacked the same number theory one level up the
 hierarchy: a prime number of memory banks removes bank conflicts the way a
-prime number of cache lines removes line conflicts.  This bench runs the
-cacheless MM-machine with low-order, skewed, and prime interleaves on a
-power-of-two-stride load and shows the prime bank count eliminating the
-bank stalls — context for why the paper's contribution is bringing the
-trick to the cache, where the Mersenne form makes it free.
+prime number of cache lines removes line conflicts.  The study lives in
+:func:`repro.experiments.ablations.ablation_interleave`; this bench times
+it and checks the prime bank count eliminating the bank stalls — context
+for why the paper's contribution is bringing the trick to the cache,
+where the Mersenne form makes it free.
 """
 
-from repro.analytical.base import MachineConfig
-from repro.experiments.render import render_table
-from repro.machine import MMMachine, VectorLoad
-from repro.memory import (
-    InterleavedMemory,
-    LowOrderInterleave,
-    PrimeInterleave,
-    SkewedInterleave,
-)
-
-T_M = 8
-BANKS_POW2 = 16
-BANKS_PRIME = 17
-
-
-def run_ablation():
-    """Bank stalls of a stride-16 sweep under each interleave scheme."""
-    schemes = [
-        ("low-order 16", LowOrderInterleave(BANKS_POW2)),
-        ("skewed 16", SkewedInterleave(BANKS_POW2)),
-        ("prime 17", PrimeInterleave(BANKS_PRIME)),
-    ]
-    config = MachineConfig(num_banks=BANKS_POW2, memory_access_time=T_M)
-    rows = []
-    for label, scheme in schemes:
-        memory = InterleavedMemory(scheme.num_banks, T_M, scheme)
-        machine = MMMachine(config, memory=memory)
-        report = machine.execute(
-            [VectorLoad(base=0, stride=BANKS_POW2, length=256)]
-        )
-        rows.append([label, report.bank_stall_cycles, report.cycles])
-    return rows
+from repro.experiments.ablations import ablation_interleave, render_ablation
 
 
 def test_interleave_ablation(benchmark, save_result):
     """Prime banks eliminate the power-stride pathology; skewing reduces it."""
-    rows = benchmark.pedantic(run_ablation, iterations=1, rounds=1)
-    by_label = {row[0]: row for row in rows}
-    assert by_label["low-order 16"][1] > 0
-    assert by_label["prime 17"][1] == 0
-    assert by_label["skewed 16"][1] <= by_label["low-order 16"][1]
+    result = benchmark.pedantic(ablation_interleave, iterations=1, rounds=1)
+    assert result.row("low-order 16")[1] > 0
+    assert result.row("prime 17")[1] == 0
+    assert result.row("skewed 16")[1] <= result.row("low-order 16")[1]
 
-    save_result("ablation_interleave", render_table(
-        ["interleave", "bank stall cycles", "total cycles"], rows,
-    ))
+    save_result("ablation_interleave", render_ablation(result))

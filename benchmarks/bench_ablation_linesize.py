@@ -3,43 +3,20 @@
 The paper fixes the line size at one word because Fu & Patel showed line
 size has unpredictable effects on vector caches: long lines exploit unit
 stride but pollute the cache for long strides (loaded words that are never
-used still evict useful lines).  This bench measures both regimes and
-confirms there is no line size that wins everywhere — the motivation for
-attacking conflicts with mapping instead.
+used still evict useful lines).  The study lives in
+:func:`repro.experiments.ablations.ablation_linesize`; this bench times
+both regimes and confirms there is no line size that wins everywhere —
+the motivation for attacking conflicts with mapping instead.
 """
 
-from repro.cache import DirectMappedCache
-from repro.experiments.render import render_table
-from repro.trace.patterns import strided
-from repro.trace.replay import replay
-
-CAPACITY_WORDS = 4096
-LINE_SIZES = [1, 2, 4, 8, 16]
-
-
-def run_ablation():
-    """Hit ratios per line size for unit-stride and long-stride sweeps."""
-    rows = []
-    for line_size in LINE_SIZES:
-        cache = DirectMappedCache(
-            num_lines=CAPACITY_WORDS // line_size, line_size_words=line_size
-        )
-        unit = replay(strided(0, 1, 2048, sweeps=2), cache, t_m=16)
-        cache = DirectMappedCache(
-            num_lines=CAPACITY_WORDS // line_size, line_size_words=line_size
-        )
-        # stride 33: coprime with the line count, so misses are pure
-        # pollution/capacity effects rather than mapping conflicts
-        long_stride = replay(strided(0, 33, 2048, sweeps=2), cache, t_m=16)
-        rows.append([line_size, unit.hit_ratio, long_stride.hit_ratio])
-    return rows
+from repro.experiments.ablations import ablation_linesize, render_ablation
 
 
 def test_line_size_ablation(benchmark, save_result):
     """Long lines help unit stride and hurt long strides — no free lunch."""
-    rows = benchmark.pedantic(run_ablation, iterations=1, rounds=1)
-    unit_ratios = [row[1] for row in rows]
-    long_ratios = [row[2] for row in rows]
+    result = benchmark.pedantic(ablation_linesize, iterations=1, rounds=1)
+    unit_ratios = [row[1] for row in result.rows]
+    long_ratios = [row[2] for row in result.rows]
 
     # unit stride: spatial locality makes wider lines strictly better
     assert unit_ratios == sorted(unit_ratios)
@@ -47,7 +24,4 @@ def test_line_size_ablation(benchmark, save_result):
     # long stride: wider lines shrink the usable line count and pollute
     assert long_ratios[-1] < long_ratios[0]
 
-    save_result("ablation_linesize", render_table(
-        ["line size (words)", "hit ratio stride 1", "hit ratio stride 33"],
-        rows,
-    ))
+    save_result("ablation_linesize", render_ablation(result))

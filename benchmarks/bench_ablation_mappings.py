@@ -3,81 +3,38 @@
 Four ways to compute a cache index from a line address, same storage
 budget, same lookup structure: plain bit-slice (direct-mapped), XOR hash
 (skewing's ingredient), hash-rehash pairing (column-associative), and the
-paper's Mersenne-prime modulus.  Measured on the three access families of
-Section 4 — strided sweeps, sub-blocks, FFT butterflies — plus the stride
-that defeats the XOR hash's linearity.
+paper's Mersenne-prime modulus.  The study lives in
+:func:`repro.experiments.ablations.ablation_mappings`, measured on the
+three access families of Section 4 — strided sweeps, sub-blocks, FFT
+butterflies — plus the stride that defeats the XOR hash's linearity.
 """
 
-from repro.cache import (
-    ColumnAssociativeCache,
-    DirectMappedCache,
-    PrimeMappedCache,
-    XorMappedCache,
-)
-from repro.experiments.render import render_table
-from repro.trace.patterns import fft_butterflies, strided, subblock
-from repro.trace.replay import replay
+from repro.experiments.ablations import ablation_mappings, render_ablation
 
-LINES = 128
-PRIME_C = 7
-
-
-def contenders():
-    return [
-        ("direct", lambda: DirectMappedCache(num_lines=LINES)),
-        ("xor-hash", lambda: XorMappedCache(num_lines=LINES)),
-        ("column-assoc", lambda: ColumnAssociativeCache(num_lines=LINES)),
-        ("prime", lambda: PrimeMappedCache(c=PRIME_C)),
-    ]
-
-
-def make_traces():
-    return [
-        ("stride-16 x3", strided(0, 16, 100, sweeps=3)),
-        # stride 2^(2c): beyond the XOR fold's reach
-        ("stride-16384 x3", strided(0, 1 << 14, 100, sweeps=3)),
-        # the paper's tailored conflict-free shape for P=384 at C=127:
-        # rho = min(384 mod 127, 127 - 384 mod 127) = 3 -> (3, 42)
-        ("subblock P=384 x2", subblock(384, 3, 42, sweeps=2)),
-        ("FFT n=64 (fits)", fft_butterflies(64)),
-    ]
-
-
-def run_ablation():
-    rows = []
-    for trace_label, trace in make_traces():
-        for label, build in contenders():
-            result = replay(trace, build(), t_m=16)
-            rows.append([trace_label, label, result.hit_ratio,
-                         result.stats.conflict_misses])
-    return rows
+TRACE_LABELS = ["stride-16 x3", "stride-16384 x3", "subblock P=384 x2",
+                "FFT n=64 (fits)"]
 
 
 def test_mapping_design_space(benchmark, save_result):
     """Hashing fixes some strides, pairing fixes ping-pongs, the prime
     modulus is the only mapping with zero conflicts across the board."""
-    rows = benchmark.pedantic(run_ablation, iterations=1, rounds=1)
-
-    def get(trace_label, label):
-        return next(r for r in rows if r[0] == trace_label and r[1] == label)
+    result = benchmark.pedantic(ablation_mappings, iterations=1, rounds=1)
 
     # prime: zero conflicts on every family
-    for trace_label, _ in make_traces():
-        assert get(trace_label, "prime")[3] == 0, trace_label
+    for trace_label in TRACE_LABELS:
+        assert result.row(trace_label, "prime")[3] == 0, trace_label
 
     # the XOR hash matches prime on the in-reach stride...
-    assert get("stride-16 x3", "xor-hash")[3] == 0
+    assert result.row("stride-16 x3", "xor-hash")[3] == 0
     # ...but its linearity gives out at 2^(2c)
-    assert get("stride-16384 x3", "xor-hash")[3] > 0
+    assert result.row("stride-16384 x3", "xor-hash")[3] > 0
     # and it folds the P=384 sub-block that the prime cache holds whole
-    assert get("subblock P=384 x2", "xor-hash")[3] > 0
+    assert result.row("subblock P=384 x2", "xor-hash")[3] > 0
 
     # column associativity only doubles the folded footprint
-    assert get("stride-16 x3", "column-assoc")[3] > 0
+    assert result.row("stride-16 x3", "column-assoc")[3] > 0
 
     # direct-mapped conflicts on every non-unit family
-    assert get("stride-16 x3", "direct")[3] > 0
+    assert result.row("stride-16 x3", "direct")[3] > 0
 
-    save_result("ablation_mappings", render_table(
-        ["trace", "mapping", "hit ratio", "conflict misses"], rows,
-    ))
+    save_result("ablation_mappings", render_ablation(result))

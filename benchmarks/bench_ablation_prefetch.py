@@ -5,92 +5,35 @@ Fu & Patel.  Prefetching hides latency for predictable streams but cannot
 remove interference: on a power-of-two stride the prefetcher fetches
 exactly the lines that evict each other, so every sweep pays full memory
 *bandwidth* even when latency is hidden — and vector machines are
-bandwidth machines.  This bench crosses {direct, prime} x {none,
-sequential, stride-directed} on a folding stride, a mixed spectrum and the
-FFT butterfly trace, reporting both hit ratio and memory traffic (demand
-misses + prefetch fills).
+bandwidth machines.  The {direct, prime} x {none, sequential,
+stride-directed} cross lives in
+:func:`repro.experiments.ablations.ablation_prefetch`; this bench times
+it and asserts both hit-ratio and memory-traffic claims.
 """
 
-from repro.cache import (
-    DirectMappedCache,
-    PrefetchingCache,
-    PrimeMappedCache,
-    SequentialPrefetcher,
-    StridePrefetcher,
-)
-from repro.experiments.render import render_table
-from repro.trace.patterns import fft_butterflies, strided
-from repro.trace.records import Trace
-from repro.trace.replay import replay
-
-DIRECT_LINES = 128
-PRIME_C = 7  # 127 lines: the matching Mersenne prime, a fair one-line handicap
-
-
-def contenders():
-    """{mapping} x {prefetch scheme} matrix, built fresh per replay."""
-    return [
-        ("direct", lambda: DirectMappedCache(num_lines=DIRECT_LINES)),
-        ("direct+seq", lambda: PrefetchingCache(
-            DirectMappedCache(num_lines=DIRECT_LINES), SequentialPrefetcher(2))),
-        ("direct+stride", lambda: PrefetchingCache(
-            DirectMappedCache(num_lines=DIRECT_LINES), StridePrefetcher(2))),
-        ("prime", lambda: PrimeMappedCache(c=PRIME_C)),
-        ("prime+stride", lambda: PrefetchingCache(
-            PrimeMappedCache(c=PRIME_C), StridePrefetcher(2))),
-    ]
-
-
-def make_traces():
-    power_stride = strided(0, 64, 100, sweeps=3)
-    mixed = Trace(description="mixed strides")
-    for i, stride in enumerate([1, 7, 16, 64]):
-        mixed.extend(strided(i << 20, stride, 100, sweeps=2))
-    fft = fft_butterflies(256)
-    return [("stride-64 x3 sweeps", power_stride),
-            ("mixed strides", mixed),
-            ("FFT n=256", fft)]
-
-
-def run_ablation():
-    rows = []
-    for trace_label, trace in make_traces():
-        for label, build in contenders():
-            cache = build()
-            result = replay(trace, cache, t_m=16)
-            traffic = (cache.memory_traffic
-                       if isinstance(cache, PrefetchingCache)
-                       else cache.stats.misses)
-            rows.append([trace_label, label, result.hit_ratio,
-                         result.stats.conflict_misses, traffic])
-    return rows
+from repro.experiments.ablations import ablation_prefetch, render_ablation
 
 
 def test_prefetch_vs_prime(benchmark, save_result):
     """Prefetching hides latency but not bandwidth; prime mapping removes
     the refetches outright."""
-    rows = benchmark.pedantic(run_ablation, iterations=1, rounds=1)
-
-    def get(trace_label, label):
-        return next(r for r in rows if r[0] == trace_label and r[1] == label)
+    result = benchmark.pedantic(ablation_prefetch, iterations=1, rounds=1)
 
     fold = "stride-64 x3 sweeps"
     # 100 distinct lines swept 3 times: the prime cache fetches each once
-    assert get(fold, "prime")[4] == 100
-    assert get(fold, "prime")[3] == 0
+    assert result.row(fold, "prime")[4] == 100
+    assert result.row(fold, "prime")[3] == 0
     # prefetched direct refetches (almost) everything on every sweep
-    assert get(fold, "direct+stride")[4] > 250
+    assert result.row(fold, "direct+stride")[4] > 250
 
     # on the FFT trace (working set 2x either cache) prefetching can raise
     # the direct cache's hit ratio, but only by spending even more
     # bandwidth on lines it will evict again: the prime cache needs the
     # least memory traffic of every contender and conflicts not at all
     for label in ("direct", "direct+seq", "direct+stride"):
-        assert get("FFT n=256", "prime")[4] < get("FFT n=256", label)[4]
-        assert get("FFT n=256", label)[3] > 0
-    assert get("FFT n=256", "prime")[3] == 0
+        assert (result.row("FFT n=256", "prime")[4]
+                < result.row("FFT n=256", label)[4])
+        assert result.row("FFT n=256", label)[3] > 0
+    assert result.row("FFT n=256", "prime")[3] == 0
 
-    save_result("ablation_prefetch", render_table(
-        ["trace", "cache", "hit ratio", "conflict misses", "memory traffic"],
-        rows,
-    ))
+    save_result("ablation_prefetch", render_ablation(result))

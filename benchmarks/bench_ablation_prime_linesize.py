@@ -2,10 +2,11 @@
 
 Section 2.2 fixes the line size at one word and leaves longer lines
 unexplored.  The cache substrate here supports any power-of-two line size
-for every mapping, so the question is answerable.  Geometry note: the line
-*count* must stay a Mersenne prime, so the sweep holds the line count
-fixed (127 vs 128) and widens the lines — capacity grows with ``L``, the
-same way a designer would spend a larger budget.
+for every mapping, so the question is answerable; the sweep lives in
+:func:`repro.experiments.ablations.ablation_prime_linesize`.  Geometry
+note: the line *count* must stay a Mersenne prime, so the sweep holds the
+line count fixed (127 vs 128) and widens the lines — capacity grows with
+``L``, the same way a designer would spend a larger budget.
 
 Two effects interact:
 
@@ -17,49 +18,20 @@ Two effects interact:
   factor with the prime modulus: conflict freedom carries over unchanged.
 """
 
-from repro.cache import DirectMappedCache, PrimeMappedCache
-from repro.experiments.render import render_table
-from repro.trace.patterns import strided
-from repro.trace.replay import replay
-
-PRIME_C = 7            # 127 lines at every L
-DIRECT_LINES = 128
-VECTOR_LENGTH = 100    # always fits both caches
-SWEEPS = 2
-
-
-def run_ablation():
-    rows = []
-    for line_size in (1, 2, 4, 8):
-        for stride, label in ((1, "unit"), (64, "power-of-two")):
-            trace = strided(0, stride, VECTOR_LENGTH, sweeps=SWEEPS)
-            direct = replay(
-                trace,
-                DirectMappedCache(num_lines=DIRECT_LINES,
-                                  line_size_words=line_size),
-                t_m=16,
-            )
-            prime = replay(
-                trace,
-                PrimeMappedCache(c=PRIME_C, line_size_words=line_size),
-                t_m=16,
-            )
-            rows.append([line_size, label, direct.hit_ratio,
-                         prime.hit_ratio, direct.stats.conflict_misses,
-                         prime.stats.conflict_misses])
-    return rows
+from repro.experiments.ablations import (
+    ablation_prime_linesize,
+    render_ablation,
+)
 
 
 def test_prime_mapping_with_wide_lines(benchmark, save_result):
     """The conflict-freedom of the prime mapping is line-size independent
     for the power-of-two strides that break the direct-mapped cache."""
-    rows = benchmark.pedantic(run_ablation, iterations=1, rounds=1)
-
-    def get(line_size, label):
-        return next(r for r in rows if r[0] == line_size and r[1] == label)
+    result = benchmark.pedantic(ablation_prime_linesize,
+                                iterations=1, rounds=1)
 
     for line_size in (1, 2, 4, 8):
-        pow2 = get(line_size, "power-of-two")
+        pow2 = result.row(line_size, "power-of-two")
         # stride 64 words = line stride 64/L: still a power of two, still
         # folding the direct-mapped cache...
         assert pow2[4] > 0, f"direct should conflict at L={line_size}"
@@ -68,15 +40,12 @@ def test_prime_mapping_with_wide_lines(benchmark, save_result):
         assert pow2[3] > pow2[2]
 
         # unit stride: wider lines help both mappings identically
-        unit = get(line_size, "unit")
+        unit = result.row(line_size, "unit")
         assert unit[2] == unit[3]
         assert unit[5] == 0
 
     # spatial locality: unit-stride hit ratios grow with the line size
-    unit_ratios = [get(line, "unit")[3] for line in (1, 2, 4, 8)]
+    unit_ratios = [result.row(line, "unit")[3] for line in (1, 2, 4, 8)]
     assert unit_ratios == sorted(unit_ratios)
 
-    save_result("ablation_prime_linesize", render_table(
-        ["line size", "stride", "direct hits", "prime hits",
-         "direct conflicts", "prime conflicts"], rows,
-    ))
+    save_result("ablation_prime_linesize", render_ablation(result))

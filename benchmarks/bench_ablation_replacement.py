@@ -4,77 +4,37 @@ The paper quotes Stone: "serial access to vectors dictates against LRU
 replacement".  The pathology: cyclically sweeping a vector slightly larger
 than a set's capacity makes LRU evict exactly the element needed next, so
 LRU hits *nothing* while FIFO behaves identically and random sometimes gets
-lucky.  This bench measures the three policies on that pattern and on a
-reuse-friendly pattern where LRU is the right call.
+lucky.  The study lives in
+:func:`repro.experiments.ablations.ablation_replacement`; this bench times
+the three policies (plus Belady's clairvoyant ceiling) on that pattern and
+on a reuse-friendly pattern where LRU is the right call.
 """
 
-from repro.cache import FullyAssociativeCache
-from repro.experiments.render import render_table
-from repro.trace.patterns import strided
-from repro.trace.records import Trace
-from repro.trace.replay import replay
-
-CAPACITY = 64
-
-
-def run_ablation():
-    """Hit ratios per policy for a cyclic over-capacity sweep and a
-    skew-reuse pattern."""
-    over_capacity = strided(0, 1, CAPACITY + 8, sweeps=4)
-
-    # reuse-friendly: a hot vector re-read between one-shot streams
-    friendly = Trace(description="hot/cold mix")
-    for round_index in range(4):
-        friendly.extend(strided(0, 1, CAPACITY // 2, sweeps=1))        # hot
-        friendly.extend(
-            strided(10_000 + round_index * 1000, 1, CAPACITY // 2)     # cold
-        )
-
-    rows = []
-    for policy in ("lru", "fifo", "random"):
-        cyclic = replay(
-            over_capacity,
-            FullyAssociativeCache(num_lines=CAPACITY, policy=policy),
-        )
-        reuse = replay(
-            friendly, FullyAssociativeCache(num_lines=CAPACITY, policy=policy)
-        )
-        rows.append([policy, cyclic.hit_ratio, reuse.hit_ratio])
-
-    # the ceiling: Belady's clairvoyant OPT (Section 2.1's open question)
-    from repro.cache.belady import simulate_opt
-
-    rows.append([
-        "opt (clairvoyant)",
-        simulate_opt(over_capacity, total_lines=CAPACITY).hit_ratio,
-        simulate_opt(friendly, total_lines=CAPACITY).hit_ratio,
-    ])
-    return rows
+from repro.experiments.ablations import (
+    ablation_replacement,
+    render_ablation,
+)
 
 
 def test_replacement_ablation(benchmark, save_result):
     """LRU gains nothing on serial sweeps (Stone's point) but wins on reuse."""
-    rows = benchmark.pedantic(run_ablation, iterations=1, rounds=1)
-    by_policy = {row[0]: row for row in rows}
+    result = benchmark.pedantic(ablation_replacement, iterations=1, rounds=1)
 
     # cyclic over-capacity sweeps: LRU hits nothing at all
-    assert by_policy["lru"][1] == 0.0
-    assert by_policy["fifo"][1] == 0.0
-    assert by_policy["random"][1] >= 0.0   # luck-dependent but never worse
+    assert result.row("lru")[1] == 0.0
+    assert result.row("fifo")[1] == 0.0
+    assert result.row("random")[1] >= 0.0   # luck-dependent but never worse
 
     # hot/cold reuse: LRU keeps the hot vector, FIFO eventually evicts it
-    assert by_policy["lru"][2] > by_policy["fifo"][2]
-    assert by_policy["lru"][2] > 0.3
+    assert result.row("lru")[2] > result.row("fifo")[2]
+    assert result.row("lru")[2] > 0.3
 
     # the clairvoyant ceiling dominates every implementable policy and
     # *does* extract reuse from the cyclic sweep — so a better-than-LRU
     # policy exists in principle (the paper's open question), but it needs
     # the future
-    opt = by_policy["opt (clairvoyant)"]
-    assert opt[1] > by_policy["lru"][1]
-    assert opt[2] >= by_policy["lru"][2]
+    opt = result.row("opt (clairvoyant)")
+    assert opt[1] > result.row("lru")[1]
+    assert opt[2] >= result.row("lru")[2]
 
-    save_result("ablation_replacement", render_table(
-        ["policy", "hit ratio (cyclic sweep)", "hit ratio (hot/cold reuse)"],
-        rows,
-    ))
+    save_result("ablation_replacement", render_ablation(result))

@@ -1,65 +1,30 @@
 """Ablation: sensitivity to the fixed model constants (MVL, overheads).
 
 The paper fixes ``MVL = 64`` and the Hennessy–Patterson overheads
-(10/15/``30 + t_m``) for every figure.  This bench perturbs them and
-checks that the headline conclusion — the prime-mapped cache's advantage
-over direct-mapped and cacheless machines — is not an artefact of those
-constants.
+(10/15/``30 + t_m``) for every figure.  The perturbation sweep lives in
+:func:`repro.experiments.ablations.ablation_sensitivity`; this bench
+times it and checks that the headline conclusion — the prime-mapped
+cache's advantage over direct-mapped and cacheless machines — is not an
+artefact of those constants.
 """
 
-from repro.analytical.base import MachineConfig
-from repro.analytical.cc import DirectMappedModel, PrimeMappedModel
-from repro.analytical.mm import MMModel
-from repro.analytical.vcm import VCM
-from repro.experiments.render import render_table
-
-T_M = 32
-BANKS = 64
-
-
-def evaluate(mvl, loop_overhead, strip_overhead, start_base):
-    cfg = MachineConfig(
-        num_banks=BANKS, memory_access_time=T_M, cache_lines=8192,
-        mvl=mvl, loop_overhead=loop_overhead, strip_overhead=strip_overhead,
-        start_base=start_base,
-    )
-    vcm = VCM(blocking_factor=2048, reuse_factor=2048, p_ds=0.1)
-    mm = MMModel(cfg).cycles_per_result(vcm)
-    direct = DirectMappedModel(cfg).cycles_per_result(vcm)
-    prime = PrimeMappedModel(
-        cfg.with_(cache_lines=8191)).cycles_per_result(vcm)
-    return mm, direct, prime
-
-
-def run_sensitivity():
-    variants = [
-        ("paper (MVL=64, 10/15/30)", 64, 10, 15, 30),
-        ("short registers (MVL=16)", 16, 10, 15, 30),
-        ("long registers (MVL=256)", 256, 10, 15, 30),
-        ("double overheads", 64, 20, 30, 60),
-        ("zero overheads", 64, 0, 0, 1),
-    ]
-    rows = []
-    for label, mvl, loop, strip, start in variants:
-        mm, direct, prime = evaluate(mvl, loop, strip, start)
-        rows.append([label, mm, direct, prime, direct / prime, mm / prime])
-    return rows
+from repro.experiments.ablations import (
+    ablation_sensitivity,
+    render_ablation,
+)
 
 
 def test_sensitivity(benchmark, save_result):
     """The prime advantage survives every perturbation of the constants."""
-    rows = benchmark.pedantic(run_sensitivity, iterations=1, rounds=1)
-    for label, mm, direct, prime, vs_direct, vs_mm in rows:
+    result = benchmark.pedantic(ablation_sensitivity, iterations=1, rounds=1)
+    for label, mm, direct, prime, vs_direct, vs_mm in result.rows:
         assert prime <= direct, label
         assert prime <= mm, label
         assert vs_direct > 1.4, label  # a material win in every variant
 
     # MVL moves the MM-model a lot (self-interference scales with MVL/k)
-    paper = next(r for r in rows if r[0].startswith("paper"))
-    short = next(r for r in rows if "MVL=16" in r[0])
+    paper = next(r for r in result.rows if r[0].startswith("paper"))
+    short = next(r for r in result.rows if "MVL=16" in r[0])
     assert short[1] != paper[1]
 
-    save_result("ablation_sensitivity", render_table(
-        ["constants", "MM", "direct", "prime", "direct/prime", "MM/prime"],
-        rows,
-    ))
+    save_result("ablation_sensitivity", render_ablation(result))

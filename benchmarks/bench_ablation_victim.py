@@ -5,55 +5,19 @@ fully-associative buffer of recent evictions.  It shines on short
 ping-pong conflicts but a strided vector sweep generates eviction *runs*
 as long as the vector, which no few-entry buffer can absorb — so the
 third classic remedy, like associativity and prefetching, leaves the
-interference the prime mapping removes by construction.
+interference the prime mapping removes by construction.  The study lives
+in :func:`repro.experiments.ablations.ablation_victim`.
 """
 
-from repro.cache import DirectMappedCache, PrimeMappedCache, VictimCache
-from repro.experiments.render import render_table
-from repro.trace.patterns import strided
-from repro.trace.records import Trace
-
-DIRECT_LINES = 128
-PRIME_C = 7
-
-
-def make_traces():
-    # ping-pong: two lines sharing a set, alternating (victim's best case)
-    ping_pong = Trace.from_addresses([0, DIRECT_LINES] * 40,
-                                     description="ping-pong")
-    fold = strided(0, 16, 100, sweeps=3)
-    return [("ping-pong pair", ping_pong), ("stride-16 x3 sweeps", fold)]
-
-
-def run_ablation():
-    rows = []
-    for trace_label, trace in make_traces():
-        contenders = [
-            ("direct", DirectMappedCache(num_lines=DIRECT_LINES)),
-            ("direct+victim4", VictimCache(
-                DirectMappedCache(num_lines=DIRECT_LINES), entries=4)),
-            ("direct+victim16", VictimCache(
-                DirectMappedCache(num_lines=DIRECT_LINES), entries=16)),
-            ("prime", PrimeMappedCache(c=PRIME_C)),
-        ]
-        for label, cache in contenders:
-            for access in trace:
-                cache.access(access.address)
-            to_memory = (cache.misses_costing_memory()
-                         if isinstance(cache, VictimCache)
-                         else cache.stats.misses)
-            rows.append([trace_label, label, cache.stats.miss_ratio,
-                         to_memory])
-    return rows
+from repro.experiments.ablations import ablation_victim, render_ablation
 
 
 def test_victim_vs_prime(benchmark, save_result):
     """The victim buffer absorbs ping-pong but not vector-length runs."""
-    rows = benchmark.pedantic(run_ablation, iterations=1, rounds=1)
+    result = benchmark.pedantic(ablation_victim, iterations=1, rounds=1)
 
     def memory(trace_label, label):
-        return next(r[3] for r in rows
-                    if r[0] == trace_label and r[1] == label)
+        return result.row(trace_label, label)[3]
 
     # ping-pong: even 4 entries absorb it down to the compulsory pair
     assert memory("ping-pong pair", "direct+victim4") == 2
@@ -65,6 +29,4 @@ def test_victim_vs_prime(benchmark, save_result):
     # ...while the prime cache needs only the compulsory 100 fetches
     assert memory(fold, "prime") == 100
 
-    save_result("ablation_victim", render_table(
-        ["trace", "cache", "miss ratio", "lines fetched from memory"], rows,
-    ))
+    save_result("ablation_victim", render_ablation(result))

@@ -4,10 +4,18 @@ The paper's curves are analytical; this harness re-derives them by
 actually *running* the synthesized VCM workloads on the executable
 MM/CC machine simulators (seeded, hence deterministic) and checks that
 the paper's shape claims survive the move from expectation to execution.
+
+Both benches run at the *canonical* regeneration parameters
+(``CANONICAL_FIG7_SIMULATED`` / ``CANONICAL_FIG8_SIMULATED``) — the same
+parameterisation the orchestrated ``fig7-simulated`` / ``fig8-simulated``
+jobs use — so ``results/fig7_simulated.txt`` and ``fig8_simulated.txt``
+have exactly one provenance whichever path regenerated them last.
 """
 
 from repro.experiments.render import render_figure
 from repro.experiments.simulated_figures import (
+    CANONICAL_FIG7_SIMULATED,
+    CANONICAL_FIG8_SIMULATED,
     figure7_simulated,
     figure8_simulated,
 )
@@ -17,7 +25,8 @@ def test_fig7_simulated(benchmark, save_result):
     """Machine-measured Figure 7: MM degrades fastest with the memory gap;
     the cached machines stay shallow and prime never loses."""
     result = benchmark.pedantic(
-        lambda: figure7_simulated(seeds=2, blocks=4), iterations=1, rounds=1
+        lambda: figure7_simulated(**CANONICAL_FIG7_SIMULATED),
+        iterations=1, rounds=1,
     )
     mm = result.series_by_label("MM-model").values
     direct = result.series_by_label("CC-direct").values
@@ -38,7 +47,8 @@ def test_fig8_simulated(benchmark, save_result):
     the blocking factor fills the cache; the prime machine stays flat-ish
     and beats it decisively at large B — the paper's headline, measured."""
     result = benchmark.pedantic(
-        lambda: figure8_simulated(seeds=2, blocks=6), iterations=1, rounds=1
+        lambda: figure8_simulated(**CANONICAL_FIG8_SIMULATED),
+        iterations=1, rounds=1,
     )
     blocks = result.x_values
     mm = result.series_by_label("MM-model").values

@@ -1,0 +1,120 @@
+"""Benchmark: the orchestrated sweep, cold cache versus warm cache.
+
+``repro sweep`` runs the full default job graph — every analytical
+figure, the extension studies, the sub-block study, all nine ablations,
+the two machine-measured figures and the reproduction report — through
+the content-addressed result cache (:mod:`repro.orchestrate`).  This
+bench runs that sweep twice against a throwaway cache directory: once
+cold (every job computes) and once warm (every job answers from the
+cache), materialising the artifacts into two separate scratch results
+directories.
+
+Acceptance: the warm pass must answer every job from the cache, finish
+in under 10% of the cold wall time, and produce byte-identical
+artifacts.  Both timings land in ``BENCH_sweep.json`` at the repo root.
+
+Runnable standalone (``python benchmarks/bench_sweep.py``) or under
+pytest.  Set ``BENCH_SWEEP_SMOKE=1`` to drive the two-figure smoke
+selection instead — seconds-scale, no speedup floor (the cold pass is
+too short for the ratio to be meaningful) — used by CI to exercise the
+harness and publish the artifact without paying the full sweep's
+runtime.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+from repro.orchestrate import ResultStore, Runner, all_jobs, default_sweep, smoke_sweep
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_sweep.json"
+
+SMOKE = bool(os.environ.get("BENCH_SWEEP_SMOKE"))
+WARM_FRACTION_CEILING = 0.10
+
+
+def _selection() -> list[str]:
+    return list(smoke_sweep() if SMOKE else default_sweep())
+
+
+def run() -> dict:
+    names = _selection()
+    jobs = all_jobs()
+    workers = min(4, os.cpu_count() or 1)
+    timings: dict[str, float] = {}
+    statuses: dict[str, dict[str, int]] = {}
+    artifacts: dict[str, dict[str, bytes]] = {}
+
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-") as tmp_str:
+        tmp = pathlib.Path(tmp_str)
+        store = ResultStore(tmp / "cache")
+        for phase in ("cold", "warm"):
+            results_dir = tmp / f"results-{phase}"
+            runner = Runner(
+                jobs.values(),
+                store=store,
+                workers=workers,
+                results_dir=results_dir,
+                log_path=tmp / f"{phase}.jsonl",
+            )
+            start = time.perf_counter()
+            summary = runner.run(names)
+            timings[phase] = time.perf_counter() - start
+            if not summary.ok:
+                errors = [(o.name, o.error) for o in summary.outcomes if o.error]
+                raise AssertionError(f"{phase} sweep failed: {errors}")
+            counts: dict[str, int] = {}
+            for outcome in summary.outcomes:
+                counts[outcome.status] = counts.get(outcome.status, 0) + 1
+            statuses[phase] = counts
+            artifacts[phase] = {
+                path.name: path.read_bytes()
+                for path in sorted(results_dir.glob("*"))
+            }
+
+    identical = artifacts["cold"] == artifacts["warm"]
+    warm_fraction = timings["warm"] / timings["cold"]
+    payload = {
+        "benchmark": "sweep_cache",
+        "smoke": SMOKE,
+        "jobs": len(names),
+        "workers": workers,
+        "cold_seconds": round(timings["cold"], 3),
+        "warm_seconds": round(timings["warm"], 3),
+        "warm_fraction_of_cold": round(warm_fraction, 4),
+        "warm_fraction_ceiling": None if SMOKE else WARM_FRACTION_CEILING,
+        "cold_statuses": statuses["cold"],
+        "warm_statuses": statuses["warm"],
+        "artifacts": len(artifacts["cold"]),
+        "artifacts_byte_identical": identical,
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_warm_sweep_answers_from_cache():
+    payload = run()
+    assert payload["artifacts_byte_identical"]
+    assert payload["warm_statuses"] == {"hit": payload["jobs"]}
+    assert payload["cold_statuses"].get("hit", 0) == 0
+    if not SMOKE:
+        assert payload["warm_fraction_of_cold"] < WARM_FRACTION_CEILING, (
+            f"warm pass took {payload['warm_fraction_of_cold']:.1%} of cold "
+            f"({payload['warm_seconds']}s / {payload['cold_seconds']}s)"
+        )
+
+
+if __name__ == "__main__":
+    result = run()
+    print(json.dumps(result, indent=2))
+    floor = result["warm_fraction_ceiling"]
+    ok = (result["artifacts_byte_identical"]
+          and (floor is None or result["warm_fraction_of_cold"] < floor))
+    print(f"warm/cold = {result['warm_fraction_of_cold']:.1%} "
+          f"({'ok' if ok else 'FAILED'})")
+    raise SystemExit(0 if ok else 1)

@@ -4,26 +4,49 @@ Prints each figure's data series as a table (the same series the paper
 plots) followed by the verdict on each of the paper's claims about that
 figure — the full reproduction, in one command.
 
-Run:  python examples/reproduce_figures.py [fig4 fig7 ...]
+The figures are computed through the experiment orchestrator
+(:mod:`repro.orchestrate`), so repeated runs answer from the
+content-addressed result cache; pass ``--force`` to recompute anyway,
+``--cache-dir DIR`` to relocate the cache.
+
+Run:  python examples/reproduce_figures.py [fig4 fig7 ...] [--force]
 """
 
 import sys
 
-from repro.experiments import ALL_FIGURES, check_figure, render_figure
+from repro.experiments import check_figure, render_figure
+from repro.orchestrate import ResultStore, Runner, all_jobs, figure_job_names
 
 
 def main() -> None:
-    wanted = sys.argv[1:] or sorted(ALL_FIGURES)
-    unknown = [w for w in wanted if w not in ALL_FIGURES]
+    argv = sys.argv[1:]
+    force = "--force" in argv
+    cache_dir = None
+    if "--cache-dir" in argv:
+        at = argv.index("--cache-dir")
+        cache_dir = argv[at + 1]
+        del argv[at:at + 2]
+    wanted = [a for a in argv if a != "--force"] or list(figure_job_names())
+    unknown = [w for w in wanted if w not in figure_job_names()]
     if unknown:
         raise SystemExit(f"unknown figures {unknown}; "
-                         f"choose from {sorted(ALL_FIGURES)}")
+                         f"choose from {sorted(figure_job_names())}")
+
+    store = ResultStore(cache_dir) if cache_dir else None
+    runner = Runner(all_jobs().values(), store=store, force=force)
+    summary = runner.run(wanted)
+    if not summary.ok:
+        for outcome in summary.outcomes:
+            if outcome.error:
+                print(f"{outcome.name}: {outcome.error}")
+        raise SystemExit(1)
 
     total = passed = 0
     for figure_id in wanted:
-        result = ALL_FIGURES[figure_id]()
+        outcome = summary.outcome(figure_id)
+        result = summary.results[figure_id]
         print(render_figure(result))
-        print()
+        print(f"  [{outcome.status}] computed in {outcome.elapsed_s:.3f}s")
         for check in check_figure(result):
             total += 1
             passed += check.passed

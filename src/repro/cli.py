@@ -18,14 +18,20 @@ Commands:
   penalty per mapping.
 * ``validate`` — analytical-vs-simulation cross-check.
 * ``fit TRACE`` — estimate VCM parameters from a saved trace file.
-* ``report OUTPUT.md`` — write a full reproduction report.
+* ``report OUTPUT.md`` — write a full reproduction report (assembled
+  from the orchestrated result cache).
+* ``sweep [NAMES ...]`` — run the full experiment graph through the
+  content-addressed result cache (see ``docs/orchestration.md``).
+
+``python -m repro --dump-md`` prints the whole CLI reference as
+Markdown (``docs/cli.md`` is generated from it).
 """
 
 from __future__ import annotations
 
 import argparse
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "dump_markdown"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -114,8 +120,77 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--simulate", action="store_true",
                         help="include the (slow) simulation cross-check")
     report.add_argument("--seeds", type=int, default=3)
+    report.add_argument("--cache-dir", default=None,
+                        help="result-cache directory (default: "
+                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
+
+    sweep = sub.add_parser(
+        "sweep", help="run the experiment graph through the result cache")
+    sweep.add_argument("names", nargs="*",
+                       help="job names (default: the full figure set; "
+                            "see --list)")
+    sweep.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="process-pool width (default: min(4, CPUs); "
+                            "1 runs inline)")
+    sweep.add_argument("--force", action="store_true",
+                       help="re-execute every job even on a warm cache")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="result-cache directory (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    sweep.add_argument("--json", action="store_true",
+                       help="print the run summary as JSON")
+    sweep.add_argument("--status", action="store_true",
+                       help="show per-job cache status without executing")
+    sweep.add_argument("--list", action="store_true",
+                       help="list every registered job and exit")
+    sweep.add_argument("--smoke", action="store_true",
+                       help="CI smoke: run the two-figure smoke selection "
+                            "twice (cold then warm) in a temporary cache "
+                            "and assert the warm pass is >=5x faster")
+    sweep.add_argument("--log", metavar="PATH", default=None,
+                       help="append structured JSONL run events to PATH")
+    sweep.add_argument("--no-artifacts", action="store_true",
+                       help="skip materialising results/ artifacts")
 
     return parser
+
+
+_MD_PROLOGUE = """\
+# CLI reference
+
+`python -m repro <command>` (or `repro <command>` with the package
+installed).  **Generated** by `python -m repro --dump-md` — edit the
+argparse tree in `src/repro/cli.py`, then regenerate:
+
+```sh
+PYTHONPATH=src python -m repro --dump-md > docs/cli.md
+```
+"""
+
+
+def dump_markdown() -> str:
+    """Render the whole argparse tree as the ``docs/cli.md`` reference."""
+    parser = build_parser()
+    lines = [_MD_PROLOGUE]
+    # the subparsers action holds every command parser, in add order
+    sub = next(a for a in parser._subparsers._group_actions
+               if isinstance(a, argparse._SubParsersAction))
+    help_by_command = {a.dest: a.help for a in sub._choices_actions}
+    for name, command in sub.choices.items():
+        lines.append(f"\n## `repro {name}`\n")
+        lines.append(f"{help_by_command.get(name, '')}\n")
+        lines.append(f"```\nusage: {command.format_usage()[len('usage: '):].strip()}\n```\n")
+        rows = [(", ".join(a.option_strings) if a.option_strings
+                 else (a.metavar or a.dest),
+                 a.help or "")
+                for a in command._actions
+                if not isinstance(a, argparse._HelpAction)]
+        if rows:
+            lines.append("| argument | description |\n|---|---|")
+            for arg, help_text in rows:
+                lines.append(f"| `{arg}` | {help_text} |")
+            lines.append("")
+    return "\n".join(lines)
 
 
 def _cmd_figures(args) -> int:
@@ -193,7 +268,7 @@ def _cmd_verify(args) -> int:
             return 2
         # with a fault deliberately active, golden drift and the
         # self-check would only restate it — run the oracle sweep alone
-        with MUTATIONS[args.mutate].apply():
+        with MUTATIONS[args.mutate].active():
             report = run_verification(mode, seed=args.seed,
                                       golden=False, selfcheck=False)
     else:
@@ -339,10 +414,44 @@ def _cmd_fit(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    from repro.experiments.report import write_report
+    from pathlib import Path
 
-    text = write_report(args.output, include_simulation=args.simulate,
-                        seeds=args.seeds)
+    from repro.experiments.report import report_from_inputs
+    from repro.orchestrate import RESULTS_DIR, ResultStore, Runner, all_jobs
+
+    store = ResultStore(args.cache_dir) if args.cache_dir else None
+    jobs = all_jobs()
+    if args.simulate:
+        from dataclasses import replace
+
+        jobs["validation"] = replace(
+            jobs["validation"],
+            params={**jobs["validation"].params, "seeds": args.seeds})
+    runner = Runner(jobs.values(), store=store, results_dir=RESULTS_DIR)
+    if args.simulate:
+        # the validation grid is not part of the committed report
+        # artifact, so assemble this variant from the cached inputs
+        # instead of running the "report" job
+        names = list(jobs["report"].deps) + ["validation"]
+        summary = runner.run(names)
+        if not summary.ok:
+            for outcome in summary.outcomes:
+                if outcome.error:
+                    print(f"{outcome.name}: {outcome.error}")
+            return 1
+        text = report_from_inputs(summary.results)
+        Path(args.output).write_text(text)
+    else:
+        summary = runner.run(["report"])
+        if not summary.ok:
+            for outcome in summary.outcomes:
+                if outcome.error:
+                    print(f"{outcome.name}: {outcome.error}")
+            return 1
+        text = summary.results["report"]
+        if not text.endswith("\n"):
+            text += "\n"
+        Path(args.output).write_text(text)
     tail = text.strip().splitlines()[-1]
     print(f"wrote {args.output} ({len(text.splitlines())} lines)")
     print(tail)
@@ -363,6 +472,132 @@ def _cmd_validate(args) -> int:
     return 0
 
 
+def _sweep_smoke(args) -> int:
+    """Cold-then-warm smoke pass CI runs; asserts the cache pays off."""
+    import json as json_module
+    import tempfile
+
+    from repro.orchestrate import ResultStore, Runner, all_jobs, smoke_sweep
+
+    names = list(smoke_sweep())
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
+        cache_dir = args.cache_dir or tmp
+
+        def run_once():
+            runner = Runner(all_jobs().values(),
+                            store=ResultStore(cache_dir),
+                            results_dir=None, log_path=args.log)
+            return runner.run(names)
+
+        cold = run_once()
+        warm = run_once()
+    speedup = cold.elapsed_s / max(warm.elapsed_s, 1e-9)
+    ok = (cold.ok and warm.ok
+          and warm.count("hit") == len(names)
+          and speedup >= 5.0)
+    if args.json:
+        print(json_module.dumps({
+            "cold_s": cold.elapsed_s, "warm_s": warm.elapsed_s,
+            "speedup": speedup, "jobs": names, "ok": ok,
+        }, indent=2))
+    else:
+        print(f"smoke sweep over {names}:")
+        print(f"  cold: {cold.elapsed_s:8.2f}s  "
+              f"({cold.count('ran')} ran, {cold.count('hit')} hit)")
+        print(f"  warm: {warm.elapsed_s:8.2f}s  "
+              f"({warm.count('ran')} ran, {warm.count('hit')} hit)")
+        print(f"  speedup {speedup:.1f}x (required >= 5x): "
+              f"{'ok' if ok else 'FAILED'}")
+    return 0 if ok else 1
+
+
+def _cmd_sweep(args) -> int:
+    import json as json_module
+    import os
+
+    from repro.orchestrate import (
+        RESULTS_DIR,
+        ResultStore,
+        Runner,
+        all_jobs,
+        default_sweep,
+        figure_job_names,
+    )
+
+    jobs = all_jobs()
+    if args.list:
+        for name, job in jobs.items():
+            artifact = f"  -> results/{job.artifact}" if job.artifact else ""
+            print(f"{name:24s} {job.fn}{artifact}")
+        return 0
+    if args.smoke:
+        return _sweep_smoke(args)
+
+    names = list(args.names) if args.names else list(default_sweep())
+    unknown = [n for n in names if n not in jobs]
+    if unknown:
+        print(f"unknown jobs {unknown}; see 'repro sweep --list'")
+        return 2
+
+    store = ResultStore(args.cache_dir) if args.cache_dir else ResultStore()
+    workers = (args.jobs if args.jobs is not None
+               else min(4, os.cpu_count() or 1))
+    runner = Runner(
+        jobs.values(), store=store, workers=workers, force=args.force,
+        results_dir=None if args.no_artifacts else RESULTS_DIR,
+        log_path=args.log)
+
+    if args.status:
+        rows = runner.status(names)
+        if args.json:
+            print(json_module.dumps(rows, indent=2))
+        else:
+            for row in rows:
+                state = "cached" if row["cached"] else "missing"
+                extra = (f"  ({row['elapsed_s']:.2f}s to compute)"
+                         if row.get("elapsed_s") is not None else "")
+                print(f"{row['name']:24s} {state:8s} "
+                      f"{row['key'][:12]}{extra}")
+            cached = sum(r["cached"] for r in rows)
+            print(f"{cached}/{len(rows)} cached")
+        return 0
+
+    summary = runner.run(names)
+
+    # claim checks: any analytical figure in the selection must still
+    # reproduce the paper's claims, cached or not
+    from repro.experiments import check_figure
+
+    claim_failures = claim_total = 0
+    for name in figure_job_names():
+        if name in summary.results:
+            for check in check_figure(summary.results[name]):
+                claim_total += 1
+                claim_failures += not check.passed
+
+    if args.json:
+        payload = summary.to_dict()
+        payload["claims"] = {"checked": claim_total,
+                             "failed": claim_failures}
+        print(json_module.dumps(payload, indent=2))
+    else:
+        for outcome in summary.outcomes:
+            line = (f"{outcome.name:24s} {outcome.status:8s} "
+                    f"{outcome.elapsed_s:8.2f}s")
+            if outcome.error:
+                line += f"  {outcome.error}"
+            print(line)
+        print(f"run {summary.run_id}: {summary.count('hit')} hit, "
+              f"{summary.count('ran')} ran, {summary.count('failed')} "
+              f"failed, {summary.count('skipped')} skipped in "
+              f"{summary.elapsed_s:.2f}s")
+        if claim_total:
+            verdict = "ok" if not claim_failures else "FAILED"
+            print(f"claims: {claim_total - claim_failures}/{claim_total} "
+                  f"pass ({verdict})")
+    return 0 if summary.ok and not claim_failures else 1
+
+
 _COMMANDS = {
     "figures": _cmd_figures,
     "check": _cmd_check,
@@ -374,10 +609,21 @@ _COMMANDS = {
     "fit": _cmd_fit,
     "report": _cmd_report,
     "validate": _cmd_validate,
+    "sweep": _cmd_sweep,
 }
 
 
 def main(argv=None) -> int:
     """Entry point; returns the process exit code."""
+    import sys
+
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if "--dump-md" in argv:
+        print(dump_markdown())
+        return 0
     args = build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,127 @@
+"""Cache keys: a stable hash of job name, params, code, and inputs.
+
+The key for a job folds together
+
+* the job ``name`` and ``fn`` reference,
+* the parameter dict, canonicalised to sorted-key JSON (tuples become
+  lists, so ``(8, 16)`` and ``[8, 16]`` key identically — they call
+  identically too),
+* a *code fingerprint*: the SHA-256 of every ``.py`` source file of
+  every module/package in the job's fingerprint scope, and
+* the cache keys of the job's dependencies, so invalidation propagates
+  down the graph without timestamps or mtimes.
+
+Everything is content-addressed: there is no invalidation bookkeeping
+to corrupt, and two checkouts of the same code at the same params share
+keys.  ``KEY_SCHEMA_VERSION`` is folded in as well, so a change to the
+key recipe itself retires every old entry at once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib.util
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.orchestrate.job import Job
+
+__all__ = [
+    "KEY_SCHEMA_VERSION",
+    "FingerprintCache",
+    "cache_key",
+    "canonical_params",
+    "module_fingerprint",
+]
+
+#: Bump to retire every existing cache entry (key recipe change).
+KEY_SCHEMA_VERSION = 1
+
+
+def canonical_params(params: Mapping[str, Any]) -> str:
+    """Sorted-key JSON with tuples coerced to lists; rejects the rest."""
+
+    def default(value):
+        if isinstance(value, tuple):
+            return list(value)
+        raise TypeError(
+            f"job parameter of type {type(value).__name__} is not "
+            f"cache-keyable; use JSON-representable values")
+
+    return json.dumps(params, sort_keys=True, default=default,
+                      separators=(",", ":"))
+
+
+def _source_files(module_name: str) -> list[Path]:
+    """Every ``.py`` file implementing ``module_name`` (pkg or module)."""
+    spec = importlib.util.find_spec(module_name)
+    if spec is None:
+        raise ModuleNotFoundError(
+            f"cannot fingerprint {module_name!r}: module not found")
+    if spec.submodule_search_locations:
+        files: list[Path] = []
+        for location in spec.submodule_search_locations:
+            files.extend(Path(location).rglob("*.py"))
+        return sorted(set(files))
+    if spec.origin is None or not spec.origin.endswith(".py"):
+        # builtin / extension module: key on the name alone
+        return []
+    return [Path(spec.origin)]
+
+
+def module_fingerprint(module_name: str) -> str:
+    """SHA-256 over the sorted source files of one module or package."""
+    digest = hashlib.sha256()
+    for path in _source_files(module_name):
+        digest.update(path.name.encode())
+        try:
+            digest.update(path.read_bytes())
+        except OSError:
+            digest.update(b"<unreadable>")
+    return digest.hexdigest()
+
+
+class FingerprintCache:
+    """Memoises :func:`module_fingerprint` for one run.
+
+    A sweep fingerprints the same packages for many jobs; hashing each
+    once per run keeps key computation off the critical path while still
+    observing source edits *between* runs.
+    """
+
+    def __init__(self) -> None:
+        self._digests: dict[str, str] = {}
+
+    def get(self, module_name: str) -> str:
+        if module_name not in self._digests:
+            self._digests[module_name] = module_fingerprint(module_name)
+        return self._digests[module_name]
+
+
+def cache_key(job: Job, dep_keys: Mapping[str, str] | None = None,
+              fingerprints: FingerprintCache | None = None) -> str:
+    """The content-addressed key of one job.
+
+    Args:
+        job: the job.
+        dep_keys: cache key of every job in ``job.deps`` (required when
+            the job has deps — keys must be computed in dependency order).
+        fingerprints: optional shared memo for module fingerprints.
+    """
+    fingerprints = fingerprints or FingerprintCache()
+    dep_keys = dict(dep_keys or {})
+    missing = [d for d in job.deps if d not in dep_keys]
+    if missing:
+        raise ValueError(f"job {job.name!r}: missing dep keys {missing}")
+    payload = {
+        "v": KEY_SCHEMA_VERSION,
+        "name": job.name,
+        "fn": job.fn,
+        "params": canonical_params(job.params),
+        "deps": {name: dep_keys[name] for name in sorted(job.deps)},
+        "code": {name: fingerprints.get(name)
+                 for name in job.fingerprint_scope()},
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()

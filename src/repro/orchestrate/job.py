@@ -1,0 +1,104 @@
+"""The job model: a pure function, a parameter dict, declared inputs.
+
+A :class:`Job` names everything that determines its output: the
+implementing function (as an importable ``"module:attr"`` reference, so
+jobs pickle cleanly into pool workers), the keyword parameters, the
+upstream jobs whose results it consumes, and the source modules whose
+code the output depends on.  Those four ingredients — nothing else —
+feed the content-addressed cache key (see
+:mod:`repro.orchestrate.fingerprint`), which is what makes re-runs of
+unchanged jobs instant and killed sweeps resumable.
+
+Jobs must be *pure*: same parameters + same inputs + same code ⇒ same
+result, no side effects.  Side effects (writing ``results/`` files) are
+the runner's: a job may declare an ``artifact`` plus an optional
+``render`` function and the runner materialises the rendered text after
+every run, cached or not, so the on-disk outputs are always present and
+byte-identical.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Job", "resolve"]
+
+
+def resolve(ref: str) -> Callable:
+    """Import a ``"module:attr"`` reference (``attr`` may be dotted)."""
+    module_name, _, attr_path = ref.partition(":")
+    if not attr_path:
+        raise ValueError(f"function reference {ref!r} is not 'module:attr'")
+    obj: Any = importlib.import_module(module_name)
+    for attr in attr_path.split("."):
+        obj = getattr(obj, attr)
+    return obj
+
+
+@dataclass(frozen=True)
+class Job:
+    """One node of the experiment graph.
+
+    Attributes:
+        name: unique job name (``"fig4"``, ``"ablation-mappings"``, ...).
+        fn: ``"module:attr"`` reference to the pure function.  Called as
+            ``fn(**params)`` for leaf jobs and ``fn(inputs, **params)``
+            when the job declares ``deps`` (``inputs`` maps dep name →
+            dep result).
+        params: keyword parameters; must be JSON-canonicalisable (ints,
+            floats, strings, bools, None, lists/tuples, dicts).
+        deps: names of upstream jobs whose results are this job's inputs.
+            Their cache keys are folded into this job's key, so an
+            invalidated input transitively invalidates every consumer.
+        modules: module or package names whose source code fingerprints
+            the result (the function's own module is always included).
+            Touching any ``.py`` file under them invalidates the entry.
+        render: optional ``"module:attr"`` of a pure ``result -> str``
+            renderer used to materialise ``artifact``.
+        artifact: optional file name under the results directory that the
+            runner (re)writes from the rendered result after every run.
+    """
+
+    name: str
+    fn: str
+    params: dict = field(default_factory=dict)
+    deps: tuple[str, ...] = ()
+    modules: tuple[str, ...] = ()
+    render: str | None = None
+    artifact: str | None = None
+
+    def __post_init__(self) -> None:
+        if ":" not in self.fn:
+            raise ValueError(
+                f"job {self.name!r}: fn {self.fn!r} is not 'module:attr'")
+        if self.artifact is None and self.render is not None:
+            raise ValueError(
+                f"job {self.name!r}: render given without an artifact")
+
+    @property
+    def fn_module(self) -> str:
+        """The module part of :attr:`fn`."""
+        return self.fn.partition(":")[0]
+
+    def fingerprint_scope(self) -> tuple[str, ...]:
+        """The sorted, de-duplicated module set folded into the key."""
+        return tuple(sorted({self.fn_module, *self.modules}))
+
+    def execute(self, inputs: dict[str, Any] | None = None) -> Any:
+        """Run the job in-process (no caching; the runner adds that)."""
+        fn = resolve(self.fn)
+        if self.deps:
+            return fn(dict(inputs or {}), **self.params)
+        return fn(**self.params)
+
+    def render_result(self, result: Any) -> str:
+        """Render ``result`` to the artifact text (identity for strings)."""
+        if self.render is not None:
+            return resolve(self.render)(result)
+        if not isinstance(result, str):
+            raise TypeError(
+                f"job {self.name!r}: artifact declared but the result is "
+                f"{type(result).__name__}, not str, and no render is set")
+        return result

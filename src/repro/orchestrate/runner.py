@@ -1,0 +1,376 @@
+"""The job-graph runner: dependency ordering, a process pool, the cache.
+
+The runner is the only component with side effects.  For every selected
+job (plus its transitive dependencies) it
+
+1. computes the content-addressed cache key (dependency keys folded in,
+   so keys are computed in topological order),
+2. answers from the :class:`~repro.orchestrate.store.ResultStore` when
+   the key is present (``--force`` skips the lookup, never the save),
+3. otherwise executes the job — inline for ``workers <= 1``, else on a
+   ``ProcessPoolExecutor`` that runs independent jobs concurrently —
+   recording wall time and peak RSS, and persists the result,
+4. materialises the job's declared artifact under ``results_dir``
+   (skipping the write when the bytes are already identical), and
+5. appends structured events to the JSONL run log.
+
+Crash-resumability falls out of 1–3: a killed sweep has already
+persisted every finished job under its key, so the next run re-executes
+only the missing or invalidated ones.  ``KeyboardInterrupt`` is
+deliberately not swallowed — finished work is on disk, the rest resumes.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.orchestrate.fingerprint import (
+    FingerprintCache,
+    cache_key,
+    canonical_params,
+)
+from repro.orchestrate.job import Job
+from repro.orchestrate.runlog import RunLog
+from repro.orchestrate.store import ResultStore
+
+__all__ = ["JobOutcome", "RunSummary", "Runner"]
+
+
+def _execute(job: Job, inputs: dict[str, Any] | None):
+    """Run one job, measuring wall time and peak RSS (pool-side too)."""
+    start = time.perf_counter()
+    result = job.execute(inputs)
+    elapsed = time.perf_counter() - start
+    try:
+        import resource
+
+        max_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except ImportError:  # pragma: no cover - non-Unix fallback
+        max_rss_kb = 0
+    return result, elapsed, max_rss_kb
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """What happened to one job in one run.
+
+    ``status`` is ``"hit"`` (cache answered), ``"ran"`` (executed and
+    stored), ``"failed"`` (raised), or ``"skipped"`` (an upstream job
+    failed).
+    """
+
+    name: str
+    key: str
+    status: str
+    elapsed_s: float = 0.0
+    max_rss_kb: int = 0
+    error: str | None = None
+
+
+@dataclass
+class RunSummary:
+    """One sweep's account: per-job outcomes plus the results themselves."""
+
+    run_id: str
+    outcomes: list[JobOutcome] = field(default_factory=list)
+    results: dict[str, Any] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    def count(self, status: str) -> int:
+        return sum(1 for o in self.outcomes if o.status == status)
+
+    @property
+    def ok(self) -> bool:
+        return all(o.status in ("hit", "ran") for o in self.outcomes)
+
+    def outcome(self, name: str) -> JobOutcome:
+        for outcome in self.outcomes:
+            if outcome.name == name:
+                return outcome
+        raise KeyError(f"no outcome for job {name!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "run_id": self.run_id,
+            "elapsed_s": self.elapsed_s,
+            "ok": self.ok,
+            "counts": {s: self.count(s)
+                       for s in ("hit", "ran", "failed", "skipped")},
+            "jobs": [
+                {"name": o.name, "key": o.key, "status": o.status,
+                 "elapsed_s": o.elapsed_s, "max_rss_kb": o.max_rss_kb,
+                 **({"error": o.error} if o.error else {})}
+                for o in self.outcomes
+            ],
+        }
+
+
+class Runner:
+    """Schedules a job dict through the cache and (optionally) a pool.
+
+    Args:
+        jobs: the graph (any iterable of :class:`Job`; names must be
+            unique and every dep must name a job in the set).
+        store: the result cache (default: the default cache dir).
+        workers: ``<= 1`` runs inline; ``N > 1`` fans independent jobs
+            out over a ``ProcessPoolExecutor(max_workers=N)``.
+        force: execute every job even on a warm cache (results are
+            still saved, refreshing the entries).
+        results_dir: where job artifacts are materialised; ``None``
+            disables artifact writing.
+        log_path: JSONL run-log destination (``None`` disables logging).
+    """
+
+    def __init__(self, jobs: Iterable[Job], *,
+                 store: ResultStore | None = None,
+                 workers: int = 1, force: bool = False,
+                 results_dir: Path | str | None = None,
+                 log_path: Path | str | None = None) -> None:
+        self.jobs: dict[str, Job] = {}
+        for job in jobs:
+            if job.name in self.jobs:
+                raise ValueError(f"duplicate job name {job.name!r}")
+            self.jobs[job.name] = job
+        for job in self.jobs.values():
+            unknown = [d for d in job.deps if d not in self.jobs]
+            if unknown:
+                raise ValueError(
+                    f"job {job.name!r} depends on unknown jobs {unknown}")
+        self.store = store if store is not None else ResultStore()
+        self.workers = max(1, int(workers))
+        self.force = force
+        self.results_dir = (Path(results_dir)
+                            if results_dir is not None else None)
+        self.log_path = log_path
+
+    # ------------------------------------------------------------------
+    # planning
+
+    def plan(self, names: Iterable[str] | None = None
+             ) -> tuple[list[Job], dict[str, str]]:
+        """Dependency-closed topological order plus cache keys.
+
+        Returns ``(ordered_jobs, keys)`` where every dep precedes its
+        consumers and ``keys`` maps job name → content-addressed key.
+        """
+        wanted = list(names) if names is not None else sorted(self.jobs)
+        unknown = [n for n in wanted if n not in self.jobs]
+        if unknown:
+            raise KeyError(f"unknown jobs {unknown}; "
+                           f"choose from {sorted(self.jobs)}")
+        order: list[Job] = []
+        state: dict[str, int] = {}  # 1 = visiting, 2 = done
+
+        def visit(name: str, chain: tuple[str, ...]) -> None:
+            if state.get(name) == 2:
+                return
+            if state.get(name) == 1:
+                cycle = " -> ".join((*chain, name))
+                raise ValueError(f"dependency cycle: {cycle}")
+            state[name] = 1
+            for dep in self.jobs[name].deps:
+                visit(dep, (*chain, name))
+            state[name] = 2
+            order.append(self.jobs[name])
+
+        for name in wanted:
+            visit(name, ())
+
+        fingerprints = FingerprintCache()
+        keys: dict[str, str] = {}
+        for job in order:
+            keys[job.name] = cache_key(job, keys, fingerprints)
+        return order, keys
+
+    def status(self, names: Iterable[str] | None = None) -> list[dict]:
+        """Cache status per planned job (no execution)."""
+        order, keys = self.plan(names)
+        rows = []
+        for job in order:
+            entry = self.store.load(keys[job.name])
+            row = {"name": job.name, "key": keys[job.name],
+                   "cached": entry is not None}
+            if entry is not None:
+                row["elapsed_s"] = entry.meta.get("elapsed_s")
+                row["stored_at"] = entry.meta.get("stored_at")
+            rows.append(row)
+        return rows
+
+    # ------------------------------------------------------------------
+    # execution
+
+    def run(self, names: Iterable[str] | None = None) -> RunSummary:
+        """Execute the selection (plus deps); returns the summary."""
+        order, keys = self.plan(names)
+        summary = RunSummary(run_id=uuid.uuid4().hex[:12])
+        started = time.perf_counter()
+        with RunLog(self.log_path) as log:
+            log.emit("run_start", run_id=summary.run_id,
+                     jobs=[j.name for j in order], workers=self.workers,
+                     force=self.force)
+            try:
+                if self.workers <= 1:
+                    self._run_serial(order, keys, summary, log)
+                else:
+                    self._run_pool(order, keys, summary, log)
+            finally:
+                summary.elapsed_s = time.perf_counter() - started
+                log.emit("run_end", run_id=summary.run_id,
+                         elapsed_s=summary.elapsed_s,
+                         hit=summary.count("hit"), ran=summary.count("ran"),
+                         failed=summary.count("failed"),
+                         skipped=summary.count("skipped"))
+        return summary
+
+    # -- shared helpers -------------------------------------------------
+
+    def _try_cache(self, job: Job, key: str):
+        if self.force:
+            return None
+        return self.store.load(key)
+
+    def _record(self, summary: RunSummary, log: RunLog, job: Job, key: str,
+                status: str, *, result: Any = None, elapsed: float = 0.0,
+                rss: int = 0, error: str | None = None) -> None:
+        outcome = JobOutcome(name=job.name, key=key, status=status,
+                             elapsed_s=elapsed, max_rss_kb=rss, error=error)
+        summary.outcomes.append(outcome)
+        if status in ("hit", "ran"):
+            summary.results[job.name] = result
+            self._materialise(job, result)
+        event = {"hit": "job_cached", "ran": "job_done",
+                 "failed": "job_failed", "skipped": "job_skipped"}[status]
+        log.emit(event, job=job.name, key=key, elapsed_s=elapsed,
+                 max_rss_kb=rss, **({"error": error} if error else {}))
+
+    def _store_result(self, job: Job, key: str, result: Any,
+                      elapsed: float, rss: int) -> None:
+        self.store.save(key, result, {
+            "job": job.name, "fn": job.fn,
+            "params": canonical_params(job.params),
+            "elapsed_s": elapsed, "max_rss_kb": rss,
+        })
+
+    def _materialise(self, job: Job, result: Any) -> None:
+        """(Re)write the job's artifact; no-op when bytes already match."""
+        if job.artifact is None or self.results_dir is None:
+            return
+        text = job.render_result(result)
+        if not text.endswith("\n"):
+            text += "\n"
+        path = self.results_dir / job.artifact
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = text.encode()
+        try:
+            if path.read_bytes() == data:
+                return
+        except OSError:
+            pass
+        path.write_bytes(data)
+
+    def _blocked(self, job: Job, summary: RunSummary) -> bool:
+        """Whether an upstream failure/skip blocks this job."""
+        bad = {o.name for o in summary.outcomes
+               if o.status in ("failed", "skipped")}
+        return any(dep in bad for dep in job.deps)
+
+    def _inputs(self, job: Job, summary: RunSummary) -> dict[str, Any] | None:
+        if not job.deps:
+            return None
+        return {dep: summary.results[dep] for dep in job.deps}
+
+    # -- serial path ----------------------------------------------------
+
+    def _run_serial(self, order: list[Job], keys: dict[str, str],
+                    summary: RunSummary, log: RunLog) -> None:
+        for job in order:
+            key = keys[job.name]
+            if self._blocked(job, summary):
+                self._record(summary, log, job, key, "skipped")
+                continue
+            entry = self._try_cache(job, key)
+            if entry is not None:
+                self._record(summary, log, job, key, "hit",
+                             result=entry.result,
+                             elapsed=entry.meta.get("elapsed_s", 0.0))
+                continue
+            log.emit("job_start", job=job.name, key=key)
+            try:
+                result, elapsed, rss = _execute(
+                    job, self._inputs(job, summary))
+            except KeyboardInterrupt:
+                raise  # finished jobs are already cached: resumable
+            except Exception as exc:  # noqa: BLE001 - fold into outcome
+                self._record(summary, log, job, key, "failed",
+                             error=f"{type(exc).__name__}: {exc}")
+                continue
+            self._store_result(job, key, result, elapsed, rss)
+            self._record(summary, log, job, key, "ran", result=result,
+                         elapsed=elapsed, rss=rss)
+
+    # -- pool path ------------------------------------------------------
+
+    def _run_pool(self, order: list[Job], keys: dict[str, str],
+                  summary: RunSummary, log: RunLog) -> None:
+        remaining_deps = {job.name: len(job.deps) for job in order}
+        dependents: dict[str, list[str]] = {job.name: [] for job in order}
+        in_plan = set(remaining_deps)
+        for job in order:
+            for dep in job.deps:
+                if dep in in_plan:
+                    dependents[dep].append(job.name)
+
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            futures: dict = {}
+
+            def finish(name: str) -> None:
+                """Unblock and launch this job's ready dependents."""
+                for child in dependents[name]:
+                    remaining_deps[child] -= 1
+                    if remaining_deps[child] == 0:
+                        launch(self.jobs[child])
+
+            def launch(job: Job) -> None:
+                key = keys[job.name]
+                if self._blocked(job, summary):
+                    self._record(summary, log, job, key, "skipped")
+                    finish(job.name)
+                    return
+                entry = self._try_cache(job, key)
+                if entry is not None:
+                    self._record(summary, log, job, key, "hit",
+                                 result=entry.result,
+                                 elapsed=entry.meta.get("elapsed_s", 0.0))
+                    finish(job.name)
+                    return
+                log.emit("job_start", job=job.name, key=key)
+                future = pool.submit(_execute, job,
+                                     self._inputs(job, summary))
+                futures[future] = job
+
+            for job in order:
+                if remaining_deps[job.name] == 0:
+                    launch(job)
+
+            while futures:
+                done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+                for future in done:
+                    job = futures.pop(future)
+                    key = keys[job.name]
+                    try:
+                        result, elapsed, rss = future.result()
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as exc:  # noqa: BLE001
+                        self._record(summary, log, job, key, "failed",
+                                     error=f"{type(exc).__name__}: {exc}")
+                    else:
+                        self._store_result(job, key, result, elapsed, rss)
+                        self._record(summary, log, job, key, "ran",
+                                     result=result, elapsed=elapsed, rss=rss)
+                    finish(job.name)

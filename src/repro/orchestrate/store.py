@@ -1,0 +1,106 @@
+"""The content-addressed on-disk result cache.
+
+Layout (under ``~/.cache/repro`` by default, ``REPRO_CACHE_DIR`` or
+``--cache-dir`` to relocate)::
+
+    <root>/objects/<key[:2]>/<key>.pkl   # pickle of {"meta": ..., "result": ...}
+    <root>/logs/…                        # JSONL run logs (see runlog.py)
+
+Entries are written atomically (temp file + ``os.replace``), so a sweep
+killed mid-write never leaves a half entry — the resume pass simply
+recomputes the missing key.  Reads treat *any* load failure (truncated
+pickle, wrong schema, unreadable file) as a miss: the entry is discarded
+and the job recomputed, never crashed on.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["CacheEntry", "ResultStore", "default_cache_dir"]
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "repro"
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One cached result plus its provenance metadata."""
+
+    key: str
+    result: Any
+    meta: dict
+
+
+class ResultStore:
+    """Content-addressed pickle store; safe against corrupt entries."""
+
+    def __init__(self, root: Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    def path_for(self, key: str) -> Path:
+        return self.objects_dir / key[:2] / f"{key}.pkl"
+
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def load(self, key: str) -> CacheEntry | None:
+        """Fetch an entry; any failure is a miss and evicts the file."""
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            return CacheEntry(key=key, result=payload["result"],
+                              meta=dict(payload["meta"]))
+        except FileNotFoundError:
+            return None
+        except Exception:  # noqa: BLE001 - corrupt entry == miss
+            self.discard(key)
+            return None
+
+    def save(self, key: str, result: Any, meta: dict) -> Path:
+        """Atomically persist one entry; returns its path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        meta = {"key": key, "stored_at": time.time(), **meta}
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=path.parent, prefix=f".{key[:8]}-", delete=False)
+        try:
+            with handle:
+                pickle.dump({"meta": meta, "result": result}, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(handle.name, path)
+        except BaseException:
+            os.unlink(handle.name)
+            raise
+        return path
+
+    def discard(self, key: str) -> None:
+        try:
+            os.unlink(self.path_for(key))
+        except OSError:
+            pass
+
+    def keys(self) -> Iterator[str]:
+        if not self.objects_dir.exists():
+            return
+        for path in sorted(self.objects_dir.glob("??/*.pkl")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())

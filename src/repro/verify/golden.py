@@ -58,11 +58,13 @@ class MetricSet:
 
 
 def _figures_metrics() -> dict[str, float]:
-    from repro.experiments.figures import ALL_FIGURES
+    # answered from the orchestrated result cache (one lookup per figure
+    # once a sweep has run); compute_figures bypasses the cache entirely
+    # while a mutation self-check fault is injected
+    from repro.orchestrate import compute_figures
 
     metrics: dict[str, float] = {}
-    for figure_id, build in ALL_FIGURES.items():
-        result = build()
+    for figure_id, result in compute_figures().items():
         for series in result.series:
             for x, value in zip(result.x_values, series.values):
                 metrics[f"{figure_id}/{series.label}/x={x}"] = float(value)

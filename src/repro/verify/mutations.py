@@ -27,7 +27,18 @@ from typing import Callable
 
 from repro.verify.result import MutationOutcome
 
-__all__ = ["MUTATIONS", "Mutation", "run_selfcheck"]
+__all__ = ["MUTATIONS", "Mutation", "mutation_active", "run_selfcheck"]
+
+#: Names of the faults currently injected (a stack: ``Mutation.active``
+#: contexts nest).  ``repro.orchestrate.compute_figures`` consults this
+#: to bypass the result cache while any fault is live, so mutated runs
+#: can neither read stale un-mutated results nor poison the store.
+_ACTIVE: list[str] = []
+
+
+def mutation_active() -> bool:
+    """True while a catalogued fault is injected via :meth:`Mutation.active`."""
+    return bool(_ACTIVE)
 
 
 @contextmanager
@@ -56,6 +67,16 @@ class Mutation:
     description: str
     expected_oracles: tuple[str, ...]
     apply: Callable
+
+    @contextmanager
+    def active(self):
+        """Inject the fault and mark it live for cache-bypass checks."""
+        _ACTIVE.append(self.name)
+        try:
+            with self.apply():
+                yield
+        finally:
+            _ACTIVE.pop()
 
 
 @contextmanager
@@ -222,7 +243,7 @@ def run_selfcheck(*, seed: int = 0, mode: str = "quick",
     for name in mutations or sorted(MUTATIONS):
         mutation = MUTATIONS[name]
         with ExitStack() as stack:
-            stack.enter_context(mutation.apply())
+            stack.enter_context(mutation.active())
             swept = runner.run(mode)
         outcomes.append(MutationOutcome(
             mutation=mutation.name,

@@ -1,0 +1,52 @@
+"""Pure job functions for the orchestrator tests.
+
+Jobs reference their function as an importable ``"module:attr"`` string,
+so the test graph's functions live in a real module (this one) rather
+than as closures — exactly like production jobs, and picklable into
+pool workers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+
+def leaf(value: int = 1) -> int:
+    return value
+
+
+def add(inputs: dict, bonus: int = 0) -> int:
+    return sum(inputs.values()) + bonus
+
+
+def boom() -> None:
+    raise RuntimeError("deliberate test failure")
+
+
+def render_int(result: int) -> str:
+    return f"value: {result}"
+
+
+def tally(path: str, value: int = 0) -> int:
+    """Append one line to ``path`` per execution; returns ``value``.
+
+    The side effect exists to let tests count *executions* (as opposed
+    to cache hits); the returned result is still pure in the params.
+    """
+    with open(path, "a") as handle:
+        handle.write("x\n")
+    return value
+
+
+def executions(path: str) -> int:
+    target = pathlib.Path(path)
+    if not target.exists():
+        return 0
+    return len(target.read_text().splitlines())
+
+
+def interrupt_unless(marker: str, value: int = 7) -> int:
+    """Simulate Ctrl-C mid-sweep until ``marker`` exists."""
+    if not pathlib.Path(marker).exists():
+        raise KeyboardInterrupt
+    return value

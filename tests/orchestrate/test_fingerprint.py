@@ -1,0 +1,109 @@
+"""Cache-key stability: same inputs same key, changed anything new key."""
+
+import importlib
+import sys
+import textwrap
+
+import pytest
+
+from repro.orchestrate.fingerprint import (
+    FingerprintCache,
+    cache_key,
+    canonical_params,
+    module_fingerprint,
+)
+from repro.orchestrate.job import Job
+
+FN = "tests.orchestrate._jobfns:leaf"
+
+
+class TestCanonicalParams:
+    def test_key_order_is_irrelevant(self):
+        assert (canonical_params({"a": 1, "b": 2})
+                == canonical_params({"b": 2, "a": 1}))
+
+    def test_tuples_key_like_lists(self):
+        assert (canonical_params({"v": (8, 16)})
+                == canonical_params({"v": [8, 16]}))
+
+    def test_unkeyable_type_rejected(self):
+        with pytest.raises(TypeError, match="not\\s+cache-keyable"):
+            canonical_params({"v": object()})
+
+
+class TestModuleFingerprint:
+    def test_stable_across_calls(self):
+        assert (module_fingerprint("repro.analytical")
+                == module_fingerprint("repro.analytical"))
+
+    def test_missing_module_raises(self):
+        with pytest.raises(ModuleNotFoundError):
+            module_fingerprint("repro.no_such_module")
+
+    def test_builtin_keys_on_name_alone(self):
+        assert module_fingerprint("math") == module_fingerprint("math")
+
+
+class TestCacheKey:
+    def test_same_job_same_key(self):
+        job = Job(name="j", fn=FN, params={"value": 3})
+        assert cache_key(job) == cache_key(job)
+
+    def test_param_change_changes_key(self):
+        a = Job(name="j", fn=FN, params={"value": 3})
+        b = Job(name="j", fn=FN, params={"value": 4})
+        assert cache_key(a) != cache_key(b)
+
+    def test_name_and_fn_are_keyed(self):
+        base = Job(name="j", fn=FN)
+        assert cache_key(base) != cache_key(Job(name="k", fn=FN))
+        assert cache_key(base) != cache_key(
+            Job(name="j", fn="tests.orchestrate._jobfns:add", deps=("d",)),
+            dep_keys={"d": "0" * 64})
+
+    def test_dep_key_change_propagates(self):
+        job = Job(name="j", fn="tests.orchestrate._jobfns:add", deps=("d",))
+        one = cache_key(job, dep_keys={"d": "a" * 64})
+        two = cache_key(job, dep_keys={"d": "b" * 64})
+        assert one != two
+
+    def test_missing_dep_key_raises(self):
+        job = Job(name="j", fn="tests.orchestrate._jobfns:add", deps=("d",))
+        with pytest.raises(ValueError, match="missing dep keys"):
+            cache_key(job)
+
+    def test_touched_source_module_changes_key(self, tmp_path, monkeypatch):
+        """Editing an implementing module's source invalidates the key."""
+        module = tmp_path / "fp_probe_mod.py"
+        module.write_text(textwrap.dedent("""
+            def compute():
+                return 1
+        """))
+        monkeypatch.syspath_prepend(str(tmp_path))
+        importlib.invalidate_caches()
+        job = Job(name="probe", fn="fp_probe_mod:compute")
+
+        before = cache_key(job, fingerprints=FingerprintCache())
+        module.write_text(textwrap.dedent("""
+            def compute():
+                return 2  # changed
+        """))
+        importlib.invalidate_caches()
+        after = cache_key(job, fingerprints=FingerprintCache())
+        sys.modules.pop("fp_probe_mod", None)
+        assert before != after
+
+    def test_fingerprint_cache_memoises_per_run(self, tmp_path, monkeypatch):
+        """One FingerprintCache observes the source as of its first read."""
+        module = tmp_path / "fp_memo_mod.py"
+        module.write_text("def compute():\n    return 1\n")
+        monkeypatch.syspath_prepend(str(tmp_path))
+        importlib.invalidate_caches()
+        job = Job(name="probe", fn="fp_memo_mod:compute")
+
+        memo = FingerprintCache()
+        before = cache_key(job, fingerprints=memo)
+        module.write_text("def compute():\n    return 2\n")
+        assert cache_key(job, fingerprints=memo) == before  # same run
+        assert cache_key(job, fingerprints=FingerprintCache()) != before
+        sys.modules.pop("fp_memo_mod", None)

@@ -1,0 +1,222 @@
+"""The runner: ordering, caching, resumption, artifacts, run logs."""
+
+import os
+
+import pytest
+
+from repro.orchestrate.job import Job
+from repro.orchestrate.runlog import read_events
+from repro.orchestrate.runner import Runner
+from repro.orchestrate.store import ResultStore
+
+MOD = "tests.orchestrate._jobfns"
+
+
+def leaf(name, value, **kwargs):
+    return Job(name=name, fn=f"{MOD}:leaf", params={"value": value}, **kwargs)
+
+
+def adder(name, deps, bonus=0, **kwargs):
+    return Job(name=name, fn=f"{MOD}:add", params={"bonus": bonus},
+               deps=tuple(deps), **kwargs)
+
+
+def diamond():
+    """a, b -> mid -> top (plus b feeding top directly)."""
+    return [
+        leaf("a", 1),
+        leaf("b", 10),
+        adder("mid", ["a", "b"]),
+        adder("top", ["mid", "b"], bonus=100),
+    ]
+
+
+class TestPlanning:
+    def test_topological_order_and_dep_closure(self, tmp_path):
+        runner = Runner(diamond(), store=ResultStore(tmp_path))
+        order, keys = runner.plan(["top"])
+        names = [job.name for job in order]
+        assert set(names) == {"a", "b", "mid", "top"}
+        assert names.index("mid") > names.index("a")
+        assert names.index("top") > names.index("mid")
+        assert set(keys) == set(names)
+
+    def test_cycle_detected(self, tmp_path):
+        jobs = [adder("x", ["y"]), adder("y", ["x"])]
+        with pytest.raises(ValueError, match="dependency cycle"):
+            Runner(jobs, store=ResultStore(tmp_path)).plan()
+
+    def test_unknown_selection_rejected(self, tmp_path):
+        runner = Runner(diamond(), store=ResultStore(tmp_path))
+        with pytest.raises(KeyError, match="nope"):
+            runner.plan(["nope"])
+
+    def test_unknown_dep_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown jobs"):
+            Runner([adder("x", ["ghost"])], store=ResultStore(tmp_path))
+
+    def test_duplicate_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="duplicate"):
+            Runner([leaf("x", 1), leaf("x", 2)],
+                   store=ResultStore(tmp_path))
+
+
+class TestCaching:
+    def test_cold_then_warm(self, tmp_path):
+        store = ResultStore(tmp_path)
+        first = Runner(diamond(), store=store).run(["top"])
+        assert first.ok and first.count("ran") == 4
+        assert first.results["top"] == (11 + 10) + 100
+
+        second = Runner(diamond(), store=store).run(["top"])
+        assert second.ok and second.count("hit") == 4
+        assert second.results == first.results
+
+    def test_param_change_recomputes_job_and_consumers(self, tmp_path):
+        store = ResultStore(tmp_path)
+        Runner(diamond(), store=store).run(["top"])
+
+        jobs = diamond()
+        jobs[0] = leaf("a", 2)  # a changes; b untouched
+        summary = Runner(jobs, store=store).run(["top"])
+        by_name = {o.name: o.status for o in summary.outcomes}
+        assert by_name == {"a": "ran", "b": "hit",
+                           "mid": "ran", "top": "ran"}
+        assert summary.results["top"] == (12 + 10) + 100
+
+    def test_corrupt_entry_recomputed_not_crashed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        runner = Runner(diamond(), store=store)
+        runner.run(["top"])
+        _, keys = runner.plan(["top"])
+        store.path_for(keys["mid"]).write_bytes(b"garbage")
+
+        summary = Runner(diamond(), store=store).run(["top"])
+        assert summary.ok
+        by_name = {o.name: o.status for o in summary.outcomes}
+        assert by_name["mid"] == "ran"
+        assert by_name["a"] == by_name["b"] == "hit"
+        assert summary.results["top"] == 121
+
+    def test_force_reexecutes_and_refreshes(self, tmp_path):
+        tally_file = tmp_path / "tally"
+        job = Job(name="t", fn=f"{MOD}:tally",
+                  params={"path": str(tally_file), "value": 5})
+        store = ResultStore(tmp_path / "cache")
+
+        Runner([job], store=store).run()
+        Runner([job], store=store).run()  # warm: no execution
+        assert tally_file.read_text().count("x") == 1
+
+        forced = Runner([job], store=store, force=True).run()
+        assert forced.count("ran") == 1
+        assert tally_file.read_text().count("x") == 2
+        # and the forced run re-saved: next run hits again
+        assert Runner([job], store=store).run().count("hit") == 1
+
+
+class TestPool:
+    def test_pool_matches_serial(self, tmp_path):
+        serial = Runner(diamond(),
+                        store=ResultStore(tmp_path / "s")).run(["top"])
+        pooled = Runner(diamond(), store=ResultStore(tmp_path / "p"),
+                        workers=3).run(["top"])
+        assert pooled.ok
+        assert pooled.results == serial.results
+        assert {o.name: o.status for o in pooled.outcomes} == \
+               {o.name: o.status for o in serial.outcomes}
+
+    def test_pool_failure_skips_dependents(self, tmp_path):
+        jobs = [leaf("a", 1), Job(name="bad", fn=f"{MOD}:boom"),
+                adder("join", ["a", "bad"])]
+        summary = Runner(jobs, store=ResultStore(tmp_path),
+                         workers=2).run(["join"])
+        by_name = {o.name: o.status for o in summary.outcomes}
+        assert by_name["bad"] == "failed"
+        assert by_name["join"] == "skipped"
+        assert not summary.ok
+
+
+class TestFailure:
+    def test_failure_recorded_and_dependents_skipped(self, tmp_path):
+        jobs = [leaf("a", 1), Job(name="bad", fn=f"{MOD}:boom"),
+                adder("join", ["a", "bad"])]
+        summary = Runner(jobs, store=ResultStore(tmp_path)).run(["join"])
+        assert not summary.ok
+        bad = summary.outcome("bad")
+        assert bad.status == "failed"
+        assert "RuntimeError" in bad.error
+        assert summary.outcome("join").status == "skipped"
+        assert summary.outcome("a").status == "ran"
+        assert summary.to_dict()["counts"] == {
+            "hit": 0, "ran": 1, "failed": 1, "skipped": 1}
+
+
+class TestResume:
+    def test_kill_and_resume_reruns_only_unfinished(self, tmp_path):
+        """Ctrl-C mid-sweep: finished jobs answer from cache on rerun."""
+        marker = tmp_path / "resume-now"
+        jobs = [
+            leaf("a", 1),
+            leaf("b", 2),
+            Job(name="fragile", fn=f"{MOD}:interrupt_unless",
+                params={"marker": str(marker)}),
+            adder("join", ["a", "b", "fragile"]),
+        ]
+        store = ResultStore(tmp_path / "cache")
+
+        with pytest.raises(KeyboardInterrupt):
+            Runner(jobs, store=store).run(["join"])
+
+        marker.touch()  # "fix" the interruption and resume
+        summary = Runner(jobs, store=store).run(["join"])
+        by_name = {o.name: o.status for o in summary.outcomes}
+        assert by_name["a"] == "hit" and by_name["b"] == "hit"
+        assert by_name["fragile"] == "ran" and by_name["join"] == "ran"
+        assert summary.results["join"] == 1 + 2 + 7
+
+
+class TestArtifacts:
+    def artifact_job(self, value=3):
+        return Job(name="art", fn=f"{MOD}:leaf", params={"value": value},
+                   render=f"{MOD}:render_int", artifact="art.txt")
+
+    def test_materialised_with_trailing_newline(self, tmp_path):
+        out = tmp_path / "results"
+        Runner([self.artifact_job()], store=ResultStore(tmp_path / "c"),
+               results_dir=out).run()
+        assert (out / "art.txt").read_text() == "value: 3\n"
+
+    def test_warm_run_skips_identical_write(self, tmp_path):
+        out = tmp_path / "results"
+        store = ResultStore(tmp_path / "c")
+        Runner([self.artifact_job()], store=store, results_dir=out).run()
+        before = os.stat(out / "art.txt").st_mtime_ns
+        Runner([self.artifact_job()], store=store, results_dir=out).run()
+        assert os.stat(out / "art.txt").st_mtime_ns == before
+
+    def test_no_results_dir_no_writes(self, tmp_path):
+        summary = Runner([self.artifact_job()],
+                         store=ResultStore(tmp_path / "c")).run()
+        assert summary.ok
+        assert not list(tmp_path.glob("*.txt"))
+
+
+class TestRunLog:
+    def test_event_stream(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        jobs = [leaf("a", 1), Job(name="bad", fn=f"{MOD}:boom"),
+                adder("join", ["a", "bad"])]
+        store = ResultStore(tmp_path / "c")
+        Runner([leaf("a", 1)], store=store).run()  # pre-warm "a"
+
+        Runner(jobs, store=store, log_path=log).run(["join"])
+        events = read_events(log)
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        assert "job_cached" in kinds    # a: warm
+        assert "job_failed" in kinds    # bad
+        assert "job_skipped" in kinds   # join
+        assert all("ts" in e for e in events)
+        end = events[-1]
+        assert end["hit"] == 1 and end["failed"] == 1 and end["skipped"] == 1

@@ -1,0 +1,75 @@
+"""The on-disk result store: roundtrips, corruption safety, relocation."""
+
+import os
+
+from repro.orchestrate.store import ResultStore, default_cache_dir
+
+KEY = "ab" + "0" * 62
+
+
+class TestRoundtrip:
+    def test_save_then_load(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(KEY, {"answer": 42}, {"job": "j"})
+        entry = store.load(KEY)
+        assert entry.result == {"answer": 42}
+        assert entry.meta["job"] == "j"
+        assert entry.meta["key"] == KEY
+        assert "stored_at" in entry.meta
+
+    def test_sharded_layout(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(KEY, 1, {})
+        assert path == tmp_path / "objects" / KEY[:2] / f"{KEY}.pkl"
+        assert store.contains(KEY)
+        assert list(store.keys()) == [KEY]
+        assert len(store) == 1
+
+    def test_missing_key_is_none(self, tmp_path):
+        assert ResultStore(tmp_path).load("ff" + "0" * 62) is None
+
+
+class TestCorruption:
+    def test_truncated_pickle_is_a_miss_and_evicted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(KEY, [1, 2, 3], {})
+        path.write_bytes(path.read_bytes()[:10])
+        assert store.load(KEY) is None
+        assert not path.exists()  # evicted, next save recomputes cleanly
+
+    def test_garbage_bytes_are_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.path_for(KEY)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle at all")
+        assert store.load(KEY) is None
+
+    def test_wrong_schema_is_a_miss(self, tmp_path):
+        import pickle
+
+        store = ResultStore(tmp_path)
+        path = store.path_for(KEY)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps({"unexpected": True}))
+        assert store.load(KEY) is None
+
+    def test_discard_missing_is_silent(self, tmp_path):
+        ResultStore(tmp_path).discard(KEY)
+
+
+class TestLocation:
+    def test_env_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+        assert ResultStore().root == tmp_path / "elsewhere"
+
+    def test_default_under_home(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert default_cache_dir().parts[-2:] == (".cache", "repro")
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(KEY, list(range(1000)), {})
+        leftovers = [p for p in os.listdir(store.path_for(KEY).parent)
+                     if p.startswith(".")]
+        assert leftovers == []

@@ -217,3 +217,75 @@ class TestVerifyCommand:
         monkeypatch.setattr(verify, "bless", fake_bless)
         assert main(["verify", "--bless"]) == 0
         assert "blessed" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["sweep", "fig4", "--jobs", "2", "--force",
+             "--cache-dir", "/tmp/c", "--json"])
+        assert args.names == ["fig4"]
+        assert args.jobs == 2 and args.force
+        assert args.cache_dir == "/tmp/c" and args.json
+
+    def test_list_prints_registry(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7-simulated" in out
+        assert "-> results/reproduction_report.md" in out
+
+    def test_unknown_job_rejected(self, capsys):
+        assert main(["sweep", "nope", "--no-artifacts"]) == 2
+        assert "unknown jobs" in capsys.readouterr().out
+
+    def test_cold_then_warm_selection(self, capsys, tmp_path):
+        base = ["sweep", "fig4", "fig5", "--cache-dir", str(tmp_path),
+                "--jobs", "1", "--no-artifacts"]
+        assert main(base) == 0
+        cold = capsys.readouterr().out
+        assert "2 ran" in cold and "0 hit" in cold
+
+        assert main(base) == 0
+        warm = capsys.readouterr().out
+        assert "2 hit" in warm and "0 ran" in warm
+        assert "claims:" in warm and "pass (ok)" in warm
+
+    def test_status_reports_cache_state(self, capsys, tmp_path):
+        args = ["sweep", "fig4", "--cache-dir", str(tmp_path)]
+        assert main([*args, "--status", "--no-artifacts"]) == 0
+        assert "0/1 cached" in capsys.readouterr().out
+
+        assert main([*args, "--no-artifacts"]) == 0
+        capsys.readouterr()
+        assert main([*args, "--status", "--no-artifacts"]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 cached" in out and "to compute" in out
+
+    def test_json_payload(self, capsys, tmp_path):
+        import json
+
+        assert main(["sweep", "fig4", "--cache-dir", str(tmp_path),
+                     "--jobs", "1", "--no-artifacts", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["counts"]["ran"] == 1
+        assert payload["claims"]["failed"] == 0
+        assert payload["jobs"][0]["name"] == "fig4"
+        assert len(payload["jobs"][0]["key"]) == 64
+
+    def test_force_reruns_warm_cache(self, capsys, tmp_path):
+        args = ["sweep", "fig4", "--cache-dir", str(tmp_path),
+                "--jobs", "1", "--no-artifacts"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main([*args, "--force"]) == 0
+        assert "1 ran" in capsys.readouterr().out
+
+
+class TestDumpMarkdown:
+    def test_dump_md_prints_reference(self, capsys):
+        assert main(["--dump-md"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# CLI reference")
+        for command in ("figures", "sweep", "report", "verify"):
+            assert f"## `repro {command}`" in out

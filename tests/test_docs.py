@@ -40,6 +40,27 @@ def test_tutorial_covers_all_layers():
         assert symbol in text, symbol
 
 
+def test_cli_reference_is_in_sync():
+    """docs/cli.md is generated; regenerate after editing the CLI.
+
+    PYTHONPATH=src python -m repro --dump-md > docs/cli.md
+    """
+    from repro.cli import dump_markdown
+
+    generated = (ROOT / "docs/cli.md").read_text()
+    assert generated == dump_markdown() + "\n", (
+        "docs/cli.md is stale; regenerate with "
+        "`PYTHONPATH=src python -m repro --dump-md > docs/cli.md`")
+
+
+def test_docs_index_links_every_page():
+    index = (ROOT / "docs/README.md").read_text()
+    for page in sorted(p.name for p in (ROOT / "docs").glob("*.md")):
+        if page == "README.md":
+            continue
+        assert f"({page})" in index, f"docs/README.md misses {page}"
+
+
 def test_equations_doc_mentions_every_numbered_equation():
     text = (ROOT / "docs/equations.md").read_text()
     for equation in ("Eq. (1)", "Eq. (2)", "Eq. (3)", "Eq. (4)", "Eq. (5)",
