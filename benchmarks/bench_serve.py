@@ -1,0 +1,194 @@
+"""Benchmark: the ``repro serve`` daemon under a Zipfian query mix.
+
+Boots the service in-process against a throwaway cache, then drives it
+the way a query workload would:
+
+1. **Zipfian mix** — N requests over K distinct VCM configs, ranks
+   weighted ``1/rank^s`` (s = 1.1), issued from M concurrent client
+   threads.  The first touch of each config computes; every repeat is a
+   warm hit, so the measured hit-rate is the workload's locality.
+2. **Coalesce burst** — B concurrent *identical* requests for one cold
+   trace-replay key.  The single-flight map must fold them into exactly
+   one execution (``computed`` rises by 1, ``coalesced`` by B-1).
+
+Acceptance (asserted under pytest and in ``__main__``): warm-hit p50
+latency under 50 ms, exactly one execution for the duplicated burst
+with a nonzero coalesce count, and the hit-rate reported.  Results land
+in ``BENCH_serve.json`` at the repo root.
+
+Runnable standalone (``python benchmarks/bench_serve.py``) or under
+pytest.  ``BENCH_SERVE_SMOKE=1`` shrinks the request counts for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import random
+import statistics
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.orchestrate.store import ResultStore
+from repro.serve import ServeClient, serve_in_thread
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_serve.json"
+
+SMOKE = bool(os.environ.get("BENCH_SERVE_SMOKE"))
+WARM_HIT_P50_BOUND_MS = 50.0
+ZIPF_S = 1.1
+
+DISTINCT_KEYS = 8 if SMOKE else 32
+REQUESTS = 120 if SMOKE else 400
+CLIENT_THREADS = 4 if SMOKE else 8
+BURST = 8
+
+
+def _zipf_bodies() -> list[dict]:
+    """K distinct VCM-config request bodies (rank order = popularity)."""
+    bodies = []
+    for rank in range(DISTINCT_KEYS):
+        bodies.append({"vcm": {
+            "t_m": 8 + 8 * (rank % 8),
+            "banks": 64 if rank % 2 == 0 else 32,
+            "blocking_factor": 256 << (rank % 4),
+            "reuse_factor": float(8 + rank),
+        }})
+    return bodies
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def run() -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+        handle = serve_in_thread(store=ResultStore(tmp), workers=2)
+        try:
+            return _drive(handle)
+        finally:
+            handle.stop()
+
+
+def _drive(handle) -> dict:
+    client = ServeClient(port=handle.port)
+    assert client.healthz()["ok"]
+    bodies = _zipf_bodies()
+    weights = [1.0 / (rank + 1) ** ZIPF_S for rank in range(len(bodies))]
+    rng = random.Random(0)
+    mix = rng.choices(range(len(bodies)), weights=weights, k=REQUESTS)
+
+    # -- phase 1: Zipfian mix ------------------------------------------
+    latencies_ms: list[float] = []
+    statuses: list[str] = []
+
+    def one(index: int) -> tuple[float, str]:
+        local = ServeClient(port=handle.port)
+        start = time.perf_counter()
+        response = local.query(bodies[index])
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        return elapsed_ms, response["results"][0]["status"]
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as pool:
+        for elapsed_ms, status in pool.map(one, mix):
+            latencies_ms.append(elapsed_ms)
+            statuses.append(status)
+    wall_s = time.perf_counter() - started
+
+    warm_ms = [ms for ms, st in zip(latencies_ms, statuses) if st == "hit"]
+    hits = statuses.count("hit")
+    hit_rate = hits / len(statuses)
+
+    # -- phase 2: duplicate-burst coalescing ---------------------------
+    before = client.stats()
+    burst_body = {"trace": {"stride": 3, "length": 4096, "sweeps": 400,
+                            "c": 13, "t_m": 16}}
+
+    def fire(_index: int) -> str:
+        local = ServeClient(port=handle.port)
+        return local.query(burst_body)["results"][0]["status"]
+
+    with ThreadPoolExecutor(max_workers=BURST) as pool:
+        burst_statuses = list(pool.map(fire, range(BURST)))
+    after = client.stats()
+    burst_computed = after["computed"] - before["computed"]
+    burst_coalesced = after["coalesced"] - before["coalesced"]
+
+    payload = {
+        "benchmark": "serve",
+        "smoke": SMOKE,
+        "distinct_keys": DISTINCT_KEYS,
+        "requests": REQUESTS,
+        "client_threads": CLIENT_THREADS,
+        "zipf_s": ZIPF_S,
+        "requests_per_second": round(REQUESTS / wall_s, 1),
+        "p50_ms": round(_percentile(latencies_ms, 0.50), 3),
+        "p99_ms": round(_percentile(latencies_ms, 0.99), 3),
+        "warm_hit_p50_ms": round(_percentile(warm_ms, 0.50), 3),
+        "warm_hit_p99_ms": round(_percentile(warm_ms, 0.99), 3),
+        "warm_hit_p50_bound_ms": WARM_HIT_P50_BOUND_MS,
+        "hit_rate": round(hit_rate, 4),
+        "cold_computes": statuses.count("computed"),
+        "coalesce": {
+            "burst": BURST,
+            "computed": burst_computed,
+            "coalesced": burst_coalesced,
+            "statuses": sorted(set(burst_statuses)),
+        },
+        "server_stats": {k: after[k] for k in
+                         ("requests", "hits", "computed", "coalesced",
+                          "flights_led", "errors")},
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def _check(payload: dict) -> list[str]:
+    problems = []
+    if payload["warm_hit_p50_ms"] >= WARM_HIT_P50_BOUND_MS:
+        problems.append(
+            f"warm-hit p50 {payload['warm_hit_p50_ms']}ms >= "
+            f"{WARM_HIT_P50_BOUND_MS}ms bound")
+    if payload["coalesce"]["computed"] != 1:
+        problems.append(
+            f"duplicate burst executed {payload['coalesce']['computed']} "
+            f"times; single-flight must compute exactly once")
+    if payload["coalesce"]["coalesced"] < 1:
+        problems.append("duplicate burst coalesced nothing")
+    if payload["server_stats"]["errors"]:
+        problems.append(f"server errors: {payload['server_stats']['errors']}")
+    # under a Zipf mix over K << N keys, repeats dominate; responses
+    # that waited on a coalesced cold flight report "computed" too, so
+    # the floor is deliberately loose
+    if payload["hit_rate"] < 0.5:
+        problems.append(f"hit rate {payload['hit_rate']} is implausibly "
+                        f"low for a Zipfian mix")
+    return problems
+
+
+def test_serve_under_zipfian_mix():
+    payload = run()
+    problems = _check(payload)
+    assert not problems, "; ".join(problems)
+
+
+if __name__ == "__main__":
+    result = run()
+    print(json.dumps(result, indent=2))
+    failures = _check(result)
+    for failure in failures:
+        print(f"FAILED: {failure}")
+    print(f"warm-hit p50 {result['warm_hit_p50_ms']}ms "
+          f"(bound {WARM_HIT_P50_BOUND_MS}ms), "
+          f"hit rate {result['hit_rate']:.1%}, "
+          f"burst computed {result['coalesce']['computed']}x "
+          f"({'ok' if not failures else 'FAILED'})")
+    raise SystemExit(1 if failures else 0)

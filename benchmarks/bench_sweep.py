@@ -86,7 +86,11 @@ def run() -> dict:
         "workers": workers,
         "cold_seconds": round(timings["cold"], 3),
         "warm_seconds": round(timings["warm"], 3),
-        "warm_fraction_of_cold": round(warm_fraction, 4),
+        # full precision: a warm/cold ratio of ~4e-5 rounded to 4 places
+        # is 0.0, which destroys the very signal this gate tracks — the
+        # ceiling comparison below also uses the exact value
+        "warm_fraction_of_cold": warm_fraction,
+        "warm_fraction_of_cold_sci": f"{warm_fraction:.3e}",
         "warm_fraction_ceiling": None if SMOKE else WARM_FRACTION_CEILING,
         "cold_statuses": statuses["cold"],
         "warm_statuses": statuses["warm"],

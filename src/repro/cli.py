@@ -22,6 +22,9 @@ Commands:
   from the orchestrated result cache).
 * ``sweep [NAMES ...]`` — run the full experiment graph through the
   content-addressed result cache (see ``docs/orchestration.md``).
+* ``serve`` — long-lived HTTP/JSON daemon answering job/sweep/VCM/trace
+  queries from the result cache, coalescing duplicate in-flight
+  requests (see ``docs/serving.md``).
 
 ``python -m repro --dump-md`` prints the whole CLI reference as
 Markdown (``docs/cli.md`` is generated from it).
@@ -151,6 +154,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="append structured JSONL run events to PATH")
     sweep.add_argument("--no-artifacts", action="store_true",
                        help="skip materialising results/ artifacts")
+
+    serve = sub.add_parser(
+        "serve", help="run the cache-simulation HTTP/JSON service")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (default: loopback)")
+    serve.add_argument("--port", type=int, default=8023,
+                       help="TCP port (0 picks a free port)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="process-pool width for cold jobs "
+                            "(default: min(4, CPUs))")
+    serve.add_argument("--cache-dir", default=None,
+                       help="result-cache directory (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro)")
 
     return parser
 
@@ -598,6 +614,21 @@ def _cmd_sweep(args) -> int:
     return 0 if summary.ok and not claim_failures else 1
 
 
+def _cmd_serve(args) -> int:
+    import os
+
+    from repro.orchestrate import ResultStore
+    from repro.serve import ServeApp, run_app
+
+    store = ResultStore(args.cache_dir) if args.cache_dir else ResultStore()
+    workers = (args.workers if args.workers is not None
+               else min(4, os.cpu_count() or 1))
+    app = ServeApp(host=args.host, port=args.port, store=store,
+                   workers=workers)
+    run_app(app)
+    return 0
+
+
 _COMMANDS = {
     "figures": _cmd_figures,
     "check": _cmd_check,
@@ -610,6 +641,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "validate": _cmd_validate,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
 }
 
 

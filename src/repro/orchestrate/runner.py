@@ -22,6 +22,8 @@ deliberately not swallowed — finished work is on disk, the rest resumes.
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
 import uuid
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -271,7 +273,21 @@ class Runner:
                 return
         except OSError:
             pass
-        path.write_bytes(data)
+        # temp + replace: a concurrent reader (or a second runner sharing
+        # the results dir) never observes a partially written artifact
+        handle = tempfile.NamedTemporaryFile(
+            mode="wb", dir=path.parent, prefix=f".{path.name}-",
+            delete=False)
+        try:
+            with handle:
+                handle.write(data)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
 
     def _blocked(self, job: Job, summary: RunSummary) -> bool:
         """Whether an upstream failure/skip blocks this job."""

@@ -1,0 +1,45 @@
+"""The cache-simulation service: ``repro serve``.
+
+The orchestration layer (:mod:`repro.orchestrate`) made every
+deliverable a cached, content-addressed job — cold minutes, warm
+milliseconds.  This package puts a long-lived, stdlib-``asyncio``
+HTTP/JSON daemon in front of that cache so the warm path can serve
+query traffic (see ``docs/serving.md``):
+
+* :mod:`~repro.serve.protocol` — request bodies (registry jobs, sweeps,
+  VCM configs, trace specs) normalised to orchestrator jobs and keys;
+* :mod:`~repro.serve.queries` — the pure functions behind the ad-hoc
+  ``vcm`` / ``trace`` request kinds;
+* :mod:`~repro.serve.singleflight` — identical in-flight requests
+  coalesce into exactly one computation;
+* :mod:`~repro.serve.service` — warm hits from the
+  :class:`~repro.orchestrate.store.ResultStore`, cold work on a
+  persistent process pool, never blocking the event loop;
+* :mod:`~repro.serve.app` — the HTTP endpoints, JSONL progress
+  streaming, graceful drain-and-stop;
+* :mod:`~repro.serve.client` — a small blocking client (benchmarks,
+  tests, CI).
+"""
+
+from __future__ import annotations
+
+from repro.serve.app import ServeApp, ServerHandle, run_app, serve_in_thread
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import ProtocolError, Query, normalise
+from repro.serve.service import JobService, Resolution
+from repro.serve.singleflight import SingleFlight
+
+__all__ = [
+    "JobService",
+    "ProtocolError",
+    "Query",
+    "Resolution",
+    "ServeApp",
+    "ServeClient",
+    "ServeError",
+    "ServerHandle",
+    "SingleFlight",
+    "normalise",
+    "run_app",
+    "serve_in_thread",
+]

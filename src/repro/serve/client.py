@@ -1,0 +1,118 @@
+"""A small blocking client for the ``repro serve`` daemon.
+
+Stdlib-only (``http.client``); used by the benchmark harness, the test
+suite, and the CI smoke step.  One connection per call — the server
+closes connections after each response anyway.
+
+    >>> from repro.serve.client import ServeClient  # doctest: +SKIP
+    >>> client = ServeClient(port=8023)             # doctest: +SKIP
+    >>> client.query({"vcm": {"t_m": 32}})          # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Iterator
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response; carries the HTTP status and server message."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        message = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__(f"HTTP {status}: {message or payload}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Blocking JSON-over-HTTP client for one daemon."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8023,
+                 timeout: float = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # plumbing
+
+    def _connection(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+
+    def _request(self, method: str, path: str,
+                 body: Any = None) -> tuple[int, Any]:
+        connection = self._connection()
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body).encode()
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            parsed = json.loads(raw) if raw else None
+            return response.status, parsed
+        finally:
+            connection.close()
+
+    def _checked(self, method: str, path: str, body: Any = None,
+                 expect: tuple[int, ...] = (200,)) -> Any:
+        status, payload = self._request(method, path, body)
+        if status not in expect:
+            raise ServeError(status, payload)
+        return payload
+
+    # ------------------------------------------------------------------
+    # endpoints
+
+    def healthz(self) -> dict:
+        return self._checked("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._checked("GET", "/stats")
+
+    def query(self, body: dict) -> dict:
+        """Synchronous resolve; returns the full response payload."""
+        return self._checked("POST", "/query", body)
+
+    def submit(self, body: dict) -> str:
+        """Asynchronous submit; returns the tracked job id."""
+        return self._checked("POST", "/jobs", body, expect=(202,))["id"]
+
+    def job(self, job_id: str) -> dict:
+        return self._checked("GET", f"/jobs/{job_id}")
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """Stream the job's JSONL progress events as they happen."""
+        connection = self._connection()
+        try:
+            connection.request("GET", f"/jobs/{job_id}/events")
+            response = connection.getresponse()
+            if response.status != 200:
+                raw = response.read()
+                raise ServeError(response.status,
+                                 json.loads(raw) if raw else None)
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            connection.close()
+
+    def wait(self, job_id: str) -> dict:
+        """Consume the event stream until terminal; returns the snapshot."""
+        for _event in self.events(job_id):
+            pass
+        return self.job(job_id)
+
+    def shutdown(self) -> dict:
+        return self._checked("POST", "/shutdown")

@@ -1,0 +1,68 @@
+"""Single-flight: coalesce concurrent computations of one cache key.
+
+The server may receive many identical requests while the first is still
+computing (the classic cache-stampede).  :class:`SingleFlight` keeps an
+in-flight future per key: the first caller (the *leader*) runs the
+factory; every concurrent duplicate (a *follower*) awaits the leader's
+future and shares its result — the computation runs exactly once.  The
+map holds only in-flight keys; completed entries belong to the
+:class:`~repro.orchestrate.store.ResultStore`, not here.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable
+
+__all__ = ["SingleFlight"]
+
+
+def _mark_retrieved(future: asyncio.Future) -> None:
+    # a leader may fail after every follower timed out and went away;
+    # touching the exception stops asyncio's "never retrieved" warning
+    if not future.cancelled():
+        future.exception()
+
+
+class SingleFlight:
+    """An asyncio in-flight map with leader/follower accounting."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future] = {}
+        #: number of computations led (factory actually invoked)
+        self.leaders = 0
+        #: number of duplicate calls that shared a leader's flight
+        self.coalesced = 0
+
+    @property
+    def inflight(self) -> int:
+        """How many keys are currently being computed."""
+        return len(self._inflight)
+
+    def is_inflight(self, key: str) -> bool:
+        return key in self._inflight
+
+    async def run(self, key: str,
+                  factory: Callable[[], Awaitable[Any]]) -> Any:
+        """Return ``await factory()``, deduplicated per in-flight key."""
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.coalesced += 1
+            # shield: one follower being cancelled (client went away)
+            # must not cancel the shared flight under everyone else
+            return await asyncio.shield(existing)
+        future = asyncio.get_running_loop().create_future()
+        future.add_done_callback(_mark_retrieved)
+        self._inflight[key] = future
+        self.leaders += 1
+        try:
+            result = await factory()
+        except BaseException as error:
+            if not future.done():
+                future.set_exception(error)
+            raise
+        else:
+            future.set_result(result)
+            return result
+        finally:
+            self._inflight.pop(key, None)

@@ -38,6 +38,19 @@ def tally(path: str, value: int = 0) -> int:
     return value
 
 
+def slow_tally(path: str, value: int = 0, delay_s: float = 0.3) -> int:
+    """Like :func:`tally`, but slow enough for duplicates to pile up.
+
+    The serve tests fire concurrent identical requests while the first
+    is still inside this sleep; single-flight must fold them into one
+    execution (one appended line).
+    """
+    import time
+
+    time.sleep(delay_s)
+    return tally(path, value)
+
+
 def executions(path: str) -> int:
     target = pathlib.Path(path)
     if not target.exists():

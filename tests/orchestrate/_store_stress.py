@@ -1,0 +1,57 @@
+"""Worker functions for the multi-process store stress test.
+
+Module-level so they pickle into pool workers (same pattern as
+``_jobfns.py``).  Each worker hammers a small, overlapping key set with
+save/load/discard and reports what it observed; the test asserts no
+worker ever crashed or saw a torn entry.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.orchestrate.store import ResultStore
+
+#: Overlapping key space shared by every worker.
+KEYS = [f"{i:02x}" + "0" * 62 for i in range(8)]
+
+
+def payload_for(key: str) -> list[int]:
+    """The (deterministic) value every writer stores under ``key``."""
+    seed = int(key[:2], 16)
+    return list(range(seed, seed + 200))
+
+
+def hammer(args: tuple[str, int, int]) -> dict:
+    """Run ``ops`` random save/load/discard ops against a shared store.
+
+    Returns observation counts; raises (failing the pool future) on any
+    torn read — a loaded entry whose result does not match what every
+    writer stores for that key.
+    """
+    root, worker_seed, ops = args
+    rng = random.Random(worker_seed)
+    store = ResultStore(root)  # each open also exercises the temp sweep
+    counts = {"save": 0, "load_hit": 0, "load_miss": 0, "discard": 0}
+    for _ in range(ops):
+        key = rng.choice(KEYS)
+        action = rng.random()
+        if action < 0.45:
+            store.save(key, payload_for(key), {"job": "stress",
+                                               "worker": worker_seed})
+            counts["save"] += 1
+        elif action < 0.9:
+            entry = store.load(key)
+            if entry is None:
+                counts["load_miss"] += 1
+            else:
+                if entry.result != payload_for(key):
+                    raise AssertionError(
+                        f"torn read for {key[:8]}: {entry.result[:5]}...")
+                if entry.meta.get("job") != "stress":
+                    raise AssertionError(f"torn meta for {key[:8]}")
+                counts["load_hit"] += 1
+        else:
+            store.discard(key)
+            counts["discard"] += 1
+    return counts

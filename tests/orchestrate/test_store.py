@@ -1,6 +1,7 @@
 """The on-disk result store: roundtrips, corruption safety, relocation."""
 
 import os
+import time
 
 from repro.orchestrate.store import ResultStore, default_cache_dir
 
@@ -55,6 +56,99 @@ class TestCorruption:
 
     def test_discard_missing_is_silent(self, tmp_path):
         ResultStore(tmp_path).discard(KEY)
+
+
+class TestTransientErrors:
+    """Only content corruption may evict; transient failures are misses."""
+
+    def test_permission_error_does_not_evict(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        path = store.save(KEY, {"answer": 42}, {"job": "j"})
+
+        import builtins
+
+        real_open = builtins.open
+
+        def denied(file, *args, **kwargs):
+            if str(file) == str(path):
+                raise PermissionError(13, "denied", str(file))
+            return real_open(file, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", denied)
+        assert store.load(KEY) is None  # a miss...
+        monkeypatch.undo()
+        assert path.exists()  # ...but the good entry survives
+        assert store.load(KEY).result == {"answer": 42}
+
+    def test_transient_oserror_does_not_evict(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        path = store.save(KEY, [1, 2], {})
+
+        import builtins
+
+        real_open = builtins.open
+
+        def flaky(file, *args, **kwargs):
+            if str(file) == str(path):
+                raise OSError(5, "I/O error", str(file))
+            return real_open(file, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", flaky)
+        assert store.load(KEY) is None
+        monkeypatch.undo()
+        assert store.load(KEY).result == [1, 2]
+
+
+class TestDurability:
+    def test_save_fsyncs_before_replace(self, tmp_path, monkeypatch):
+        calls = []
+        real_fsync = os.fsync
+        real_replace = os.replace
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (calls.append("fsync"),
+                                     real_fsync(fd))[1])
+        monkeypatch.setattr(
+            os, "replace",
+            lambda a, b: (calls.append("replace"), real_replace(a, b))[1])
+        ResultStore(tmp_path).save(KEY, 1, {})
+        assert calls == ["fsync", "replace"]
+
+
+class TestStaleTempSweep:
+    def _temp(self, store, age_s):
+        shard = store.objects_dir / KEY[:2]
+        shard.mkdir(parents=True, exist_ok=True)
+        temp = shard / f".{KEY[:8]}-dead1234"
+        temp.write_bytes(b"partial write from a hard-killed process")
+        old = time.time() - age_s
+        os.utime(temp, (old, old))
+        return temp
+
+    def test_open_sweeps_stale_temps(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(KEY, 1, {})
+        stale = self._temp(store, age_s=7200)
+        reopened = ResultStore(tmp_path)  # the sweep runs at open
+        assert not stale.exists()
+        assert reopened.load(KEY).result == 1  # real entries untouched
+
+    def test_fresh_temps_survive_the_sweep(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fresh = self._temp(store, age_s=0)
+        ResultStore(tmp_path)
+        assert fresh.exists()  # may belong to a live writer
+
+    def test_sweep_can_be_disabled(self, tmp_path):
+        store = ResultStore(tmp_path)
+        stale = self._temp(store, age_s=7200)
+        ResultStore(tmp_path, sweep_stale=False)
+        assert stale.exists()
+
+    def test_sweep_returns_what_it_removed(self, tmp_path):
+        store = ResultStore(tmp_path, sweep_stale=False)
+        stale = self._temp(store, age_s=7200)
+        removed = store.sweep_stale_temps()
+        assert removed == [stale]
 
 
 class TestLocation:

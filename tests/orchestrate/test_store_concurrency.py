@@ -1,0 +1,45 @@
+"""Concurrency stress: many processes sharing one ResultStore.
+
+The store is the shared substrate under ``repro serve`` and
+multi-process sweeps, so N processes hammering overlapping keys with
+save/load/discard must never crash, and no reader may ever observe a
+partial (torn) entry — atomic temp+fsync+replace writes and the
+corruption-only eviction policy together guarantee it.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+from tests.orchestrate._store_stress import KEYS, hammer, payload_for
+
+WORKERS = 4
+OPS_PER_WORKER = 150
+
+
+class TestMultiProcessStress:
+    def test_overlapping_save_load_discard_never_tear(self, tmp_path):
+        jobs = [(str(tmp_path), seed, OPS_PER_WORKER)
+                for seed in range(WORKERS)]
+        with ProcessPoolExecutor(max_workers=WORKERS) as pool:
+            # a torn read or crash raises inside the worker and
+            # re-raises here via the future
+            results = list(pool.map(hammer, jobs))
+        assert len(results) == WORKERS
+        total_loads = sum(r["load_hit"] + r["load_miss"] for r in results)
+        assert total_loads > 0
+        assert sum(r["save"] for r in results) > 0
+
+    def test_store_is_consistent_after_the_storm(self, tmp_path):
+        jobs = [(str(tmp_path), 100 + seed, OPS_PER_WORKER)
+                for seed in range(WORKERS)]
+        with ProcessPoolExecutor(max_workers=WORKERS) as pool:
+            list(pool.map(hammer, jobs))
+        from repro.orchestrate.store import ResultStore
+
+        store = ResultStore(tmp_path)
+        for key in store.keys():
+            entry = store.load(key)
+            assert entry is not None
+            assert entry.result == payload_for(entry.key)
+        assert set(store.keys()) <= {k for k in KEYS}

@@ -1,0 +1,117 @@
+"""Request normalisation: shapes, digests, and rejection messages."""
+
+import pytest
+
+from repro.orchestrate.job import Job
+from repro.serve.protocol import ProtocolError, normalise
+
+REGISTRY = {
+    "leaf": Job(name="leaf", fn="tests.orchestrate._jobfns:leaf",
+                params={"value": 3}),
+    "sum": Job(name="sum", fn="tests.orchestrate._jobfns:add",
+               deps=("leaf",)),
+}
+
+
+class TestJobRequests:
+    def test_registry_job(self):
+        query = normalise({"job": "leaf"}, REGISTRY)
+        assert query.names == ("leaf",)
+        assert query.jobs["leaf"] is REGISTRY["leaf"]
+
+    def test_param_overrides_derive_a_job(self):
+        query = normalise({"job": "leaf", "params": {"value": 9}}, REGISTRY)
+        (name,) = query.names
+        assert name.startswith("leaf@")
+        assert query.jobs[name].params == {"value": 9}
+        assert query.jobs[name].fn == REGISTRY["leaf"].fn
+
+    def test_identical_overrides_normalise_identically(self):
+        first = normalise({"job": "leaf", "params": {"value": 9}}, REGISTRY)
+        second = normalise({"job": "leaf", "params": {"value": 9}}, REGISTRY)
+        assert first.names == second.names
+
+    def test_unknown_job_is_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown job"):
+            normalise({"job": "nope"}, REGISTRY)
+
+    def test_unkeyable_params_are_rejected(self):
+        with pytest.raises(ProtocolError):
+            normalise({"job": "leaf", "params": {"value": object()}},
+                      REGISTRY)
+
+
+class TestSweepRequests:
+    def test_explicit_selection(self):
+        query = normalise({"sweep": ["leaf", "sum"]}, REGISTRY)
+        assert query.names == ("leaf", "sum")
+
+    def test_default_selection_resolves_registry_names(self):
+        from repro.orchestrate.jobs import all_jobs, default_sweep
+
+        query = normalise({"sweep": "default"}, all_jobs())
+        assert query.names == tuple(default_sweep())
+
+    def test_empty_selection_is_rejected(self):
+        with pytest.raises(ProtocolError, match="non-empty"):
+            normalise({"sweep": []}, REGISTRY)
+
+    def test_duplicates_are_rejected(self):
+        with pytest.raises(ProtocolError, match="duplicate"):
+            normalise({"sweep": ["leaf", "leaf"]}, REGISTRY)
+
+    def test_unknown_names_are_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown jobs"):
+            normalise({"sweep": ["leaf", "ghost"]}, REGISTRY)
+
+
+class TestSyntheticRequests:
+    def test_vcm_request_builds_a_job(self):
+        query = normalise({"vcm": {"t_m": 16, "banks": 32}}, REGISTRY)
+        (name,) = query.names
+        assert name.startswith("vcm@")
+        job = query.jobs[name]
+        assert job.fn == "repro.serve.queries:vcm_query"
+        assert job.params == {"t_m": 16, "banks": 32}
+        assert "repro.analytical" in job.modules
+
+    def test_trace_request_builds_a_job(self):
+        query = normalise({"trace": {"stride": 4, "length": 128}}, REGISTRY)
+        (name,) = query.names
+        assert name.startswith("trace@")
+        assert query.jobs[name].fn == "repro.serve.queries:trace_query"
+
+    def test_identical_configs_share_a_name(self):
+        a = normalise({"vcm": {"t_m": 16}}, REGISTRY)
+        b = normalise({"vcm": {"t_m": 16}}, REGISTRY)
+        c = normalise({"vcm": {"t_m": 32}}, REGISTRY)
+        assert a.names == b.names
+        assert a.names != c.names
+
+    def test_unknown_parameters_are_rejected_up_front(self):
+        with pytest.raises(ProtocolError, match="unknown parameters"):
+            normalise({"vcm": {"warp_factor": 9}}, REGISTRY)
+
+    def test_non_object_config_is_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            normalise({"vcm": [1, 2]}, REGISTRY)
+
+
+class TestShapes:
+    def test_body_must_be_an_object(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            normalise([1, 2], REGISTRY)
+
+    def test_exactly_one_kind(self):
+        with pytest.raises(ProtocolError, match="exactly one"):
+            normalise({}, REGISTRY)
+        with pytest.raises(ProtocolError, match="exactly one"):
+            normalise({"job": "leaf", "vcm": {}}, REGISTRY)
+
+    def test_unexpected_fields_are_rejected(self):
+        with pytest.raises(ProtocolError, match="unexpected"):
+            normalise({"sweep": ["leaf"], "shard": 3}, REGISTRY)
+
+    def test_job_accepts_params_field_only(self):
+        with pytest.raises(ProtocolError, match="unexpected"):
+            normalise({"job": "leaf", "force": True}, REGISTRY)

@@ -1,0 +1,114 @@
+"""Single-flight semantics: coalescing, error sharing, cleanup."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.singleflight import SingleFlight
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_duplicates_compute_exactly_once(self):
+        async def scenario():
+            flight = SingleFlight()
+            executions = 0
+            release = asyncio.Event()
+
+            async def factory():
+                nonlocal executions
+                executions += 1
+                await release.wait()
+                return "value"
+
+            tasks = [asyncio.ensure_future(flight.run("k", factory))
+                     for _ in range(5)]
+            await asyncio.sleep(0)  # all five enter the flight map
+            assert flight.inflight == 1
+            release.set()
+            results = await asyncio.gather(*tasks)
+            return executions, results, flight
+
+        executions, results, flight = run(scenario())
+        assert executions == 1
+        assert results == ["value"] * 5
+        assert flight.leaders == 1
+        assert flight.coalesced == 4
+        assert flight.inflight == 0
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def scenario():
+            flight = SingleFlight()
+
+            async def factory_for(key):
+                async def factory():
+                    return key.upper()
+                return await flight.run(key, factory)
+
+            results = await asyncio.gather(factory_for("a"),
+                                           factory_for("b"))
+            return results, flight
+
+        results, flight = run(scenario())
+        assert results == ["A", "B"]
+        assert flight.leaders == 2
+        assert flight.coalesced == 0
+
+    def test_sequential_calls_are_separate_flights(self):
+        async def scenario():
+            flight = SingleFlight()
+            count = 0
+
+            async def factory():
+                nonlocal count
+                count += 1
+                return count
+
+            first = await flight.run("k", factory)
+            second = await flight.run("k", factory)
+            return first, second, flight
+
+        first, second, flight = run(scenario())
+        assert (first, second) == (1, 2)  # not in flight -> no dedup
+        assert flight.coalesced == 0
+
+
+class TestErrors:
+    def test_leader_error_reaches_every_follower(self):
+        async def scenario():
+            flight = SingleFlight()
+            release = asyncio.Event()
+
+            async def factory():
+                await release.wait()
+                raise RuntimeError("boom")
+
+            tasks = [asyncio.ensure_future(flight.run("k", factory))
+                     for _ in range(3)]
+            await asyncio.sleep(0)
+            release.set()
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            return results, flight
+
+        results, flight = run(scenario())
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert flight.inflight == 0  # failed flights are cleaned up
+
+    def test_failed_key_can_be_retried(self):
+        async def scenario():
+            flight = SingleFlight()
+
+            async def failing():
+                raise RuntimeError("boom")
+
+            async def fine():
+                return 42
+
+            with pytest.raises(RuntimeError):
+                await flight.run("k", failing)
+            return await flight.run("k", fine)
+
+        assert run(scenario()) == 42

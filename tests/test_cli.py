@@ -22,6 +22,22 @@ class TestParser:
         assert args.stride == 16
         assert args.t_m == 8
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8023
+        assert args.workers is None
+        assert args.cache_dir is None
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "2",
+             "--cache-dir", "/tmp/x"]
+        )
+        assert args.port == 0
+        assert args.workers == 2
+        assert args.cache_dir == "/tmp/x"
+
 
 class TestCommands:
     def test_design(self, capsys):
