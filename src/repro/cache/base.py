@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import kernels
 from repro.cache.stats import CacheStats, MissClassifier, MissKind
 
 __all__ = ["AccessResult", "BatchResult", "Cache", "MISS_KIND_CODES"]
@@ -224,6 +225,19 @@ class Cache(ABC):
         """
         return None
 
+    def _replay_compiled(self, lines, writes, want_hits: bool):
+        """Replay a pre-mapped batch through :mod:`repro.kernels`, if able.
+
+        ``lines`` is an int64 array, ``writes`` a bool array or ``None``.
+        Returns ``(hits, misses, evictions, hits_array or None)`` — set
+        mapping happens inside the kernel — or ``None`` when this
+        organisation has no kernel form (custom index function, random
+        replacement, active miss classifier), in which case
+        :meth:`access_many` falls back to the numpy path.  Only consulted
+        for ``backend="compiled"`` with no per-access kind output.
+        """
+        return None
+
     def _replay_premapped(self, lines, sets, writes, hits_out, kinds_out):
         """Sequential residency loop over pre-mapped line/set lists.
 
@@ -296,6 +310,7 @@ class Cache(ABC):
         *,
         return_hits: bool = False,
         return_kinds: bool = False,
+        backend: str | None = None,
     ) -> BatchResult:
         """Reference a whole address array; the trace-replay fast path.
 
@@ -317,16 +332,25 @@ class Cache(ABC):
             return_hits: also return the per-access hit bitmap.
             return_kinds: also return per-access miss-kind codes
                 (:data:`MISS_KIND_CODES`; all zeros without a classifier).
+            backend: ``"scalar"`` replays through the generic per-access
+                state machine, ``"numpy"`` uses the vectorised engines,
+                ``"compiled"`` dispatches to :mod:`repro.kernels` when the
+                organisation has a kernel form (falling back to numpy
+                otherwise).  ``None``/``"auto"`` takes
+                :func:`repro.kernels.default_backend`.  All three are
+                bit-for-bit equivalent.
 
         Returns:
             A :class:`BatchResult` with this batch's stats delta.
         """
+        backend = kernels.resolve_backend(backend)
         addrs = np.asarray(addresses, dtype=np.int64)
         if addrs.ndim != 1:
             raise ValueError("addresses must be one-dimensional")
         n = addrs.size
         if n and int(addrs.min()) < 0:
             raise ValueError("addresses must be non-negative")
+        writes_arr = None
         writes_list = None
         writes_total = 0
         if writes is not None:
@@ -357,24 +381,44 @@ class Cache(ABC):
             }
         else:
             lines = addrs >> self._offset_bits if self._offset_bits else addrs
-            sets = self._map_sets_batch(lines)
-            replay = (
-                self._replay_premapped_arrays(lines, sets, return_hits)
-                if writes_list is None and kinds_out is None else None
-            )
-            if replay is not None:
-                hit_count, miss_count, evictions, kind_counts, hits_arr = (
-                    replay
+            compiled = (
+                self._replay_compiled(
+                    lines, writes_arr if writes_total else None, return_hits
                 )
+                if backend == "compiled" and kinds_out is None else None
+            )
+            if compiled is not None:
+                hit_count, miss_count, evictions, hits_arr = compiled
+                kind_counts = {kind: 0 for kind in MissKind}
                 if return_hits:
                     hits_out = hits_arr
-            else:
+            elif backend == "scalar":
+                sets = self._map_sets_batch(lines)
                 hit_count, miss_count, evictions, kind_counts = (
-                    self._replay_premapped(
-                        lines.tolist(), sets.tolist(), writes_list,
+                    Cache._replay_premapped(
+                        self, lines.tolist(), sets.tolist(), writes_list,
                         hits_out, kinds_out,
                     )
                 )
+            else:
+                sets = self._map_sets_batch(lines)
+                replay = (
+                    self._replay_premapped_arrays(lines, sets, return_hits)
+                    if writes_list is None and kinds_out is None else None
+                )
+                if replay is not None:
+                    hit_count, miss_count, evictions, kind_counts, hits_arr = (
+                        replay
+                    )
+                    if return_hits:
+                        hits_out = hits_arr
+                else:
+                    hit_count, miss_count, evictions, kind_counts = (
+                        self._replay_premapped(
+                            lines.tolist(), sets.tolist(), writes_list,
+                            hits_out, kinds_out,
+                        )
+                    )
             stats = self.stats
             stats.accesses += n
             stats.hits += hit_count

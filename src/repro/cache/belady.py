@@ -26,6 +26,9 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+import numpy as np
+
+from repro import kernels
 from repro.cache.stats import CacheStats
 from repro.trace.records import Trace
 
@@ -71,6 +74,7 @@ def simulate_opt(
     num_sets: int = 1,
     set_of=None,
     line_size_words: int = 1,
+    backend: str | None = None,
 ) -> BeladyResult:
     """Run Belady's OPT over a trace.
 
@@ -84,6 +88,12 @@ def simulate_opt(
             ``line % num_sets``); pass a prime modulus to study OPT on a
             prime-mapped geometry.
         line_size_words: words per line (power of two).
+        backend: ``"scalar"`` runs the dict-based two-pass reference;
+            ``"numpy"`` vectorises the next-use precomputation; and
+            ``"compiled"`` additionally runs the simulation loop through
+            :mod:`repro.kernels` (falling back to numpy when the mapped
+            set indexes leave ``[0, num_sets)``).  All bit-for-bit equal;
+            swept by the ``kernel-backend`` oracle.
 
     Example:
         >>> from repro.trace.patterns import strided
@@ -95,22 +105,80 @@ def simulate_opt(
         raise ValueError("num_sets must divide a positive total_lines")
     if line_size_words <= 0 or line_size_words & (line_size_words - 1):
         raise ValueError("line_size_words must be a positive power of two")
+    backend = kernels.resolve_backend(backend)
     offset_bits = line_size_words.bit_length() - 1
-    if set_of is None:
-        set_of = lambda line: line % num_sets  # noqa: E731 - default map
+    map_set = set_of
+    if map_set is None:
+        map_set = lambda line: line % num_sets  # noqa: E731 - default map
     ways = total_lines // num_sets
 
     addresses, write_flags = trace.as_arrays()
-    lines = (addresses >> offset_bits).tolist()
+    line_arr = addresses >> offset_bits if offset_bits else addresses
+    n = int(line_arr.size)
+    writes_total = int(write_flags.sum()) if write_flags is not None else 0
+
+    result = BeladyResult()
+    if backend != "scalar":
+        # Vectorised next-use (stable-sort successor trick); sentinel
+        # ``n`` plays the role of the scalar path's infinity.
+        next_use_arr = kernels.belady_next_use(line_arr)
+        if set_of is None:
+            sets_arr = (
+                line_arr & (num_sets - 1)
+                if num_sets & (num_sets - 1) == 0
+                else line_arr % num_sets
+            )
+        else:
+            sets_arr = np.fromiter(
+                (set_of(line) for line in line_arr.tolist()),
+                dtype=np.int64, count=n,
+            )
+        in_range = n == 0 or (
+            int(sets_arr.min()) >= 0 and int(sets_arr.max()) < num_sets
+        )
+        if backend == "compiled" and in_range:
+            tags = np.full(num_sets * ways, -1, dtype=np.int64)
+            nu = np.zeros(num_sets * ways, dtype=np.int64)
+            ins = np.zeros(num_sets * ways, dtype=np.int64)
+            hits, misses, evictions = kernels.belady_opt(
+                line_arr, sets_arr, next_use_arr, ways, tags, nu, ins,
+            )
+        else:
+            hits = misses = evictions = 0
+            resident: dict[int, dict[int, int]] = defaultdict(dict)
+            lines = line_arr.tolist()
+            sets_list = sets_arr.tolist()
+            nu_list = next_use_arr.tolist()
+            for index, line in enumerate(lines):
+                content = resident[sets_list[index]]
+                if line in content:
+                    hits += 1
+                    content[line] = nu_list[index]
+                    continue
+                misses += 1
+                if len(content) >= ways:
+                    victim = max(content, key=content.__getitem__)
+                    del content[victim]
+                    evictions += 1
+                content[line] = nu_list[index]
+        stats = result.stats
+        stats.accesses = n
+        stats.hits = hits
+        stats.misses = misses
+        stats.reads = n - writes_total
+        stats.writes = writes_total
+        result.evictions = evictions
+        return result
+
+    lines = line_arr.tolist()
     writes = (write_flags.tolist() if write_flags is not None
               else [False] * len(lines))
     next_use = _next_use_indexes(lines)
 
-    result = BeladyResult()
-    resident: dict[int, dict[int, float]] = defaultdict(dict)  # set -> line -> next use
+    resident_f: dict[int, dict[int, float]] = defaultdict(dict)  # set -> line -> next use
     for index, line in enumerate(lines):
         write = writes[index]
-        content = resident[set_of(line)]
+        content = resident_f[map_set(line)]
         if line in content:
             result.stats.record(hit=True, write=write, kind=None)
             content[line] = next_use[index]

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.cache.base import Cache
 from repro.cache.replacement import (
     FIFOPolicy,
@@ -227,6 +228,93 @@ class SetAssociativeCache(Cache):
             self._mirror_dirty[touched[group_missed]] = False
             self._dicts_stale = True
         return hit_count, miss_count, evictions, kind_counts, hits
+
+    def _kernel_set_mode(self) -> tuple[int, int] | None:
+        """``(set_mode, set_param)`` for :mod:`repro.kernels`, or ``None``
+        when the subclass changed the index function without providing a
+        kernel form (the prime cache overrides this with the Mersenne
+        mode)."""
+        if type(self).set_of is not SetAssociativeCache.set_of:
+            return None
+        if self.num_sets & (self.num_sets - 1) == 0:
+            return kernels.SET_MODE_MASK, self.num_sets - 1
+        return kernels.SET_MODE_MOD, self.num_sets
+
+    def _replay_compiled(self, lines, writes, want_hits: bool):
+        mode = self._kernel_set_mode()
+        lru = isinstance(self.policy, LRUPolicy)
+        if (
+            mode is None
+            or self._classifier is not None
+            or not (lru or isinstance(self.policy, FIFOPolicy))
+        ):
+            return None
+        set_mode, set_param = mode
+        hits_arr = np.empty(lines.size, dtype=bool) if want_hits else None
+        if self.num_ways == 1:
+            # The kernel advances the numpy residency mirror in place, so
+            # chunked streaming pays no per-call state rebuild; the dicts
+            # go stale exactly as after the closed-form numpy replay.
+            current = self._load_mirror()
+            h, m, e = kernels.replay_oneway(
+                lines, writes, set_mode, set_param, self.write_allocate,
+                current, self._mirror_dirty, hits_arr,
+            )
+            if m or writes is not None:
+                self._dicts_stale = True
+            return h, m, e, hits_arr
+        # N-way: flatten dicts + policy stacks into [set, way] arrays
+        # (stamp = stack position + 1, so minimum stamp == stack front ==
+        # the policy victim), run the kernel, then write everything back.
+        self._sync_dicts()
+        num_ways = self.num_ways
+        tags = np.full(self.num_sets * num_ways, -1, dtype=np.int64)
+        stamps = np.zeros(self.num_sets * num_ways, dtype=np.int64)
+        dirty = np.zeros(self.num_sets * num_ways, dtype=np.uint8)
+        stacks = self.policy._order if lru else self.policy._queue
+        init_stack = (
+            list(range(num_ways - 1, -1, -1)) if lru
+            else list(range(num_ways))
+        )
+        for s in range(self.num_sets):
+            base = s * num_ways
+            for w, line in self._ways[s].items():
+                tags[base + w] = line
+            for w in self._dirty[s]:
+                dirty[base + w] = 1
+            for pos, w in enumerate(stacks.get(s, init_stack)):
+                stamps[base + w] = pos + 1
+        h, m, e, _ = kernels.replay_assoc(
+            lines, writes, set_mode, set_param, num_ways,
+            self.write_allocate, lru, num_ways + 1,
+            tags, stamps, dirty, hits_arr,
+        )
+        self._mirror_ok = False
+        # A stable sort of the stamps recovers each set's stack: untouched
+        # ways keep their old relative order (small build stamps), touched
+        # ways follow in reference order (monotonic kernel ticks).
+        order = np.argsort(
+            stamps.reshape(self.num_sets, num_ways), axis=1, kind="stable"
+        )
+        tags_list = tags.tolist()
+        dirty_list = dirty.tolist()
+        for s in range(self.num_sets):
+            base = s * num_ways
+            ways: dict[int, int] = {}
+            where: dict[int, int] = {}
+            dirty_ways: set[int] = set()
+            for w in range(num_ways):
+                line = tags_list[base + w]
+                if line >= 0:
+                    ways[w] = line
+                    where[line] = w
+                if dirty_list[base + w]:
+                    dirty_ways.add(w)
+            self._ways[s] = ways
+            self._where[s] = where
+            self._dirty[s] = dirty_ways
+            stacks[s] = order[s].tolist()
+        return h, m, e, hits_arr
 
     def _replay_premapped(self, lines, sets, writes, hits_out, kinds_out):
         self._sync_dicts()

@@ -60,7 +60,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "(with --simulated; results are identical "
                               "for any --workers value)")
 
-    check = sub.add_parser("check", help="figure-claim checks only")
+    check = sub.add_parser(
+        "check", help="figure-claim checks only (also reports the active "
+                      "kernel backend)")
     check.add_argument("ids", nargs="*", help="figure ids (default: all)")
 
     verify = sub.add_parser(
@@ -86,6 +88,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the mutation self-check layer")
     verify.add_argument("--no-golden", action="store_true",
                         help="skip the golden-baseline diff")
+    _add_backend_flag(verify)
 
     design = sub.add_parser("design", help="size a prime-mapped cache")
     design.add_argument("capacity_bytes", type=int)
@@ -100,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--c", type=int, default=13,
                          help="Mersenne exponent (prime cache 2^c - 1 lines)")
     compare.add_argument("--t-m", type=int, default=32)
+    _add_backend_flag(compare)
 
     subblock = sub.add_parser("subblock", help="conflict-free blocking")
     subblock.add_argument("leading_dimension", type=int)
@@ -154,6 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="append structured JSONL run events to PATH")
     sweep.add_argument("--no-artifacts", action="store_true",
                        help="skip materialising results/ artifacts")
+    _add_backend_flag(sweep)
 
     serve = sub.add_parser(
         "serve", help="run the cache-simulation HTTP/JSON service")
@@ -167,8 +172,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-dir", default=None,
                        help="result-cache directory (default: "
                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    _add_backend_flag(serve)
 
     return parser
+
+
+def _add_backend_flag(command: argparse.ArgumentParser) -> None:
+    command.add_argument(
+        "--backend", default=None,
+        choices=("scalar", "numpy", "compiled", "auto"),
+        help="kernel backend for replay/timing engines (default: "
+             "$REPRO_BACKEND or numpy; 'auto' picks compiled when a "
+             "numba/C provider is available)")
+
+
+def _apply_backend(args) -> None:
+    """Make ``--backend`` the process default (and the workers', via env)."""
+    if getattr(args, "backend", None) is None:
+        return
+    import os
+
+    from repro import kernels
+
+    kernels.set_default_backend(args.backend)
+    # worker pools (sweep/serve jobs) inherit the choice through the env
+    os.environ["REPRO_BACKEND"] = args.backend
 
 
 _MD_PROLOGUE = """\
@@ -247,9 +275,25 @@ def _cmd_figures(args) -> int:
     return 1 if failures else 0
 
 
+def _backend_banner() -> str:
+    """One line describing the kernel configuration, for ``repro check``."""
+    from repro import kernels
+
+    info = kernels.backend_info()
+    if info["compiled_provider"] == "numba":
+        compiled = f"numba {info['numba']}"
+    elif info["compiled_provider"] == "cext":
+        compiled = info["compiled_detail"]
+    else:
+        compiled = "fallback: numpy (no numba, no C compiler)"
+    return (f"kernel backend: {info['default_backend']} "
+            f"(compiled provider: {compiled})")
+
+
 def _cmd_check(args) -> int:
     from repro.experiments import ALL_FIGURES, check_figure
 
+    print(_backend_banner())
     wanted = args.ids or sorted(ALL_FIGURES)
     unknown = [w for w in wanted if w not in ALL_FIGURES]
     if unknown:
@@ -271,6 +315,7 @@ def _cmd_verify(args) -> int:
     from repro.verify import bless, run_verification
     from repro.verify.mutations import MUTATIONS
 
+    _apply_backend(args)
     if args.bless:
         for path in bless():
             print(f"blessed {path}")
@@ -334,6 +379,7 @@ def _cmd_compare(args) -> int:
     )
     from repro.trace import replay, strided
 
+    _apply_backend(args)
     trace = strided(0, args.stride, args.length, sweeps=args.sweeps)
     lines = 1 << args.c
     contenders = [
@@ -540,6 +586,7 @@ def _cmd_sweep(args) -> int:
         figure_job_names,
     )
 
+    _apply_backend(args)
     jobs = all_jobs()
     if args.list:
         for name, job in jobs.items():
@@ -620,6 +667,7 @@ def _cmd_serve(args) -> int:
     from repro.orchestrate import ResultStore
     from repro.serve import ServeApp, run_app
 
+    _apply_backend(args)
     store = ResultStore(args.cache_dir) if args.cache_dir else ResultStore()
     workers = (args.workers if args.workers is not None
                else min(4, os.cpu_count() or 1))

@@ -1,0 +1,284 @@
+"""Optional compiled kernels behind the ``backend`` knob.
+
+Every stateful hot loop in the simulator — the per-set residency update
+of :meth:`repro.cache.base.Cache.access_many`, the MM/CC trace-timing
+loops, the strip-level paired-load engine, and Belady OPT — exists in
+three interchangeable implementations:
+
+* ``"scalar"`` — the per-access reference state machines (slow, simple,
+  the ground truth);
+* ``"numpy"`` — the vectorised/flat-local engines that have carried the
+  repository since the batching era (the default);
+* ``"compiled"`` — the kernels in this package, dispatched to the first
+  available *provider*: Numba ``@njit`` (install ``repro[compiled]``),
+  else a generated-C extension built with the system compiler
+  (:mod:`repro.kernels.cext`), else the pure-Python reference
+  (:mod:`repro.kernels.reference`) so the knob never breaks.
+
+The three backends are bit-for-bit equivalent on every counter and cycle
+total; the ``kernel-backend`` oracle of :mod:`repro.verify` sweeps them
+against each other, and a mutation-fault target proves the sweep has
+teeth.  Select per call (``backend=...``), per process
+(:func:`set_default_backend`), or per environment (``REPRO_BACKEND`` =
+``scalar``/``numpy``/``compiled``/``auto``; ``auto`` picks ``compiled``
+exactly when a real provider — not the reference fallback — is live).
+``REPRO_KERNEL_PROVIDER`` (``numba``/``cext``/``reference``) pins the
+provider for tests and benchmarks.
+
+Call sites go through the module-level functions below (``from repro
+import kernels; kernels.replay_oneway(...)``) so the verify subsystem can
+monkey-patch a fault into the compiled path regardless of provider.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = [
+    "BACKENDS",
+    "resolve_backend",
+    "default_backend",
+    "set_default_backend",
+    "has_compiled_provider",
+    "provider_info",
+    "backend_info",
+    "replay_oneway",
+    "replay_assoc",
+    "mm_timing",
+    "cc_timing",
+    "pair_flat",
+    "belady_next_use",
+    "belady_opt",
+    "SET_MODE_MASK",
+    "SET_MODE_MOD",
+    "SET_MODE_MERSENNE",
+]
+
+#: legal values of the ``backend`` knob
+BACKENDS = ("scalar", "numpy", "compiled")
+
+#: set-index function selectors shared with the providers
+SET_MODE_MASK = 0
+SET_MODE_MOD = 1
+SET_MODE_MERSENNE = 2
+
+_default: str | None = None       # resolved lazily from REPRO_BACKEND
+_provider = None                  # resolved lazily, cached for the process
+_provider_resolved = False
+
+
+# -- backend selection -------------------------------------------------------
+
+
+def default_backend() -> str:
+    """The process default backend (``REPRO_BACKEND``, else ``"numpy"``)."""
+    global _default
+    if _default is None:
+        env = os.environ.get("REPRO_BACKEND", "").strip().lower()
+        _default = env or "numpy"
+        if _default not in BACKENDS + ("auto",):
+            value, _default = _default, "numpy"
+            raise ValueError(
+                f"REPRO_BACKEND={value!r} is not one of "
+                f"{BACKENDS + ('auto',)}"
+            )
+    if _default == "auto":
+        return "compiled" if has_compiled_provider() else "numpy"
+    return _default
+
+
+def set_default_backend(backend: str | None) -> None:
+    """Set the process default backend; ``None`` re-reads ``REPRO_BACKEND``."""
+    global _default
+    if backend is not None and backend not in BACKENDS + ("auto",):
+        raise ValueError(
+            f"backend must be one of {BACKENDS + ('auto',)}, got {backend!r}"
+        )
+    _default = backend
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Normalise a ``backend`` argument: ``None``/``"auto"`` -> the default."""
+    if backend is None or backend == "auto":
+        return default_backend()
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {BACKENDS + ('auto',)}, got {backend!r}"
+        )
+    return backend
+
+
+# -- provider resolution -----------------------------------------------------
+
+
+def _load_provider(name: str):
+    if name == "numba":
+        from repro.kernels import numba_backend
+        return numba_backend.load()
+    if name == "cext":
+        from repro.kernels import cext
+        return cext.load()
+    if name == "reference":
+        from repro.kernels import reference
+        return reference
+    raise ValueError(
+        f"REPRO_KERNEL_PROVIDER must be numba/cext/reference, got {name!r}"
+    )
+
+
+def _resolve_provider():
+    """First usable provider, cached: numba > generated C > reference."""
+    global _provider, _provider_resolved
+    if _provider_resolved:
+        return _provider
+    forced = os.environ.get("REPRO_KERNEL_PROVIDER", "").strip().lower()
+    order = [forced] if forced else ["numba", "cext", "reference"]
+    provider = None
+    for name in order:
+        try:
+            provider = _load_provider(name)
+        except ImportError:
+            provider = None
+        if provider is not None:
+            break
+    if provider is None:
+        from repro.kernels import reference
+        provider = reference
+    _provider = provider
+    _provider_resolved = True
+    return provider
+
+
+def has_compiled_provider() -> bool:
+    """Whether a *real* compiled provider (numba or C) is live, i.e. the
+    ``compiled`` backend is more than the pure-Python reference."""
+    return _resolve_provider().name != "reference"
+
+
+def provider_info() -> dict:
+    """``{"name": ..., "detail": ...}`` for the live compiled provider."""
+    provider = _resolve_provider()
+    return {"name": provider.name, "detail": provider.detail}
+
+
+def backend_info() -> dict:
+    """Everything ``repro check`` and the bench JSONs report about the
+    kernel configuration: active default backend, compiled provider, and
+    the numba version (or the fallback reason)."""
+    provider = _resolve_provider()
+    try:
+        import numba
+        numba_version = numba.__version__
+    except ImportError:
+        numba_version = None
+    info = {
+        "default_backend": default_backend(),
+        "compiled_provider": provider.name,
+        "compiled_detail": provider.detail,
+        "numba": numba_version,
+    }
+    if provider.name != "cext":
+        from repro.kernels import cext
+        if cext.build_error() is not None:
+            info["cext_error"] = cext.build_error()
+    return info
+
+
+# -- array plumbing ----------------------------------------------------------
+
+
+def _i64(arr) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+def _u8(arr) -> np.ndarray | None:
+    """Optional flag array as contiguous uint8 (bool arrays are viewed,
+    not copied, so in-place kernel updates land in the caller's array)."""
+    if arr is None:
+        return None
+    if arr.dtype == np.bool_:
+        if not arr.flags.c_contiguous:
+            arr = np.ascontiguousarray(arr)
+        return arr.view(np.uint8)
+    return np.ascontiguousarray(arr, dtype=np.uint8)
+
+
+# -- kernel entry points (the mutation-patchable dispatch surface) -----------
+
+
+def replay_oneway(lines, writes, set_mode, set_param, write_allocate,
+                  current, dirty, hits_out):
+    """One-way residency replay (see :mod:`repro.kernels.reference`)."""
+    return _resolve_provider().replay_oneway(
+        _i64(lines), _u8(writes), int(set_mode), int(set_param),
+        int(bool(write_allocate)), current, _u8(dirty), _u8(hits_out),
+    )
+
+
+def replay_assoc(lines, writes, set_mode, set_param, num_ways,
+                 write_allocate, lru, tick, tags, stamps, dirty, hits_out):
+    """N-way LRU/FIFO replay (see :mod:`repro.kernels.reference`)."""
+    return _resolve_provider().replay_assoc(
+        _i64(lines), _u8(writes), int(set_mode), int(set_param),
+        int(num_ways), int(bool(write_allocate)), int(bool(lru)), int(tick),
+        tags, stamps, _u8(dirty), _u8(hits_out),
+    )
+
+
+def mm_timing(addresses, writes, mask, t_m, free_at, counts, state):
+    """MM-machine timing loop (see :mod:`repro.kernels.reference`)."""
+    _resolve_provider().mm_timing(
+        _i64(addresses), _u8(writes), int(mask), int(t_m),
+        free_at, counts, state,
+    )
+
+
+def cc_timing(addresses, writes, hits, kinds, mask, mem_t_m, cc_t_m,
+              compulsory, free_at, counts, state):
+    """CC-machine timing loop (see :mod:`repro.kernels.reference`)."""
+    _resolve_provider().cc_timing(
+        _i64(addresses), _u8(writes), _u8(hits), _u8(kinds), int(mask),
+        int(mem_t_m), int(cc_t_m), int(compulsory), free_at, counts, state,
+    )
+
+
+def pair_flat(a1, a2, h1, h2, paired, mvl, overhead, t_m, pen1, pen2,
+              mask, free_at, counts, state):
+    """Paired-load strip engine (see :mod:`repro.kernels.reference`)."""
+    _resolve_provider().pair_flat(
+        _i64(a1), _i64(a2), _u8(h1), _u8(h2), int(paired), int(mvl),
+        int(overhead), int(t_m), int(pen1), int(pen2), int(mask),
+        free_at, counts, state,
+    )
+
+
+def belady_next_use(lines: np.ndarray) -> np.ndarray:
+    """Next-occurrence index per position; ``lines.size`` means "never".
+
+    Vectorised replacement for the backward dict scan of
+    :func:`repro.cache.belady._next_use_indexes`: a stable sort groups
+    equal lines with ascending positions, so each position's next use is
+    simply its successor within the sort group.
+    """
+    lines = _i64(lines)
+    n = lines.size
+    next_use = np.full(n, n, dtype=np.int64)
+    if n < 2:
+        return next_use
+    order = np.argsort(lines, kind="stable")
+    sorted_lines = lines[order]
+    same = sorted_lines[1:] == sorted_lines[:-1]
+    successor = np.full(n - 1, n, dtype=np.int64)
+    successor[same] = order[1:][same]
+    next_use[order[:-1]] = successor
+    return next_use
+
+
+def belady_opt(lines, sets, next_use, num_ways, tags, nu, ins):
+    """Belady OPT simulation loop (see :mod:`repro.kernels.reference`)."""
+    return _resolve_provider().belady_opt(
+        _i64(lines), _i64(sets), _i64(next_use), int(num_ways),
+        tags, nu, ins,
+    )

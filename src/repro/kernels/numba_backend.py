@@ -1,0 +1,323 @@
+"""Numba ``@njit`` kernel provider.
+
+Importing this module raises :class:`ImportError` when Numba is absent —
+the dispatcher in :mod:`repro.kernels` catches that and falls through to
+the generated-C provider or the pure-Python reference.  Install the
+``repro[compiled]`` extra to enable it.
+
+The jitted functions cannot take ``None`` for optional arrays, so each
+carries ``has_*`` flags alongside always-present (possibly dummy) buffers;
+the :class:`_NumbaProvider` adapters translate from the provider contract
+documented in :mod:`repro.kernels.reference`.  Semantics are pinned to
+that reference bit-for-bit by the kernel test suite and the
+``kernel-backend`` oracle.
+"""
+
+from __future__ import annotations
+
+import numba
+import numpy as np
+from numba import njit
+
+__all__ = ["load"]
+
+_EMPTY_U8 = np.empty(0, dtype=np.uint8)
+
+
+@njit(cache=True)
+def _map_set(line, mode, param):
+    if mode == 0:
+        return line & param
+    if mode == 2:
+        v = (np.int64(1) << param) - 1
+        while line > v:
+            line = (line & v) + (line >> param)
+        return 0 if line == v else line
+    return line % param
+
+
+@njit(cache=True)
+def _replay_oneway(lines, writes, has_writes, set_mode, set_param,
+                   write_allocate, current, dirty, hits_out, want_hits):
+    hits = 0
+    misses = 0
+    evictions = 0
+    for i in range(lines.size):
+        line = lines[i]
+        s = _map_set(line, set_mode, set_param)
+        wr = has_writes and writes[i] != 0
+        hit = current[s] == line
+        if hit:
+            hits += 1
+            if wr:
+                dirty[s] = 1
+        else:
+            misses += 1
+            if not wr or write_allocate:
+                if current[s] >= 0:
+                    evictions += 1
+                current[s] = line
+                dirty[s] = 1 if wr else 0
+        if want_hits:
+            hits_out[i] = 1 if hit else 0
+    return hits, misses, evictions
+
+
+@njit(cache=True)
+def _replay_assoc(lines, writes, has_writes, set_mode, set_param, num_ways,
+                  write_allocate, lru, tick, tags, stamps, dirty, hits_out,
+                  want_hits):
+    hits = 0
+    misses = 0
+    evictions = 0
+    for i in range(lines.size):
+        line = lines[i]
+        base = _map_set(line, set_mode, set_param) * num_ways
+        wr = has_writes and writes[i] != 0
+        way = -1
+        for w in range(num_ways):
+            if tags[base + w] == line:
+                way = w
+                break
+        if way >= 0:
+            hits += 1
+            if lru:
+                stamps[base + way] = tick
+                tick += 1
+            if wr:
+                dirty[base + way] = 1
+            if want_hits:
+                hits_out[i] = 1
+        else:
+            misses += 1
+            if want_hits:
+                hits_out[i] = 0
+            if not wr or write_allocate:
+                slot = -1
+                for w in range(num_ways):
+                    if tags[base + w] < 0:
+                        slot = w
+                        break
+                if slot < 0:
+                    best = 0
+                    for w in range(1, num_ways):
+                        if stamps[base + w] < stamps[base + best]:
+                            best = w
+                    slot = best
+                    evictions += 1
+                tags[base + slot] = line
+                dirty[base + slot] = 1 if wr else 0
+                stamps[base + slot] = tick
+                tick += 1
+    return hits, misses, evictions, tick
+
+
+@njit(cache=True)
+def _mm_timing(addresses, writes, has_writes, mask, t_m, free_at, counts,
+               state):
+    cycle, bank_stall, write_stall = state[0], state[1], state[2]
+    reads, writes_seen = state[3], state[4]
+    last_read0, last_read1, last_write = state[5], state[6], state[7]
+    for i in range(addresses.size):
+        bank = addresses[i] & mask
+        ready = free_at[bank]
+        stall = ready - cycle if ready > cycle else 0
+        free_at[bank] = cycle + stall + t_m
+        counts[bank] += 1
+        if has_writes and writes[i] != 0:
+            write_stall += stall
+            writes_seen += 1
+            last_write = cycle
+            cycle += 1
+        else:
+            bank_stall += stall
+            if reads & 1:
+                last_read1 = cycle
+            else:
+                last_read0 = cycle
+            reads += 1
+            cycle += 1 + stall
+    state[0], state[1], state[2] = cycle, bank_stall, write_stall
+    state[3], state[4] = reads, writes_seen
+    state[5], state[6], state[7] = last_read0, last_read1, last_write
+
+
+@njit(cache=True)
+def _cc_timing(addresses, writes, has_writes, hits, kinds, mask, mem_t_m,
+               cc_t_m, compulsory, free_at, counts, state):
+    cycle, cache_hits, misses = state[0], state[1], state[2]
+    bank_stall, conflicts, writes_seen = state[3], state[4], state[5]
+    last_read0, last_read1, last_write = state[6], state[7], state[8]
+    for i in range(addresses.size):
+        if has_writes and writes[i] != 0:
+            writes_seen += 1
+            last_write = cycle
+            cycle += 1
+            continue
+        if hits[i] != 0:
+            cache_hits += 1
+            cycle += 1
+            continue
+        bank = addresses[i] & mask
+        ready = free_at[bank]
+        stall = ready - cycle if ready > cycle else 0
+        free_at[bank] = cycle + stall + mem_t_m
+        counts[bank] += 1
+        bank_stall += stall
+        if misses & 1:
+            last_read1 = cycle
+        else:
+            last_read0 = cycle
+        misses += 1
+        if kinds[i] == compulsory:
+            cycle += 1 + stall
+        else:
+            conflicts += 1
+            cycle += 1 + stall + cc_t_m
+    state[0], state[1], state[2] = cycle, cache_hits, misses
+    state[3], state[4], state[5] = bank_stall, conflicts, writes_seen
+    state[6], state[7], state[8] = last_read0, last_read1, last_write
+
+
+@njit(cache=True)
+def _pair_flat(a1, a2, h1, has_h1, h2, has_h2, paired, mvl, overhead, t_m,
+               pen1, pen2, mask, free_at, counts, state):
+    cycle, bank_stall, miss_penalty = state[0], state[1], state[2]
+    accesses, n_strips = state[3], state[4]
+    n1 = a1.size
+    for strip in range(0, n1, mvl):
+        n_strips += 1
+        cycle += overhead
+        end = strip + mvl
+        if end > n1:
+            end = n1
+        for k in range(strip, end):
+            stall = 0
+            if not has_h1 or h1[k] == 0:
+                bank = a1[k] & mask
+                ready = free_at[bank]
+                wait = ready - cycle if ready > cycle else 0
+                free_at[bank] = cycle + wait + t_m
+                counts[bank] += 1
+                accesses += 1
+                bank_stall += wait
+                stall = wait + pen1
+                miss_penalty += pen1
+            if k < paired and (not has_h2 or h2[k] == 0):
+                bank = a2[k] & mask
+                ready = free_at[bank]
+                wait = ready - cycle if ready > cycle else 0
+                free_at[bank] = cycle + wait + t_m
+                counts[bank] += 1
+                accesses += 1
+                bank_stall += wait
+                stall += wait + pen2
+                miss_penalty += pen2
+            cycle += 1 + stall
+    state[0], state[1], state[2] = cycle, bank_stall, miss_penalty
+    state[3], state[4] = accesses, n_strips
+
+
+@njit(cache=True)
+def _belady_opt(lines, sets, next_use, num_ways, tags, nu, ins):
+    hits = 0
+    misses = 0
+    evictions = 0
+    tick = 0
+    for i in range(lines.size):
+        line = lines[i]
+        base = sets[i] * num_ways
+        way = -1
+        empty = -1
+        for w in range(num_ways):
+            t = tags[base + w]
+            if t == line:
+                way = w
+                break
+            if t < 0 and empty < 0:
+                empty = w
+        if way >= 0:
+            hits += 1
+            nu[base + way] = next_use[i]
+            continue
+        misses += 1
+        slot = empty
+        if slot < 0:
+            best = 0
+            for w in range(1, num_ways):
+                if (nu[base + w] > nu[base + best]
+                        or (nu[base + w] == nu[base + best]
+                            and ins[base + w] < ins[base + best])):
+                    best = w
+            slot = best
+            evictions += 1
+        tags[base + slot] = line
+        nu[base + slot] = next_use[i]
+        ins[base + slot] = tick
+        tick += 1
+    return hits, misses, evictions
+
+
+class _NumbaProvider:
+    """Adapters from the provider contract to the flag-style jit kernels."""
+
+    name = "numba"
+    detail = f"numba {numba.__version__}"
+
+    @staticmethod
+    def replay_oneway(lines, writes, set_mode, set_param, write_allocate,
+                      current, dirty, hits_out):
+        h, m, e = _replay_oneway(
+            lines, writes if writes is not None else _EMPTY_U8,
+            writes is not None, set_mode, set_param, bool(write_allocate),
+            current, dirty,
+            hits_out if hits_out is not None else _EMPTY_U8,
+            hits_out is not None,
+        )
+        return int(h), int(m), int(e)
+
+    @staticmethod
+    def replay_assoc(lines, writes, set_mode, set_param, num_ways,
+                     write_allocate, lru, tick, tags, stamps, dirty,
+                     hits_out):
+        h, m, e, t = _replay_assoc(
+            lines, writes if writes is not None else _EMPTY_U8,
+            writes is not None, set_mode, set_param, num_ways,
+            bool(write_allocate), bool(lru), tick, tags, stamps, dirty,
+            hits_out if hits_out is not None else _EMPTY_U8,
+            hits_out is not None,
+        )
+        return int(h), int(m), int(e), int(t)
+
+    @staticmethod
+    def mm_timing(addresses, writes, mask, t_m, free_at, counts, state):
+        _mm_timing(addresses,
+                   writes if writes is not None else _EMPTY_U8,
+                   writes is not None, mask, t_m, free_at, counts, state)
+
+    @staticmethod
+    def cc_timing(addresses, writes, hits, kinds, mask, mem_t_m, cc_t_m,
+                  compulsory, free_at, counts, state):
+        _cc_timing(addresses,
+                   writes if writes is not None else _EMPTY_U8,
+                   writes is not None, hits, kinds, mask, mem_t_m, cc_t_m,
+                   compulsory, free_at, counts, state)
+
+    @staticmethod
+    def pair_flat(a1, a2, h1, h2, paired, mvl, overhead, t_m, pen1, pen2,
+                  mask, free_at, counts, state):
+        _pair_flat(a1, a2,
+                   h1 if h1 is not None else _EMPTY_U8, h1 is not None,
+                   h2 if h2 is not None else _EMPTY_U8, h2 is not None,
+                   paired, mvl, overhead, t_m, pen1, pen2, mask,
+                   free_at, counts, state)
+
+    @staticmethod
+    def belady_opt(lines, sets, next_use, num_ways, tags, nu, ins):
+        h, m, e = _belady_opt(lines, sets, next_use, num_ways, tags, nu, ins)
+        return int(h), int(m), int(e)
+
+
+def load() -> _NumbaProvider:
+    """The Numba provider (importing this module already proved numba)."""
+    return _NumbaProvider()

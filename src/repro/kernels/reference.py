@@ -1,0 +1,298 @@
+"""Pure-Python reference implementations of the compiled kernels.
+
+This module *is* the kernel contract: every provider (Numba, generated C)
+implements exactly these signatures and semantics, and the differential
+tests pin them against each other element for element.  It also serves as
+the graceful fallback — when neither Numba nor a C compiler is available,
+``backend="compiled"`` dispatches here, so the knob always works (just
+without the speedup; :func:`repro.kernels.backend_info` reports which
+provider is live).
+
+Shared conventions:
+
+* all arrays are C-contiguous numpy arrays; ``int64`` for addresses/lines/
+  per-bank state, ``uint8`` for flags (``writes``/``hits``/``dirty``);
+* optional arrays are passed as ``None`` (read-only batch, no hit output,
+  cacheless stream);
+* ``set_mode``/``set_param`` select the set-index function: ``0`` = mask
+  (power-of-two sets), ``1`` = generic modulo, ``2`` = Mersenne fold with
+  ``param = c`` for ``2^c - 1`` sets (the prime cache);
+* state arrays are mutated in place so a caller can stream a trace chunk
+  by chunk while the kernel state lives across calls.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "replay_oneway", "replay_assoc", "mm_timing", "cc_timing",
+    "pair_flat", "belady_opt",
+]
+
+name = "reference"
+detail = "pure-Python fallback (install numba or a C compiler for speed)"
+
+
+def _map_set(line: int, mode: int, param: int) -> int:
+    if mode == 0:
+        return line & param
+    if mode == 2:
+        v = (1 << param) - 1
+        while line > v:
+            line = (line & v) + (line >> param)
+        return 0 if line == v else line
+    return line % param
+
+
+def replay_oneway(lines, writes, set_mode, set_param, write_allocate,
+                  current, dirty, hits_out):
+    """One-way residency replay; returns ``(hits, misses, evictions)``.
+
+    ``current``/``dirty`` are the per-set resident-line mirror (``-1``
+    empty) and dirty bitmap, updated in place.
+    """
+    hits = misses = evictions = 0
+    lines_list = lines.tolist()
+    writes_list = writes.tolist() if writes is not None else None
+    for i, line in enumerate(lines_list):
+        s = _map_set(line, set_mode, set_param)
+        wr = writes_list is not None and writes_list[i]
+        hit = current[s] == line
+        if hit:
+            hits += 1
+            if wr:
+                dirty[s] = 1
+        else:
+            misses += 1
+            if not wr or write_allocate:
+                if current[s] >= 0:
+                    evictions += 1
+                current[s] = line
+                dirty[s] = 1 if wr else 0
+        if hits_out is not None:
+            hits_out[i] = 1 if hit else 0
+    return hits, misses, evictions
+
+
+def replay_assoc(lines, writes, set_mode, set_param, num_ways,
+                 write_allocate, lru, tick, tags, stamps, dirty, hits_out):
+    """N-way LRU/FIFO replay over flattened ``[set, way]`` state.
+
+    ``tags[s*W+w]`` holds the resident line (``-1`` empty); ``stamps``
+    carry recency (LRU bumps them on hits too, FIFO only on fills; the
+    victim is the minimum-stamp way); ``tick`` is the next stamp value.
+    Returns ``(hits, misses, evictions, tick)``.
+    """
+    hits = misses = evictions = 0
+    lines_list = lines.tolist()
+    writes_list = writes.tolist() if writes is not None else None
+    for i, line in enumerate(lines_list):
+        base = _map_set(line, set_mode, set_param) * num_ways
+        wr = writes_list is not None and writes_list[i]
+        way = -1
+        for w in range(num_ways):
+            if tags[base + w] == line:
+                way = w
+                break
+        if way >= 0:
+            hits += 1
+            if lru:
+                stamps[base + way] = tick
+                tick += 1
+            if wr:
+                dirty[base + way] = 1
+            if hits_out is not None:
+                hits_out[i] = 1
+        else:
+            misses += 1
+            if hits_out is not None:
+                hits_out[i] = 0
+            if not wr or write_allocate:
+                slot = -1
+                for w in range(num_ways):
+                    if tags[base + w] < 0:
+                        slot = w
+                        break
+                if slot < 0:
+                    best = 0
+                    for w in range(1, num_ways):
+                        if stamps[base + w] < stamps[base + best]:
+                            best = w
+                    slot = best
+                    evictions += 1
+                tags[base + slot] = line
+                dirty[base + slot] = 1 if wr else 0
+                stamps[base + slot] = tick
+                tick += 1
+    return hits, misses, evictions, tick
+
+
+def mm_timing(addresses, writes, mask, t_m, free_at, counts, state):
+    """MM-machine per-access timing (bank = address & mask).
+
+    ``state`` = ``[cycle, bank_stall, write_stall, reads, writes_seen,
+    last_read0, last_read1, last_write]``; mutated in place along with
+    the per-bank ``free_at``/``counts``.
+    """
+    cycle, bank_stall, write_stall = state[0], state[1], state[2]
+    reads, writes_seen = state[3], state[4]
+    last_read0, last_read1, last_write = state[5], state[6], state[7]
+    addr_list = addresses.tolist()
+    writes_list = writes.tolist() if writes is not None else None
+    for i, address in enumerate(addr_list):
+        bank = address & mask
+        ready = free_at[bank]
+        stall = ready - cycle if ready > cycle else 0
+        free_at[bank] = cycle + stall + t_m
+        counts[bank] += 1
+        if writes_list is not None and writes_list[i]:
+            write_stall += stall
+            writes_seen += 1
+            last_write = cycle
+            cycle += 1
+        else:
+            bank_stall += stall
+            if reads & 1:
+                last_read1 = cycle
+            else:
+                last_read0 = cycle
+            reads += 1
+            cycle += 1 + stall
+    state[0], state[1], state[2] = cycle, bank_stall, write_stall
+    state[3], state[4] = reads, writes_seen
+    state[5], state[6], state[7] = last_read0, last_read1, last_write
+
+
+def cc_timing(addresses, writes, hits, kinds, mask, mem_t_m, cc_t_m,
+              compulsory, free_at, counts, state):
+    """CC-machine per-access timing over precomputed probe outcomes.
+
+    ``state`` = ``[cycle, cache_hits, misses, bank_stall, conflicts,
+    writes_seen, last_read0, last_read1, last_write]``; only misses
+    touch the banks, compulsory misses skip the ``cc_t_m`` penalty.
+    """
+    cycle, cache_hits, misses = state[0], state[1], state[2]
+    bank_stall, conflicts, writes_seen = state[3], state[4], state[5]
+    last_read0, last_read1, last_write = state[6], state[7], state[8]
+    addr_list = addresses.tolist()
+    writes_list = writes.tolist() if writes is not None else None
+    hits_list = hits.tolist()
+    kinds_list = kinds.tolist()
+    for i, address in enumerate(addr_list):
+        if writes_list is not None and writes_list[i]:
+            writes_seen += 1
+            last_write = cycle
+            cycle += 1
+            continue
+        if hits_list[i]:
+            cache_hits += 1
+            cycle += 1
+            continue
+        bank = address & mask
+        ready = free_at[bank]
+        stall = ready - cycle if ready > cycle else 0
+        free_at[bank] = cycle + stall + mem_t_m
+        counts[bank] += 1
+        bank_stall += stall
+        if misses & 1:
+            last_read1 = cycle
+        else:
+            last_read0 = cycle
+        misses += 1
+        if kinds_list[i] == compulsory:
+            cycle += 1 + stall
+        else:
+            conflicts += 1
+            cycle += 1 + stall + cc_t_m
+    state[0], state[1], state[2] = cycle, cache_hits, misses
+    state[3], state[4], state[5] = bank_stall, conflicts, writes_seen
+    state[6], state[7], state[8] = last_read0, last_read1, last_write
+
+
+def pair_flat(a1, a2, h1, h2, paired, mvl, overhead, t_m, pen1, pen2,
+              mask, free_at, counts, state):
+    """Strip-level paired-load engine (``_run_pair_flat`` inner loop).
+
+    ``state`` = ``[cycle, bank_stall, miss_penalty, accesses, n_strips]``.
+    """
+    cycle, bank_stall, miss_penalty = state[0], state[1], state[2]
+    accesses, n_strips = state[3], state[4]
+    n1 = a1.size
+    a1_list = a1.tolist()
+    a2_list = a2.tolist()
+    h1_list = h1.tolist() if h1 is not None else None
+    h2_list = h2.tolist() if h2 is not None else None
+    for strip in range(0, n1, mvl):
+        n_strips += 1
+        cycle += overhead
+        for k in range(strip, min(strip + mvl, n1)):
+            stall = 0
+            if h1_list is None or not h1_list[k]:
+                bank = a1_list[k] & mask
+                ready = free_at[bank]
+                wait = ready - cycle if ready > cycle else 0
+                free_at[bank] = cycle + wait + t_m
+                counts[bank] += 1
+                accesses += 1
+                bank_stall += wait
+                stall = wait + pen1
+                miss_penalty += pen1
+            if k < paired and (h2_list is None or not h2_list[k]):
+                bank = a2_list[k] & mask
+                ready = free_at[bank]
+                wait = ready - cycle if ready > cycle else 0
+                free_at[bank] = cycle + wait + t_m
+                counts[bank] += 1
+                accesses += 1
+                bank_stall += wait
+                stall += wait + pen2
+                miss_penalty += pen2
+            cycle += 1 + stall
+    state[0], state[1], state[2] = cycle, bank_stall, miss_penalty
+    state[3], state[4] = accesses, n_strips
+
+
+def belady_opt(lines, sets, next_use, num_ways, tags, nu, ins):
+    """Belady OPT over precomputed sets and next-use indexes.
+
+    ``tags``/``nu``/``ins`` are flattened ``[set, way]`` state: resident
+    line (``-1`` empty), its next-use index, its insertion stamp.  The
+    victim is the farthest-next-use way; ties go to the earliest-inserted
+    way, matching the dict-iteration order of the scalar reference.
+    Returns ``(hits, misses, evictions)``.
+    """
+    hits = misses = evictions = 0
+    tick = 0
+    lines_list = lines.tolist()
+    sets_list = sets.tolist()
+    nu_list = next_use.tolist()
+    for i, line in enumerate(lines_list):
+        base = sets_list[i] * num_ways
+        way = -1
+        empty = -1
+        for w in range(num_ways):
+            t = tags[base + w]
+            if t == line:
+                way = w
+                break
+            if t < 0 and empty < 0:
+                empty = w
+        if way >= 0:
+            hits += 1
+            nu[base + way] = nu_list[i]
+            continue
+        misses += 1
+        slot = empty
+        if slot < 0:
+            best = 0
+            for w in range(1, num_ways):
+                if (nu[base + w] > nu[base + best]
+                        or (nu[base + w] == nu[base + best]
+                            and ins[base + w] < ins[base + best])):
+                    best = w
+            slot = best
+            evictions += 1
+        tags[base + slot] = line
+        nu[base + slot] = nu_list[i]
+        ins[base + slot] = tick
+        tick += 1
+    return hits, misses, evictions

@@ -21,10 +21,14 @@ Costing rules, matching the analytical model's premises:
 
 from __future__ import annotations
 
+import numpy as np
+
+from repro import kernels
 from repro.cache.base import MISS_KIND_CODES
 from repro.cache.stats import MissKind
 from repro.machine.report import ExecutionReport
 from repro.machine.vector_machine import CCMachine, MMMachine, VectorMachine
+from repro.memory.banks import LowOrderInterleave
 from repro.trace.records import Trace
 
 __all__ = ["run_trace", "compare_machines_on_trace"]
@@ -32,22 +36,53 @@ __all__ = ["run_trace", "compare_machines_on_trace"]
 _COMPULSORY = MISS_KIND_CODES[MissKind.COMPULSORY]
 
 
-def run_trace(machine: VectorMachine, trace: Trace) -> ExecutionReport:
+def _kernel_bank_mask(memory) -> int | None:
+    """Bank mask for the compiled timing kernels, or ``None`` when the
+    interleave scheme is not plain low-order (prime/skewed ablations run
+    on the numpy engines instead)."""
+    if type(memory.scheme) is LowOrderInterleave:
+        return memory.num_banks - 1
+    return None
+
+
+def run_trace(
+    machine: VectorMachine, trace: Trace, *, backend: str | None = None
+) -> ExecutionReport:
     """Issue every access of ``trace`` on ``machine``; returns the report.
 
     The machine is reset first so reports are a function of the trace
     alone.  On a CC-machine the cache must have been built with
     ``classify_misses=True`` (the default) — the compulsory/conflict
     distinction drives the stall rule.
+
+    ``backend`` selects the timing engine: ``"scalar"`` replays per access
+    through the bus/bank objects, ``"numpy"`` runs the flat-local chunk
+    loops, ``"compiled"`` runs the :mod:`repro.kernels` timing kernels
+    (falling back to numpy when the interleave scheme has no kernel
+    form).  All engines stream ``trace.iter_blocks`` chunk by chunk —
+    peak memory is O(chunk) — and produce identical reports; the
+    ``kernel-backend`` oracle sweeps them against each other.
     """
+    backend = kernels.resolve_backend(backend)
     machine.reset()
     report = ExecutionReport()
     start = machine._cycle
 
+    mask = _kernel_bank_mask(machine.memory)
     if isinstance(machine, CCMachine):
-        _run_cached(machine, trace, report)
+        if backend == "scalar":
+            _run_cached_scalar(machine, trace, report)
+        elif backend == "compiled" and mask is not None:
+            _run_cached_compiled(machine, trace, report, mask)
+        else:
+            _run_cached(machine, trace, report, backend)
     else:
-        _run_uncached(machine, trace, report)
+        if backend == "scalar":
+            _run_uncached_scalar(machine, trace, report)
+        elif backend == "compiled" and mask is not None:
+            _run_uncached_compiled(machine, trace, report, mask)
+        else:
+            _run_uncached(machine, trace, report)
 
     report.cycles = machine._cycle - start
     report.elements = len(trace)
@@ -114,8 +149,112 @@ def _run_uncached(machine: MMMachine, trace: Trace,
         write_bus._next_free = max(write_bus._next_free, last_write + 1)
 
 
+def _run_uncached_scalar(machine: MMMachine, trace: Trace,
+                         report: ExecutionReport) -> None:
+    """Per-access MM reference: every reference goes through the bus and
+    bank objects one at a time (the ground truth the flat and compiled
+    engines are swept against)."""
+    mem = machine.memory
+    for access in trace:
+        cycle = machine._cycle
+        if access.write:
+            machine.buses.request_write(cycle)
+            mem.access(access.address, cycle)
+            machine._cycle = cycle + 1
+        else:
+            machine.buses.request_read(cycle)
+            reply = mem.access(access.address, cycle)
+            report.bank_stall_cycles += reply.stall_cycles
+            machine._cycle = cycle + 1 + reply.stall_cycles
+
+
+def _run_uncached_compiled(machine: MMMachine, trace: Trace,
+                           report: ExecutionReport, mask: int) -> None:
+    """MM timing through :func:`repro.kernels.mm_timing`; bank state and
+    the clock/counter state persist in int64 arrays across chunks."""
+    mem = machine.memory
+    free = np.asarray(mem._bank_free_at, dtype=np.int64)
+    counts = np.zeros(mem.num_banks, dtype=np.int64)
+    state = np.zeros(8, dtype=np.int64)
+    state[0] = machine._cycle
+    t_m = mem.access_time
+    for addresses, writes in trace.iter_blocks():
+        kernels.mm_timing(addresses, writes, mask, t_m, free, counts, state)
+    (cycle, bank_stall, write_stall, reads, writes_seen,
+     last_read0, last_read1, last_write) = state.tolist()
+    mem._bank_free_at = free.tolist()
+    stats = mem.stats
+    stats.accesses += reads + writes_seen
+    stats.stall_cycles += bank_stall + write_stall
+    stats._bank_counts_batched += counts
+    report.bank_stall_cycles += bank_stall
+    machine._cycle = cycle
+    bus0, bus1 = machine.buses.read_buses
+    bus0.transfers += (reads + 1) // 2
+    bus1.transfers += reads // 2
+    if reads:
+        bus0._next_free = max(bus0._next_free, last_read0 + 1)
+    if reads > 1:
+        bus1._next_free = max(bus1._next_free, last_read1 + 1)
+    write_bus = machine.buses.write_bus
+    write_bus.transfers += writes_seen
+    if writes_seen:
+        write_bus._next_free = max(write_bus._next_free, last_write + 1)
+
+
+def _run_cached_compiled(machine: CCMachine, trace: Trace,
+                         report: ExecutionReport, mask: int) -> None:
+    """CC timing through :func:`repro.kernels.cc_timing`.
+
+    Each chunk's probe sequence still runs through the cache's batched
+    path (the three-C classifier the stall rule needs is a dict shadow,
+    so probes use the numpy engines); the per-access timing loop over the
+    probe outcomes is the compiled part.
+    """
+    mem = machine.memory
+    access_many = getattr(machine.cache, "access_many", None)
+    if access_many is None:
+        _run_cached_scalar(machine, trace, report)
+        return
+    t_m = machine.config.t_m
+    free = np.asarray(mem._bank_free_at, dtype=np.int64)
+    counts = np.zeros(mem.num_banks, dtype=np.int64)
+    state = np.zeros(9, dtype=np.int64)
+    state[0] = machine._cycle
+    mem_t_m = mem.access_time
+    for addresses, writes in trace.iter_blocks():
+        batch = access_many(addresses, writes, return_hits=True,
+                            return_kinds=True, backend="compiled")
+        kernels.cc_timing(addresses, writes, batch.hits, batch.miss_kinds,
+                          mask, mem_t_m, t_m, _COMPULSORY,
+                          free, counts, state)
+    (cycle, cache_hits, misses, bank_stall, conflicts, writes_seen,
+     last_read0, last_read1, last_write) = state.tolist()
+    mem._bank_free_at = free.tolist()
+    report.cache_hits += cache_hits
+    report.cache_misses += misses
+    report.bank_stall_cycles += bank_stall
+    report.miss_stall_cycles += t_m * conflicts
+    machine._cycle = cycle
+    stats = mem.stats
+    stats.accesses += misses
+    stats.stall_cycles += bank_stall
+    stats._bank_counts_batched += counts
+    bus0, bus1 = machine.buses.read_buses
+    bus0.transfers += (misses + 1) // 2
+    bus1.transfers += misses // 2
+    if misses:
+        bus0._next_free = max(bus0._next_free, last_read0 + 1)
+    if misses > 1:
+        bus1._next_free = max(bus1._next_free, last_read1 + 1)
+    write_bus = machine.buses.write_bus
+    write_bus.transfers += writes_seen
+    if writes_seen:
+        write_bus._next_free = max(write_bus._next_free, last_write + 1)
+
+
 def _run_cached(machine: CCMachine, trace: Trace,
-                report: ExecutionReport) -> None:
+                report: ExecutionReport, backend: str | None = None) -> None:
     t_m = machine.config.t_m
     access_many = getattr(machine.cache, "access_many", None)
     if access_many is None:
@@ -145,7 +284,8 @@ def _run_cached(machine: CCMachine, trace: Trace,
     last_write = 0
     for addresses, writes in trace.iter_blocks():
         batch = access_many(addresses, writes,
-                            return_hits=True, return_kinds=True)
+                            return_hits=True, return_kinds=True,
+                            backend=backend)
         hits = batch.hits.tolist()
         kinds = batch.miss_kinds.tolist()
         address_list = addresses.tolist()
@@ -221,7 +361,12 @@ def _run_cached_scalar(machine: CCMachine, trace: Trace,
             machine._cycle += 1 + reply.stall_cycles + t_m
 
 
-def compare_machines_on_trace(trace: Trace, machines: dict[str, VectorMachine]):
+def compare_machines_on_trace(
+    trace: Trace,
+    machines: dict[str, VectorMachine],
+    *,
+    backend: str | None = None,
+):
     """Run one trace on several machines; returns ``{label: report}``."""
-    return {label: run_trace(machine, trace)
+    return {label: run_trace(machine, trace, backend=backend)
             for label, machine in machines.items()}

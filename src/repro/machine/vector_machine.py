@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import kernels
 from repro.analytical.base import MachineConfig
 from repro.cache.base import Cache
 from repro.machine.ops import (
@@ -45,7 +46,11 @@ from repro.machine.ops import (
     VectorStore,
 )
 from repro.machine.report import ExecutionReport
-from repro.memory.banks import InterleavedMemory, InterleaveScheme
+from repro.memory.banks import (
+    InterleavedMemory,
+    InterleaveScheme,
+    LowOrderInterleave,
+)
 from repro.memory.bus import BusSet
 from repro.memory.write_buffer import WriteBuffer
 
@@ -73,6 +78,14 @@ class VectorMachine:
             :class:`~repro.machine.report.ExecutionReport` accounting
             (enforced by a Hypothesis property test and swept by the
             ``machine-timing`` oracle of :mod:`repro.verify`).
+        backend: timing-engine selection, resolved once at construction
+            (``None``/``"auto"`` take :func:`repro.kernels.default_backend`).
+            ``"scalar"`` forces the per-element reference loop (implies
+            ``fast_path=False``); ``"numpy"`` is the vectorised strip
+            engine; ``"compiled"`` additionally runs the both-streams-
+            touch-memory pair loop through :mod:`repro.kernels` (falling
+            back to numpy off low-order interleave).  All bit-for-bit
+            equivalent.
     """
 
     def __init__(
@@ -83,8 +96,12 @@ class VectorMachine:
         memory: InterleavedMemory | None = None,
         write_buffer_depth: int | None = None,
         fast_path: bool = True,
+        backend: str | None = None,
     ) -> None:
         self.config = config
+        self._backend = kernels.resolve_backend(backend)
+        if self._backend == "scalar":
+            fast_path = False
         if memory is not None:
             self.memory = memory
         else:
@@ -489,54 +506,74 @@ class VectorMachine:
         mvl = self.config.mvl
         overhead = self._strip_overhead(first)
         t_m = self.memory.access_time
-        bank_of = self.memory.scheme.bank_of
-        free = self.memory._bank_free_at
         cycle = self._cycle
         n1 = first.length
         paired = min(n1, second.length)
-        a1 = addr_first.tolist()
-        a2 = addr_second.tolist()
-        h1 = hits_first.tolist() if hits_first is not None else None
-        h2 = hits_second.tolist() if hits_second is not None else None
-        pen1 = t_m if (h1 is not None and first.expect_cached) else 0
-        pen2 = t_m if (h2 is not None and second.expect_cached) else 0
-        counts: dict[int, int] = {}
-        bank_stall = 0
-        miss_penalty = 0
-        accesses = 0
-        n_strips = 0
-        for strip_start in range(0, n1, mvl):
-            n_strips += 1
-            cycle += overhead
-            for k in range(strip_start, min(strip_start + mvl, n1)):
-                stall = 0
-                if h1 is None or not h1[k]:
-                    bank = bank_of(a1[k])
-                    ready = free[bank]
-                    wait = ready - cycle if ready > cycle else 0
-                    free[bank] = cycle + wait + t_m
-                    counts[bank] = counts.get(bank, 0) + 1
-                    accesses += 1
-                    bank_stall += wait
-                    stall = wait + pen1
-                    miss_penalty += pen1
-                if k < paired and (h2 is None or not h2[k]):
-                    bank = bank_of(a2[k])
-                    ready = free[bank]
-                    wait = ready - cycle if ready > cycle else 0
-                    free[bank] = cycle + wait + t_m
-                    counts[bank] = counts.get(bank, 0) + 1
-                    accesses += 1
-                    bank_stall += wait
-                    stall += wait + pen2
-                    miss_penalty += pen2
-                cycle += 1 + stall
-        self.memory._record_batch(counts.keys(), counts.values(),
-                                  accesses, bank_stall)
+        pen1 = t_m if (hits_first is not None and first.expect_cached) else 0
+        pen2 = t_m if (hits_second is not None and second.expect_cached) else 0
+        if (self._backend == "compiled"
+                and type(self.memory.scheme) is LowOrderInterleave):
+            mem = self.memory
+            free_arr = np.asarray(mem._bank_free_at, dtype=np.int64)
+            counts_arr = np.zeros(mem.num_banks, dtype=np.int64)
+            state = np.zeros(5, dtype=np.int64)
+            state[0] = cycle
+            kernels.pair_flat(
+                addr_first, addr_second, hits_first, hits_second,
+                paired, mvl, overhead, t_m, pen1, pen2,
+                mem.num_banks - 1, free_arr, counts_arr, state,
+            )
+            cycle, bank_stall, miss_penalty, accesses, n_strips = (
+                state.tolist()
+            )
+            mem._bank_free_at = free_arr.tolist()
+            mem.stats.accesses += accesses
+            mem.stats.stall_cycles += bank_stall
+            mem.stats._bank_counts_batched += counts_arr
+        else:
+            bank_of = self.memory.scheme.bank_of
+            free = self.memory._bank_free_at
+            a1 = addr_first.tolist()
+            a2 = addr_second.tolist()
+            h1 = hits_first.tolist() if hits_first is not None else None
+            h2 = hits_second.tolist() if hits_second is not None else None
+            counts: dict[int, int] = {}
+            bank_stall = 0
+            miss_penalty = 0
+            accesses = 0
+            n_strips = 0
+            for strip_start in range(0, n1, mvl):
+                n_strips += 1
+                cycle += overhead
+                for k in range(strip_start, min(strip_start + mvl, n1)):
+                    stall = 0
+                    if h1 is None or not h1[k]:
+                        bank = bank_of(a1[k])
+                        ready = free[bank]
+                        wait = ready - cycle if ready > cycle else 0
+                        free[bank] = cycle + wait + t_m
+                        counts[bank] = counts.get(bank, 0) + 1
+                        accesses += 1
+                        bank_stall += wait
+                        stall = wait + pen1
+                        miss_penalty += pen1
+                    if k < paired and (h2 is None or not h2[k]):
+                        bank = bank_of(a2[k])
+                        ready = free[bank]
+                        wait = ready - cycle if ready > cycle else 0
+                        free[bank] = cycle + wait + t_m
+                        counts[bank] = counts.get(bank, 0) + 1
+                        accesses += 1
+                        bank_stall += wait
+                        stall += wait + pen2
+                        miss_penalty += pen2
+                    cycle += 1 + stall
+            self.memory._record_batch(counts.keys(), counts.values(),
+                                      accesses, bank_stall)
         report.overhead_cycles += n_strips * overhead
         report.bank_stall_cycles += bank_stall
         report.miss_stall_cycles += miss_penalty
-        if h1 is not None:
+        if hits_first is not None:
             hit_count = (int(np.count_nonzero(hits_first))
                          + int(np.count_nonzero(hits_second[:paired])))
             report.cache_hits += hit_count
@@ -644,9 +681,10 @@ class CCMachine(VectorMachine):
         start_recalc_cycles: int = 2,
         write_buffer_depth: int | None = None,
         fast_path: bool = True,
+        backend: str | None = None,
     ) -> None:
         super().__init__(config, scheme, write_buffer_depth=write_buffer_depth,
-                         fast_path=fast_path)
+                         fast_path=fast_path, backend=backend)
         self.cache = cache
         if start_recalc_cycles < 0:
             raise ValueError("start_recalc_cycles must be non-negative")
@@ -675,7 +713,8 @@ class CCMachine(VectorMachine):
         if access_many is None:
             return None, None
         if addresses_second is None:
-            hits = access_many(addresses_first, return_hits=True).hits
+            hits = access_many(addresses_first, return_hits=True,
+                               backend=self._backend).hits
             return hits, np.empty(0, dtype=bool)
         n1 = len(addresses_first)
         n2 = len(addresses_second)
@@ -689,7 +728,8 @@ class CCMachine(VectorMachine):
         if paired:
             interleaved[1:2 * paired:2] = addresses_second[:paired]
         interleaved[2 * paired:] = addresses_first[paired:]
-        hits = access_many(interleaved, return_hits=True).hits
+        hits = access_many(interleaved, return_hits=True,
+                           backend=self._backend).hits
         hits_first = np.empty(n1, dtype=bool)
         hits_first[:paired] = hits[0:2 * paired:2]
         hits_first[paired:] = hits[2 * paired:]

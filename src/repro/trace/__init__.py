@@ -13,10 +13,12 @@ from repro.trace.patterns import (
 )
 from repro.trace.records import Access, Trace
 from repro.trace.replay import ReplayResult, compare_caches, replay
+from repro.trace.stream import StridedStream
 
 __all__ = [
     "Access",
     "ReplayResult",
+    "StridedStream",
     "Trace",
     "compare_caches",
     "fft_butterflies",

@@ -63,13 +63,22 @@ def _compulsory_estimate(trace: Trace, cache) -> int:
     distinct line misses — those are exactly the compulsory misses of a
     plain cache.  (For a prefetching wrapper a first touch can hit on a
     prefetched line; the estimate then overcounts, and the caller clamps.)
+
+    A trace that knows its own footprint in closed form (synthetic
+    streams expose ``distinct_lines``) answers without materialising the
+    address arrays, keeping billion-reference replays at O(chunk) memory.
     """
     line_shift = cache.line_size_words.bit_length() - 1
+    distinct_lines = getattr(trace, "distinct_lines", None)
+    if distinct_lines is not None:
+        return int(distinct_lines(line_shift))
     addresses, _ = trace.as_arrays()
     return int(np.unique(addresses >> line_shift).size)
 
 
-def replay(trace: Trace, cache: Cache, *, t_m: int = 16) -> ReplayResult:
+def replay(
+    trace: Trace, cache: Cache, *, t_m: int = 16, backend: str | None = None
+) -> ReplayResult:
     """Run every access of ``trace`` through ``cache``.
 
     The cache is reset first so results are a function of the trace alone.
@@ -77,6 +86,12 @@ def replay(trace: Trace, cache: Cache, *, t_m: int = 16) -> ReplayResult:
     capacity), reflecting the paper's premise that only the initial loading
     pipelines.  Without a classifier the compulsory count is recovered
     from the distinct lines the trace touches (see the module docstring).
+
+    ``backend`` selects the :meth:`~repro.cache.base.Cache.access_many`
+    replay engine (``"scalar"``/``"numpy"``/``"compiled"``; ``None`` takes
+    :func:`repro.kernels.default_backend`).  The three are bit-for-bit
+    equivalent; peak memory stays O(chunk) on every one of them because
+    the trace is consumed block by block.
     """
     cache.reset()
     access_many = getattr(cache, "access_many", None)
@@ -84,7 +99,7 @@ def replay(trace: Trace, cache: Cache, *, t_m: int = 16) -> ReplayResult:
         # stream the trace's sealed chunks zero-copy; no Access objects
         # and no whole-trace concatenation are ever materialised
         for addresses, writes in trace.iter_blocks():
-            access_many(addresses, writes)
+            access_many(addresses, writes, backend=backend)
     else:
         # wrapper caches (victim buffer, prefetcher) keep their
         # per-access side effects on the scalar path
@@ -100,7 +115,13 @@ def replay(trace: Trace, cache: Cache, *, t_m: int = 16) -> ReplayResult:
     return ReplayResult(label, stats, float(non_compulsory * t_m))
 
 
-def compare_caches(trace: Trace, caches: list[Cache], *, t_m: int = 16):
+def compare_caches(
+    trace: Trace,
+    caches: list[Cache],
+    *,
+    t_m: int = 16,
+    backend: str | None = None,
+):
     """Replay one trace through several caches; returns a list of
     :class:`ReplayResult` in the given cache order."""
-    return [replay(trace, cache, t_m=t_m) for cache in caches]
+    return [replay(trace, cache, t_m=t_m, backend=backend) for cache in caches]

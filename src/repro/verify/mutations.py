@@ -8,7 +8,9 @@ almost had: an off-by-one in the Mersenne index fold, a dropped
 bank-busy stall in the batched memory path, a wrong modulus in the
 prime-cache stall formula, a congruence solver that loses the
 multi-solution family, a phase-collapsed stride footprint, a columnar
-trace recorder that drops the last reference of every block) and, for
+trace recorder that drops the last reference of every block, a compiled
+replay kernel that drops write-allocation, a Belady kernel that
+mistakes the never-reused sentinel for an immediate reuse) and, for
 each, temporarily monkey-patches the fault in, re-runs the oracle
 sweep, and records which oracles noticed.  A mutation nobody catches is
 a *hole* in the verification net and fails the run.
@@ -166,6 +168,42 @@ def _columnar_block_off_by_one():
 
 
 @contextmanager
+def _kernel_write_allocate_dropped():
+    from repro import kernels
+
+    original = kernels.replay_oneway
+
+    def bad_replay_oneway(lines, writes, set_mode, set_param,
+                          write_allocate, current, dirty, hits_out):
+        # the compiled one-way replay kernel "forgets" the write-allocate
+        # policy and treats every store miss as no-allocate
+        return original(lines, writes, set_mode, set_param, False,
+                        current, dirty, hits_out)
+
+    with _patched(kernels, "replay_oneway", bad_replay_oneway):
+        yield
+
+
+@contextmanager
+def _kernel_belady_sentinel_pinned():
+    import numpy as np
+
+    from repro import kernels
+
+    original = kernels.belady_opt
+
+    def bad_belady_opt(lines, sets, next_use, num_ways, tags, nu, ins):
+        # the classic sentinel confusion: never-reused references (whose
+        # next use is the sentinel n) are treated as needed immediately,
+        # so OPT pins dead lines and evicts live ones
+        clipped = np.where(next_use == lines.size, 0, next_use)
+        return original(lines, sets, clipped, num_ways, tags, nu, ins)
+
+    with _patched(kernels, "belady_opt", bad_belady_opt):
+        yield
+
+
+@contextmanager
 def _phase_collapsed_footprint():
     from repro.cache.prime import PrimeMappedCache
 
@@ -218,6 +256,18 @@ MUTATIONS: dict[str, Mutation] = {
             "fractional-line strides",
             ("prime-geometry",),
             _phase_collapsed_footprint),
+        Mutation(
+            "kernel-write-allocate-dropped",
+            "the compiled one-way replay kernel treats every store miss "
+            "as no-allocate regardless of the cache's policy",
+            ("kernel-backend",),
+            _kernel_write_allocate_dropped),
+        Mutation(
+            "kernel-belady-sentinel-pinned",
+            "the compiled Belady OPT kernel treats the never-reused "
+            "sentinel as an immediate next use, pinning dead lines",
+            ("kernel-backend",),
+            _kernel_belady_sentinel_pinned),
         Mutation(
             "columnar-block-off-by-one",
             "Trace.append_block drops the last reference of every "

@@ -22,6 +22,10 @@ geometry law):
 * ``trace-columnar`` — the block-granular (columnar) trace generators and
   workload kernels against the retained per-reference scalar paths,
   addresses and write flags bit-for-bit.
+* ``kernel-backend`` — the three replay/timing/Belady engines
+  (``backend="scalar"``/``"numpy"``/``"compiled"``, the last through
+  :mod:`repro.kernels`) against each other, bit-for-bit across cache
+  statistics, per-access outcomes, machine reports and bank state.
 
 Each oracle supplies ``build_cases(mode, rng)`` (seeded, reproducible
 case configurations — plain JSON-safe dicts) and ``check_case(config)``
@@ -803,6 +807,209 @@ def _check_trace_columnar(config: dict) -> list[Divergence]:
 
 
 # ---------------------------------------------------------------------------
+# kernel-backend: scalar vs numpy vs compiled replay/timing/Belady engines
+# ---------------------------------------------------------------------------
+
+_BACKENDS = ("scalar", "numpy", "compiled")
+
+_KERNEL_STAT_FIELDS = _STAT_FIELDS
+
+
+def _kernel_backend_cases(mode: str, rng: random.Random) -> list[dict]:
+    rounds = _case_counts(mode, 1, 4)
+    # pinned: (a) a classifier-free direct-mapped write sweep — the only
+    # configuration that reaches the compiled one-way kernel's
+    # write-allocate handling, so a dropped-allocation fault there cannot
+    # dodge the sweep; (b) an over-capacity random OPT case with dead
+    # lines, where a Belady kernel that mistreats the never-reused
+    # sentinel pins the wrong lines every run; (c) a prime CC machine on
+    # the batched timing path.
+    cases = [
+        {"kind": "replay", "cache": "direct", "c": 5, "lines": 32,
+         "line_size": 1, "classify": False, "write_allocate": True,
+         "pattern": "strided", "length": 64, "stride": 3, "sweeps": 2,
+         "span": 64, "write_frac": 0.25, "seed": 0},
+        {"kind": "belady", "total_lines": 16, "num_sets": 4,
+         "line_size": 1, "pattern": "random", "length": 256,
+         "span": 128, "write_frac": 0.25, "stride": 1, "sweeps": 1,
+         "seed": 0},
+        {"kind": "machine", "machine": "cc-prime", "banks": 8, "t_m": 12,
+         "lines": 128, "c": 7, "write_buffer_depth": None,
+         "trace_len": 2000, "span": 4096, "write_frac": 0.25, "seed": 0},
+    ]
+    for _ in range(rounds):
+        for kind in _CACHE_KINDS:
+            cases.append({
+                "kind": "replay",
+                "cache": kind,
+                "c": rng.choice((5, 7)),
+                "lines": rng.choice((32, 128)),
+                "line_size": rng.choice((1, 4)),
+                "classify": rng.random() < 0.5,
+                "write_allocate": rng.random() < 0.75,
+                "pattern": rng.choice(("strided", "random", "multistride")),
+                "length": rng.choice((64, 256)),
+                "stride": rng.randint(1, 200),
+                "sweeps": rng.randint(1, 3),
+                "span": rng.choice((64, 1024)),
+                "write_frac": rng.choice((0.0, 0.25)),
+                "seed": rng.randrange(1 << 30),
+            })
+        cases.append({
+            "kind": "belady",
+            "total_lines": rng.choice((16, 32)),
+            "num_sets": rng.choice((1, 4)),
+            "line_size": rng.choice((1, 4)),
+            "pattern": rng.choice(("strided", "random")),
+            "length": 256,
+            "stride": rng.randint(1, 40),
+            "sweeps": 2,
+            "span": rng.choice((128, 512)),
+            "write_frac": rng.choice((0.0, 0.25)),
+            "seed": rng.randrange(1 << 30),
+        })
+        for machine in ("mm", "cc-direct", "cc-prime"):
+            cases.append({
+                "kind": "machine",
+                "machine": machine,
+                "banks": rng.choice((8, 16)),
+                "t_m": rng.choice((4, 12)),
+                "lines": 128,
+                "c": 7,
+                "write_buffer_depth": None,
+                "trace_len": 2000,
+                "span": 4096,
+                "write_frac": rng.choice((0.0, 0.25)),
+                "seed": rng.randrange(1 << 30),
+            })
+    return cases
+
+
+def _pairwise_backend_divergence(results: dict, detail: str):
+    """First divergence between consecutive backend result dicts."""
+    for reference, candidate in (("scalar", "numpy"), ("numpy", "compiled")):
+        expected, actual = results[reference], results[candidate]
+        for metric in expected:
+            if expected[metric] != actual[metric]:
+                return [(f"{candidate}-vs-{reference}.{metric}",
+                         expected[metric], actual[metric], detail)]
+    return None
+
+
+def _check_kernel_replay(config: dict) -> list[Divergence]:
+    addresses, writes = _case_trace(config)
+    address_arr = np.asarray(addresses, dtype=np.int64)
+    write_arr = None if writes is None else np.asarray(writes, dtype=bool)
+    # with a classifier the kind output forces the numpy engine, which is
+    # still a valid differential; classifier-free cases run the kernels
+    want_kinds = config["classify"]
+    results = {}
+    for backend in _BACKENDS:
+        cache = _make_case_cache(config)
+        batch = cache.access_many(
+            address_arr, write_arr, return_hits=True,
+            return_kinds=want_kinds, backend=backend)
+        record = {field: getattr(cache.stats, field)
+                  for field in _KERNEL_STAT_FIELDS}
+        record["hits_stream"] = batch.hits.tolist()
+        if want_kinds:
+            record["kinds_stream"] = batch.miss_kinds.tolist()
+        record["resident"] = sorted(cache.resident_lines())
+        results[backend] = record
+    diverged = _pairwise_backend_divergence(
+        results,
+        "Cache.access_many backend engines (repro/cache/base.py, "
+        "repro/kernels/)")
+    return diverged or []
+
+
+def _check_kernel_belady(config: dict) -> list[Divergence]:
+    from repro.cache.belady import simulate_opt
+    from repro.trace.records import Trace
+
+    addresses, writes = _case_trace(config)
+    trace = Trace()
+    trace.append_block(
+        np.asarray(addresses, dtype=np.int64),
+        write=False if writes is None else np.asarray(writes, dtype=bool))
+    results = {}
+    for backend in _BACKENDS:
+        outcome = simulate_opt(
+            trace, config["total_lines"], num_sets=config["num_sets"],
+            line_size_words=config["line_size"], backend=backend)
+        results[backend] = {
+            "hits": outcome.stats.hits,
+            "misses": outcome.stats.misses,
+            "accesses": outcome.stats.accesses,
+            "reads": outcome.stats.reads,
+            "writes": outcome.stats.writes,
+            "evictions": outcome.evictions,
+        }
+    diverged = _pairwise_backend_divergence(
+        results,
+        "Belady OPT backend engines (repro/cache/belady.py, "
+        "repro/kernels/)")
+    return diverged or []
+
+
+def _check_kernel_machine(config: dict) -> list[Divergence]:
+    from repro.machine.trace_runner import run_trace
+    from repro.trace.records import Trace
+
+    rng = random.Random(config["seed"])
+    span, length = config["span"], config["trace_len"]
+    write_frac = config["write_frac"]
+    trace = Trace()
+    for _ in range(length):
+        trace.append(rng.randrange(span), write=rng.random() < write_frac)
+
+    def build(backend: str):
+        machine_config = MachineConfig(
+            num_banks=config["banks"], memory_access_time=config["t_m"],
+            cache_lines=config["lines"])
+        if config["machine"] == "mm":
+            return MMMachine(machine_config, backend=backend)
+        if config["machine"] == "cc-direct":
+            cache = DirectMappedCache(num_lines=config["lines"])
+        else:
+            cache = PrimeMappedCache(c=config["c"])
+            machine_config = machine_config.with_(
+                cache_lines=cache.total_lines)
+        return CCMachine(machine_config, cache, backend=backend)
+
+    results = {}
+    for backend in _BACKENDS:
+        machine = build(backend)
+        ops_report = machine.execute(_case_ops(config))
+        trace_report = run_trace(machine, trace, backend=backend)
+        record = {}
+        for field in _REPORT_FIELDS:
+            record[f"ops.{field}"] = getattr(ops_report, field)
+            record[f"trace.{field}"] = getattr(trace_report, field)
+        record["cycle"] = machine.cycle
+        record["memory.accesses"] = machine.memory.stats.accesses
+        record["memory.stall_cycles"] = machine.memory.stats.stall_cycles
+        record["memory.bank_accesses"] = machine.memory.stats.bank_accesses
+        results[backend] = record
+    diverged = _pairwise_backend_divergence(
+        results,
+        "machine timing backend engines (repro/machine/trace_runner.py, "
+        "repro/machine/vector_machine.py, repro/kernels/)")
+    return diverged or []
+
+
+def _check_kernel_backend(config: dict) -> list[Divergence]:
+    kind = config["kind"]
+    if kind == "replay":
+        return _check_kernel_replay(config)
+    if kind == "belady":
+        return _check_kernel_belady(config)
+    if kind == "machine":
+        return _check_kernel_machine(config)
+    raise ValueError(f"unknown kernel-backend case kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -836,6 +1043,11 @@ ORACLES: dict[str, Oracle] = {
             "columnar trace generators and kernels vs the retained scalar "
             "reference paths",
             _trace_columnar_cases, _check_trace_columnar),
+        Oracle(
+            "kernel-backend",
+            "scalar vs numpy vs compiled replay, Belady and machine-timing "
+            "engines, bit-for-bit",
+            _kernel_backend_cases, _check_kernel_backend),
     )
 }
 

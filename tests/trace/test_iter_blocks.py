@@ -1,0 +1,144 @@
+"""Edge cases of the columnar streaming surface, ``Trace.iter_blocks``.
+
+The streaming runners consume traces chunk by chunk, so the chunking
+machinery must be exact at every boundary: an empty trace must yield no
+chunks, a partial staging area must still seal, a block straddling the
+chunk-seal target must not drop or duplicate references, and the packed
+write-flag bitmaps (``np.packbits`` rounds up to whole bytes) must not
+leak their padding bits back out as phantom stores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trace.records import _CHUNK_TARGET, Access, Trace
+
+
+def _drain(trace: Trace):
+    """Concatenate iter_blocks back into flat (addresses, writes)."""
+    addresses, writes = [], []
+    for chunk, flags in trace.iter_blocks():
+        addresses.append(chunk)
+        writes.append(np.zeros(chunk.size, bool) if flags is None else flags)
+    if not addresses:
+        return np.empty(0, np.int64), np.empty(0, bool)
+    return np.concatenate(addresses), np.concatenate(writes)
+
+
+def test_empty_trace_yields_no_chunks():
+    trace = Trace()
+    assert list(trace.iter_blocks()) == []
+    assert len(trace) == 0
+    addresses, writes = trace.as_arrays()
+    assert addresses.size == 0 and writes is None
+
+
+def test_single_partial_chunk_seals():
+    # far fewer references than the seal target: iter_blocks must still
+    # flush the staging area into exactly one chunk
+    trace = Trace()
+    for address in range(100):
+        trace.append(address)
+    blocks = list(trace.iter_blocks())
+    assert len(blocks) == 1
+    chunk, flags = blocks[0]
+    assert chunk.tolist() == list(range(100))
+    assert flags is None
+
+
+def test_block_straddling_chunk_boundary():
+    # two appended strips whose sum crosses the seal target: nothing may
+    # be dropped, duplicated, or reordered at the seam
+    first = np.arange(_CHUNK_TARGET - 7, dtype=np.int64)
+    second = np.arange(1000, dtype=np.int64) + 5_000_000
+    trace = Trace()
+    trace.append_block(first)
+    trace.append_block(second)
+    assert len(trace) == first.size + second.size
+    addresses, _ = _drain(trace)
+    np.testing.assert_array_equal(
+        addresses, np.concatenate([first, second]))
+
+
+def test_scalar_appends_across_chunk_boundary():
+    n = _CHUNK_TARGET + 123
+    trace = Trace()
+    for address in range(n):
+        trace.append(address)
+    assert len(trace) == n
+    addresses, _ = _drain(trace)
+    np.testing.assert_array_equal(addresses, np.arange(n))
+    # the pending buffer flushed at the target, so at least two chunks
+    assert len(list(trace.iter_blocks())) >= 2
+
+
+def test_large_block_adopted_zero_copy():
+    block = np.arange(_CHUNK_TARGET, dtype=np.int64)
+    trace = Trace()
+    trace.append_block(block)
+    (chunk, _), = trace.iter_blocks()
+    assert chunk is block
+
+
+@pytest.mark.parametrize("size", [1, 7, 8, 9, 13, 64, 65])
+def test_write_bitmap_tail_bits(size):
+    # sizes that are not a multiple of 8 force packbits padding; the
+    # padding must never come back as phantom write flags, and a write
+    # in the very last position must survive the round trip
+    rng = np.random.default_rng(size)
+    flags = rng.random(size) < 0.5
+    flags[-1] = True          # exercise the final (tail) bit
+    trace = Trace()
+    trace.append_block(np.arange(size), write=flags)
+    (chunk, out), = trace.iter_blocks()
+    assert chunk.size == size
+    np.testing.assert_array_equal(out, flags)
+    _, writes = trace.as_arrays()
+    np.testing.assert_array_equal(writes, flags)
+
+
+def test_all_read_block_has_no_bitmap():
+    trace = Trace()
+    trace.append_block(np.arange(37), write=np.zeros(37, bool))
+    (_, flags), = trace.iter_blocks()
+    assert flags is None
+
+
+def test_mixed_read_write_chunks_round_trip():
+    trace = Trace()
+    trace.append_block(np.arange(11), write=False)
+    trace.append_block(np.arange(13) + 100, write=True)
+    odd = np.arange(9) % 2 == 1
+    trace.append_block(np.arange(9) + 200, write=odd)
+    addresses, writes = _drain(trace)
+    expected_addr = np.concatenate(
+        [np.arange(11), np.arange(13) + 100, np.arange(9) + 200])
+    expected_writes = np.concatenate(
+        [np.zeros(11, bool), np.ones(13, bool), odd])
+    np.testing.assert_array_equal(addresses, expected_addr)
+    np.testing.assert_array_equal(writes, expected_writes)
+    # and the per-Access compatibility view agrees reference by reference
+    assert list(trace) == [
+        Access(int(a), bool(w))
+        for a, w in zip(expected_addr, expected_writes)
+    ]
+
+
+def test_iter_blocks_matches_as_arrays_after_mixed_recording():
+    rng = np.random.default_rng(42)
+    trace = Trace()
+    for _ in range(5):
+        n = int(rng.integers(1, 3000))
+        block = rng.integers(0, 1 << 20, size=n)
+        flags = rng.random(n) < 0.3
+        trace.append_block(block, write=flags if flags.any() else False)
+    for address in range(50):
+        trace.append(address, write=address % 3 == 0)
+    streamed_addr, streamed_writes = _drain(trace)
+    addresses, writes = trace.as_arrays()
+    np.testing.assert_array_equal(streamed_addr, addresses)
+    np.testing.assert_array_equal(
+        streamed_writes,
+        np.zeros(addresses.size, bool) if writes is None else writes)

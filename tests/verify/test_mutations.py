@@ -6,7 +6,8 @@ from repro.verify import MUTATIONS, ORACLES, run_selfcheck
 class TestCatalogue:
     def test_issue_faults_catalogued(self):
         # the three faults the issue names, the two this codebase nearly
-        # shipped, plus the columnar block-boundary fault
+        # shipped, the columnar block-boundary fault, plus the two
+        # compiled-kernel faults the kernel-backend oracle must catch
         assert set(MUTATIONS) == {
             "fold-modulus-off-by-one",
             "dropped-bank-busy-stall",
@@ -14,6 +15,8 @@ class TestCatalogue:
             "congruence-lost-solutions",
             "phase-collapsed-footprint",
             "columnar-block-off-by-one",
+            "kernel-write-allocate-dropped",
+            "kernel-belady-sentinel-pinned",
         }
 
     def test_expected_oracles_exist(self):

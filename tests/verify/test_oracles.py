@@ -8,7 +8,7 @@ from repro.verify import ORACLES, DifferentialRunner, default_oracles
 
 
 class TestRegistry:
-    def test_the_six_oracles_are_registered(self):
+    def test_the_seven_oracles_are_registered(self):
         assert set(ORACLES) == {
             "cache-batch",
             "machine-timing",
@@ -16,6 +16,7 @@ class TestRegistry:
             "congruence",
             "prime-geometry",
             "trace-columnar",
+            "kernel-backend",
         }
 
     def test_names_and_descriptions(self):
