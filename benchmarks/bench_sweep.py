@@ -13,6 +13,13 @@ Acceptance: the warm pass must answer every job from the cache, finish
 in under 10% of the cold wall time, and produce byte-identical
 artifacts.  Both timings land in ``BENCH_sweep.json`` at the repo root.
 
+A second leg measures the sharded scheduler (``--scheduler shard``):
+one cold pass per shard count (1, 2, 4, ... up to the CPU count), each
+against a fresh cache, recording the speedup curve versus one shard
+plus the scheduler's lease/steal/expiry counters.  When more than one
+core is available (and not in smoke mode) the largest shard count must
+reach at least ``0.7 x N`` of linear scaling.
+
 Runnable standalone (``python benchmarks/bench_sweep.py``) or under
 pytest.  Set ``BENCH_SWEEP_SMOKE=1`` to drive the two-figure smoke
 selection instead — seconds-scale, no speedup floor (the cold pass is
@@ -36,10 +43,58 @@ ARTIFACT = REPO_ROOT / "BENCH_sweep.json"
 
 SMOKE = bool(os.environ.get("BENCH_SWEEP_SMOKE"))
 WARM_FRACTION_CEILING = 0.10
+SCALING_EFFICIENCY_FLOOR = 0.7
 
 
 def _selection() -> list[str]:
     return list(smoke_sweep() if SMOKE else default_sweep())
+
+
+def _shard_counts() -> list[int]:
+    """1, 2, 4, ... up to the machine's core count."""
+    cores = os.cpu_count() or 1
+    counts = [1]
+    while counts[-1] * 2 <= cores:
+        counts.append(counts[-1] * 2)
+    return counts
+
+
+def run_scaling() -> dict:
+    """Cold sweeps at increasing shard counts; speedup vs one shard."""
+    names = _selection()
+    jobs = all_jobs()
+    legs = []
+    with tempfile.TemporaryDirectory(prefix="bench-shard-") as tmp_str:
+        tmp = pathlib.Path(tmp_str)
+        for shards in _shard_counts():
+            runner = Runner(jobs.values(),
+                            store=ResultStore(tmp / f"cache-{shards}"),
+                            scheduler="shard", shards=shards,
+                            results_dir=None)
+            start = time.perf_counter()
+            summary = runner.run(names)
+            elapsed = time.perf_counter() - start
+            if not summary.ok:
+                errors = [(o.name, o.error)
+                          for o in summary.outcomes if o.error]
+                raise AssertionError(f"shard={shards} sweep failed: {errors}")
+            legs.append({"shards": shards,
+                         "seconds": round(elapsed, 3),
+                         "counters": summary.scheduler})
+    base = legs[0]["seconds"]
+    for leg in legs:
+        leg["speedup"] = round(base / max(leg["seconds"], 1e-9), 3)
+        leg["efficiency"] = round(leg["speedup"] / leg["shards"], 3)
+    gated = not SMOKE and len(legs) > 1
+    return {
+        "shard_counts": [leg["shards"] for leg in legs],
+        "legs": legs,
+        "max_speedup": max(leg["speedup"] for leg in legs),
+        "efficiency_floor": SCALING_EFFICIENCY_FLOOR if gated else None,
+        "scaling_ok": (not gated
+                       or legs[-1]["efficiency"]
+                       >= SCALING_EFFICIENCY_FLOOR),
+    }
 
 
 def run() -> dict:
@@ -79,6 +134,7 @@ def run() -> dict:
 
     identical = artifacts["cold"] == artifacts["warm"]
     warm_fraction = timings["warm"] / timings["cold"]
+    scaling = run_scaling()
     payload = {
         "benchmark": "sweep_cache",
         "smoke": SMOKE,
@@ -96,6 +152,7 @@ def run() -> dict:
         "warm_statuses": statuses["warm"],
         "artifacts": len(artifacts["cold"]),
         "artifacts_byte_identical": identical,
+        "shard_scaling": scaling,
     }
     ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
@@ -106,6 +163,10 @@ def test_warm_sweep_answers_from_cache():
     assert payload["artifacts_byte_identical"]
     assert payload["warm_statuses"] == {"hit": payload["jobs"]}
     assert payload["cold_statuses"].get("hit", 0) == 0
+    assert payload["shard_scaling"]["scaling_ok"], (
+        f"shard scaling below {SCALING_EFFICIENCY_FLOOR:.0%} efficiency: "
+        f"{payload['shard_scaling']['legs']}"
+    )
     if not SMOKE:
         assert payload["warm_fraction_of_cold"] < WARM_FRACTION_CEILING, (
             f"warm pass took {payload['warm_fraction_of_cold']:.1%} of cold "
@@ -118,7 +179,9 @@ if __name__ == "__main__":
     print(json.dumps(result, indent=2))
     floor = result["warm_fraction_ceiling"]
     ok = (result["artifacts_byte_identical"]
+          and result["shard_scaling"]["scaling_ok"]
           and (floor is None or result["warm_fraction_of_cold"] < floor))
-    print(f"warm/cold = {result['warm_fraction_of_cold']:.1%} "
+    print(f"warm/cold = {result['warm_fraction_of_cold']:.1%}, "
+          f"shard speedup x{result['shard_scaling']['max_speedup']} "
           f"({'ok' if ok else 'FAILED'})")
     raise SystemExit(0 if ok else 1)

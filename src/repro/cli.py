@@ -139,6 +139,24 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="process-pool width (default: min(4, CPUs); "
                             "1 runs inline)")
+    sweep.add_argument("--scheduler", default=None,
+                       choices=("serial", "pool", "shard"),
+                       help="execution scheduler (default: pool when "
+                            "--jobs > 1, else serial; shard runs the "
+                            "lease-based work-queue scheduler, see "
+                            "docs/orchestration.md)")
+    sweep.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="shard-worker count (implies --scheduler "
+                            "shard; default: the --jobs width)")
+    sweep.add_argument("--steal", default=True,
+                       action=argparse.BooleanOptionalAction,
+                       help="straggler work stealing between shards "
+                            "(--scheduler shard only)")
+    sweep.add_argument("--lease-ttl", type=float, default=15.0,
+                       metavar="SECONDS",
+                       help="shard lease heartbeat deadline; a crashed "
+                            "worker's jobs re-dispatch within roughly "
+                            "this interval")
     sweep.add_argument("--force", action="store_true",
                        help="re-execute every job even on a warm cache")
     sweep.add_argument("--cache-dir", default=None,
@@ -167,8 +185,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=8023,
                        help="TCP port (0 picks a free port)")
     serve.add_argument("--workers", type=int, default=None, metavar="N",
-                       help="process-pool width for cold jobs "
+                       help="cold-job worker count "
                             "(default: min(4, CPUs))")
+    serve.add_argument("--scheduler", default="pool",
+                       choices=("pool", "shard"),
+                       help="cold-job executor: a process pool, or the "
+                            "persistent shard-worker crew (leases, "
+                            "heartbeats, crash re-dispatch)")
     serve.add_argument("--cache-dir", default=None,
                        help="result-cache directory (default: "
                             "$REPRO_CACHE_DIR or ~/.cache/repro)")
@@ -605,10 +628,13 @@ def _cmd_sweep(args) -> int:
     store = ResultStore(args.cache_dir) if args.cache_dir else ResultStore()
     workers = (args.jobs if args.jobs is not None
                else min(4, os.cpu_count() or 1))
+    scheduler = args.scheduler or ("shard" if args.shards is not None
+                                   else "auto")
     runner = Runner(
         jobs.values(), store=store, workers=workers, force=args.force,
         results_dir=None if args.no_artifacts else RESULTS_DIR,
-        log_path=args.log)
+        log_path=args.log, scheduler=scheduler, shards=args.shards,
+        steal=args.steal, lease_ttl_s=args.lease_ttl)
 
     if args.status:
         rows = runner.status(names)
@@ -672,7 +698,7 @@ def _cmd_serve(args) -> int:
     workers = (args.workers if args.workers is not None
                else min(4, os.cpu_count() or 1))
     app = ServeApp(host=args.host, port=args.port, store=store,
-                   workers=workers)
+                   workers=workers, scheduler=args.scheduler)
     run_app(app)
     return 0
 

@@ -6,11 +6,20 @@ one ``job_start`` / ``job_cached`` / ``job_done`` / ``job_failed`` /
 The log is the machine-readable account of what ran, what the cache
 answered, and what each job cost — CI uploads it as an artifact, and
 ``repro sweep --status`` summarises the cache side of the same story.
+
+Every record is flushed *and fsynced* before :meth:`RunLog.emit`
+returns: the crash-resume tests (and any post-mortem of a killed sweep)
+read the log to establish partial progress, so a record must never sit
+in a userspace or kernel buffer when the process is SIGKILLed or the
+machine dies.  ``emit`` is thread-safe — the sharded scheduler logs
+from its transport threads.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import threading
 import time
 from pathlib import Path
 from typing import IO
@@ -24,6 +33,7 @@ class RunLog:
     def __init__(self, path: Path | str | None) -> None:
         self.path = Path(path) if path is not None else None
         self._handle: IO[str] | None = None
+        self._lock = threading.Lock()
         if self.path is not None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = open(self.path, "a")
@@ -32,13 +42,19 @@ class RunLog:
         if self._handle is None:
             return
         record = {"event": event, "ts": time.time(), **fields}
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
+        line = json.dumps(record, sort_keys=True) + "\n"
+        with self._lock:
+            if self._handle is None:  # closed by another thread
+                return
+            self._handle.write(line)
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self) -> "RunLog":
         return self

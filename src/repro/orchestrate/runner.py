@@ -7,9 +7,11 @@ job (plus its transitive dependencies) it
    so keys are computed in topological order),
 2. answers from the :class:`~repro.orchestrate.store.ResultStore` when
    the key is present (``--force`` skips the lookup, never the save),
-3. otherwise executes the job — inline for ``workers <= 1``, else on a
-   ``ProcessPoolExecutor`` that runs independent jobs concurrently —
-   recording wall time and peak RSS, and persists the result,
+3. otherwise executes the job — inline (``scheduler="serial"``), on a
+   ``ProcessPoolExecutor`` (``"pool"``), or across N shard workers with
+   leases, work stealing and crash re-dispatch (``"shard"``, see
+   :mod:`repro.orchestrate.sched`) — recording wall time and peak RSS,
+   and persists the result,
 4. materialises the job's declared artifact under ``results_dir``
    (skipping the write when the bytes are already identical), and
 5. appends structured events to the JSONL run log.
@@ -82,6 +84,9 @@ class RunSummary:
     outcomes: list[JobOutcome] = field(default_factory=list)
     results: dict[str, Any] = field(default_factory=dict)
     elapsed_s: float = 0.0
+    #: Shard-scheduler counters (leases, steals, expiries, ...) when the
+    #: run used ``scheduler="shard"``; empty otherwise.
+    scheduler: dict = field(default_factory=dict)
 
     def count(self, status: str) -> int:
         return sum(1 for o in self.outcomes if o.status == status)
@@ -103,6 +108,8 @@ class RunSummary:
             "ok": self.ok,
             "counts": {s: self.count(s)
                        for s in ("hit", "ran", "failed", "skipped")},
+            **({"scheduler": dict(self.scheduler)}
+               if self.scheduler else {}),
             "jobs": [
                 {"name": o.name, "key": o.key, "status": o.status,
                  "elapsed_s": o.elapsed_s, "max_rss_kb": o.max_rss_kb,
@@ -126,13 +133,25 @@ class Runner:
         results_dir: where job artifacts are materialised; ``None``
             disables artifact writing.
         log_path: JSONL run-log destination (``None`` disables logging).
+        scheduler: ``"serial"``, ``"pool"``, ``"shard"``, or ``"auto"``
+            (the default — ``shard`` when ``shards`` is set, else
+            ``pool``/``serial`` by ``workers``).
+        shards: shard-worker count for the ``shard`` scheduler
+            (default: ``workers``).
+        steal: allow straggler work stealing (``shard`` only).
+        lease_ttl_s: shard lease heartbeat deadline, seconds.
+        sched_options: extra :class:`~repro.orchestrate.sched.\
+ShardScheduler` keyword arguments (tests and fault drills).
     """
 
     def __init__(self, jobs: Iterable[Job], *,
                  store: ResultStore | None = None,
                  workers: int = 1, force: bool = False,
                  results_dir: Path | str | None = None,
-                 log_path: Path | str | None = None) -> None:
+                 log_path: Path | str | None = None,
+                 scheduler: str = "auto", shards: int | None = None,
+                 steal: bool = True, lease_ttl_s: float = 15.0,
+                 sched_options: Mapping[str, Any] | None = None) -> None:
         self.jobs: dict[str, Job] = {}
         for job in jobs:
             if job.name in self.jobs:
@@ -149,6 +168,18 @@ class Runner:
         self.results_dir = (Path(results_dir)
                             if results_dir is not None else None)
         self.log_path = log_path
+        if scheduler == "auto":
+            scheduler = ("shard" if shards is not None
+                         else "pool" if self.workers > 1 else "serial")
+        if scheduler not in ("serial", "pool", "shard"):
+            raise ValueError(f"unknown scheduler {scheduler!r}; choose "
+                             f"from 'serial', 'pool', 'shard'")
+        self.scheduler = scheduler
+        self.shards = max(1, int(shards if shards is not None
+                                 else self.workers))
+        self.steal = steal
+        self.lease_ttl_s = lease_ttl_s
+        self.sched_options = dict(sched_options or {})
 
     # ------------------------------------------------------------------
     # planning
@@ -214,12 +245,14 @@ class Runner:
         with RunLog(self.log_path) as log:
             log.emit("run_start", run_id=summary.run_id,
                      jobs=[j.name for j in order], workers=self.workers,
-                     force=self.force)
+                     scheduler=self.scheduler, force=self.force)
             try:
-                if self.workers <= 1:
-                    self._run_serial(order, keys, summary, log)
-                else:
+                if self.scheduler == "shard":
+                    self._run_shard(order, keys, summary, log)
+                elif self.scheduler == "pool" and self.workers > 1:
                     self._run_pool(order, keys, summary, log)
+                else:
+                    self._run_serial(order, keys, summary, log)
             finally:
                 summary.elapsed_s = time.perf_counter() - started
                 log.emit("run_end", run_id=summary.run_id,
@@ -328,6 +361,41 @@ class Runner:
             self._store_result(job, key, result, elapsed, rss)
             self._record(summary, log, job, key, "ran", result=result,
                          elapsed=elapsed, rss=rss)
+
+    # -- shard path -----------------------------------------------------
+
+    def _run_shard(self, order: list[Job], keys: dict[str, str],
+                   summary: RunSummary, log: RunLog) -> None:
+        """Run via the lease-based shard scheduler (see ``sched/``).
+
+        Workers persist results into the shared store themselves; this
+        side folds the scheduler's outcomes back into the summary and
+        materialises artifacts from the store, so serial/pool/shard
+        runs produce byte-identical ``results/``.
+        """
+        from repro.orchestrate.sched import ShardScheduler
+
+        options = dict(
+            shards=self.shards, steal=self.steal,
+            lease_ttl_s=self.lease_ttl_s, force=self.force,
+            run_id=summary.run_id, emit=log.emit)
+        options.update(self.sched_options)
+        report = ShardScheduler(order, keys, self.store,
+                                **options).run()
+        summary.scheduler = dict(report.counters)
+        by_name = {o["name"]: o for o in report.outcomes}
+        for job in order:
+            outcome = by_name[job.name]
+            status = outcome["status"]
+            if status in ("hit", "ran"):
+                entry = self.store.load(outcome["key"])
+                self._record(summary, log, job, outcome["key"], status,
+                             result=entry.result if entry else None,
+                             elapsed=outcome["elapsed_s"],
+                             rss=outcome["max_rss_kb"])
+            else:
+                self._record(summary, log, job, outcome["key"], status,
+                             error=outcome.get("error"))
 
     # -- pool path ------------------------------------------------------
 

@@ -1,0 +1,72 @@
+"""Distributed sharded sweep scheduling (see ``docs/orchestration.md``).
+
+A work-queue scheduler that shards the fingerprinted job DAG across N
+worker processes behind a pluggable transport:
+
+* :mod:`~repro.orchestrate.sched.coordinator` — job states, leases with
+  heartbeat deadlines, deterministic re-dispatch, work stealing, and
+  exactly-once commit arbitration;
+* :mod:`~repro.orchestrate.sched.transport` — in-process
+  (:class:`LocalTransport`) and socket (:class:`SocketTransport`)
+  transports; the latter reaches workers on other hosts;
+* :mod:`~repro.orchestrate.sched.worker` — the stateless lease loop
+  every shard runs;
+* :mod:`~repro.orchestrate.sched.journal` — per-shard fsync'd JSONL
+  crash-resume journals layered on the content-addressed store;
+* :mod:`~repro.orchestrate.sched.scheduler` — the
+  :class:`ShardScheduler` (one DAG run, used by
+  ``Runner(scheduler="shard")`` / ``repro sweep --scheduler shard``)
+  and the persistent :class:`ShardPool`
+  (``repro serve --scheduler shard``).
+
+Scheduling policy lives entirely in this package; job semantics stay in
+:mod:`repro.orchestrate.job` — the coordinator never imports experiment
+code.
+"""
+
+from __future__ import annotations
+
+from repro.orchestrate.sched.coordinator import (
+    DONE,
+    FAILED,
+    LEASED,
+    PENDING,
+    READY,
+    SKIPPED,
+    Coordinator,
+    JobTicket,
+    Lease,
+)
+from repro.orchestrate.sched.journal import Journal
+from repro.orchestrate.sched.scheduler import (
+    SchedReport,
+    ShardPool,
+    ShardScheduler,
+)
+from repro.orchestrate.sched.transport import (
+    LocalTransport,
+    SocketTransport,
+    connect_socket,
+)
+from repro.orchestrate.sched.worker import WorkerLoop, shard_worker_main
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "LEASED",
+    "PENDING",
+    "READY",
+    "SKIPPED",
+    "Coordinator",
+    "JobTicket",
+    "Journal",
+    "Lease",
+    "LocalTransport",
+    "SchedReport",
+    "ShardPool",
+    "ShardScheduler",
+    "SocketTransport",
+    "WorkerLoop",
+    "connect_socket",
+    "shard_worker_main",
+]

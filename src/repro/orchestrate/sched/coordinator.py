@@ -1,0 +1,516 @@
+"""The lease-based work-queue coordinator.
+
+One :class:`Coordinator` owns the job table for a run (or, in
+*persistent* mode, for a serve daemon's lifetime) and arbitrates every
+scheduling decision behind a single lock.  Scheduling policy lives
+entirely here — job semantics (what a job computes) stay in
+:class:`~repro.orchestrate.job.Job` and the workers.
+
+State machine per job::
+
+    pending --deps done--> ready --lease--> leased --commit--> done
+       |                     ^                |--fail--------> failed
+       |                     +--lease expired-+
+       +--an upstream failed/skipped------------------------> skipped
+
+Protocol (plain dicts, moved by a transport):
+
+* ``{"type": "request", "worker": W}`` -> a ``lease`` reply carrying the
+  job, its cache key, its dependencies' keys and a lease id/ttl; or
+  ``wait`` (nothing ready yet), or ``stop`` (run complete / draining).
+* ``{"type": "heartbeat", "job": J, "lease_id": L}`` -> ``ack`` with
+  ``valid``; an invalid lease tells the worker its work was superseded.
+* ``{"type": "commit", ...}`` -> ``ack`` with ``accepted``.  Exactly one
+  commit per job is ever accepted; the rest count as duplicates.
+* ``{"type": "fail", ...}`` -> ``ack``; a *raised* error is treated as
+  deterministic (pure jobs) and fails the job immediately, skipping its
+  dependents.
+
+Crash handling is lease-centric: a worker that dies (or stops
+heartbeating) simply lets its lease deadline pass; the next sweep
+re-queues the job for deterministic re-dispatch (lowest topological
+index first).  Work stealing grants a *second* lease on the oldest
+straggler once it has run past ``steal_after_s``; the first commit wins
+and the loser is told its lease is invalid.  Because results are
+content-addressed and jobs are pure, a lost race writes byte-identical
+data — the coordinator's arbitration is what makes the *accounting*
+exactly-once.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.orchestrate.job import Job
+from repro.orchestrate.sched.journal import Journal
+
+__all__ = ["Coordinator", "JobTicket", "Lease",
+           "PENDING", "READY", "LEASED", "DONE", "FAILED", "SKIPPED"]
+
+PENDING = "pending"
+READY = "ready"
+LEASED = "leased"
+DONE = "done"
+FAILED = "failed"
+SKIPPED = "skipped"
+
+#: Terminal states (no further transitions).
+TERMINAL = frozenset({DONE, FAILED, SKIPPED})
+
+Emit = Callable[..., None]
+
+
+@dataclass
+class Lease:
+    """One grant of one job to one worker, with a heartbeat deadline."""
+
+    id: str
+    job: str
+    worker: str
+    granted_at: float
+    deadline: float
+    stolen: bool = False
+
+
+class JobTicket:
+    """Completion handle for a dynamically submitted job (serve mode)."""
+
+    def __init__(self, record: "_Record") -> None:
+        self._record = record
+        self._event = threading.Event()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._event.wait(timeout)
+
+    @property
+    def status(self) -> str:
+        return self._record.state
+
+    @property
+    def error(self) -> str | None:
+        return self._record.error
+
+    @property
+    def elapsed_s(self) -> float:
+        return self._record.elapsed_s
+
+    @property
+    def max_rss_kb(self) -> int:
+        return self._record.max_rss_kb
+
+
+@dataclass
+class _Record:
+    """Everything the coordinator tracks about one job."""
+
+    job: Job | None
+    name: str
+    key: str
+    index: int
+    dep_keys: dict[str, str] = field(default_factory=dict)
+    state: str = PENDING
+    waiting_on: set[str] = field(default_factory=set)
+    dependents: list[str] = field(default_factory=list)
+    leases: dict[str, Lease] = field(default_factory=dict)
+    attempts: int = 0
+    requeues: int = 0
+    committed_by: str | None = None
+    error: str | None = None
+    elapsed_s: float = 0.0
+    max_rss_kb: int = 0
+    pre_resolved: str | None = None  # "hit" | "resumed" for non-run jobs
+    tickets: list[JobTicket] = field(default_factory=list)
+
+
+class Coordinator:
+    """Thread-safe lease/commit arbiter over a dynamic job table.
+
+    Args:
+        lease_ttl_s: heartbeat deadline extension; a lease silent for
+            this long is considered lost and its job re-queued.
+        steal: allow a second (speculative) lease on a straggler.
+        steal_after_s: lease age before a job becomes stealable
+            (default ``2 * lease_ttl_s``).
+        max_requeues: infrastructure-failure cap — a job whose leases
+            keep expiring (e.g. it kills every worker that hosts it) is
+            failed after this many re-queues rather than looping forever.
+        journal: optional :class:`Journal` receiving lease/commit/fail
+            records (shard = the worker id that triggered the event).
+        persistent: serve mode — idle ``request``s get ``wait`` instead
+            of ``stop``; the table accepts submissions forever.
+        emit: optional structured-event sink (``emit(event, **fields)``).
+    """
+
+    def __init__(self, *, lease_ttl_s: float = 15.0, steal: bool = True,
+                 steal_after_s: float | None = None, max_requeues: int = 5,
+                 journal: Journal | None = None, persistent: bool = False,
+                 emit: Emit | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.lease_ttl_s = float(lease_ttl_s)
+        self.steal = steal
+        self.steal_after_s = (float(steal_after_s) if steal_after_s
+                              is not None else 2.0 * self.lease_ttl_s)
+        self.max_requeues = int(max_requeues)
+        self.journal = journal
+        self.persistent = persistent
+        self._emit = emit
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._records: dict[str, _Record] = {}
+        self._ready: list[str] = []  # kept sorted by topological index
+        self._lease_seq = 0
+        self._index_seq = 0
+        self._stopping = False
+        self.counters: dict[str, int] = {
+            "leases": 0, "stolen": 0, "expired": 0, "requeues": 0,
+            "commits": 0, "dup_commits": 0, "late_commits": 0,
+            "heartbeats": 0, "failures": 0, "skipped": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # table construction / dynamic submission
+
+    def mark_done(self, name: str, key: str, *, how: str = "hit",
+                  elapsed_s: float = 0.0) -> None:
+        """Register a job as already satisfied (cache hit / journal resume).
+
+        Dependents gate on it like any other done job, and workers are
+        never asked to run it.
+        """
+        with self._lock:
+            record = self._register(None, name, key, {})
+            record.pre_resolved = how
+            record.elapsed_s = elapsed_s
+            self._finish(record, DONE)
+
+    def add_job(self, job: Job, key: str,
+                dep_keys: Mapping[str, str] | None = None, *,
+                gate_on_deps: bool = True) -> JobTicket:
+        """Add one job; returns a ticket that fires on any terminal state.
+
+        In DAG mode callers add jobs in topological order with
+        ``gate_on_deps=True``: the job waits for every dep that is a
+        known, non-terminal record.  Serve mode resolves dependencies
+        upstream and submits with ``gate_on_deps=False`` (``dep_keys``
+        still travel to the worker for input loading).
+        """
+        with self._lock:
+            existing = self._records.get(job.name)
+            if existing is not None:
+                # repeat submission (serve): same work, share the record
+                ticket = JobTicket(existing)
+                existing.tickets.append(ticket)
+                if existing.state in TERMINAL:
+                    ticket._event.set()
+                return ticket
+            record = self._register(job, job.name, key, dict(dep_keys or {}))
+            ticket = JobTicket(record)
+            record.tickets.append(ticket)
+            if gate_on_deps:
+                bad = False
+                for dep in job.deps:
+                    upstream = self._records.get(dep)
+                    if upstream is None:
+                        continue  # satisfied outside the table
+                    upstream.dependents.append(record.name)
+                    if upstream.state in (FAILED, SKIPPED):
+                        bad = True
+                    elif upstream.state != DONE:
+                        record.waiting_on.add(dep)
+                if bad:
+                    self._skip(record)
+                    return ticket
+            if not record.waiting_on:
+                self._make_ready(record)
+            return ticket
+
+    def submit(self, job: Job, key: str,
+               dep_keys: Mapping[str, str] | None = None) -> JobTicket:
+        """Serve-mode entry point: dependencies were resolved upstream."""
+        return self.add_job(job, key, dep_keys, gate_on_deps=False)
+
+    def _register(self, job: Job | None, name: str, key: str,
+                  dep_keys: dict[str, str]) -> _Record:
+        if name in self._records:
+            raise ValueError(f"job {name!r} already registered")
+        record = _Record(job=job, name=name, key=key,
+                         index=self._index_seq, dep_keys=dep_keys)
+        self._index_seq += 1
+        self._records[name] = record
+        return record
+
+    # ------------------------------------------------------------------
+    # protocol handler (transport-facing)
+
+    def handle(self, message: dict) -> dict:
+        kind = message.get("type")
+        with self._lock:
+            if kind == "request":
+                return self._grant(str(message.get("worker", "?")))
+            if kind == "heartbeat":
+                return self._heartbeat(message)
+            if kind == "commit":
+                return self._commit(message)
+            if kind == "fail":
+                return self._fail(message)
+            if kind == "ping":
+                return {"type": "ack"}
+            return {"type": "error", "error": f"unknown message {kind!r}"}
+
+    def tick(self) -> None:
+        """Sweep expired leases without a worker request (monitor loop)."""
+        with self._lock:
+            self._sweep(self._clock())
+
+    # -- request / lease ------------------------------------------------
+
+    def _grant(self, worker: str) -> dict:
+        now = self._clock()
+        self._sweep(now)
+        if self._stopping:
+            return {"type": "stop"}
+        if self._ready:
+            record = self._records[self._ready.pop(0)]
+            record.state = LEASED
+            return self._lease_reply(record, worker, now, stolen=False)
+        candidate = self._steal_candidate(worker, now)
+        if candidate is not None:
+            return self._lease_reply(candidate, worker, now, stolen=True)
+        if self.persistent or not self.completed:
+            return {"type": "wait"}
+        return {"type": "stop"}
+
+    def _steal_candidate(self, worker: str, now: float) -> _Record | None:
+        if not self.steal:
+            return None
+        best: _Record | None = None
+        best_rank: tuple[float, int] | None = None
+        for record in self._records.values():
+            if record.state != LEASED or len(record.leases) != 1:
+                continue
+            lease = next(iter(record.leases.values()))
+            if lease.worker == worker:
+                continue  # never steal from yourself
+            age = now - lease.granted_at
+            if age < self.steal_after_s:
+                continue
+            rank = (age, -record.index)  # oldest first, then lowest index
+            if best_rank is None or rank > best_rank:
+                best, best_rank = record, rank
+        return best
+
+    def _lease_reply(self, record: _Record, worker: str, now: float, *,
+                     stolen: bool) -> dict:
+        self._lease_seq += 1
+        lease = Lease(id=f"{record.name}~{self._lease_seq}",
+                      job=record.name, worker=worker, granted_at=now,
+                      deadline=now + self.lease_ttl_s, stolen=stolen)
+        record.leases[lease.id] = lease
+        record.attempts += 1
+        self.counters["leases"] += 1
+        if stolen:
+            self.counters["stolen"] += 1
+        self._journal(worker, {"event": "lease", "job": record.name,
+                               "key": record.key, "lease_id": lease.id,
+                               "stolen": stolen})
+        self._note("lease_granted", job=record.name, worker=worker,
+                   lease_id=lease.id, stolen=stolen)
+        return {"type": "lease", "job": record.job, "key": record.key,
+                "dep_keys": dict(record.dep_keys), "lease_id": lease.id,
+                "ttl_s": self.lease_ttl_s}
+
+    # -- heartbeat ------------------------------------------------------
+
+    def _heartbeat(self, message: dict) -> dict:
+        record = self._records.get(message.get("job", ""))
+        lease = None if record is None else \
+            record.leases.get(message.get("lease_id", ""))
+        valid = (record is not None and lease is not None
+                 and record.state == LEASED)
+        if valid:
+            lease.deadline = self._clock() + self.lease_ttl_s
+            self.counters["heartbeats"] += 1
+        return {"type": "ack", "valid": valid}
+
+    # -- commit / fail --------------------------------------------------
+
+    def _commit(self, message: dict) -> dict:
+        name = message.get("job", "")
+        worker = str(message.get("worker", "?"))
+        record = self._records.get(name)
+        if record is None:
+            return {"type": "ack", "accepted": False}
+        lease = record.leases.pop(message.get("lease_id", ""), None)
+        if record.state in TERMINAL:
+            self.counters["dup_commits"] += 1
+            self._note("commit_rejected", job=name, worker=worker,
+                       reason="duplicate")
+            return {"type": "ack", "accepted": False}
+        if lease is None:
+            # the lease expired (lost heartbeats) but the worker survived
+            # and its result is durably in the store — first commit wins
+            self.counters["late_commits"] += 1
+        record.elapsed_s = float(message.get("elapsed_s", 0.0))
+        record.max_rss_kb = int(message.get("max_rss_kb", 0))
+        record.committed_by = worker
+        self.counters["commits"] += 1
+        self._journal(worker, {"event": "commit", "job": name,
+                               "key": record.key,
+                               "lease_id": message.get("lease_id"),
+                               "elapsed_s": record.elapsed_s})
+        self._note("job_committed", job=name, worker=worker,
+                   elapsed_s=record.elapsed_s)
+        self._finish(record, DONE)
+        return {"type": "ack", "accepted": True}
+
+    def _fail(self, message: dict) -> dict:
+        name = message.get("job", "")
+        worker = str(message.get("worker", "?"))
+        record = self._records.get(name)
+        if record is None or record.state in TERMINAL:
+            return {"type": "ack", "accepted": False}
+        record.leases.pop(message.get("lease_id", ""), None)
+        record.error = str(message.get("error", "unknown error"))
+        self.counters["failures"] += 1
+        self._journal(worker, {"event": "fail", "job": name,
+                               "key": record.key, "error": record.error})
+        self._note("job_failed", job=name, worker=worker,
+                   error=record.error)
+        self._finish(record, FAILED)
+        return {"type": "ack", "accepted": True}
+
+    # -- lease expiry ----------------------------------------------------
+
+    def _sweep(self, now: float) -> None:
+        for record in self._records.values():
+            if record.state != LEASED:
+                continue
+            for lease_id in [lid for lid, lease in record.leases.items()
+                             if lease.deadline < now]:
+                lease = record.leases.pop(lease_id)
+                self.counters["expired"] += 1
+                self._note("lease_expired", job=record.name,
+                           worker=lease.worker, lease_id=lease_id)
+            if not record.leases:
+                record.requeues += 1
+                if record.requeues > self.max_requeues:
+                    record.error = (f"lease expired {record.requeues} "
+                                    f"times; giving up")
+                    self._finish(record, FAILED)
+                else:
+                    self.counters["requeues"] += 1
+                    record.state = READY
+                    self._push_ready(record)
+                    self._note("job_requeued", job=record.name,
+                               requeues=record.requeues)
+
+    # -- state transitions ----------------------------------------------
+
+    def _make_ready(self, record: _Record) -> None:
+        record.state = READY
+        self._push_ready(record)
+
+    def _push_ready(self, record: _Record) -> None:
+        """Deterministic dispatch order: lowest topological index first."""
+        self._ready.append(record.name)
+        self._ready.sort(key=lambda name: self._records[name].index)
+
+    def _finish(self, record: _Record, state: str) -> None:
+        record.state = state
+        record.leases.clear()
+        if record.name in self._ready:
+            self._ready.remove(record.name)
+        for ticket in record.tickets:
+            ticket._event.set()
+        if state == DONE:
+            for name in record.dependents:
+                child = self._records[name]
+                child.waiting_on.discard(record.name)
+                if child.state == PENDING and not child.waiting_on:
+                    self._make_ready(child)
+        else:
+            for name in record.dependents:
+                child = self._records[name]
+                if child.state not in TERMINAL:
+                    self._skip(child)
+
+    def _skip(self, record: _Record) -> None:
+        self.counters["skipped"] += 1
+        self._note("job_skipped", job=record.name)
+        self._finish(record, SKIPPED)
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+
+    @property
+    def completed(self) -> bool:
+        with self._lock:
+            return all(record.state in TERMINAL
+                       for record in self._records.values())
+
+    def request_stop(self) -> None:
+        """Drain: every subsequent worker request is answered ``stop``."""
+        with self._lock:
+            self._stopping = True
+
+    def abort_remaining(self, reason: str) -> None:
+        """Fail every non-terminal job (no workers left to run them)."""
+        with self._lock:
+            for record in list(self._records.values()):
+                if record.state not in TERMINAL:
+                    record.error = reason
+                    self._finish(record, FAILED)
+
+    def states(self) -> dict[str, str]:
+        with self._lock:
+            return {name: record.state
+                    for name, record in self._records.items()}
+
+    def outcomes(self) -> list[dict[str, Any]]:
+        """Per-job account in registration (topological) order."""
+        with self._lock:
+            rows = []
+            for record in sorted(self._records.values(),
+                                 key=lambda r: r.index):
+                status = {DONE: "ran", FAILED: "failed",
+                          SKIPPED: "skipped"}.get(record.state,
+                                                  record.state)
+                if record.pre_resolved is not None:
+                    status = "hit"
+                rows.append({
+                    "name": record.name, "key": record.key,
+                    "status": status, "elapsed_s": record.elapsed_s,
+                    "max_rss_kb": record.max_rss_kb,
+                    "attempts": record.attempts,
+                    "requeues": record.requeues,
+                    "committed_by": record.committed_by,
+                    "resolved": record.pre_resolved,
+                    "error": record.error,
+                })
+            return rows
+
+    # ------------------------------------------------------------------
+    # helpers
+
+    def _journal(self, shard: str, record: dict) -> None:
+        if self.journal is not None:
+            self.journal.append(shard, record)
+
+    def _note(self, event: str, **fields) -> None:
+        if self._emit is not None:
+            try:
+                self._emit(event, **fields)
+            except Exception:  # noqa: BLE001 - never fail scheduling on logging
+                pass
+
+    def records_snapshot(self) -> list[dict]:
+        """Debug view (name, state, leases) — tests and ops tooling."""
+        with self._lock:
+            return [{"name": record.name, "state": record.state,
+                     "leases": list(record.leases),
+                     "requeues": record.requeues}
+                    for record in sorted(self._records.values(),
+                                         key=lambda r: r.index)]

@@ -1,0 +1,118 @@
+"""Per-shard crash-resume journals, layered on the content-addressed store.
+
+The :class:`~repro.orchestrate.store.ResultStore` already makes a killed
+sweep resumable: every committed result is on disk under its key.  The
+journal adds the *scheduling* account on top — which shard leased which
+job, which leases turned into commits, which jobs failed — one JSONL
+file per shard under ``<root>/<run_id>/shard-<id>.jsonl``.
+
+Two things the store alone cannot answer come from here:
+
+* **forced-run resume** — ``--force`` skips cache lookups, so after a
+  coordinator crash only the journal knows which jobs this run already
+  recomputed (their commit records are honoured even under ``force``);
+* **partial-progress forensics** — every record is flushed *and*
+  fsynced before the append returns, so a SIGKILL at any instant loses
+  at most the record being written, never a committed one.
+
+Replay is crash-tolerant: a torn final line (the fsync raced the kill)
+is ignored, and a ``commit`` record wins over the ``lease`` that
+preceded it regardless of file order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import IO
+
+__all__ = ["Journal"]
+
+
+class Journal:
+    """Append-only per-shard JSONL scheduling records for one run."""
+
+    def __init__(self, root: Path | str, run_id: str) -> None:
+        self.root = Path(root)
+        self.run_id = run_id
+        self.dir = self.root / run_id
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self._handles: dict[str, IO[str]] = {}
+        self._lock = threading.Lock()
+
+    def shard_path(self, shard: str) -> Path:
+        return self.dir / f"shard-{shard}.jsonl"
+
+    def append(self, shard: str, record: dict) -> None:
+        """Durably append one record to ``shard``'s file (flush+fsync)."""
+        line = json.dumps({"ts": time.time(), **record}, sort_keys=True)
+        with self._lock:
+            handle = self._handles.get(shard)
+            if handle is None:
+                handle = open(self.shard_path(shard), "a")
+                self._handles[shard] = handle
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def replay(self) -> dict:
+        """Fold every shard file into ``{committed, leased, failed}``.
+
+        ``committed`` maps job name -> its last commit record; ``leased``
+        holds jobs that were granted a lease but never committed or
+        failed (in flight at the crash); ``failed`` maps job -> error.
+        """
+        records: list[dict] = []
+        for path in sorted(self.dir.glob("shard-*.jsonl")):
+            shard = path.stem[len("shard-"):]
+            try:
+                text = path.read_text()
+            except OSError:
+                continue
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn final line from a mid-write crash
+                record["shard"] = shard
+                records.append(record)
+        records.sort(key=lambda r: r.get("ts", 0.0))
+        committed: dict[str, dict] = {}
+        leased: dict[str, dict] = {}
+        failed: dict[str, dict] = {}
+        for record in records:
+            job = record.get("job")
+            if job is None:
+                continue
+            event = record.get("event")
+            if event == "commit":
+                committed[job] = record
+                leased.pop(job, None)
+            elif event == "lease":
+                if job not in committed and job not in failed:
+                    leased[job] = record
+            elif event == "fail":
+                failed[job] = record
+                leased.pop(job, None)
+        return {"committed": committed, "leased": leased, "failed": failed}
+
+    def close(self) -> None:
+        with self._lock:
+            for handle in self._handles.values():
+                try:
+                    handle.close()
+                except OSError:
+                    pass
+            self._handles.clear()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,364 @@
+"""Scheduler frontends: a DAG run (``ShardScheduler``) and a persistent
+pool (``ShardPool``).
+
+Both compose the same parts — a :class:`Coordinator`, a transport, N
+shard workers — and differ only in lifecycle:
+
+* :class:`ShardScheduler` seeds the coordinator with a planned
+  ``(order, keys)`` job graph, answers warm keys from the store (and
+  committed jobs from a prior crashed attempt from the journal), runs
+  workers until the table is terminal, and returns a
+  :class:`SchedReport`.  ``Runner(scheduler="shard")`` is its caller.
+* :class:`ShardPool` keeps its coordinator and workers alive across
+  many ad-hoc submissions — the cold-path executor behind
+  ``repro serve --scheduler shard``.
+
+Workers come in two modes: ``process`` (spawned interpreters over a
+:class:`~repro.orchestrate.sched.transport.SocketTransport` — the real
+thing, SIGKILL-able, remote-capable) and ``thread`` (in-process over a
+:class:`~repro.orchestrate.sched.transport.LocalTransport` — fast
+enough for property tests to run hundreds of randomized DAGs).
+
+Fault tolerance in the monitor loop: a worker process that dies is
+respawned (within a budget derived from ``max_requeues``, so a job that
+kills every host eventually fails instead of crash-looping), and if no
+workers remain the surviving jobs are failed rather than hung.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.orchestrate.job import Job
+from repro.orchestrate.sched.coordinator import Coordinator, JobTicket
+from repro.orchestrate.sched.journal import Journal
+from repro.orchestrate.sched.transport import LocalTransport, SocketTransport
+from repro.orchestrate.sched.worker import WorkerLoop, shard_worker_main
+from repro.orchestrate.store import ResultStore
+
+__all__ = ["SchedReport", "ShardPool", "ShardScheduler"]
+
+Emit = Callable[..., None]
+
+
+@dataclass
+class SchedReport:
+    """What one sharded run did: per-job outcomes plus counters."""
+
+    run_id: str
+    outcomes: list[dict] = field(default_factory=list)
+    counters: dict[str, int] = field(default_factory=dict)
+    shards: int = 0
+    steal: bool = True
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(o["status"] in ("hit", "ran") for o in self.outcomes)
+
+    def count(self, status: str) -> int:
+        return sum(1 for o in self.outcomes if o["status"] == status)
+
+
+class _WorkerCrew:
+    """Spawns, tracks, respawns and stops the shard workers."""
+
+    def __init__(self, *, mode: str, shards: int, transport,
+                 store: ResultStore, poll_s: float,
+                 drop_heartbeats: bool, mp_context: str) -> None:
+        self.mode = mode
+        self.shards = shards
+        self.transport = transport
+        self.store = store
+        self.poll_s = poll_s
+        self.drop_heartbeats = drop_heartbeats
+        self._ctx = mp.get_context(mp_context)
+        self._members: dict[str, Any] = {}
+        self._spawned = 0
+        self.deaths = 0
+
+    def start(self) -> None:
+        for _ in range(self.shards):
+            self._spawn_one()
+
+    def _spawn_one(self) -> None:
+        worker_id = f"w{self._spawned}"
+        self._spawned += 1
+        if self.mode == "thread":
+            loop = WorkerLoop(self.transport.connect(), self.store,
+                              worker_id, poll_s=self.poll_s,
+                              drop_heartbeats=self.drop_heartbeats)
+            member = threading.Thread(target=loop.run,
+                                      name=f"shard-{worker_id}",
+                                      daemon=True)
+            member.start()
+        else:
+            member = self._ctx.Process(
+                target=shard_worker_main,
+                args=(self.transport.address, self.transport.authkey,
+                      str(self.store.root), worker_id, self.poll_s,
+                      self.drop_heartbeats),
+                name=f"shard-{worker_id}", daemon=True)
+            member.start()
+        self._members[worker_id] = member
+
+    def pids(self) -> list[int]:
+        """Live worker PIDs (process mode; empty for threads)."""
+        if self.mode == "thread":
+            return []
+        return [m.pid for m in self._members.values()
+                if m.is_alive() and m.pid is not None]
+
+    def reap_and_respawn(self, *, respawn: bool,
+                         budget_left: int) -> int:
+        """Drop dead members; respawn up to ``budget_left``; returns spawned."""
+        spawned = 0
+        for worker_id, member in list(self._members.items()):
+            if member.is_alive():
+                continue
+            del self._members[worker_id]
+            # a process that exited 0 chose to leave (stop, or the
+            # coordinator went away) — that is not a death
+            if self.mode == "thread" or member.exitcode != 0:
+                self.deaths += 1
+            if respawn and spawned < budget_left:
+                self._spawn_one()
+                spawned += 1
+        return spawned
+
+    @property
+    def alive(self) -> int:
+        return sum(1 for m in self._members.values() if m.is_alive())
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        deadline = time.monotonic() + timeout_s
+        for member in self._members.values():
+            member.join(timeout=max(0.0, deadline - time.monotonic()))
+        if self.mode == "process":
+            for member in self._members.values():
+                if member.is_alive():
+                    member.terminate()
+                    member.join(timeout=2.0)
+        self._members.clear()
+
+
+def _make_transport(mode: str):
+    return LocalTransport() if mode == "thread" else SocketTransport()
+
+
+class ShardScheduler:
+    """Run a planned job graph across N shard workers, exactly once.
+
+    Args:
+        order: jobs in dependency (topological) order.
+        keys: job name -> content-addressed cache key.
+        store: the shared result store (workers write it directly).
+        shards: worker count (each worker is one shard).
+        steal / steal_after_s: straggler work stealing (see
+            :class:`Coordinator`).
+        lease_ttl_s: heartbeat deadline; crashed workers are detected
+            within roughly this interval.
+        force: skip warm-cache lookups (journal commits still resume).
+        worker_mode: ``"process"`` (default) or ``"thread"``.
+        run_id: stable id for journal-based crash resume — rerunning
+            with the same id resumes from the previous attempt's journal.
+        journal_root: where per-shard journals live (default
+            ``<store>/journal``); ``None`` disables journaling.
+        drop_heartbeats: fault-injection — workers never heartbeat, so
+            every lease longer than the ttl expires and re-dispatches.
+    """
+
+    def __init__(self, order: Sequence[Job], keys: Mapping[str, str],
+                 store: ResultStore, *, shards: int = 2,
+                 steal: bool = True, steal_after_s: float | None = None,
+                 lease_ttl_s: float = 15.0, max_requeues: int = 5,
+                 force: bool = False, worker_mode: str = "process",
+                 run_id: str | None = None,
+                 journal_root: Path | str | None = "auto",
+                 poll_s: float = 0.02, drop_heartbeats: bool = False,
+                 mp_context: str = "spawn",
+                 emit: Emit | None = None) -> None:
+        if worker_mode not in ("process", "thread"):
+            raise ValueError(f"unknown worker_mode {worker_mode!r}")
+        self.order = list(order)
+        self.keys = dict(keys)
+        self.store = store
+        self.shards = max(1, int(shards))
+        self.steal = steal
+        self.steal_after_s = steal_after_s
+        self.lease_ttl_s = lease_ttl_s
+        self.max_requeues = max_requeues
+        self.force = force
+        self.worker_mode = worker_mode
+        self.run_id = run_id or uuid.uuid4().hex[:12]
+        if journal_root == "auto":
+            journal_root = store.root / "journal"
+        self.journal_root = (Path(journal_root)
+                             if journal_root is not None else None)
+        self.poll_s = poll_s
+        self.drop_heartbeats = drop_heartbeats
+        self.mp_context = mp_context
+        self.emit = emit
+        self.crew: _WorkerCrew | None = None
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> SchedReport:
+        started = time.perf_counter()
+        journal = (Journal(self.journal_root, self.run_id)
+                   if self.journal_root is not None else None)
+        replayed = journal.replay() if journal is not None else \
+            {"committed": {}, "leased": {}, "failed": {}}
+        coordinator = Coordinator(
+            lease_ttl_s=self.lease_ttl_s, steal=self.steal,
+            steal_after_s=self.steal_after_s,
+            max_requeues=self.max_requeues, journal=journal,
+            emit=self.emit)
+        self._seed(coordinator, replayed["committed"])
+        try:
+            if not coordinator.completed:
+                self._drive(coordinator)
+        finally:
+            if journal is not None:
+                journal.close()
+        report = SchedReport(
+            run_id=self.run_id, outcomes=coordinator.outcomes(),
+            counters=dict(coordinator.counters), shards=self.shards,
+            steal=self.steal,
+            elapsed_s=time.perf_counter() - started)
+        if self.crew is not None:
+            report.counters["worker_deaths"] = self.crew.deaths
+        return report
+
+    def _seed(self, coordinator: Coordinator,
+              committed: Mapping[str, dict]) -> None:
+        """Fill the job table: journal resumes, warm hits, then work."""
+        for job in self.order:
+            key = self.keys[job.name]
+            record = committed.get(job.name)
+            if (record is not None and record.get("key") == key
+                    and self.store.contains(key)):
+                # this run already computed it (crashed before finishing)
+                # — honoured even under --force, that is the journal's job
+                coordinator.mark_done(job.name, key, how="resumed")
+                continue
+            if not self.force:
+                entry = self.store.load(key)
+                if entry is not None:
+                    coordinator.mark_done(
+                        job.name, key, how="hit",
+                        elapsed_s=entry.meta.get("elapsed_s", 0.0))
+                    continue
+            coordinator.add_job(job, key,
+                                {dep: self.keys[dep] for dep in job.deps})
+
+    def _drive(self, coordinator: Coordinator) -> None:
+        transport = _make_transport(self.worker_mode)
+        transport.bind(coordinator.handle)
+        self.crew = _WorkerCrew(
+            mode=self.worker_mode, shards=self.shards,
+            transport=transport, store=self.store, poll_s=self.poll_s,
+            drop_heartbeats=self.drop_heartbeats,
+            mp_context=self.mp_context)
+        respawn_budget = self.shards * (self.max_requeues + 2)
+        try:
+            self.crew.start()
+            while not coordinator.completed:
+                time.sleep(self.poll_s)
+                coordinator.tick()
+                if coordinator.completed:
+                    break  # don't reap workers that just exited on "stop"
+                spawned = self.crew.reap_and_respawn(
+                    respawn=True, budget_left=respawn_budget)
+                respawn_budget -= spawned
+                if self.crew.alive == 0 and not coordinator.completed:
+                    if respawn_budget <= 0:
+                        coordinator.abort_remaining(
+                            "all shard workers died and the respawn "
+                            "budget is exhausted")
+                        break
+            coordinator.request_stop()
+        finally:
+            coordinator.request_stop()
+            self.crew.stop()
+            transport.close()
+
+    def worker_pids(self) -> list[int]:
+        """Live shard-worker PIDs (the fault suite's kill list)."""
+        return [] if self.crew is None else self.crew.pids()
+
+
+class ShardPool:
+    """Persistent shard workers serving ad-hoc submissions (serve mode).
+
+    Dependencies are resolved by the caller (``JobService`` walks the
+    graph and guarantees dep results are in the store before
+    submitting), so jobs enter the table ungated; ``dep_keys`` still
+    travel to the worker for input loading.  ``execute`` blocks until
+    the job's first accepted commit and returns the stored result.
+    """
+
+    def __init__(self, store: ResultStore, *, shards: int = 2,
+                 lease_ttl_s: float = 30.0, steal: bool = True,
+                 steal_after_s: float | None = None,
+                 poll_s: float = 0.05, mp_context: str = "spawn",
+                 worker_mode: str = "process") -> None:
+        self.store = store
+        self.shards = max(1, int(shards))
+        self.coordinator = Coordinator(
+            lease_ttl_s=lease_ttl_s, steal=steal,
+            steal_after_s=steal_after_s, persistent=True)
+        self._transport = _make_transport(worker_mode)
+        self._transport.bind(self.coordinator.handle)
+        self.crew = _WorkerCrew(
+            mode=worker_mode, shards=self.shards,
+            transport=self._transport, store=store, poll_s=poll_s,
+            drop_heartbeats=False, mp_context=mp_context)
+        self.crew.start()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def execute(self, job: Job, key: str,
+                dep_keys: Mapping[str, str] | None = None
+                ) -> tuple[Any, float, int]:
+        """Run one job through the shard crew; returns (result, s, rss_kb)."""
+        if self._closed:
+            raise RuntimeError("shard pool is closed")
+        with self._lock:
+            # a worker killed underneath the daemon is replaced here;
+            # its abandoned lease expires and the job re-dispatches
+            self.crew.reap_and_respawn(respawn=True,
+                                       budget_left=self.shards)
+        ticket: JobTicket = self.coordinator.submit(job, key, dep_keys)
+        while not ticket.wait(timeout=0.5):
+            self.coordinator.tick()
+            with self._lock:
+                self.crew.reap_and_respawn(respawn=True,
+                                           budget_left=self.shards)
+        if ticket.status != "done":
+            raise RuntimeError(ticket.error
+                               or f"job {job.name!r} {ticket.status}")
+        entry = self.store.load(key)
+        if entry is None:
+            raise RuntimeError(
+                f"job {job.name!r} committed but key {key[:12]} is "
+                f"missing from the store")
+        return entry.result, ticket.elapsed_s, ticket.max_rss_kb
+
+    def stats(self) -> dict:
+        return {"shards": self.shards, "alive": self.crew.alive,
+                **self.coordinator.counters}
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.coordinator.request_stop()
+        self.crew.stop()
+        self._transport.close()

@@ -1,0 +1,171 @@
+"""Pluggable coordinator<->worker transports.
+
+The scheduler speaks a tiny request/reply protocol (plain dicts, see
+:mod:`~repro.orchestrate.sched.coordinator`); a *transport* moves those
+dicts between the coordinator and its workers.  Two implementations:
+
+* :class:`LocalTransport` — in-process: a channel's ``rpc`` calls the
+  coordinator handler directly.  Used by thread-mode workers (property
+  tests, unit tests) where process isolation is unnecessary.
+* :class:`SocketTransport` — ``multiprocessing.connection`` over a
+  loopback TCP socket with an authkey handshake.  Worker *processes*
+  connect by ``(address, authkey)``, which pickle cleanly into a spawn
+  context — and, because the address is a plain TCP endpoint, the same
+  transport reaches workers on other hosts once the store is shared.
+
+The coordinator side binds a handler (``dict -> dict``); the worker side
+obtains a channel with a single blocking ``rpc(dict) -> dict``.  Handlers
+must be thread-safe: the socket transport serves each connection on its
+own thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from multiprocessing.connection import Client, Connection, Listener
+from typing import Callable
+
+__all__ = ["LocalTransport", "SocketTransport", "connect_socket"]
+
+Handler = Callable[[dict], dict]
+
+
+class _LocalChannel:
+    """Worker-side channel that invokes the bound handler in-process."""
+
+    def __init__(self, transport: "LocalTransport") -> None:
+        self._transport = transport
+
+    def rpc(self, message: dict) -> dict:
+        handler = self._transport._handler
+        if handler is None:
+            raise ConnectionError("transport is not bound")
+        return handler(message)
+
+    def close(self) -> None:
+        return None
+
+
+class LocalTransport:
+    """In-process transport: channels call the handler directly."""
+
+    def __init__(self) -> None:
+        self._handler: Handler | None = None
+
+    def bind(self, handler: Handler) -> None:
+        self._handler = handler
+
+    def connect(self) -> _LocalChannel:
+        return _LocalChannel(self)
+
+    @property
+    def address(self):
+        return None
+
+    def close(self) -> None:
+        self._handler = None
+
+
+class _SocketChannel:
+    """Worker-side channel over one ``multiprocessing`` connection.
+
+    ``rpc`` is serialised with a lock: the worker's main loop and its
+    heartbeat thread share the single connection.
+    """
+
+    def __init__(self, connection: Connection) -> None:
+        self._connection = connection
+        self._lock = threading.Lock()
+
+    def rpc(self, message: dict) -> dict:
+        with self._lock:
+            self._connection.send(message)
+            return self._connection.recv()
+
+    def close(self) -> None:
+        try:
+            self._connection.close()
+        except OSError:
+            pass
+
+
+def connect_socket(address, authkey: bytes) -> _SocketChannel:
+    """Open a worker channel to a bound :class:`SocketTransport`."""
+    return _SocketChannel(Client(address, authkey=authkey))
+
+
+class SocketTransport:
+    """Loopback-TCP request/reply server, one thread per worker."""
+
+    def __init__(self, host: str = "127.0.0.1",
+                 authkey: bytes | None = None) -> None:
+        import secrets
+
+        self.authkey = authkey if authkey is not None else \
+            secrets.token_bytes(16)
+        self._listener = Listener((host, 0), authkey=self.authkey)
+        self._handler: Handler | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._conn_threads: list[threading.Thread] = []
+        self._closing = False
+
+    @property
+    def address(self):
+        return self._listener.address
+
+    def bind(self, handler: Handler) -> None:
+        self._handler = handler
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="sched-accept", daemon=True)
+        self._accept_thread.start()
+
+    def connect(self) -> _SocketChannel:
+        return connect_socket(self.address, self.authkey)
+
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                connection = self._listener.accept()
+            except (OSError, EOFError, Exception):  # noqa: BLE001
+                # closed listener, or a failed authkey handshake from a
+                # dying client — keep accepting unless we are closing
+                if self._closing:
+                    return
+                continue
+            thread = threading.Thread(
+                target=self._serve_connection, args=(connection,),
+                name="sched-conn", daemon=True)
+            thread.start()
+            self._conn_threads.append(thread)
+
+    def _serve_connection(self, connection: Connection) -> None:
+        with connection:
+            while True:
+                try:
+                    message = connection.recv()
+                except (EOFError, OSError):
+                    return  # worker exited (or was SIGKILLed) mid-poll
+                handler = self._handler
+                if handler is None:
+                    return
+                try:
+                    reply = handler(message)
+                except Exception as error:  # noqa: BLE001 - surface it
+                    reply = {"type": "error",
+                             "error": f"{type(error).__name__}: {error}"}
+                try:
+                    connection.send(reply)
+                except (OSError, BrokenPipeError):
+                    return
+
+    def close(self) -> None:
+        self._closing = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        for thread in self._conn_threads:
+            thread.join(timeout=1.0)
+        self._handler = None

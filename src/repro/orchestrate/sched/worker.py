@@ -1,0 +1,167 @@
+"""The shard worker: lease, load inputs, execute, persist, commit.
+
+A worker is stateless by design — everything it needs arrives in the
+lease reply (the :class:`~repro.orchestrate.job.Job`, its cache key and
+its dependencies' keys) or lives in the shared
+:class:`~repro.orchestrate.store.ResultStore` (dependency results,
+written by whichever shard committed them).  That is what makes the
+scheduler transport-agnostic: a worker on another host needs only the
+coordinator address and a path to the same store.
+
+The loop:
+
+1. ``request`` a lease; ``wait`` replies back off for ``poll_s``,
+   ``stop`` ends the loop.
+2. While executing, a daemon heartbeat thread renews the lease every
+   ``ttl/3`` seconds.  A heartbeat answered ``valid: False`` means the
+   lease was superseded (expired and re-dispatched, or lost a steal
+   race); the worker finishes its current computation — pure jobs can't
+   be safely interrupted mid-flight — but its commit will be rejected
+   as a duplicate, preserving exactly-once accounting.
+3. The result is saved to the store *before* the commit message, so an
+   accepted commit always refers to durable bytes.
+
+``shard_worker_main`` is the process entry point (importable, so its
+arguments pickle into a ``spawn`` context).  ``drop_heartbeats`` is a
+fault-injection knob used by the stress suite to simulate a worker
+whose heartbeats are lost in transit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from repro.orchestrate.job import Job
+from repro.orchestrate.runner import _execute
+from repro.orchestrate.store import ResultStore
+
+__all__ = ["WorkerLoop", "shard_worker_main"]
+
+
+class WorkerLoop:
+    """Runs leases from a coordinator channel until told to stop."""
+
+    def __init__(self, channel, store: ResultStore, worker_id: str, *,
+                 poll_s: float = 0.05,
+                 drop_heartbeats: bool = False) -> None:
+        self.channel = channel
+        self.store = store
+        self.worker_id = worker_id
+        self.poll_s = poll_s
+        self.drop_heartbeats = drop_heartbeats
+        self.leases_run = 0
+
+    def run(self) -> None:
+        while True:
+            try:
+                reply = self.channel.rpc({"type": "request",
+                                          "worker": self.worker_id})
+            except (ConnectionError, EOFError, OSError):
+                return  # coordinator is gone; nothing left to do
+            kind = reply.get("type")
+            if kind == "stop":
+                return
+            if kind == "lease":
+                self._run_lease(reply)
+                continue
+            time.sleep(self.poll_s)  # "wait" (or anything unexpected)
+
+    # ------------------------------------------------------------------
+
+    def _run_lease(self, lease: dict) -> None:
+        job: Job = lease["job"]
+        key: str = lease["key"]
+        lease_id: str = lease["lease_id"]
+        ttl_s: float = float(lease.get("ttl_s", 15.0))
+        self.leases_run += 1
+
+        superseded = threading.Event()
+        stop_heartbeat = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(job.name, lease_id, ttl_s, superseded, stop_heartbeat),
+            name=f"heartbeat-{self.worker_id}", daemon=True)
+        heartbeat.start()
+        try:
+            inputs = self._load_inputs(job, lease.get("dep_keys") or {})
+            result, elapsed, rss = _execute(job, inputs)
+        except Exception as error:  # noqa: BLE001 - report, keep serving
+            self._rpc_quiet({"type": "fail", "job": job.name,
+                             "lease_id": lease_id,
+                             "worker": self.worker_id,
+                             "error": f"{type(error).__name__}: {error}"})
+            return
+        finally:
+            stop_heartbeat.set()
+        # durable first, then commit: an accepted commit always refers
+        # to bytes that are already on disk under the key
+        self.store.save(key, result, {
+            "job": job.name, "fn": job.fn,
+            "params": _canonical_params(job.params),
+            "elapsed_s": elapsed, "max_rss_kb": rss,
+            "shard": self.worker_id,
+        })
+        self._rpc_quiet({"type": "commit", "job": job.name,
+                         "lease_id": lease_id, "worker": self.worker_id,
+                         "elapsed_s": elapsed, "max_rss_kb": rss})
+
+    def _load_inputs(self, job: Job,
+                     dep_keys: dict[str, str]) -> dict[str, Any] | None:
+        if not job.deps:
+            return None
+        inputs: dict[str, Any] = {}
+        for dep in job.deps:
+            entry = self.store.load(dep_keys[dep])
+            if entry is None:
+                raise RuntimeError(
+                    f"dependency {dep!r} missing from the store "
+                    f"(key {dep_keys[dep][:12]})")
+            inputs[dep] = entry.result
+        return inputs
+
+    def _heartbeat_loop(self, job_name: str, lease_id: str, ttl_s: float,
+                        superseded: threading.Event,
+                        stop: threading.Event) -> None:
+        if self.drop_heartbeats:
+            return
+        interval = max(ttl_s / 3.0, 0.01)
+        while not stop.wait(interval):
+            try:
+                reply = self.channel.rpc({"type": "heartbeat",
+                                          "job": job_name,
+                                          "lease_id": lease_id,
+                                          "worker": self.worker_id})
+            except (ConnectionError, EOFError, OSError):
+                return
+            if not reply.get("valid", False):
+                superseded.set()
+                return
+
+    def _rpc_quiet(self, message: dict) -> None:
+        try:
+            self.channel.rpc(message)
+        except (ConnectionError, EOFError, OSError):
+            pass  # coordinator gone; the lease will expire server-side
+
+
+def _canonical_params(params: dict) -> str:
+    from repro.orchestrate.fingerprint import canonical_params
+
+    return canonical_params(params)
+
+
+def shard_worker_main(address, authkey: bytes, store_root: str,
+                      worker_id: str, poll_s: float = 0.05,
+                      drop_heartbeats: bool = False) -> None:
+    """Process entry point: connect, open the shared store, serve leases."""
+    from repro.orchestrate.sched.transport import connect_socket
+
+    channel = connect_socket(address, authkey)
+    store = ResultStore(store_root, sweep_stale=False)
+    try:
+        WorkerLoop(channel, store, worker_id, poll_s=poll_s,
+                   drop_heartbeats=drop_heartbeats).run()
+    finally:
+        channel.close()

@@ -107,9 +107,10 @@ class ServeApp:
     def __init__(self, service: JobService | None = None, *,
                  host: str = "127.0.0.1", port: int = 8023,
                  registry=None, store: ResultStore | None = None,
-                 workers: int = 1) -> None:
+                 workers: int = 1, scheduler: str = "pool") -> None:
         self.service = service if service is not None else JobService(
-            registry=registry, store=store, workers=workers)
+            registry=registry, store=store, workers=workers,
+            scheduler=scheduler)
         self.host = host
         self.port = port
         self.tracked: dict[str, TrackedJob] = {}
@@ -383,6 +384,7 @@ def run_app(app: ServeApp) -> None:
                 loop.add_signal_handler(signum, app.request_stop)
         print(f"repro serve listening on http://{app.host}:{app.port} "
               f"(workers={app.service.workers}, "
+              f"scheduler={app.service.scheduler}, "
               f"cache={app.service.store.root})", flush=True)
         await app.serve_until_stopped()
 
@@ -419,10 +421,10 @@ class ServerHandle:
 
 def serve_in_thread(*, registry=None, store: ResultStore | None = None,
                     workers: int = 1, host: str = "127.0.0.1",
-                    port: int = 0) -> ServerHandle:
+                    port: int = 0, scheduler: str = "pool") -> ServerHandle:
     """Boot a daemon on a daemon thread; returns once it is accepting."""
     app = ServeApp(registry=registry, store=store, workers=workers,
-                   host=host, port=port)
+                   host=host, port=port, scheduler=scheduler)
     started = threading.Event()
     box: dict = {}
 

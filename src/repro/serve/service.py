@@ -18,6 +18,13 @@ each normalised :class:`~repro.serve.protocol.Query` it
 
 Dependencies resolve recursively through the same path, so two requests
 sharing an upstream job share its flight too.
+
+With ``scheduler="shard"`` the cold path runs through a persistent
+:class:`~repro.orchestrate.sched.ShardPool` instead: the same
+lease/heartbeat/re-dispatch machinery as ``repro sweep --scheduler
+shard``, so a shard worker that dies mid-job is replaced and the job
+re-dispatched instead of failing the request.  Shard workers persist
+results into the store themselves, so the service skips its own save.
 """
 
 from __future__ import annotations
@@ -70,15 +77,28 @@ class JobService:
 
     def __init__(self, registry: Mapping[str, Job] | None = None,
                  store: ResultStore | None = None,
-                 workers: int = 1) -> None:
+                 workers: int = 1, scheduler: str = "pool",
+                 sched_options: Mapping[str, Any] | None = None) -> None:
         if registry is None:
             from repro.orchestrate.jobs import all_jobs
 
             registry = all_jobs()
+        if scheduler not in ("pool", "shard"):
+            raise ValueError(f"unknown scheduler {scheduler!r}; choose "
+                             f"from 'pool', 'shard'")
         self.registry: dict[str, Job] = dict(registry)
         self.store = store if store is not None else ResultStore()
         self.workers = max(1, int(workers))
-        self.pool = ProcessPoolExecutor(max_workers=self.workers)
+        self.scheduler = scheduler
+        self.pool: ProcessPoolExecutor | None = None
+        self.shard_pool = None
+        if scheduler == "shard":
+            from repro.orchestrate.sched import ShardPool
+
+            self.shard_pool = ShardPool(self.store, shards=self.workers,
+                                        **dict(sched_options or {}))
+        else:
+            self.pool = ProcessPoolExecutor(max_workers=self.workers)
         self.flight = SingleFlight()
         self.fingerprints = FingerprintCache()
         self.started_at = time.time()
@@ -148,19 +168,28 @@ class JobService:
                                   elapsed_s=entry.meta.get("elapsed_s", 0.0))
             inputs = None
             if job.deps:
+                # resolve upstream first in both modes: the shard
+                # worker loads dep results from the store by key, so
+                # they must be durable before the job is submitted
                 upstream = await asyncio.gather(
                     *(self._resolve(dep, jobs, keys, emit)
                       for dep in job.deps))
                 inputs = {r.name: r.result for r in upstream}
             emit({"event": "job_start", "job": name, "key": key})
-            loop = asyncio.get_running_loop()
-            result, elapsed, rss = await loop.run_in_executor(
-                self.pool, _execute, job, inputs)
-            await asyncio.to_thread(self.store.save, key, result, {
-                "job": job.name, "fn": job.fn,
-                "params": canonical_params(job.params),
-                "elapsed_s": elapsed, "max_rss_kb": rss,
-            })
+            if self.shard_pool is not None:
+                result, elapsed, rss = await asyncio.to_thread(
+                    self.shard_pool.execute, job, key,
+                    {dep: keys[dep] for dep in job.deps})
+                # the committing shard worker already saved the result
+            else:
+                loop = asyncio.get_running_loop()
+                result, elapsed, rss = await loop.run_in_executor(
+                    self.pool, _execute, job, inputs)
+                await asyncio.to_thread(self.store.save, key, result, {
+                    "job": job.name, "fn": job.fn,
+                    "params": canonical_params(job.params),
+                    "elapsed_s": elapsed, "max_rss_kb": rss,
+                })
             self.computed += 1
             emit({"event": "job_done", "job": name, "key": key,
                   "elapsed_s": elapsed, "max_rss_kb": rss})
@@ -177,6 +206,7 @@ class JobService:
         return {
             "uptime_s": time.time() - self.started_at,
             "workers": self.workers,
+            "scheduler": self.scheduler,
             "requests": self.requests,
             "hits": self.hits,
             "computed": self.computed,
@@ -185,8 +215,13 @@ class JobService:
             "flights_led": self.flight.leaders,
             "inflight": self.flight.inflight,
             "cache_dir": str(self.store.root),
+            **({"shard": self.shard_pool.stats()}
+               if self.shard_pool is not None else {}),
         }
 
     def close(self, *, drain: bool = True) -> None:
-        """Shut the process pool down (draining in-flight work first)."""
-        self.pool.shutdown(wait=drain, cancel_futures=not drain)
+        """Shut the cold-job executor down (draining in-flight work)."""
+        if self.shard_pool is not None:
+            self.shard_pool.close()
+        if self.pool is not None:
+            self.pool.shutdown(wait=drain, cancel_futures=not drain)

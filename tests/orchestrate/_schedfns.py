@@ -1,0 +1,102 @@
+"""Pure-but-instrumented job functions for the scheduler test suites.
+
+Like :mod:`tests.orchestrate._jobfns`, these live in a real module so
+jobs reference them as importable ``"module:attr"`` strings and pickle
+into spawned shard workers.  Every function's *return value* is pure in
+its parameters — the cache key contract — while the side effects
+(append-only log lines, marker files, a deliberate ``SIGKILL``) exist
+solely so tests can observe executions, order them, and inject faults.
+
+File-based coordination works identically for thread-mode workers (same
+process) and process-mode workers (spawned interpreters).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import time
+
+
+def logged_leaf(path: str, name: str, value: int = 1,
+                delay_s: float = 0.0) -> int:
+    """Leaf job that appends ``start``/``end`` lines to a shared log."""
+    _append(path, f"start {name}")
+    if delay_s:
+        time.sleep(delay_s)
+    _append(path, f"end {name}")
+    return value
+
+
+def logged_add(inputs: dict, path: str, name: str, bonus: int = 0,
+               delay_s: float = 0.0) -> int:
+    """Dependent job: logs, sums its inputs (plus ``bonus``)."""
+    _append(path, f"start {name}")
+    if delay_s:
+        time.sleep(delay_s)
+    total = sum(inputs.values()) + bonus
+    _append(path, f"end {name}")
+    return total
+
+
+def kill_self_unless(marker: str, value: int = 3,
+                     delay_s: float = 0.05) -> int:
+    """SIGKILL the executing process on the first attempt.
+
+    The first execution drops ``marker`` and then kills its own process
+    — uncatchable, mid-lease, exactly like a crashed worker host.  Once
+    the marker exists (the re-dispatched attempt, or a later serial
+    run), the function returns ``value`` normally, so the recomputed
+    result is byte-identical to an undisturbed run.
+    """
+    flag = pathlib.Path(marker)
+    if not flag.exists():
+        flag.write_text("armed\n")
+        time.sleep(delay_s)  # ensure the lease is visibly held
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value
+
+
+def kill_self_always(delay_s: float = 0.05) -> int:
+    """Poison job: every attempt SIGKILLs whatever worker hosts it."""
+    time.sleep(delay_s)
+    os.kill(os.getpid(), signal.SIGKILL)
+    return 0  # unreachable
+
+
+def straggle_once(slow_marker: str, gate: str, value: int = 11,
+                  poll_s: float = 0.01, timeout_s: float = 30.0) -> int:
+    """First execution blocks until ``gate`` exists; the second opens it.
+
+    This makes a steal race deterministic: the original lease straggles
+    (blocked on the gate), the stolen lease runs to completion and
+    *creates* the gate on its way out, which releases the original to
+    finish and file the losing (duplicate) commit.
+    """
+    flag = pathlib.Path(slow_marker)
+    gate_path = pathlib.Path(gate)
+    if not flag.exists():
+        flag.write_text("straggling\n")
+        deadline = time.monotonic() + timeout_s
+        while not gate_path.exists():
+            if time.monotonic() > deadline:
+                raise TimeoutError("straggler gate never opened")
+            time.sleep(poll_s)
+    else:
+        gate_path.write_text("open\n")
+    return value
+
+
+def _append(path: str, line: str) -> None:
+    # one small O_APPEND write per line: atomic enough that concurrent
+    # workers never interleave characters within a line
+    with open(path, "a") as handle:
+        handle.write(line + "\n")
+
+
+def read_log(path: str) -> list[str]:
+    target = pathlib.Path(path)
+    if not target.exists():
+        return []
+    return target.read_text().splitlines()

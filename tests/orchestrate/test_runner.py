@@ -220,3 +220,74 @@ class TestRunLog:
         assert all("ts" in e for e in events)
         end = events[-1]
         assert end["hit"] == 1 and end["failed"] == 1 and end["skipped"] == 1
+
+    def test_every_emit_is_flushed_and_fsynced(self, tmp_path, monkeypatch):
+        """Regression: records used to sit in the file buffer until run
+        end, so a SIGKILLed sweep left an empty log — each emit must
+        reach disk before returning."""
+        from repro.orchestrate import runlog as runlog_module
+
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(runlog_module.os, "fsync",
+                            lambda fd: synced.append(fd) or real_fsync(fd))
+        log_path = tmp_path / "run.jsonl"
+        with runlog_module.RunLog(log_path) as log:
+            for index in range(3):
+                log.emit("tick", index=index)
+                # already parseable on disk, mid-run, without close()
+                assert len(read_events(log_path)) == index + 1
+        assert len(synced) == 3
+
+    def test_records_survive_sigkill(self, tmp_path):
+        """A writer SIGKILLed right after emit leaves every record
+        durable and parseable (no torn tail)."""
+        import signal
+        import subprocess
+        import sys
+        import textwrap
+
+        log_path = tmp_path / "killed.jsonl"
+        script = textwrap.dedent(f"""
+            import os, signal
+            from repro.orchestrate.runlog import RunLog
+            log = RunLog({str(log_path)!r})
+            for index in range(5):
+                log.emit("tick", index=index)
+            os.kill(os.getpid(), signal.SIGKILL)
+        """)
+        from repro.orchestrate import runlog as runlog_module
+
+        src_dir = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(runlog_module.__file__))))
+        env = dict(os.environ, PYTHONPATH=os.pathsep.join(
+            filter(None, [src_dir, os.environ.get("PYTHONPATH")])))
+        proc = subprocess.run([sys.executable, "-c", script], env=env,
+                              timeout=60)
+        assert proc.returncode == -signal.SIGKILL
+        events = read_events(log_path)
+        assert [e["index"] for e in events] == list(range(5))
+
+    def test_emit_is_thread_safe(self, tmp_path):
+        """Concurrent emitters never interleave bytes within a line."""
+        import threading
+
+        from repro.orchestrate.runlog import RunLog
+
+        log_path = tmp_path / "threads.jsonl"
+        with RunLog(log_path) as log:
+            def emit_many(worker):
+                for index in range(50):
+                    log.emit("tick", worker=worker, index=index)
+            threads = [threading.Thread(target=emit_many, args=(w,))
+                       for w in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        events = read_events(log_path)
+        assert len(events) == 200
+        for worker in range(4):
+            indexes = [e["index"] for e in events
+                       if e["worker"] == worker]
+            assert indexes == list(range(50))
