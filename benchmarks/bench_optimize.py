@@ -1,0 +1,148 @@
+"""Benchmark: the vectorised surrogate engine vs the scalar stack.
+
+The ``repro optimize`` design-space search is only viable because the
+batched analytical kernels (:mod:`repro.analytical.batched`, fronted by
+:func:`repro.analytical.surrogate.evaluate_grid`) score whole grids of
+(cache size, banks, ``t_m``, blocking factor) x workload points per
+``numpy`` call.  This benchmark measures both sides of that bargain:
+
+1. **Scalar baseline** — a Python loop over sampled design points, each
+   scored through the scalar models exactly the way ``vcm_query`` does
+   (cycles per result, miss ratio, bandwidth per point).
+2. **Batched grid** — one ``evaluate_grid`` call over a broadcast grid
+   of the same point family, best-of-three timing.
+
+Acceptance (asserted under pytest and in ``__main__``): the batched
+engine must clear **10^6 points/s** and a **100x** speedup over the
+scalar loop — the gates the optimizer's interactivity rests on.
+Results land in ``BENCH_optimize.json`` at the repo root.
+
+Runnable standalone (``python benchmarks/bench_optimize.py``) or under
+pytest.  ``BENCH_OPTIMIZE_SMOKE=1`` shrinks the grid for CI.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.analytical.base import MachineConfig
+from repro.analytical.bandwidth import expected_effective_bandwidth
+from repro.analytical.cc import PrimeMappedModel
+from repro.analytical.missratio import scalar_workload_miss_ratio
+from repro.analytical.mm import MMModel
+from repro.analytical.surrogate import evaluate_grid
+from repro.analytical.vcm import VCM
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ARTIFACT = REPO_ROOT / "BENCH_optimize.json"
+
+SMOKE = bool(os.environ.get("BENCH_OPTIMIZE_SMOKE"))
+MIN_POINTS_PER_SECOND = 1e6
+MIN_SPEEDUP = 100.0
+
+CACHE_LINES = 8191
+T_M_VALUES = tuple(range(4, 36, 4)) if SMOKE else tuple(range(2, 66, 4))
+BANK_VALUES = (16, 32, 64, 128) if SMOKE else (8, 16, 32, 64, 128, 256,
+                                               512, 1024)
+BLOCK_COUNT = 2048 if SMOKE else 8192
+SCALAR_POINTS = 60 if SMOKE else 300
+P_DS = 0.1
+
+
+def _score_scalar_point(t_m: int, banks: int, block: int) -> tuple:
+    """One design point through the scalar stack (the vcm_query recipe)."""
+    config = MachineConfig(num_banks=banks, memory_access_time=t_m,
+                           cache_lines=CACHE_LINES)
+    vcm = VCM(blocking_factor=block, reuse_factor=float(max(1, block // 8)),
+              p_ds=P_DS)
+    model = PrimeMappedModel(config)
+    return (model.cycles_per_result(vcm),
+            MMModel(config).cycles_per_result(vcm),
+            scalar_workload_miss_ratio(model, vcm),
+            expected_effective_bandwidth(config))
+
+
+def _scalar_leg() -> float:
+    """Points/s of the scalar loop over a spread sample of the grid."""
+    rng = np.random.default_rng(0)
+    t_ms = rng.choice(T_M_VALUES, size=SCALAR_POINTS)
+    banks = rng.choice(BANK_VALUES, size=SCALAR_POINTS)
+    blocks = rng.integers(1, BLOCK_COUNT + 1, size=SCALAR_POINTS)
+    start = time.perf_counter()
+    for t_m, m, b in zip(t_ms, banks, blocks):
+        _score_scalar_point(int(t_m), int(m), int(b))
+    elapsed = time.perf_counter() - start
+    return SCALAR_POINTS / elapsed
+
+
+def _batched_leg() -> tuple[float, int]:
+    """(points/s best-of-three, grid size) of one evaluate_grid call."""
+    t_m = np.asarray(T_M_VALUES)[:, None, None]
+    banks = np.asarray(BANK_VALUES)[None, :, None]
+    block = np.arange(1, BLOCK_COUNT + 1)[None, None, :]
+    points = t_m.size * banks.size * BLOCK_COUNT
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        out = evaluate_grid(
+            "prime", cache_lines=CACHE_LINES, num_banks=banks, t_m=t_m,
+            blocking_factor=block,
+            reuse_factor=np.maximum(1.0, block / 8.0), p_ds=P_DS)
+        np.broadcast_to(out["cycles_per_result"],
+                        (t_m.size, banks.size, BLOCK_COUNT))[0, 0, 0]
+        best = min(best, time.perf_counter() - start)
+    return points / best, points
+
+
+def run() -> dict:
+    scalar_pps = _scalar_leg()
+    batched_pps, points = _batched_leg()
+    payload = {
+        "benchmark": "optimize",
+        "smoke": SMOKE,
+        "grid_points": points,
+        "scalar_sample_points": SCALAR_POINTS,
+        "scalar_points_per_second": round(scalar_pps, 1),
+        "batched_points_per_second": round(batched_pps, 1),
+        "speedup": round(batched_pps / scalar_pps, 1),
+        "min_points_per_second": MIN_POINTS_PER_SECOND,
+        "min_speedup": MIN_SPEEDUP,
+    }
+    ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def _check(payload: dict) -> list[str]:
+    problems = []
+    if payload["batched_points_per_second"] < MIN_POINTS_PER_SECOND:
+        problems.append(
+            f"batched throughput {payload['batched_points_per_second']:.0f} "
+            f"pts/s under the {MIN_POINTS_PER_SECOND:.0f} pts/s gate")
+    if payload["speedup"] < MIN_SPEEDUP:
+        problems.append(
+            f"speedup {payload['speedup']}x under the {MIN_SPEEDUP}x gate")
+    return problems
+
+
+def test_batched_surrogate_throughput():
+    payload = run()
+    problems = _check(payload)
+    assert not problems, "; ".join(problems)
+
+
+if __name__ == "__main__":
+    result = run()
+    print(json.dumps(result, indent=2))
+    failures = _check(result)
+    for failure in failures:
+        print(f"FAILED: {failure}")
+    print(f"batched {result['batched_points_per_second']:,.0f} pts/s, "
+          f"scalar {result['scalar_points_per_second']:,.0f} pts/s, "
+          f"speedup {result['speedup']}x "
+          f"({'ok' if not failures else 'FAILED'})")
+    raise SystemExit(1 if failures else 0)

@@ -26,6 +26,8 @@ from repro.analytical.fft import BlockedFFTModel, FFTShape
 from repro.analytical.missratio import (
     MissRatioView,
     cached_sweep_misses,
+    scalar_cached_sweep_misses,
+    scalar_workload_miss_ratio,
     demonstrate_miss_ratio_fallacy,
     workload_miss_ratio,
 )
@@ -37,6 +39,12 @@ from repro.analytical.optimize import (
     optimal_blocking_factor,
 )
 from repro.analytical.set_assoc import SetAssociativeModel
+from repro.analytical.surrogate import (
+    apply_constraints,
+    evaluate_grid,
+    evaluate_points,
+    pareto_front,
+)
 from repro.analytical.subblock import (
     BlockChoice,
     conflict_free_bounds,
@@ -64,6 +72,7 @@ __all__ = [
     "StrideRun",
     "StrideSpec",
     "VCM",
+    "apply_constraints",
     "average_cross_stalls",
     "banks_needed_for_full_bandwidth",
     "cached_sweep_misses",
@@ -75,12 +84,17 @@ __all__ = [
     "demonstrate_miss_ratio_fallacy",
     "effective_bandwidth_for_stride",
     "estimate_vcm",
+    "evaluate_grid",
+    "evaluate_points",
     "expected_cross_stalls",
     "expected_effective_bandwidth",
     "full_cache_penalty",
     "is_conflict_free",
     "max_conflict_free_block",
     "optimal_blocking_factor",
+    "pareto_front",
+    "scalar_cached_sweep_misses",
+    "scalar_workload_miss_ratio",
     "self_stalls_for_stride",
     "solve_linear_congruence",
     "split_stride_runs",

@@ -1,0 +1,746 @@
+"""Vectorised evaluation of the analytical stack over parameter grids.
+
+Every closed form in :mod:`repro.analytical` — the congruence
+cross-stall solver of Section 3.2, the MM-model Eqs. (1)–(3), the
+direct/prime/set-associative CC-model Eqs. (4)–(8), the stride
+footprints, the Oed–Lange bandwidth forms and the blocking/crossover
+searches of :mod:`repro.analytical.optimize` — is re-derived here as
+numpy array arithmetic, so one call scores a whole grid of
+``(mapping, C, ways, banks, t_m) x (B, R, P_ds, P_stride1)`` design
+points instead of a Python loop of scalar model calls.
+
+The functions mirror the scalar expressions term by term (same
+operation order wherever the result could depend on float rounding), so
+the ``analytical-batched`` oracle in :mod:`repro.verify` can hold the
+two paths to a tight tolerance.  Two scalar-only loops needed a real
+re-derivation:
+
+* the O(C) random-stride sums of the set-associative model collapse to
+  a sum over gcd *classes* ``gcd(S, s) = 2^k`` (at most ``log2 S + 1``
+  terms, each with a closed-form stride count), exact because every
+  per-stride summand is an integer;
+* the triple loop of :func:`repro.analytical.congruence.cross_stalls`
+  collapses per diagonal ``delta = i - j``: the pairs on one diagonal
+  solve ``(s1 - s2) * i === d - s2*delta (mod M)``, a single residue
+  class mod ``M/gcd`` whose members in the valid ``i`` range are
+  counted with floor arithmetic (the modular inverse comes from a
+  vectorised extended Euclid, since ``pow(a, -1, m)`` cannot
+  broadcast).
+
+Stride specifications are per *call*, not per element: ``s1``/``s2``
+are either the string ``"random"``, ``None``, or an integer array —
+grids mixing random- and fixed-stride points are evaluated in one call
+per group (see :mod:`repro.analytical.surrogate`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "solution_count_batch",
+    "modinv_batch",
+    "cross_stalls_batch",
+    "expected_cross_stalls_batch",
+    "mm_self_stalls_for_stride_batch",
+    "mm_random_self_stalls_batch",
+    "mm_self_interference_batch",
+    "mm_element_time_batch",
+    "block_time_batch",
+    "mm_cycles_per_result_batch",
+    "cc_self_stalls_for_stride_batch",
+    "cc_self_interference_batch",
+    "cc_expected_footprint_batch",
+    "cc_cross_interference_batch",
+    "cc_element_time_batch",
+    "cached_block_time_batch",
+    "cc_outputs_batch",
+    "cached_sweep_misses_batch",
+    "workload_miss_ratio_batch",
+    "effective_bandwidth_for_stride_batch",
+    "expected_effective_bandwidth_batch",
+    "optimal_blocking_factor_batch",
+    "crossover_memory_time_batch",
+    "MAPPINGS",
+]
+
+#: Cache organisations the batched CC forms understand.
+MAPPINGS = ("direct", "prime", "assoc")
+
+
+def _i64(values) -> np.ndarray:
+    return np.asarray(values, dtype=np.int64)
+
+
+def _f64(values) -> np.ndarray:
+    return np.asarray(values, dtype=np.float64)
+
+
+def _floor_log2(values) -> np.ndarray:
+    """``floor(log2(v))`` for ``v > 1``, else 0 — exact via ``frexp``.
+
+    ``frexp`` writes ``v = mantissa * 2**exp`` with mantissa in
+    ``[0.5, 1)``, so ``exp - 1`` is exactly ``floor(log2 v)`` for every
+    positive float (no log-rounding edge at exact powers of two).
+    """
+    v = _f64(values)
+    _, exp = np.frexp(v)
+    return np.where(v > 1.0, exp.astype(np.int64) - 1, 0)
+
+
+def _exact_log2(values) -> np.ndarray:
+    """``log2`` of power-of-two int arrays (validated)."""
+    v = _i64(values)
+    if np.any(v <= 0) or np.any(v & (v - 1)):
+        raise ValueError("expected positive powers of two")
+    return _floor_log2(v)
+
+
+def _ceil_div(a, b):
+    a, b = _i64(a), _i64(b)
+    return -(-a // b)
+
+
+# ---------------------------------------------------------------------------
+# congruence: solution counting and cross-stalls over grids
+# ---------------------------------------------------------------------------
+
+
+def solution_count_batch(a, b, m) -> np.ndarray:
+    """How many ``x`` in ``0 .. m-1`` solve ``a*x === b (mod m)``.
+
+    The vectorised counterpart of
+    ``len(solve_linear_congruence(a, b, m))``: ``gcd(a, m)`` when it
+    divides ``b``, else zero.
+    """
+    a, b, m = np.broadcast_arrays(_i64(a), _i64(b), _i64(m))
+    if np.any(m <= 0):
+        raise ValueError("modulus must be positive")
+    g = np.gcd(a % m, m)
+    return np.where(b % g == 0, g, 0)
+
+
+def modinv_batch(a, m) -> np.ndarray:
+    """Modular inverse of ``a`` mod ``m`` (``gcd(a, m) == 1``), batched.
+
+    Iterative extended Euclid — ``pow(a, -1, m)`` cannot broadcast.
+    ``m == 1`` maps to 0, matching the scalar solver's convention.
+    """
+    a, m = np.broadcast_arrays(_i64(a), _i64(m))
+    if np.any(m <= 0):
+        raise ValueError("modulus must be positive")
+    old_r = a % m
+    r = m.copy()
+    old_s = np.ones_like(old_r)
+    s = np.zeros_like(old_r)
+    while np.any(r != 0):
+        active = r != 0
+        safe_r = np.where(active, r, 1)
+        q = np.where(active, old_r // safe_r, 0)
+        old_r, r = np.where(active, r, old_r), np.where(active, old_r - q * r, r)
+        old_s, s = np.where(active, s, old_s), np.where(active, old_s - q * s, s)
+    return np.where(m == 1, 0, old_s % m)
+
+
+def cross_stalls_batch(s1, s2, d, num_banks, mvl, t_m) -> np.ndarray:
+    """Exact stall cycles between two streams, over broadcast grids.
+
+    Same count as :func:`repro.analytical.congruence.cross_stalls`,
+    reorganised per diagonal: a solution pair ``(i, j)`` with
+    ``delta = i - j`` satisfies ``(s1 - s2)*i === d - s2*delta (mod M)``
+    and contributes ``t_m - |delta|``; the solutions form one residue
+    class mod ``M/g`` counted by floor arithmetic over the valid ``i``
+    range.  Cost O(max t_m) per grid point instead of the scalar's
+    O(MVL * t_m / M * ...) enumeration.
+    """
+    s1, s2, d, num_banks, mvl, t_m = np.broadcast_arrays(
+        _i64(s1), _i64(s2), _i64(d), _i64(num_banks), _i64(mvl), _i64(t_m))
+    if np.any(mvl <= 0) or np.any(t_m <= 0):
+        raise ValueError("mvl and t_m must be positive")
+    if np.any(num_banks <= 0):
+        raise ValueError("num_banks must be positive")
+    m = num_banks
+    a = (s1 - s2) % m
+    g = np.gcd(a, m)
+    m_red = m // g
+    inv = modinv_batch((a // g) % np.maximum(m_red, 1), m_red)
+
+    max_t = int(t_m.max())
+    # diagonals delta = i - j in (-t_m, t_m), one trailing axis
+    delta = np.arange(-(max_t - 1), max_t, dtype=np.int64)
+    dl = delta.reshape((1,) * m.ndim + (-1,))
+    mx = m[..., None]
+    gx = g[..., None]
+    weight = t_m[..., None] - np.abs(dl)
+    # b-side of the per-diagonal congruence; solvable iff g | b
+    b = (d[..., None] - s2[..., None] * dl) % mx
+    solvable = b % gx == 0
+    # principal solution of the reduced congruence, lifted: i === x0 (mod M/g)
+    m_red_x = np.maximum(m_red[..., None], 1)
+    x0 = ((b // gx) % m_red_x) * inv[..., None] % m_red_x
+    # valid i range so that both i and j = i - delta lie in [0, mvl)
+    lo = np.maximum(0, dl)
+    hi = np.minimum(mvl[..., None] - 1, mvl[..., None] - 1 + dl)
+    count = (hi - x0) // m_red_x - (lo - 1 - x0) // m_red_x
+    count = np.where(solvable & (weight > 0) & (hi >= lo), count, 0)
+    return np.sum(weight * count, axis=-1)
+
+
+def expected_cross_stalls_batch(num_banks, mvl, t_m) -> np.ndarray:
+    """Closed form of ``E[I_c^M]`` over uniform ``D``, batched.
+
+    The scalar loop ``sum_{d=1}^{L} 2(MVL-d)(t_m-d)`` with
+    ``L = min(t_m, MVL) - 1`` collapses via the power sums
+    ``S1 = L(L+1)/2`` and ``S2 = L(L+1)(2L+1)/6``.
+    """
+    num_banks, mvl, t_m = np.broadcast_arrays(
+        _i64(num_banks), _i64(mvl), _i64(t_m))
+    if np.any(mvl <= 0) or np.any(t_m <= 0):
+        raise ValueError("mvl and t_m must be positive")
+    big_l = np.minimum(t_m, mvl) - 1
+    s1 = big_l * (big_l + 1) // 2
+    s2 = big_l * (big_l + 1) * (2 * big_l + 1) // 6
+    total = t_m * mvl + 2 * (mvl * t_m * big_l - (mvl + t_m) * s1 + s2)
+    return total / num_banks
+
+
+# ---------------------------------------------------------------------------
+# MM-model (Eqs. 1-3)
+# ---------------------------------------------------------------------------
+
+
+def mm_self_stalls_for_stride_batch(stride, num_banks, t_m, mvl) -> np.ndarray:
+    """Vectorised :func:`repro.analytical.mm.self_stalls_for_stride`."""
+    stride, num_banks, t_m, mvl = np.broadcast_arrays(
+        _i64(stride), _i64(num_banks), _i64(t_m), _i64(mvl))
+    k = np.where(stride == 0, 1,
+                 num_banks // np.gcd(num_banks, np.abs(stride)))
+    return np.where(
+        k == 1, mvl * (t_m - 1.0),
+        np.where(t_m <= k, 0.0, (t_m - k) * (mvl / k)))
+
+
+def mm_random_self_stalls_batch(num_banks, t_m, mvl) -> np.ndarray:
+    """The MM closed form for strides uniform on ``2 .. M``, batched."""
+    num_banks, t_m, mvl = np.broadcast_arrays(
+        _i64(num_banks), _i64(t_m), _i64(mvl))
+    log_floor = _floor_log2(t_m)
+    bracket = t_m + (t_m / 2.0) * log_floor - np.ldexp(1.0, log_floor)
+    return mvl * bracket / (num_banks - 1)
+
+
+def mm_self_interference_batch(p_stride1, stride, num_banks, t_m,
+                               mvl) -> np.ndarray:
+    """Expected ``I_s^M`` for one stream's stride spec, batched.
+
+    ``stride`` is ``None`` (no stream), ``"random"``, or an int array.
+    """
+    if stride is None:
+        shape = np.broadcast_shapes(np.shape(p_stride1), np.shape(num_banks),
+                                    np.shape(t_m), np.shape(mvl))
+        return np.zeros(shape)
+    if isinstance(stride, str):
+        if stride != "random":
+            raise ValueError(f"unknown stride spec {stride!r}")
+        return ((1.0 - _f64(p_stride1))
+                * mm_random_self_stalls_batch(num_banks, t_m, mvl))
+    return mm_self_stalls_for_stride_batch(stride, num_banks, t_m, mvl)
+
+
+def mm_element_time_batch(*, num_banks, t_m, mvl, p_ds, p_stride1_s1,
+                          p_stride1_s2, s1="random",
+                          s2="random") -> np.ndarray:
+    """Eq. (2) over grids: average cycles to produce one element."""
+    p_ds = _f64(p_ds)
+    i_s1 = mm_self_interference_batch(p_stride1_s1, s1, num_banks, t_m, mvl)
+    i_s2 = mm_self_interference_batch(p_stride1_s2, s2, num_banks, t_m, mvl)
+    i_c = np.where(p_ds > 0,
+                   expected_cross_stalls_batch(num_banks, mvl, t_m), 0.0)
+    mvl = _f64(mvl)
+    return 1.0 + (1.0 - p_ds) * i_s1 / mvl + p_ds * (i_s1 + i_s2 + i_c) / mvl
+
+
+def block_time_batch(blocking_factor, element_time, *, t_m, mvl,
+                     loop_overhead=10, strip_overhead=15,
+                     start_base=30) -> np.ndarray:
+    """Eq. (1) over grids: one sweep over a ``B``-element block."""
+    b = _i64(blocking_factor)
+    strips = _ceil_div(b, mvl)
+    t_start = _i64(start_base) + _i64(t_m)
+    return (loop_overhead + strips * (strip_overhead + t_start)
+            + b * _f64(element_time))
+
+
+def mm_cycles_per_result_batch(*, num_banks, t_m, mvl, blocking_factor,
+                               reuse_factor, p_ds, p_stride1_s1,
+                               p_stride1_s2, s1="random", s2="random",
+                               problem_size=None, loop_overhead=10,
+                               strip_overhead=15, start_base=30) -> np.ndarray:
+    """Eq. (3) normalised per result, batched (default ``N = B``)."""
+    element = mm_element_time_batch(
+        num_banks=num_banks, t_m=t_m, mvl=mvl, p_ds=p_ds,
+        p_stride1_s1=p_stride1_s1, p_stride1_s2=p_stride1_s2, s1=s1, s2=s2)
+    block_time = block_time_batch(
+        blocking_factor, element, t_m=t_m, mvl=mvl,
+        loop_overhead=loop_overhead, strip_overhead=strip_overhead,
+        start_base=start_base)
+    b = _i64(blocking_factor)
+    n = b if problem_size is None else _i64(problem_size)
+    blocks = _ceil_div(n, b)
+    r = _f64(reuse_factor)
+    return block_time * r * blocks / (n * r)
+
+
+# ---------------------------------------------------------------------------
+# CC-model self-interference and footprints (Eqs. 5-8 + set-associative)
+# ---------------------------------------------------------------------------
+
+
+def _direct_random_self(block, p_stride1, cache_lines, t_m) -> np.ndarray:
+    """Eq. (6) closed form for strides uniform on ``2 .. C``."""
+    b = _f64(block)
+    log_floor = _floor_log2(b)
+    pow_floor = np.ldexp(1.0, log_floor)
+    bracket = (3.0 * b * pow_floor - 2.0 * pow_floor * pow_floor - 1.0) / 3.0
+    c_lines = _f64(cache_lines)
+    return np.where(
+        b < 1, 0.0,
+        (1.0 - _f64(p_stride1)) / (c_lines - 1) * bracket * _f64(t_m))
+
+
+def _prime_random_self(block, p_stride1, cache_lines, t_m) -> np.ndarray:
+    """Eq. (8): only stride multiples of the prime ``C`` self-interfere."""
+    b = _f64(block)
+    c_lines = _f64(cache_lines)
+    return np.where(
+        b < 1, 0.0,
+        (1.0 - _f64(p_stride1)) * (b - 1) / (c_lines - 1) * _f64(t_m))
+
+
+def _assoc_class_axes(cache_lines, ways):
+    """The gcd-class axis for set-associative random-stride sums.
+
+    Strides ``2 .. C`` are classified by ``gcd(S, s) = 2^k`` with
+    ``S = C / ways`` sets.  Returns ``(k, count, occupied, valid)``
+    broadcast against the inputs, with a trailing class axis: ``count``
+    is how many strides fall in class ``k`` and ``occupied`` how many
+    sets such a stride visits.
+    """
+    c_lines = _i64(cache_lines)
+    ways = _i64(ways)
+    if np.any(ways < 1):
+        raise ValueError("ways must be at least 1")
+    if np.any(c_lines % ways):
+        raise ValueError("ways must divide the cache capacity")
+    sets = c_lines // ways
+    se = _exact_log2(sets)
+    k = np.arange(int(se.max()) + 1, dtype=np.int64)
+    k = k.reshape((1,) * se.ndim + (-1,))
+    se_x = se[..., None]
+    c_x = c_lines[..., None]
+    valid = k <= se_x
+    pow_k = np.where(valid, np.int64(1) << k, 1)
+    per_k = c_x // pow_k          # multiples of 2^k up to C (k <= se)
+    per_k1 = per_k // 2           # multiples of 2^(k+1) up to C
+    count = np.where(
+        k < se_x, per_k - per_k1 - np.where(k == 0, 1, 0),
+        np.where(k == se_x,
+                 np.where(se_x == 0, c_x - 1, per_k), 0))
+    occupied = np.where(valid, (sets[..., None]) // pow_k, 1)
+    return k, count, occupied, valid
+
+
+def _assoc_stalls_per_class(block, occupied, ways) -> np.ndarray:
+    """Cyclic-LRU miss count (in line fills) for one gcd class."""
+    block = _i64(block)
+    full = block // occupied
+    extra = block - full * occupied
+    misses = (np.where(full + 1 > ways, extra * (full + 1), 0)
+              + np.where(full > ways, (occupied - extra) * full, 0))
+    return misses
+
+
+def _assoc_random_self(block, p_stride1, cache_lines, ways, t_m) -> np.ndarray:
+    """Set-associative random-stride stalls via gcd-class grouping.
+
+    Exactly the scalar O(C) loop's value: every per-stride summand is an
+    integer, so grouping strides by class and multiplying by the class
+    count loses nothing.
+    """
+    block_i = _i64(np.floor(_f64(block)))
+    _, count, occupied, valid = _assoc_class_axes(cache_lines, ways)
+    misses = _assoc_stalls_per_class(block_i[..., None],
+                                     occupied, _i64(ways)[..., None])
+    total = np.sum(np.where(valid, count * misses, 0), axis=-1) * _i64(t_m)
+    c_lines = _f64(cache_lines)
+    result = (1.0 - _f64(p_stride1)) * total / (c_lines - 1)
+    return np.where(_f64(block) < 1, 0.0, result)
+
+
+def cc_self_stalls_for_stride_batch(mapping, block, stride, *, cache_lines,
+                                    ways=1, t_m=16) -> np.ndarray:
+    """Fixed-stride cached-sweep stalls for one mapping, batched."""
+    stride = _i64(stride)
+    c_lines = _i64(cache_lines)
+    t_m = _f64(t_m)
+    if mapping == "direct":
+        b = _f64(block)
+        footprint = np.where(stride == 0, 1,
+                             c_lines // np.gcd(c_lines, np.abs(stride)))
+        return np.maximum(0.0, b - footprint) * t_m
+    if mapping == "prime":
+        b = _f64(block)
+        footprint = np.where(stride == 0, 1,
+                             c_lines // np.gcd(c_lines,
+                                               np.maximum(np.abs(stride), 1)))
+        whole = (stride == 0) | (stride % c_lines == 0)
+        misses = np.where(whole, np.maximum(0.0, b - 1),
+                          np.maximum(0.0, b - footprint))
+        return misses * t_m
+    if mapping == "assoc":
+        ways = _i64(ways)
+        sets = c_lines // ways
+        g = np.gcd(sets, np.abs(stride))
+        occupied = np.where(stride == 0, 1, sets // np.maximum(g, 1))
+        misses = _assoc_stalls_per_class(_i64(np.floor(_f64(block))),
+                                         occupied, ways)
+        return misses * t_m
+    raise ValueError(f"mapping must be one of {MAPPINGS}, got {mapping!r}")
+
+
+def cc_self_interference_batch(mapping, block, p_stride1, stride, *,
+                               cache_lines, ways=1, t_m=16) -> np.ndarray:
+    """Expected ``I_s^C`` for one stream's stride spec, batched."""
+    if stride is None:
+        shape = np.broadcast_shapes(np.shape(block), np.shape(p_stride1),
+                                    np.shape(cache_lines), np.shape(t_m))
+        return np.zeros(shape)
+    if isinstance(stride, str):
+        if stride != "random":
+            raise ValueError(f"unknown stride spec {stride!r}")
+        if mapping == "direct":
+            return _direct_random_self(block, p_stride1, cache_lines, t_m)
+        if mapping == "prime":
+            return _prime_random_self(block, p_stride1, cache_lines, t_m)
+        if mapping == "assoc":
+            return _assoc_random_self(block, p_stride1, cache_lines, ways,
+                                      t_m)
+        raise ValueError(f"mapping must be one of {MAPPINGS}, got {mapping!r}")
+    fixed = cc_self_stalls_for_stride_batch(
+        mapping, block, stride, cache_lines=cache_lines, ways=ways, t_m=t_m)
+    return np.where(_f64(block) < 1, 0.0, fixed)
+
+
+def cc_expected_footprint_batch(mapping, block, p_stride1, *, cache_lines,
+                                ways=1) -> np.ndarray:
+    """Expected distinct resident lines of a strided vector, batched."""
+    b = _f64(block)
+    c_lines = _i64(cache_lines)
+    c_f = _f64(cache_lines)
+    unit = np.minimum(b, c_f)
+    p1 = _f64(p_stride1)
+    if mapping == "direct":
+        c_exp = _exact_log2(c_lines)
+        k = np.arange(int(c_exp.max()) + 1, dtype=np.int64)
+        k = k.reshape((1,) * c_exp.ndim + (-1,))
+        c_x = c_lines[..., None]
+        valid = k <= c_exp[..., None]
+        count = np.where(
+            k == 0, c_x // 2 - 1,
+            np.where(k < c_exp[..., None],
+                     c_x // np.where(valid, np.int64(1) << (k + 1), 1),
+                     np.where(k == c_exp[..., None], 1, 0)))
+        class_fp = np.minimum(b[..., None],
+                              c_x / np.where(valid, np.int64(1) << k, 1))
+        acc = np.sum(np.where(valid, count * class_fp, 0.0), axis=-1)
+        nonunit = acc / (c_f - 1)
+        return p1 * unit + (1 - p1) * nonunit
+    if mapping == "prime":
+        collapsed = 1.0
+        nonunit = ((c_f - 2) * unit + collapsed) / (c_f - 1)
+        return p1 * unit + (1 - p1) * nonunit
+    if mapping == "assoc":
+        block_i = _i64(np.floor(b))
+        ways_i = _i64(ways)
+        _, count, occupied, valid = _assoc_class_axes(c_lines, ways_i)
+        full = block_i[..., None] // occupied
+        extra = block_i[..., None] - full * occupied
+        w = ways_i[..., None]
+        resident = (extra * np.minimum(full + 1, w)
+                    + (occupied - extra) * np.minimum(full, w))
+        acc = np.sum(np.where(valid, count * resident, 0), axis=-1)
+        nonunit = acc / (c_f - 1)
+        return p1 * unit + (1 - p1) * nonunit
+    raise ValueError(f"mapping must be one of {MAPPINGS}, got {mapping!r}")
+
+
+def cc_cross_interference_batch(mapping, *, blocking_factor, p_ds,
+                                p_stride1_s1, cache_lines, ways=1, t_m=16,
+                                footprint_mode="simple") -> np.ndarray:
+    """Footprint-model ``I_c^C`` in stall cycles, batched."""
+    if footprint_mode not in ("simple", "expected"):
+        raise ValueError("footprint_mode must be 'simple' or 'expected'")
+    b = _f64(blocking_factor)
+    c_f = _f64(cache_lines)
+    if footprint_mode == "simple":
+        footprint = np.minimum(b, c_f)
+    else:
+        footprint = cc_expected_footprint_batch(
+            mapping, blocking_factor, p_stride1_s1, cache_lines=cache_lines,
+            ways=ways)
+    hit_probability = footprint / c_f
+    p_ds = _f64(p_ds)
+    return np.where(p_ds == 0, 0.0, b * p_ds * hit_probability * _f64(t_m))
+
+
+def cc_element_time_batch(mapping, *, blocking_factor, p_ds, p_stride1_s1,
+                          p_stride1_s2, s1="random", s2="random",
+                          cache_lines, ways=1, t_m=16,
+                          footprint_mode="simple") -> np.ndarray:
+    """Eq. (7) over grids: average cycles per element of a cached sweep."""
+    b = _f64(blocking_factor)
+    p_ds = _f64(p_ds)
+    i_s_first = cc_self_interference_batch(
+        mapping, blocking_factor, p_stride1_s1, s1, cache_lines=cache_lines,
+        ways=ways, t_m=t_m)
+    stalls = (1.0 - p_ds) * i_s_first / b
+    second_len = b * p_ds
+    i_s_second = cc_self_interference_batch(
+        mapping, second_len, p_stride1_s2, s2, cache_lines=cache_lines,
+        ways=ways, t_m=t_m)
+    i_s_second = np.where(second_len >= 1, i_s_second, 0.0)
+    i_c = cc_cross_interference_batch(
+        mapping, blocking_factor=blocking_factor, p_ds=p_ds,
+        p_stride1_s1=p_stride1_s1, cache_lines=cache_lines, ways=ways,
+        t_m=t_m, footprint_mode=footprint_mode)
+    stalls = stalls + np.where(
+        p_ds > 0, p_ds * (i_s_first + i_s_second + i_c) / b, 0.0)
+    return 1.0 + stalls
+
+
+def cached_block_time_batch(blocking_factor, element_time, *, t_m, mvl,
+                            loop_overhead=10, strip_overhead=15,
+                            start_base=30) -> np.ndarray:
+    """Eq. (4)'s bracketed term: one post-load sweep, start-up minus t_m."""
+    b = _i64(blocking_factor)
+    strips = _ceil_div(b, mvl)
+    t_start = _i64(start_base) + _i64(t_m)
+    return (loop_overhead + strips * (strip_overhead + t_start - _i64(t_m))
+            + b * _f64(element_time))
+
+
+def cc_outputs_batch(mapping, *, cache_lines, num_banks, t_m, ways=1, mvl=64,
+                     blocking_factor, reuse_factor, p_ds, p_stride1_s1=0.25,
+                     p_stride1_s2=0.25, s1="random", s2="random",
+                     problem_size=None, footprint_mode="simple",
+                     loop_overhead=10, strip_overhead=15,
+                     start_base=30) -> dict:
+    """The full CC/MM output set for one mapping over broadcast grids.
+
+    Returns a dict of arrays: ``element_time``, ``initial_block_time``,
+    ``cached_block_time``, ``cycles_per_result``, ``mm_element_time``,
+    ``mm_cycles_per_result``, ``sweep_misses``, ``miss_ratio``,
+    ``hit_ratio`` — one entry per broadcast grid point.
+    """
+    if mapping not in MAPPINGS:
+        raise ValueError(f"mapping must be one of {MAPPINGS}, got {mapping!r}")
+    b = _i64(blocking_factor)
+    r = _f64(reuse_factor)
+    common = dict(cache_lines=cache_lines, ways=ways, t_m=t_m)
+    element = cc_element_time_batch(
+        mapping, blocking_factor=b, p_ds=p_ds, p_stride1_s1=p_stride1_s1,
+        p_stride1_s2=p_stride1_s2, s1=s1, s2=s2,
+        footprint_mode=footprint_mode, **common)
+    mm_element = mm_element_time_batch(
+        num_banks=num_banks, t_m=t_m, mvl=mvl, p_ds=p_ds,
+        p_stride1_s1=p_stride1_s1, p_stride1_s2=p_stride1_s2, s1=s1, s2=s2)
+    overheads = dict(loop_overhead=loop_overhead,
+                     strip_overhead=strip_overhead, start_base=start_base)
+    initial = block_time_batch(b, mm_element, t_m=t_m, mvl=mvl, **overheads)
+    cached = cached_block_time_batch(b, element, t_m=t_m, mvl=mvl,
+                                     **overheads)
+    n = b if problem_size is None else _i64(problem_size)
+    blocks = _ceil_div(n, b)
+    per_block = initial + cached * (r - 1)
+    cycles = per_block * blocks / (n * r)
+    # the MM machine's block time is the CC machine's initial (memory-
+    # speed) sweep — Eq. (1) both times
+    mm_cycles = initial * r * blocks / (n * r)
+    misses = cached_sweep_misses_batch(
+        mapping, blocking_factor=b, p_ds=p_ds, p_stride1_s1=p_stride1_s1,
+        p_stride1_s2=p_stride1_s2, s1=s1, s2=s2,
+        footprint_mode=footprint_mode, **common)
+    miss_ratio = workload_miss_ratio_batch(b, r, misses)
+    return {
+        "element_time": element,
+        "initial_block_time": initial,
+        "cached_block_time": cached,
+        "cycles_per_result": cycles,
+        "mm_element_time": mm_element,
+        "mm_cycles_per_result": mm_cycles,
+        "sweep_misses": misses,
+        "miss_ratio": miss_ratio,
+        "hit_ratio": 1.0 - miss_ratio,
+    }
+
+
+# ---------------------------------------------------------------------------
+# miss ratios (Section 3.1's fallacy, batched)
+# ---------------------------------------------------------------------------
+
+
+def cached_sweep_misses_batch(mapping, *, blocking_factor, p_ds,
+                              p_stride1_s1, p_stride1_s2, s1="random",
+                              s2="random", cache_lines, ways=1, t_m=16,
+                              footprint_mode="simple") -> np.ndarray:
+    """Expected misses in one post-load sweep over a block, batched."""
+    b = _f64(blocking_factor)
+    p_ds = _f64(p_ds)
+    t_m_f = _f64(t_m)
+    common = dict(cache_lines=cache_lines, ways=ways, t_m=t_m)
+    i_s_first = cc_self_interference_batch(
+        mapping, blocking_factor, p_stride1_s1, s1, **common)
+    stalls = (1.0 - p_ds) * i_s_first
+    second = b * p_ds
+    i_s_second = np.where(
+        second >= 1,
+        cc_self_interference_batch(mapping, second, p_stride1_s2, s2,
+                                   **common),
+        0.0)
+    i_c = cc_cross_interference_batch(
+        mapping, blocking_factor=blocking_factor, p_ds=p_ds,
+        p_stride1_s1=p_stride1_s1, footprint_mode=footprint_mode, **common)
+    stalls = stalls + np.where(p_ds > 0,
+                               p_ds * (i_s_first + i_s_second + i_c), 0.0)
+    return stalls / t_m_f
+
+
+def workload_miss_ratio_batch(blocking_factor, reuse_factor,
+                              sweep_misses) -> np.ndarray:
+    """Expected miss ratio over a block's ``R`` sweeps, batched."""
+    b = _f64(blocking_factor)
+    r = _f64(reuse_factor)
+    misses = b + (r - 1) * _f64(sweep_misses)
+    return np.minimum(1.0, misses / (b * r))
+
+
+# ---------------------------------------------------------------------------
+# bandwidth (Oed & Lange forms, batched)
+# ---------------------------------------------------------------------------
+
+
+def effective_bandwidth_for_stride_batch(stride, num_banks, t_m) -> np.ndarray:
+    """Sustained elements/cycle of one stride-``s`` stream, batched."""
+    stride, num_banks, t_m = np.broadcast_arrays(
+        _i64(stride), _i64(num_banks), _i64(t_m))
+    k = np.where(stride == 0, 1,
+                 num_banks // np.gcd(num_banks, np.abs(stride)))
+    return np.minimum(1.0, k / _f64(t_m))
+
+
+def expected_effective_bandwidth_batch(num_banks, t_m,
+                                       p_stride1=0.25) -> np.ndarray:
+    """Expected bandwidth over the paper's stride distribution, batched.
+
+    The scalar O(M) sum over strides ``2 .. M`` collapses to gcd classes
+    ``gcd(M, s) = 2^k`` exactly as the footprint sums do.
+    """
+    m = _i64(num_banks)
+    t_m = _i64(t_m)
+    p1 = _f64(p_stride1)
+    if np.any((p1 < 0) | (p1 > 1)):
+        raise ValueError("p_stride1 must be a probability")
+    m_exp = _exact_log2(m)
+    k = np.arange(int(m_exp.max()) + 1, dtype=np.int64)
+    k = k.reshape((1,) * m_exp.ndim + (-1,))
+    m_x = m[..., None]
+    valid = k <= m_exp[..., None]
+    pow_k = np.where(valid, np.int64(1) << k, 1)
+    count = np.where(
+        k == 0, m_x // 2 - 1,
+        np.where(k < m_exp[..., None], m_x // (2 * pow_k),
+                 np.where(k == m_exp[..., None], 1, 0)))
+    class_bw = np.minimum(1.0, (m_x // pow_k) / _f64(t_m)[..., None])
+    nonunit = np.sum(np.where(valid, count * class_bw, 0.0), axis=-1) \
+        / (_f64(m) - 1)
+    unit = np.minimum(1.0, _f64(m) / _f64(t_m))
+    return p1 * unit + (1 - p1) * nonunit
+
+
+# ---------------------------------------------------------------------------
+# optimize.py's searches, batched
+# ---------------------------------------------------------------------------
+
+
+def optimal_blocking_factor_batch(mapping, *, cache_lines, num_banks, t_m,
+                                  ways=1, mvl=64, p_ds=0.1, p_stride1=0.25,
+                                  candidates=64) -> dict:
+    """Vectorised blocking-factor search (``R = B``, the scalar default).
+
+    Scans ``candidates`` evenly spaced blocking factors up to ``C`` per
+    grid point and returns ``{"blocking_factor", "cycles_per_result",
+    "cache_utilization"}`` arrays — the argmin the scalar
+    :func:`repro.analytical.optimize.optimal_blocking_factor` walks to.
+    """
+    c = _i64(cache_lines)
+    grid_shape = np.broadcast_shapes(
+        np.shape(c), np.shape(num_banks), np.shape(t_m), np.shape(ways))
+    c_x = np.broadcast_to(c, grid_shape)[..., None]
+    index = np.arange(1, int(candidates) + 1, dtype=np.int64)
+    blocks = np.maximum(1, c_x * index // int(candidates))
+    reuse = np.maximum(1.0, _f64(blocks))
+
+    def _x(v):
+        return np.broadcast_to(np.asarray(v), grid_shape)[..., None]
+
+    out = cc_outputs_batch(
+        mapping, cache_lines=c_x, num_banks=_x(num_banks), t_m=_x(t_m),
+        ways=_x(ways), mvl=mvl, blocking_factor=blocks, reuse_factor=reuse,
+        p_ds=p_ds, p_stride1_s1=p_stride1, p_stride1_s2=p_stride1)
+    cycles = out["cycles_per_result"]
+    best = np.argmin(cycles, axis=-1)
+    best_x = best[..., None]
+    chosen_block = np.take_along_axis(blocks, best_x, axis=-1)[..., 0]
+    chosen_cycles = np.take_along_axis(cycles, best_x, axis=-1)[..., 0]
+    return {
+        "blocking_factor": chosen_block,
+        "cycles_per_result": chosen_cycles,
+        "cache_utilization": chosen_block / _f64(c),
+    }
+
+
+def crossover_memory_time_batch(mapping, *, cache_lines, num_banks, ways=1,
+                                mvl=64, blocking_factor, reuse_factor, p_ds,
+                                p_stride1_s1=0.25, p_stride1_s2=0.25,
+                                s1="random", s2="random",
+                                t_m_values=None) -> np.ndarray:
+    """Smallest ``t_m`` at which the cached machine wins, batched.
+
+    The vector counterpart of
+    :func:`repro.analytical.optimize.crossover_memory_time` for a fixed
+    workload point: scans ``t_m_values`` (default ``2 .. 128``) along a
+    trailing axis and returns the first winning ``t_m`` per grid point,
+    or ``-1`` where the cache never wins in the range.
+    """
+    if t_m_values is None:
+        t_m_values = np.arange(2, 129, dtype=np.int64)
+    t_values = _i64(t_m_values)
+    grid_shape = np.broadcast_shapes(
+        np.shape(cache_lines), np.shape(num_banks), np.shape(ways),
+        np.shape(blocking_factor), np.shape(reuse_factor), np.shape(p_ds))
+
+    def _x(v):
+        return np.broadcast_to(np.asarray(v), grid_shape)[..., None]
+
+    t_x = t_values.reshape((1,) * len(grid_shape) + (-1,))
+    out = cc_outputs_batch(
+        mapping, cache_lines=_x(cache_lines), num_banks=_x(num_banks),
+        t_m=t_x, ways=_x(ways), mvl=mvl,
+        blocking_factor=_x(blocking_factor),
+        reuse_factor=_x(reuse_factor), p_ds=_x(p_ds),
+        p_stride1_s1=_x(p_stride1_s1), p_stride1_s2=_x(p_stride1_s2),
+        s1=s1, s2=s2)
+    wins = out["cycles_per_result"] < out["mm_cycles_per_result"]
+    first = np.argmax(wins, axis=-1)
+    any_win = np.any(wins, axis=-1)
+    return np.where(any_win, t_values[first], -1)

@@ -13,31 +13,49 @@ so that the misleading comparison can be exhibited quantitatively (see
 ``demonstrate_miss_ratio_fallacy`` and the corresponding tests): a
 configuration where the direct-mapped CC-model enjoys a seemingly healthy
 hit ratio and still runs *slower* than the MM-model in cycles per result.
+
+The public functions route known model classes through the vectorised
+kernels in :mod:`repro.analytical.batched`, so single-point evaluation
+and grid search share one production code path.  The original closed
+forms are retained as ``scalar_cached_sweep_misses`` /
+``scalar_workload_miss_ratio``: they are the references the
+``analytical-batched`` verify oracle differences the batched path
+against, and the fallback for model classes the batched engine does not
+mirror.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analytical.cc import CCModel
+from repro.analytical.cc import CCModel, DirectMappedModel, PrimeMappedModel
 from repro.analytical.mm import MMModel
+from repro.analytical.set_assoc import SetAssociativeModel
 from repro.analytical.vcm import VCM
 
 __all__ = [
     "MissRatioView",
     "cached_sweep_misses",
     "workload_miss_ratio",
+    "scalar_cached_sweep_misses",
+    "scalar_workload_miss_ratio",
     "demonstrate_miss_ratio_fallacy",
 ]
 
 
-def cached_sweep_misses(model: CCModel, vcm: VCM) -> float:
-    """Expected misses in one post-load sweep over a block.
+def _batched_mapping(model: CCModel) -> tuple[str, int] | None:
+    """``(mapping, ways)`` when the batched engine mirrors this model."""
+    if isinstance(model, SetAssociativeModel):
+        return "assoc", model.ways
+    if isinstance(model, DirectMappedModel):
+        return "direct", 1
+    if isinstance(model, PrimeMappedModel):
+        return "prime", 1
+    return None
 
-    Derived from the model's stall terms: every non-compulsory miss costs
-    ``t_m`` stall cycles, so dividing the expected sweep stalls by ``t_m``
-    recovers the expected miss count.
-    """
+
+def scalar_cached_sweep_misses(model: CCModel, vcm: VCM) -> float:
+    """The retained scalar form of :func:`cached_sweep_misses`."""
     b = vcm.blocking_factor
     t_m = model.config.t_m
     stalls = vcm.p_ss * model.self_interference(b, vcm.p_stride1_s1, vcm.s1)
@@ -52,6 +70,35 @@ def cached_sweep_misses(model: CCModel, vcm: VCM) -> float:
     return stalls / t_m
 
 
+def cached_sweep_misses(model: CCModel, vcm: VCM) -> float:
+    """Expected misses in one post-load sweep over a block.
+
+    Derived from the model's stall terms: every non-compulsory miss costs
+    ``t_m`` stall cycles, so dividing the expected sweep stalls by ``t_m``
+    recovers the expected miss count.
+    """
+    target = _batched_mapping(model)
+    if target is None:
+        return scalar_cached_sweep_misses(model, vcm)
+    from repro.analytical import batched
+
+    mapping, ways = target
+    return float(batched.cached_sweep_misses_batch(
+        mapping, blocking_factor=vcm.blocking_factor, p_ds=vcm.p_ds,
+        p_stride1_s1=vcm.p_stride1_s1, p_stride1_s2=vcm.p_stride1_s2,
+        s1=vcm.s1, s2=vcm.s2, cache_lines=model.config.cache_lines,
+        ways=ways, t_m=model.config.t_m,
+        footprint_mode=model.footprint_mode))
+
+
+def scalar_workload_miss_ratio(model: CCModel, vcm: VCM) -> float:
+    """The retained scalar form of :func:`workload_miss_ratio`."""
+    b = vcm.blocking_factor
+    r = vcm.reuse_factor
+    misses = b + (r - 1) * scalar_cached_sweep_misses(model, vcm)
+    return min(1.0, misses / (b * r))
+
+
 def workload_miss_ratio(model: CCModel, vcm: VCM) -> float:
     """Expected miss ratio over a whole block's ``R`` sweeps.
 
@@ -60,10 +107,13 @@ def workload_miss_ratio(model: CCModel, vcm: VCM) -> float:
     counted are the first stream's ``B`` per sweep (consistent with the
     cycles-per-result normalisation).
     """
-    b = vcm.blocking_factor
-    r = vcm.reuse_factor
-    misses = b + (r - 1) * cached_sweep_misses(model, vcm)
-    return min(1.0, misses / (b * r))
+    if _batched_mapping(model) is None:
+        return scalar_workload_miss_ratio(model, vcm)
+    from repro.analytical import batched
+
+    return float(batched.workload_miss_ratio_batch(
+        vcm.blocking_factor, vcm.reuse_factor,
+        cached_sweep_misses(model, vcm)))
 
 
 @dataclass(frozen=True)

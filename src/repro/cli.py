@@ -16,6 +16,9 @@ Commands:
 * ``subblock P`` — conflict-free blocking for a matrix leading dimension.
 * ``blocking`` — blocking-factor search: utilisation and full-cache
   penalty per mapping.
+* ``optimize`` — design-space search over the vectorised analytical
+  surrogate: constraint filtering, Pareto-front extraction, and
+  simulator verification of the top picks (see ``docs/optimizer.md``).
 * ``validate`` — analytical-vs-simulation cross-check.
 * ``fit TRACE`` — estimate VCM parameters from a saved trace file.
 * ``report OUTPUT.md`` — write a full reproduction report (assembled
@@ -112,6 +115,43 @@ def build_parser() -> argparse.ArgumentParser:
     blocking = sub.add_parser("blocking", help="blocking-factor search")
     blocking.add_argument("--t-m", type=int, default=32)
     blocking.add_argument("--banks", type=int, default=64)
+
+    optimize = sub.add_parser(
+        "optimize", help="design-space search over the analytical surrogate")
+    optimize.add_argument("--mappings", nargs="+", default=None,
+                          choices=("direct", "prime", "assoc"),
+                          help="cache organisations to sweep (default: all)")
+    optimize.add_argument("--max-area", type=int, default=10000,
+                          metavar="WORDS",
+                          help="area budget: cache_lines * line_size words")
+    optimize.add_argument("--max-banks", type=int, default=64,
+                          help="bank budget (memory system cost cap)")
+    optimize.add_argument("--max-tm", type=int, default=None,
+                          metavar="CYCLES",
+                          help="memory-latency budget: keep designs with "
+                               "t_m <= this")
+    optimize.add_argument("--min-bandwidth", type=float, default=None,
+                          metavar="FRACTION",
+                          help="minimum expected effective bank bandwidth "
+                               "(0..1)")
+    optimize.add_argument("--p-ds", type=float, default=0.1,
+                          help="workload mix: fraction of double-stream "
+                               "operations")
+    optimize.add_argument("--p-stride1", type=float, default=0.25,
+                          help="workload mix: probability of stride-1 "
+                               "streams")
+    optimize.add_argument("--top-k", type=int, default=8,
+                          help="Pareto picks to report")
+    optimize.add_argument("--verify-k", type=int, default=3,
+                          help="front picks to re-score on the cycle-level "
+                               "machines (0 skips simulation)")
+    optimize.add_argument("--seeds", type=int, default=2,
+                          help="simulation seeds per verified point")
+    optimize.add_argument("--cache-dir", default=None,
+                          help="result-cache directory (default: "
+                               "$REPRO_CACHE_DIR or ~/.cache/repro)")
+    optimize.add_argument("--json", action="store_true",
+                          help="print the search + verification as JSON")
 
     validate = sub.add_parser("validate", help="analytics vs simulation")
     validate.add_argument("--seeds", type=int, default=4)
@@ -469,6 +509,52 @@ def _cmd_blocking(args) -> int:
     return 0
 
 
+def _cmd_optimize(args) -> int:
+    import json as json_module
+    from dataclasses import replace
+
+    from repro.experiments.optimizer import render_optimize
+    from repro.orchestrate import ResultStore, Runner, all_jobs
+
+    jobs = all_jobs()
+    search_params = {
+        "max_area_words": args.max_area,
+        "max_banks": args.max_banks,
+        "max_t_m": args.max_tm,
+        "min_bandwidth": args.min_bandwidth,
+        "p_ds": args.p_ds,
+        "p_stride1": args.p_stride1,
+        "top_k": args.top_k,
+    }
+    if args.mappings:
+        search_params["mappings"] = tuple(args.mappings)
+    jobs["optimize-search"] = replace(jobs["optimize-search"],
+                                      params=search_params)
+    names = ["optimize-search"]
+    if args.verify_k > 0:
+        jobs["optimize-verify"] = replace(
+            jobs["optimize-verify"],
+            params={"top_k": args.verify_k, "seeds": args.seeds,
+                    "blocks": 4})
+        names.append("optimize-verify")
+    store = ResultStore(args.cache_dir) if args.cache_dir else ResultStore()
+    runner = Runner(jobs.values(), store=store, results_dir=None)
+    summary = runner.run(names)
+    if not summary.ok:
+        for outcome in summary.outcomes:
+            if outcome.error:
+                print(f"{outcome.name}: {outcome.error}")
+        return 1
+    search = summary.results["optimize-search"]
+    verification = summary.results.get("optimize-verify")
+    if args.json:
+        print(json_module.dumps(
+            {"search": search, "verification": verification}, indent=2))
+    else:
+        print(render_optimize(search, verification))
+    return 0 if verification is None or verification["ok"] else 1
+
+
 def _cmd_fit(args) -> int:
     from repro.analytical import MachineConfig
     from repro.analytical.cc import DirectMappedModel, PrimeMappedModel
@@ -711,6 +797,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "subblock": _cmd_subblock,
     "blocking": _cmd_blocking,
+    "optimize": _cmd_optimize,
     "fit": _cmd_fit,
     "report": _cmd_report,
     "validate": _cmd_validate,

@@ -1,0 +1,303 @@
+"""Design-space search over the vectorised analytical surrogate.
+
+This is ROADMAP item 5: sweep the surrogate over a grid of
+(mapping, cache size, associativity, banks, ``t_m``) x workload points,
+filter by hardware constraints (area proportional to line count, bank
+budget, memory-latency budget, minimum bank bandwidth), extract the
+Pareto front over (miss ratio, bandwidth, cost), and re-score the
+front's best picks on the cycle-level machines so the surrogate's
+predictions are *verified*, not just fast.
+
+Both stages are plain orchestrator job functions — ``optimize-search``
+and ``optimize-verify`` in the registry, with ``repro optimize`` as the
+front-end — so results are content-addressed and shared like every
+other experiment.
+
+Verification tolerances (documented, asserted by ``verify_front``):
+the analytical equations are steady-state closed forms while the
+machines simulate cold starts and sampled stride draws, so the accepted
+relative error is per mapping — 0.35 for ``prime``, 0.8 for ``direct``
+(its all-or-nothing conflict model is the paper's own coarsest
+approximation), and 1.0 for ``assoc`` (the cyclic-LRU analytical model
+vs. a true-LRU simulated cache).  These match the bounds the
+long-standing ``validation`` grid tests assert.
+
+The verification is a real check, not a rubber stamp: picks outside
+the closed forms' accuracy envelope — e.g. a tiny cache blocked at
+full capacity while a second stream evicts it — measure far above
+prediction and fail their tolerance, and ``repro optimize`` exits
+nonzero rather than report an unverified front.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analytical import surrogate
+
+__all__ = [
+    "DEFAULT_GRID",
+    "VERIFY_TOLERANCES",
+    "optimize_search",
+    "render_optimize",
+    "verify_design_point",
+    "verify_front",
+]
+
+#: Default design grid: every combination per mapping.  ``c`` is the
+#: Mersenne exponent — ``2^c`` lines for direct/assoc, ``2^c - 1`` for
+#: prime — so the organisations compete at matched capacities.
+DEFAULT_GRID = {
+    "mappings": ("direct", "prime", "assoc"),
+    "c_values": (8, 9, 10, 11, 12, 13),
+    "ways_values": (2, 4),
+    "banks_values": (16, 32, 64, 128),
+    "t_m_values": (8, 16, 32, 64),
+    "block_fractions": (0.125, 0.25, 0.5, 0.75, 1.0),
+}
+
+#: Accepted |measured - predicted| / predicted per mapping (see module
+#: docstring for why they differ).
+VERIFY_TOLERANCES = {"direct": 0.8, "prime": 0.35, "assoc": 1.0}
+
+
+#: Exponents for which ``2^c - 1`` is a Mersenne prime — the only
+#: line counts the prime-mapped hardware (and simulator) accepts.
+MERSENNE_EXPONENTS = (2, 3, 5, 7, 13, 17, 19, 31)
+
+
+def _mapping_axes(mapping, c_values, ways_values):
+    """(cache_lines, ways) feasible pairs for one mapping."""
+    pairs = []
+    for c in c_values:
+        if mapping == "prime":
+            if c in MERSENNE_EXPONENTS:
+                pairs.append(((1 << c) - 1, 1))
+        elif mapping == "direct":
+            pairs.append((1 << c, 1))
+        else:
+            for ways in ways_values:
+                if (1 << c) // ways >= 1:
+                    pairs.append((1 << c, ways))
+    return pairs
+
+
+def optimize_search(*, mappings=DEFAULT_GRID["mappings"],
+                    c_values=DEFAULT_GRID["c_values"],
+                    ways_values=DEFAULT_GRID["ways_values"],
+                    banks_values=DEFAULT_GRID["banks_values"],
+                    t_m_values=DEFAULT_GRID["t_m_values"],
+                    block_fractions=DEFAULT_GRID["block_fractions"],
+                    p_ds=0.1, p_stride1=0.25,
+                    max_area_words=None, max_banks=None, max_t_m=None,
+                    min_bandwidth=None, top_k=8) -> dict:
+    """Score the design grid, filter, and extract the Pareto front.
+
+    Returns a JSON-safe dict: grid/constraint echo, point counts, and
+    ``front`` — the non-dominated designs over minimising
+    (miss ratio, -bandwidth, area), ranked by predicted cycles per
+    result (the scalarisation ``verify_front`` re-scores).
+    """
+    records = []
+    evaluated = 0
+    for mapping in mappings:
+        pairs = _mapping_axes(mapping, c_values, ways_values)
+        if not pairs:
+            continue
+        lines = np.array([p[0] for p in pairs])[:, None, None, None]
+        ways = np.array([p[1] for p in pairs])[:, None, None, None]
+        banks = np.array(banks_values)[None, :, None, None]
+        t_m = np.array(t_m_values)[None, None, :, None]
+        frac = np.array(block_fractions)[None, None, None, :]
+        block = np.maximum(1, (lines * frac).astype(np.int64))
+        reuse = np.maximum(1.0, block.astype(float))
+        grid = surrogate.evaluate_grid(
+            mapping, cache_lines=lines, num_banks=banks, t_m=t_m,
+            ways=ways, blocking_factor=block, reuse_factor=reuse,
+            p_ds=p_ds, p_stride1_s1=p_stride1, p_stride1_s2=p_stride1)
+        mask = surrogate.apply_constraints(
+            grid, max_area_words=max_area_words, max_banks=max_banks,
+            max_t_m=max_t_m, min_bandwidth=min_bandwidth,
+            num_banks=banks, t_m=t_m)
+        shape = mask.shape
+        evaluated += int(np.prod(shape))
+        idx = np.nonzero(mask)
+        if not idx[0].size:
+            continue
+        full = {key: np.broadcast_to(value, shape)[idx]
+                for key, value in (
+                    ("cache_lines", lines), ("ways", ways),
+                    ("banks", banks), ("t_m", t_m),
+                    ("blocking_factor", block), ("reuse_factor", reuse))}
+        for key in ("cycles_per_result", "miss_ratio", "bandwidth",
+                    "area_words", "mm_cycles_per_result"):
+            # metrics that don't depend on an axis (miss ratio is
+            # bank-independent) come back with that axis collapsed
+            full[key] = np.broadcast_to(grid[key], shape)[idx]
+        for i in range(idx[0].size):
+            records.append({
+                "mapping": mapping,
+                "cache_lines": int(full["cache_lines"][i]),
+                "ways": int(full["ways"][i]),
+                "banks": int(full["banks"][i]),
+                "t_m": int(full["t_m"][i]),
+                "blocking_factor": int(full["blocking_factor"][i]),
+                "reuse_factor": float(full["reuse_factor"][i]),
+                "cycles_per_result": float(full["cycles_per_result"][i]),
+                "mm_cycles_per_result":
+                    float(full["mm_cycles_per_result"][i]),
+                "miss_ratio": float(full["miss_ratio"][i]),
+                "bandwidth": float(full["bandwidth"][i]),
+                "area_words": int(full["area_words"][i]),
+            })
+
+    if records:
+        front_idx = surrogate.pareto_front(
+            [r["miss_ratio"] for r in records],
+            [-r["bandwidth"] for r in records],
+            [r["area_words"] for r in records])
+        front = sorted((records[i] for i in front_idx),
+                       key=lambda r: r["cycles_per_result"])
+    else:
+        front = []
+    return {
+        "workload": {"p_ds": p_ds, "p_stride1": p_stride1},
+        "constraints": {"max_area_words": max_area_words,
+                        "max_banks": max_banks, "max_t_m": max_t_m,
+                        "min_bandwidth": min_bandwidth},
+        "evaluated": evaluated,
+        "feasible": len(records),
+        "front_size": len(front),
+        "front": front[:max(top_k, 1) * 4],
+        "top": front[:top_k],
+    }
+
+
+def verify_design_point(point: dict, *, p_ds=0.1, p_stride1=0.25,
+                        seeds=3, blocks=4) -> dict:
+    """Re-score one surrogate pick on the cycle-level CC machine.
+
+    Drives ``seeds`` independent simulations of ``blocks`` blocks each
+    and compares the seed-averaged cycles per result against the
+    surrogate's prediction under the mapping's documented tolerance.
+    """
+    from repro.analytical.base import MachineConfig
+    from repro.analytical.vcm import VCM
+    from repro.cache import (
+        DirectMappedCache,
+        PrimeMappedCache,
+        SetAssociativeCache,
+    )
+    from repro.machine import CCMachine, VCMDriver
+
+    mapping = point["mapping"]
+    config = MachineConfig(num_banks=point["banks"],
+                           memory_access_time=point["t_m"],
+                           cache_lines=point["cache_lines"])
+    vcm = VCM(blocking_factor=point["blocking_factor"],
+              reuse_factor=point["reuse_factor"], p_ds=p_ds,
+              s2=None if p_ds == 0 else "random",
+              p_stride1_s1=p_stride1, p_stride1_s2=p_stride1)
+
+    def make_cache():
+        if mapping == "direct":
+            return DirectMappedCache(num_lines=point["cache_lines"],
+                                     classify_misses=False)
+        if mapping == "prime":
+            c = (point["cache_lines"] + 1).bit_length() - 1
+            return PrimeMappedCache(c=c, classify_misses=False)
+        return SetAssociativeCache(
+            num_sets=point["cache_lines"] // point["ways"],
+            num_ways=point["ways"], classify_misses=False)
+
+    [prediction] = surrogate.evaluate_points([{
+        "mapping": mapping, "cache_lines": point["cache_lines"],
+        "ways": point["ways"], "banks": point["banks"],
+        "t_m": point["t_m"], "blocking_factor": point["blocking_factor"],
+        "reuse_factor": point["reuse_factor"], "p_ds": p_ds,
+        "p_stride1_s1": p_stride1, "p_stride1_s2": p_stride1,
+        "s2": None if p_ds == 0 else "random",
+    }])
+    predicted = prediction["cycles_per_result"]
+    total = 0.0
+    for seed in range(seeds):
+        machine = CCMachine(config, make_cache())
+        driven = VCMDriver(machine, seed=seed).run(
+            vcm, problem_size=point["blocking_factor"] * blocks)
+        total += driven.cycles_per_result
+    measured = total / seeds
+    tolerance = VERIFY_TOLERANCES[mapping]
+    error = abs(measured - predicted) / predicted
+    return {
+        **{key: point[key] for key in ("mapping", "cache_lines", "ways",
+                                       "banks", "t_m", "blocking_factor")},
+        "predicted": predicted,
+        "measured": measured,
+        "relative_error": error,
+        "tolerance": tolerance,
+        "ok": error <= tolerance,
+    }
+
+
+def verify_front(inputs: dict | None = None, *, search=None, top_k=3,
+                 seeds=3, blocks=4) -> dict:
+    """Verify the top-K Pareto picks of an ``optimize_search`` result.
+
+    As an orchestrator job this receives the search result through
+    ``inputs`` (dep name ``optimize-search``); called directly, pass
+    ``search=``.
+    """
+    if search is None:
+        if not inputs:
+            raise ValueError("verify_front needs an optimize-search input")
+        search = next(iter(inputs.values()))
+    workload = search["workload"]
+    checks = [verify_design_point(point, p_ds=workload["p_ds"],
+                                  p_stride1=workload["p_stride1"],
+                                  seeds=seeds, blocks=blocks)
+              for point in search["top"][:top_k]]
+    return {
+        "workload": workload,
+        "verified": len(checks),
+        "ok": all(c["ok"] for c in checks),
+        "checks": checks,
+    }
+
+
+def render_optimize(search: dict, verification: dict | None = None) -> str:
+    """Human-readable summary of a search (+ optional verification)."""
+    lines = [
+        f"design-space search: {search['evaluated']} points evaluated, "
+        f"{search['feasible']} feasible, Pareto front "
+        f"{search['front_size']}",
+    ]
+    constraints = {key: value
+                   for key, value in search["constraints"].items()
+                   if value is not None}
+    if constraints:
+        lines.append("constraints: " + ", ".join(
+            f"{key}={value}" for key, value in sorted(constraints.items())))
+    header = (f"  {'mapping':7s} {'lines':>6s} {'ways':>4s} {'banks':>5s} "
+              f"{'t_m':>4s} {'B':>6s} {'cyc/res':>8s} {'miss':>7s} "
+              f"{'bw':>5s} {'area':>6s}")
+    lines.append(header)
+    for point in search["top"]:
+        lines.append(
+            f"  {point['mapping']:7s} {point['cache_lines']:6d} "
+            f"{point['ways']:4d} {point['banks']:5d} {point['t_m']:4d} "
+            f"{point['blocking_factor']:6d} "
+            f"{point['cycles_per_result']:8.2f} "
+            f"{point['miss_ratio']:7.4f} {point['bandwidth']:5.2f} "
+            f"{point['area_words']:6d}")
+    if verification is not None:
+        lines.append(f"simulator verification (top {verification['verified']}"
+                     f"): {'ok' if verification['ok'] else 'FAILED'}")
+        for check in verification["checks"]:
+            lines.append(
+                f"  {check['mapping']:7s} lines={check['cache_lines']} "
+                f"predicted {check['predicted']:.2f} measured "
+                f"{check['measured']:.2f} rel err "
+                f"{check['relative_error']:.3f} "
+                f"(tol {check['tolerance']:.2f}) "
+                f"{'ok' if check['ok'] else 'FAIL'}")
+    return "\n".join(lines)

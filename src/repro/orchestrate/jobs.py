@@ -155,6 +155,24 @@ def all_jobs() -> dict[str, Job]:
         artifact="reproduction_report.md",
     ))
 
+    # design-space optimizer (ROADMAP item 5): surrogate sweep + Pareto
+    # front, then top-K re-scored on the cycle-level machines.  Default
+    # params are the CI-sized grid; ``repro optimize`` overrides them
+    # from its flags (the cache key folds params, so variants coexist).
+    jobs.append(Job(
+        name="optimize-search",
+        fn="repro.experiments.optimizer:optimize_search",
+        params={"max_area_words": 10000, "max_banks": 64, "top_k": 8},
+        modules=_ANALYTICAL,
+    ))
+    jobs.append(Job(
+        name="optimize-verify",
+        fn="repro.experiments.optimizer:verify_front",
+        params={"top_k": 3, "seeds": 2, "blocks": 4},
+        deps=("optimize-search",),
+        modules=_SIMULATED,
+    ))
+
     jobs.append(Job(
         name="validation",
         fn="repro.experiments.validation:validation_grid",
@@ -181,7 +199,8 @@ def all_jobs() -> dict[str, Job]:
 
 
 #: Jobs kept out of the default sweep: scheduled on demand only.
-_NON_DEFAULT = ("validation", "smoke-fig7-simulated", "smoke-fig8-simulated")
+_NON_DEFAULT = ("validation", "optimize-search", "optimize-verify",
+                "smoke-fig7-simulated", "smoke-fig8-simulated")
 
 
 def default_sweep() -> tuple[str, ...]:

@@ -15,6 +15,7 @@ Accepted shapes (exactly one top-level kind per request)::
     {"sweep": ["fig4", "fig5"]}              # several registry jobs
     {"sweep": "default"}                     # the full default sweep
     {"vcm": {"t_m": 32, "banks": 64, ...}}   # analytical VCM evaluation
+    {"vcm_batch": [{"t_m": 32}, ...]}        # batched VCM evaluation
     {"trace": {"stride": 8, "length": 4096,
                "organisation": "prime"}}     # trace-spec replay
 
@@ -23,6 +24,14 @@ functions in :mod:`repro.serve.queries` as synthetic jobs whose name is
 derived from the canonical parameter digest — identical configs from
 different clients therefore normalise to identical jobs, identical cache
 keys, and one shared computation.
+
+``vcm_batch`` extends that coalescing from single points to whole
+batches: the points are validated, canonicalised, de-duplicated and
+sorted into one *batch job* (scored in a single vectorised surrogate
+call), plus a cheap *view job* that restores the request's own order and
+duplicates.  Because the batch job's name digests only the sorted
+distinct point set, permuted or duplicated bursts from different clients
+normalise to the same batch key — and therefore the same single flight.
 """
 
 from __future__ import annotations
@@ -44,7 +53,7 @@ _QUERY_FNS = {
               ("repro.trace", "repro.cache")),
 }
 
-_KINDS = ("job", "sweep", "vcm", "trace")
+_KINDS = ("job", "sweep", "vcm", "vcm_batch", "trace")
 
 
 class ProtocolError(ValueError):
@@ -142,6 +151,43 @@ def _synthetic(kind: str, body: dict, registry: Mapping[str, Job]) -> Query:
     return Query(names=(job.name,), jobs=jobs)
 
 
+def _vcm_batch(body: dict, registry: Mapping[str, Job]) -> Query:
+    from repro.analytical.surrogate import canonical_point
+
+    points = body["vcm_batch"]
+    if not isinstance(points, list) or not points:
+        raise ProtocolError(
+            "'vcm_batch' must be a non-empty list of point objects")
+    canon: list[dict] = []
+    for index, point in enumerate(points):
+        params = _as_params(point, "vcm_batch")
+        try:
+            canon.append(canonical_point(params))
+        except ValueError as error:
+            raise ProtocolError(
+                f"vcm_batch point {index}: {error}") from None
+    # The batch's identity is the sorted distinct canonical point set:
+    # permuted or duplicated bursts digest to the same batch job (one
+    # cache key, one flight).  The view job re-expands to request order.
+    keyed = sorted({canonical_params(p): p for p in canon}.items())
+    distinct = [point for _, point in keyed]
+    position = {text: i for i, (text, _) in enumerate(keyed)}
+    order = [position[canonical_params(p)] for p in canon]
+    batch = Job(
+        name=f"vcm_batch@{_params_digest({'points': distinct})}",
+        fn="repro.serve.queries:vcm_batch_query",
+        params={"points": distinct}, modules=("repro.analytical",))
+    view = Job(
+        name="vcm_batch_view@"
+             + _params_digest({"batch": batch.name, "order": order}),
+        fn="repro.serve.queries:vcm_batch_view",
+        params={"order": order}, deps=(batch.name,))
+    jobs = dict(registry)
+    jobs[batch.name] = batch
+    jobs[view.name] = view
+    return Query(names=(view.name,), jobs=jobs)
+
+
 def normalise(body: Any, registry: Mapping[str, Job]) -> Query:
     """Validate and normalise one request body against the job registry."""
     if not isinstance(body, Mapping):
@@ -159,4 +205,6 @@ def normalise(body: Any, registry: Mapping[str, Job]) -> Query:
         return _registry_job(dict(body), registry)
     if kind == "sweep":
         return _registry_sweep(dict(body), registry)
+    if kind == "vcm_batch":
+        return _vcm_batch(dict(body), registry)
     return _synthetic(kind, dict(body), registry)

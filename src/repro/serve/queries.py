@@ -13,7 +13,7 @@ the cache key, so two clients posting the same config share one entry.
 
 from __future__ import annotations
 
-__all__ = ["trace_query", "vcm_query"]
+__all__ = ["trace_query", "vcm_batch_query", "vcm_batch_view", "vcm_query"]
 
 
 def vcm_query(*, blocking_factor: int = 1024, reuse_factor: float = 32.0,
@@ -54,6 +54,33 @@ def vcm_query(*, blocking_factor: int = 1024, reuse_factor: float = 32.0,
         "initial_block_time": model.initial_block_time(vcm),
         "cached_block_time": model.cached_block_time(vcm, element_time),
     }
+
+
+def vcm_batch_query(*, points: list[dict]) -> list[dict]:
+    """Evaluate a batch of VCM points through the vectorised surrogate.
+
+    ``points`` is the *sorted, distinct* canonical point list the
+    protocol layer produced — the batch's cache identity.  One call to
+    :func:`repro.analytical.surrogate.evaluate_points` scores the whole
+    batch through the array kernels; each result dict is a superset of
+    the scalar :func:`vcm_query` output for the same parameters.
+    """
+    from repro.analytical.surrogate import evaluate_points
+
+    return evaluate_points(points)
+
+
+def vcm_batch_view(inputs: dict, *, order: list[int]) -> list[dict]:
+    """Restore request order over a shared ``vcm_batch_query`` result.
+
+    ``inputs`` holds the batch job's distinct-point results; ``order``
+    maps each originally-requested point (duplicates included) to its
+    index in that distinct list.  Splitting the view from the batch is
+    what lets permuted or duplicated bursts coalesce on one batch key
+    while every client still sees its own ordering.
+    """
+    batch = next(iter(inputs.values()))
+    return [batch[index] for index in order]
 
 
 def trace_query(*, kind: str = "strided", base: int = 0, stride: int = 8,

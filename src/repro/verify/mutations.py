@@ -10,7 +10,9 @@ prime-cache stall formula, a congruence solver that loses the
 multi-solution family, a phase-collapsed stride footprint, a columnar
 trace recorder that drops the last reference of every block, a compiled
 replay kernel that drops write-allocation, a Belady kernel that
-mistakes the never-reused sentinel for an immediate reuse) and, for
+mistakes the never-reused sentinel for an immediate reuse, a batched
+analytical kernel that collapses the ``t_m`` broadcast axis onto its
+first value) and, for
 each, temporarily monkey-patches the fault in, re-runs the oracle
 sweep, and records which oracles noticed.  A mutation nobody catches is
 a *hole* in the verification net and fails the run.
@@ -223,6 +225,28 @@ def _phase_collapsed_footprint():
         yield
 
 
+@contextmanager
+def _batched_broadcast_collapse():
+    import numpy as np
+
+    from repro.analytical import batched
+
+    original = batched.mm_random_self_stalls_batch
+
+    def bad_random_stalls(num_banks, t_m, mvl):
+        # the classic broadcast bug: a stray scalarisation scores every
+        # grid point with the first t_m's stall count instead of its own
+        collapsed = np.asarray(t_m).flat[0]
+        shape = np.broadcast_shapes(np.shape(num_banks), np.shape(t_m),
+                                    np.shape(mvl))
+        return np.broadcast_to(
+            original(num_banks, collapsed, mvl), shape).copy()
+
+    with _patched(batched, "mm_random_self_stalls_batch",
+                  bad_random_stalls):
+        yield
+
+
 MUTATIONS: dict[str, Mutation] = {
     m.name: m
     for m in (
@@ -274,6 +298,12 @@ MUTATIONS: dict[str, Mutation] = {
             "recorded address block",
             ("trace-columnar",),
             _columnar_block_off_by_one),
+        Mutation(
+            "batched-broadcast-collapse",
+            "mm_random_self_stalls_batch collapses the t_m broadcast "
+            "axis, scoring every grid point with the first t_m's stalls",
+            ("analytical-batched",),
+            _batched_broadcast_collapse),
     )
 }
 

@@ -26,6 +26,11 @@ geometry law):
   (``backend="scalar"``/``"numpy"``/``"compiled"``, the last through
   :mod:`repro.kernels`) against each other, bit-for-bit across cache
   statistics, per-access outcomes, machine reports and bank state.
+* ``analytical-batched`` — the vectorised surrogate engine
+  (:mod:`repro.analytical.batched`) against the scalar analytical stack
+  it mirrors, element-wise over grids that always batch several
+  distinct ``t_m`` values per call so broadcast-collapse faults cannot
+  hide behind a uniform axis.
 
 Each oracle supplies ``build_cases(mode, rng)`` (seeded, reproducible
 case configurations — plain JSON-safe dicts) and ``check_case(config)``
@@ -1010,6 +1015,252 @@ def _check_kernel_backend(config: dict) -> list[Divergence]:
 
 
 # ---------------------------------------------------------------------------
+# analytical-batched: the vectorised surrogate engine vs the scalar stack
+# ---------------------------------------------------------------------------
+
+_BATCHED_MODEL_GRID = (
+    ("direct", 64, 1), ("direct", 8192, 1), ("prime", 127, 1),
+    ("prime", 8191, 1), ("assoc", 64, 2), ("assoc", 8192, 4),
+)
+
+#: CC output metrics compared element-wise against the scalar models.
+_BATCHED_CC_KEYS = (
+    "element_time", "initial_block_time", "cached_block_time",
+    "cycles_per_result", "mm_cycles_per_result", "sweep_misses",
+    "miss_ratio",
+)
+
+
+def _analytical_batched_cases(mode: str, rng: random.Random) -> list[dict]:
+    rounds = _case_counts(mode, 2, 8)
+    # pinned: a prime grid batching three distinct t_m values with a
+    # random second stream — the exact surface where a broadcast
+    # collapse (every grid point scored with the first t_m) diverges
+    # regardless of what the random grid draws
+    cases = [
+        {"kind": "cc", "mapping": "prime", "lines": 8191, "ways": 1,
+         "banks": 32, "t_m_values": [4, 16, 64], "block": 4096,
+         "reuse": 4096.0, "p_ds": 0.1, "footprint_mode": "simple",
+         "seed": 0},
+        {"kind": "congruence-batch", "count": 64, "seed": 0},
+    ]
+    for _ in range(rounds):
+        mapping, lines, ways = rng.choice(_BATCHED_MODEL_GRID)
+        cases.append({
+            "kind": "cc",
+            "mapping": mapping, "lines": lines, "ways": ways,
+            "banks": rng.choice((8, 32, 64)),
+            "t_m_values": sorted(rng.sample((4, 8, 16, 32, 64), 2)),
+            "block": rng.choice((64, 1024, 4096)),
+            "reuse": rng.choice((1.0, 8.0, 64.0)),
+            "p_ds": rng.choice((0.0, 0.1)),
+            "footprint_mode": rng.choice(("simple", "expected")),
+            "seed": rng.randrange(1 << 30),
+        })
+        cases.append({
+            "kind": "mm",
+            "banks": rng.choice((8, 32, 64)),
+            "t_m_values": sorted(rng.sample((4, 8, 16, 31, 64), 2)),
+            "block": rng.choice((64, 4096)),
+            "reuse": rng.choice((1.0, 8.0)),
+            "p_ds": rng.choice((0.0, 0.1)),
+            "seed": rng.randrange(1 << 30),
+        })
+        cases.append({"kind": "congruence-batch", "count": 48,
+                      "seed": rng.randrange(1 << 30)})
+        cases.append({
+            "kind": "bandwidth",
+            "banks": rng.choice((2, 8, 64)),
+            "t_m": rng.choice((2, 16, 40)),
+            "p_stride1": rng.choice((0.0, 0.25, 1.0)),
+            "seed": rng.randrange(1 << 30),
+        })
+        cases.append({
+            "kind": "blocking",
+            "mapping": mapping, "lines": lines, "ways": ways,
+            "t_m": rng.choice((4, 16, 64)),
+            "block": rng.choice((1024, 4096)),
+            "p_ds": rng.choice((0.0, 0.1)),
+            "seed": rng.randrange(1 << 30),
+        })
+    return cases
+
+
+def _batched_scalar_model(mapping: str, config, ways: int,
+                          footprint_mode: str = "simple"):
+    from repro.analytical.cc import DirectMappedModel, PrimeMappedModel
+
+    if mapping == "direct":
+        return DirectMappedModel(config, footprint_mode=footprint_mode)
+    if mapping == "prime":
+        return PrimeMappedModel(config, footprint_mode=footprint_mode)
+    return SetAssociativeModel(config, ways, footprint_mode=footprint_mode)
+
+
+def _check_analytical_batched(config: dict) -> list[Divergence]:
+    from repro.analytical import batched
+    from repro.analytical.bandwidth import (
+        effective_bandwidth_for_stride,
+        expected_effective_bandwidth,
+    )
+    from repro.analytical.missratio import (
+        scalar_cached_sweep_misses,
+        scalar_workload_miss_ratio,
+    )
+    from repro.analytical.optimize import optimal_blocking_factor
+
+    kind = config["kind"]
+    if kind == "cc":
+        # one batched call over every t_m, so a collapsed axis diverges
+        mapping, ways = config["mapping"], config["ways"]
+        lines, banks = config["lines"], config["banks"]
+        t_m = np.array(config["t_m_values"])
+        vcm = VCM(blocking_factor=config["block"],
+                  reuse_factor=config["reuse"], p_ds=config["p_ds"],
+                  s2=("random" if config["p_ds"] else None))
+        out = batched.cc_outputs_batch(
+            mapping, cache_lines=lines, num_banks=banks, t_m=t_m,
+            ways=ways, blocking_factor=vcm.blocking_factor,
+            reuse_factor=vcm.reuse_factor, p_ds=vcm.p_ds,
+            s2=vcm.s2, footprint_mode=config["footprint_mode"])
+        for i, t in enumerate(config["t_m_values"]):
+            machine = MachineConfig(num_banks=banks, memory_access_time=t,
+                                    cache_lines=lines)
+            model = _batched_scalar_model(mapping, machine, ways,
+                                          config["footprint_mode"])
+            expected = {
+                "element_time": model.element_time(vcm),
+                "initial_block_time": model.initial_block_time(vcm),
+                "cached_block_time": model.cached_block_time(vcm),
+                "cycles_per_result": model.cycles_per_result(vcm),
+                "mm_cycles_per_result":
+                    MMModel(machine).cycles_per_result(vcm),
+                "sweep_misses": scalar_cached_sweep_misses(model, vcm),
+                "miss_ratio": scalar_workload_miss_ratio(model, vcm),
+            }
+            for key in _BATCHED_CC_KEYS:
+                actual = float(np.broadcast_to(out[key], t_m.shape)[i])
+                if not math.isclose(expected[key], actual,
+                                    rel_tol=1e-9, abs_tol=1e-12):
+                    return [(f"cc.{mapping}.{key}[t_m={t}]",
+                             expected[key], actual,
+                             "analytical/batched.cc_outputs_batch vs the "
+                             "scalar CC/MM models")]
+        return []
+    if kind == "mm":
+        banks = config["banks"]
+        t_m = np.array(config["t_m_values"])
+        vcm = VCM(blocking_factor=config["block"],
+                  reuse_factor=config["reuse"], p_ds=config["p_ds"],
+                  s2=("random" if config["p_ds"] else None))
+        got = batched.mm_cycles_per_result_batch(
+            num_banks=banks, t_m=t_m, mvl=64,
+            blocking_factor=vcm.blocking_factor,
+            reuse_factor=vcm.reuse_factor, p_ds=vcm.p_ds,
+            p_stride1_s1=vcm.p_stride1_s1,
+            p_stride1_s2=vcm.p_stride1_s2, s2=vcm.s2)
+        for i, t in enumerate(config["t_m_values"]):
+            model = MMModel(MachineConfig(num_banks=banks,
+                                          memory_access_time=t))
+            expected = model.cycles_per_result(vcm)
+            actual = float(np.broadcast_to(got, t_m.shape)[i])
+            if not math.isclose(expected, actual, rel_tol=1e-9):
+                return [(f"mm.cycles_per_result[t_m={t}]", expected, actual,
+                         "analytical/batched.mm_cycles_per_result_batch vs "
+                         "analytical/mm.MMModel")]
+        return []
+    if kind == "congruence-batch":
+        rng = random.Random(config["seed"])
+        count = config["count"]
+        triples = [(rng.randrange(64), rng.randrange(64),
+                    rng.randrange(1, 64)) for _ in range(count)]
+        a, b, m = (np.array(col) for col in zip(*triples))
+        counts = batched.solution_count_batch(a, b, m).tolist()
+        for triple, actual in zip(triples, counts):
+            expected = len(congruence.solve_linear_congruence(*triple))
+            if expected != actual:
+                return [(f"solution_count_batch{triple}", expected, actual,
+                         "analytical/batched.solution_count_batch vs "
+                         "analytical/congruence.solve_linear_congruence")]
+        cross = [(rng.randrange(33), rng.randrange(33), rng.randrange(33),
+                  rng.choice((2, 8, 32)), rng.choice((4, 16, 64)),
+                  rng.choice((2, 7, 16))) for _ in range(count)]
+        arrays = [np.array(col) for col in zip(*cross)]
+        got = batched.cross_stalls_batch(*arrays)
+        for case, actual in zip(cross, got.tolist()):
+            expected = congruence.cross_stalls(*case)
+            if not math.isclose(expected, actual, rel_tol=1e-9,
+                                abs_tol=1e-9):
+                return [(f"cross_stalls_batch{case}", expected, actual,
+                         "analytical/batched.cross_stalls_batch vs "
+                         "analytical/congruence.cross_stalls")]
+        return []
+    if kind == "bandwidth":
+        banks, t_m = config["banks"], config["t_m"]
+        machine = MachineConfig(num_banks=banks, memory_access_time=t_m)
+        strides = np.array([0, 1, 2, 5, 8, -3])
+        got = batched.effective_bandwidth_for_stride_batch(
+            strides, banks, t_m)
+        for s, actual in zip(strides.tolist(), got.tolist()):
+            expected = effective_bandwidth_for_stride(s, machine)
+            if not math.isclose(expected, actual, rel_tol=1e-9):
+                return [(f"effective_bandwidth[stride={s}]", expected,
+                         actual, "analytical/batched vs "
+                         "analytical/bandwidth (fixed stride)")]
+        p1 = config["p_stride1"]
+        expected = expected_effective_bandwidth(machine, p_stride1=p1)
+        actual = float(batched.expected_effective_bandwidth_batch(
+            np.array([banks]), np.array([t_m]), p_stride1=p1)[0])
+        if not math.isclose(expected, actual, rel_tol=1e-9):
+            return [("expected_effective_bandwidth", expected, actual,
+                     "analytical/batched vs analytical/bandwidth "
+                     "(expected over random strides)")]
+        return []
+    if kind == "blocking":
+        mapping, ways = config["mapping"], config["ways"]
+        lines, t_m = config["lines"], config["t_m"]
+        machine = MachineConfig(num_banks=32, memory_access_time=t_m,
+                                cache_lines=lines)
+        want = optimal_blocking_factor(
+            _batched_scalar_model(mapping, machine, ways))
+        got = batched.optimal_blocking_factor_batch(
+            mapping, cache_lines=np.array([lines]),
+            num_banks=np.array([32]), t_m=np.array([t_m]), ways=ways)
+        # compare the achieved optimum, not B: ties may pick either arm
+        actual = float(got["cycles_per_result"][0])
+        if not math.isclose(want.cycles_per_result, actual, rel_tol=1e-9):
+            return [("optimal_blocking.cycles_per_result",
+                     want.cycles_per_result, actual,
+                     "analytical/batched.optimal_blocking_factor_batch vs "
+                     "analytical/optimize.optimal_blocking_factor")]
+        from repro.analytical.optimize import crossover_memory_time
+
+        block, p_ds = config["block"], config["p_ds"]
+        vcm = VCM(blocking_factor=block, reuse_factor=float(block),
+                  p_ds=p_ds, s2=("random" if p_ds else None))
+        expected = crossover_memory_time(
+            lambda t: vcm,
+            cache_model_factory=lambda t: _batched_scalar_model(
+                mapping, MachineConfig(num_banks=32, memory_access_time=t,
+                                       cache_lines=lines), ways),
+            mm_model_factory=lambda t: MMModel(
+                MachineConfig(num_banks=32, memory_access_time=t,
+                              cache_lines=lines)))
+        crossover = int(batched.crossover_memory_time_batch(
+            mapping, cache_lines=np.array([lines]),
+            num_banks=np.array([32]), ways=ways,
+            blocking_factor=np.array([block]),
+            reuse_factor=np.array([float(block)]),
+            p_ds=np.array([p_ds]))[0])
+        if crossover != (-1 if expected is None else expected):
+            return [("crossover_memory_time", expected, crossover,
+                     "analytical/batched.crossover_memory_time_batch vs "
+                     "analytical/optimize.crossover_memory_time")]
+        return []
+    raise ValueError(f"unknown analytical-batched case kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -1048,6 +1299,11 @@ ORACLES: dict[str, Oracle] = {
             "scalar vs numpy vs compiled replay, Belady and machine-timing "
             "engines, bit-for-bit",
             _kernel_backend_cases, _check_kernel_backend),
+        Oracle(
+            "analytical-batched",
+            "vectorised surrogate engine vs the scalar analytical stack, "
+            "element-wise over multi-t_m grids",
+            _analytical_batched_cases, _check_analytical_batched),
     )
 }
 

@@ -1,0 +1,66 @@
+"""Property-based invariants of the linear congruence solver.
+
+Hypothesis sweeps ``a*x === b (mod m)`` over the whole small-modulus
+space: every returned x must actually satisfy the congruence, the
+solution count must be ``gcd(a, m)`` exactly when that gcd divides ``b``
+(and zero otherwise), and the degenerate ``m == 1`` modulus must behave.
+The batched counting kernel must agree with the solver everywhere.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytical.batched import solution_count_batch
+from repro.analytical.congruence import solve_linear_congruence
+
+coefficients = st.integers(min_value=0, max_value=400)
+moduli = st.integers(min_value=1, max_value=200)
+
+
+@settings(max_examples=300, deadline=None)
+@given(coefficients, coefficients, moduli)
+def test_every_solution_satisfies_the_congruence(a, b, m):
+    for x in solve_linear_congruence(a, b, m):
+        assert 0 <= x < m
+        assert (a * x - b) % m == 0
+
+
+@settings(max_examples=300, deadline=None)
+@given(coefficients, coefficients, moduli)
+def test_count_is_gcd_when_it_divides_b_else_zero(a, b, m):
+    solutions = solve_linear_congruence(a, b, m)
+    g = math.gcd(a, m)  # gcd(0, m) == m covers the a % m == 0 family
+    if b % g == 0:
+        assert len(solutions) == g
+        assert len(set(solutions)) == g  # and they are distinct
+    else:
+        assert solutions == []
+
+
+@settings(max_examples=200, deadline=None)
+@given(coefficients, coefficients)
+def test_modulus_one_always_has_the_single_trivial_solution(a, b):
+    assert solve_linear_congruence(a, b, 1) == [0]
+
+
+@settings(max_examples=150, deadline=None)
+@given(st.lists(st.tuples(coefficients, coefficients, moduli),
+                min_size=1, max_size=32))
+def test_batched_count_matches_the_solver(triples):
+    a, b, m = (np.array(column) for column in zip(*triples))
+    counts = solution_count_batch(a, b, m).tolist()
+    for triple, count in zip(triples, counts):
+        assert count == len(solve_linear_congruence(*triple))
+
+
+def test_known_edges():
+    # gcd does not divide b: no solutions
+    assert solve_linear_congruence(6, 4, 9) == []
+    # gcd(6, 9) = 3 divides 3: exactly three solutions
+    assert sorted(solve_linear_congruence(6, 3, 9)) == [2, 5, 8]
+    # a === 0: solvable iff m | b, and then every residue works
+    assert solve_linear_congruence(0, 0, 4) == [0, 1, 2, 3]
+    assert solve_linear_congruence(0, 3, 4) == []

@@ -7,6 +7,8 @@ from repro.analytical.cc import DirectMappedModel, PrimeMappedModel
 from repro.analytical.missratio import (
     cached_sweep_misses,
     demonstrate_miss_ratio_fallacy,
+    scalar_cached_sweep_misses,
+    scalar_workload_miss_ratio,
     workload_miss_ratio,
 )
 from repro.analytical.mm import MMModel
@@ -88,3 +90,40 @@ class TestFallacy:
         view = demonstrate_miss_ratio_fallacy(cc, mm, vcm)
         assert view.hit_ratio > 0.95
         assert not view.cache_loses
+
+
+class TestBatchedDelegation:
+    """The public miss-ratio functions ride the vectorised kernels; the
+    retained scalar forms must agree to numerical noise, and the numbers
+    the repo publishes in ext-missratio must not move."""
+
+    def test_public_path_matches_scalar_reference(self):
+        models = [DirectMappedModel(config()),
+                  PrimeMappedModel(config(cache_lines=8191))]
+        vcms = [VCM(blocking_factor=4096, reuse_factor=2, p_ds=0.0,
+                    s2=None),
+                VCM(blocking_factor=1024, reuse_factor=32, p_ds=0.1),
+                VCM(blocking_factor=4096, reuse_factor=8, p_ds=0.25,
+                    s1=7)]
+        for model in models:
+            for vcm in vcms:
+                assert cached_sweep_misses(model, vcm) == pytest.approx(
+                    scalar_cached_sweep_misses(model, vcm), rel=1e-9)
+                assert workload_miss_ratio(model, vcm) == pytest.approx(
+                    scalar_workload_miss_ratio(model, vcm), rel=1e-9)
+
+    def test_published_ext_missratio_numbers_are_pinned(self):
+        """Regression pin of results/extension_figures.txt (ext-missratio
+        B=1024 and B=8192 rows): the batched delegation must reproduce
+        the committed figure to the printed precision and beyond."""
+        pinned = {1024: (0.966517, 2.234782, 3.548097),
+                  8192: (0.739606, 5.868925, 3.539552)}
+        for block, (hit, cc_cycles, mm_cycles) in pinned.items():
+            vcm = VCM(blocking_factor=block, reuse_factor=block, p_ds=0.1)
+            cfg = config(memory_access_time=16, num_banks=32,
+                         cache_lines=8192)
+            view = demonstrate_miss_ratio_fallacy(
+                DirectMappedModel(cfg), MMModel(cfg), vcm)
+            assert view.hit_ratio == pytest.approx(hit, abs=5e-7)
+            assert view.cc_cycles == pytest.approx(cc_cycles, abs=5e-7)
+            assert view.mm_cycles == pytest.approx(mm_cycles, abs=5e-7)

@@ -1,0 +1,153 @@
+"""Tests for the design-space optimizer (search, Pareto, verification)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.optimizer import (
+    MERSENNE_EXPONENTS,
+    VERIFY_TOLERANCES,
+    optimize_search,
+    render_optimize,
+    verify_design_point,
+    verify_front,
+)
+
+# Capacities >= 2^11 keep the verified picks inside the analytical
+# models' documented accuracy envelope (at tiny capacities a full-cache
+# block plus the second stream thrashes in ways the steady-state
+# closed forms underestimate — which the verification leg then flags).
+SMALL_GRID = dict(
+    mappings=("direct", "prime"),
+    c_values=(11, 13),
+    banks_values=(16, 64),
+    t_m_values=(8, 32),
+    block_fractions=(0.25, 1.0),
+)
+
+
+class TestOptimizeSearch:
+    def test_counts_and_front_are_consistent(self):
+        result = optimize_search(**SMALL_GRID)
+        assert result["evaluated"] > 0
+        assert 0 < result["feasible"] <= result["evaluated"]
+        assert result["front_size"] >= 1
+        assert len(result["top"]) <= 8
+        assert result["top"] == result["front"][:len(result["top"])]
+
+    def test_front_is_mutually_non_dominated(self):
+        result = optimize_search(**SMALL_GRID)
+        front = result["front"]
+        for a in front:
+            for b in front:
+                dominates = (a["miss_ratio"] <= b["miss_ratio"]
+                             and a["bandwidth"] >= b["bandwidth"]
+                             and a["area_words"] <= b["area_words"]
+                             and (a["miss_ratio"] < b["miss_ratio"]
+                                  or a["bandwidth"] > b["bandwidth"]
+                                  or a["area_words"] < b["area_words"]))
+                assert not dominates, (a, b)
+
+    def test_constraints_shrink_the_feasible_set(self):
+        loose = optimize_search(**SMALL_GRID)
+        tight = optimize_search(**SMALL_GRID, max_area_words=1024,
+                                max_banks=16, max_t_m=8)
+        assert tight["feasible"] < loose["feasible"]
+        for point in tight["front"]:
+            assert point["area_words"] <= 1024
+            assert point["banks"] <= 16
+            assert point["t_m"] <= 8
+
+    def test_prime_axis_respects_mersenne_exponents(self):
+        result = optimize_search(mappings=("prime",), c_values=(8, 9, 13),
+                                 banks_values=(32,), t_m_values=(16,),
+                                 block_fractions=(1.0,))
+        # only c=13 survives: 2^8-1 and 2^9-1 are composite
+        assert result["evaluated"] == 1
+        assert result["front"][0]["cache_lines"] == 8191
+        assert 13 in MERSENNE_EXPONENTS
+
+    def test_prime_beats_direct_at_matched_capacity(self):
+        """The paper's headline: at full-cache blocking the prime
+        mapping's conflict-free sweeps win the front."""
+        result = optimize_search(**SMALL_GRID)
+        best = result["top"][0]
+        assert best["mapping"] == "prime"
+
+    def test_infeasible_constraints_yield_empty_front(self):
+        result = optimize_search(**SMALL_GRID, max_area_words=1)
+        assert result["feasible"] == 0
+        assert result["front"] == []
+        assert result["top"] == []
+
+    def test_json_safe(self):
+        import json
+
+        json.dumps(optimize_search(**SMALL_GRID))
+
+
+class TestVerification:
+    @pytest.fixture(scope="class")
+    def search(self):
+        return optimize_search(**SMALL_GRID)
+
+    def test_top_pick_verifies_within_tolerance(self, search):
+        check = verify_design_point(search["top"][0], seeds=2, blocks=2)
+        assert check["ok"]
+        assert check["relative_error"] <= VERIFY_TOLERANCES["prime"]
+        assert check["predicted"] > 1.0
+        assert check["measured"] > 1.0
+
+    def test_verify_front_runs_requested_count(self, search):
+        result = verify_front(search=search, top_k=2, seeds=1, blocks=2)
+        assert result["verified"] == 2
+        assert result["ok"]
+        assert all(c["tolerance"] == VERIFY_TOLERANCES[c["mapping"]]
+                   for c in result["checks"])
+
+    def test_verify_front_as_orchestrator_job(self, search):
+        result = verify_front({"optimize-search": search}, top_k=1,
+                              seeds=1, blocks=2)
+        assert result["verified"] == 1
+
+    def test_verify_front_requires_an_input(self):
+        with pytest.raises(ValueError):
+            verify_front()
+
+    def test_render_mentions_the_verdict(self, search):
+        verification = verify_front(search=search, top_k=1, seeds=1,
+                                    blocks=2)
+        text = render_optimize(search, verification)
+        assert "Pareto front" in text
+        assert "simulator verification" in text
+        assert "ok" in text
+
+
+class TestRegistryJobs:
+    def test_jobs_registered_but_not_default(self):
+        from repro.orchestrate import all_jobs, default_sweep
+
+        jobs = all_jobs()
+        assert "optimize-search" in jobs
+        assert "optimize-verify" in jobs
+        assert jobs["optimize-verify"].deps == ("optimize-search",)
+        default = default_sweep()
+        assert "optimize-search" not in default
+        assert "optimize-verify" not in default
+
+    def test_jobs_run_through_the_runner(self, tmp_path):
+        from dataclasses import replace
+
+        from repro.orchestrate import ResultStore, Runner, all_jobs
+
+        jobs = all_jobs()
+        jobs["optimize-search"] = replace(
+            jobs["optimize-search"],
+            params={**SMALL_GRID, "top_k": 2})
+        jobs["optimize-verify"] = replace(
+            jobs["optimize-verify"],
+            params={"top_k": 1, "seeds": 1, "blocks": 2})
+        runner = Runner(jobs.values(), store=ResultStore(tmp_path),
+                        results_dir=None)
+        summary = runner.run(["optimize-verify"])
+        assert summary.ok
+        assert summary.results["optimize-verify"]["ok"]

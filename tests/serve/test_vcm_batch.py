@@ -1,0 +1,140 @@
+"""The batched VCM query: normalisation, coalescing, and serving.
+
+The contract under test: a ``vcm_batch`` burst of N identical plus M
+distinct point-queries computes each distinct point exactly once (one
+vectorised batch job), returns per-query results in request order, and
+permuted/duplicated bursts coalesce onto the same batch cache key.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.orchestrate.store import ResultStore
+from repro.serve import ServeClient, ServeError, serve_in_thread
+from repro.serve.protocol import ProtocolError, normalise
+from repro.serve.queries import vcm_query
+
+P1 = {"mapping": "prime", "cache_lines": 8191, "t_m": 16}
+P2 = {"mapping": "direct", "cache_lines": 1024, "t_m": 32}
+P3 = {"mapping": "prime", "cache_lines": 127, "banks": 16}
+
+
+class TestNormalisation:
+    def test_builds_a_batch_and_a_view_job(self):
+        query = normalise({"vcm_batch": [P1, P2]}, {})
+        (view_name,) = query.names
+        assert view_name.startswith("vcm_batch_view@")
+        view = query.jobs[view_name]
+        (batch_name,) = view.deps
+        assert batch_name.startswith("vcm_batch@")
+        batch = query.jobs[batch_name]
+        assert batch.fn == "repro.serve.queries:vcm_batch_query"
+        assert view.fn == "repro.serve.queries:vcm_batch_view"
+        assert len(batch.params["points"]) == 2
+        assert "repro.analytical" in batch.modules
+
+    def test_duplicates_collapse_into_the_batch(self):
+        query = normalise({"vcm_batch": [P1, P1, P2, P1]}, {})
+        (view_name,) = query.names
+        view = query.jobs[view_name]
+        batch = query.jobs[view.deps[0]]
+        assert len(batch.params["points"]) == 2  # distinct points only
+        assert len(view.params["order"]) == 4    # every request slot
+
+    def test_permuted_bursts_share_the_batch_job(self):
+        a = normalise({"vcm_batch": [P1, P2, P3]}, {})
+        b = normalise({"vcm_batch": [P3, P1, P2, P1]}, {})
+        batch_a = a.jobs[a.names[0]].deps[0]
+        batch_b = b.jobs[b.names[0]].deps[0]
+        assert batch_a == batch_b          # same distinct point set
+        assert a.names != b.names          # but each burst's own order
+
+    def test_point_defaults_make_equivalent_points_identical(self):
+        explicit = {"mapping": "prime", "cache_lines": 8191}
+        a = normalise({"vcm_batch": [{}]}, {})
+        b = normalise({"vcm_batch": [explicit]}, {})
+        assert a.jobs[a.names[0]].deps == b.jobs[b.names[0]].deps
+
+    def test_empty_or_non_list_payload_is_rejected(self):
+        with pytest.raises(ProtocolError, match="non-empty list"):
+            normalise({"vcm_batch": []}, {})
+        with pytest.raises(ProtocolError, match="non-empty list"):
+            normalise({"vcm_batch": {"t_m": 16}}, {})
+
+    def test_bad_points_are_rejected_with_their_index(self):
+        with pytest.raises(ProtocolError, match="point 1"):
+            normalise({"vcm_batch": [P1, {"warp_factor": 9}]}, {})
+        with pytest.raises(ProtocolError, match="point 0"):
+            normalise({"vcm_batch": [{"cache_lines": -5}]}, {})
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("serve_batch")
+    handle = serve_in_thread(registry={},
+                             store=ResultStore(tmp / "cache"), workers=2)
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture()
+def client(server):
+    return ServeClient(port=server.port)
+
+
+class TestServing:
+    def test_burst_computes_each_distinct_point_once_in_order(self, client):
+        before = client.stats()
+        burst = [P1, P1, P1, P2, P1, P3]        # N identical + M distinct
+        response = client.query({"vcm_batch": burst})
+        results = response["results"][0]["result"]
+        assert len(results) == len(burst)
+        after = client.stats()
+        # one vectorised batch job + one view job — not one job per point
+        assert after["computed"] - before["computed"] == 2
+        # request order survives the distinct-sort round trip
+        assert [r["cache_lines"] for r in results] == [
+            8191, 8191, 8191, 1024, 8191, 127]
+        assert results[0] == results[1] == results[2] == results[4]
+
+    def test_results_match_the_scalar_query(self, client):
+        results = client.query(
+            {"vcm_batch": [P1, P2]})["results"][0]["result"]
+        for point, got in zip((P1, P2), results):
+            want = vcm_query(**point)
+            for key, value in want.items():
+                assert got[key] == pytest.approx(value), key
+
+    def test_permuted_warm_burst_hits_the_batch_key(self, client):
+        client.query({"vcm_batch": [P1, P2]})
+        before = client.stats()
+        response = client.query({"vcm_batch": [P2, P1, P2]})
+        after = client.stats()
+        assert after["computed"] - before["computed"] == 1  # new view only
+        assert after["hits"] - before["hits"] >= 1          # batch was warm
+        results = response["results"][0]["result"]
+        assert [r["cache_lines"] for r in results] == [1024, 8191, 1024]
+
+    def test_concurrent_identical_bursts_coalesce(self, server, client):
+        body = {"vcm_batch": [P3, {"mapping": "direct", "cache_lines": 64,
+                                   "blocking_factor": 64}]}
+        before = client.stats()
+
+        def fire(_):
+            return ServeClient(port=server.port).query(body)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            responses = list(pool.map(fire, range(6)))
+        first = responses[0]["results"][0]["result"]
+        assert all(r["results"][0]["result"] == first for r in responses)
+        after = client.stats()
+        # six requests, one batch + one view execution between them
+        assert after["computed"] - before["computed"] == 2
+
+    def test_invalid_point_is_a_400(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.query({"vcm_batch": [{"mapping": "hashed"}]})
+        assert excinfo.value.status == 400

@@ -6,8 +6,9 @@ from repro.verify import MUTATIONS, ORACLES, run_selfcheck
 class TestCatalogue:
     def test_issue_faults_catalogued(self):
         # the three faults the issue names, the two this codebase nearly
-        # shipped, the columnar block-boundary fault, plus the two
-        # compiled-kernel faults the kernel-backend oracle must catch
+        # shipped, the columnar block-boundary fault, the two
+        # compiled-kernel faults the kernel-backend oracle must catch,
+        # plus the broadcast-collapse fault the batched surrogate invites
         assert set(MUTATIONS) == {
             "fold-modulus-off-by-one",
             "dropped-bank-busy-stall",
@@ -17,6 +18,7 @@ class TestCatalogue:
             "columnar-block-off-by-one",
             "kernel-write-allocate-dropped",
             "kernel-belady-sentinel-pinned",
+            "batched-broadcast-collapse",
         }
 
     def test_expected_oracles_exist(self):

@@ -8,7 +8,7 @@ from repro.verify import ORACLES, DifferentialRunner, default_oracles
 
 
 class TestRegistry:
-    def test_the_seven_oracles_are_registered(self):
+    def test_the_eight_oracles_are_registered(self):
         assert set(ORACLES) == {
             "cache-batch",
             "machine-timing",
@@ -17,6 +17,7 @@ class TestRegistry:
             "prime-geometry",
             "trace-columnar",
             "kernel-backend",
+            "analytical-batched",
         }
 
     def test_names_and_descriptions(self):
@@ -61,6 +62,12 @@ class TestCaseGrids:
             "quick", random.Random(0))
         kinds = [c["kind"] for c in analytical[:2]]
         assert kinds == ["mm-strip", "cc-prime-stride"]
+        batched = ORACLES["analytical-batched"].build_cases(
+            "quick", random.Random(0))
+        assert {"kind": "cc", "mapping": "prime", "lines": 8191, "ways": 1,
+                "banks": 32, "t_m_values": [4, 16, 64], "block": 4096,
+                "reuse": 4096.0, "p_ds": 0.1, "footprint_mode": "simple",
+                "seed": 0} in batched
 
 
 class TestQuickSweepsClean:
