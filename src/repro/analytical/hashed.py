@@ -1,0 +1,132 @@
+"""Birthday-paradox collision model for hashed (randomised) cache
+indexing.
+
+With a uniform random index function, placing ``B`` distinct lines into
+``S`` sets is the birthday problem: the probability that a given line
+shares its set with at least one of the other ``B - 1`` lines is
+``1 - (1 - 1/S)**(B - 1)``, so the expected number of *colliding* lines
+is
+
+    ``E[collisions] = B * (1 - (1 - 1/S)**(B - 1))``       (direct-mapped)
+
+nonzero even for ``B <= S`` — randomisation trades the pathological
+strides of power-of-two indexing for an irreducible statistical floor
+the prime mapping does not pay.
+
+The model connects to the simulator through a sweep law.  Sweep ``B``
+distinct lines twice, in the same order, through a direct-mapped
+:class:`repro.cache.hashed.HashedIndexCache`: on the second sweep, line
+``i`` hits iff *no other line* maps to its set (with one way, any
+same-set line accessed between ``i``'s two references evicts it, and
+every other line is referenced exactly once in that window).  Hence
+
+    second-sweep misses  ==  B - (number of singleton sets)
+
+*exactly*, per seed, for the concrete hash — and its expectation over
+seeds is the closed form above (the splitmix64 finalizer is close
+enough to uniform that the ``cache-zoo`` oracle holds the seed-mean to
+it within tight statistical tolerances).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cache.hashed import hash_sets
+
+__all__ = [
+    "expected_colliding_lines",
+    "expected_distinct_sets",
+    "exact_colliding_lines",
+    "mean_colliding_lines",
+    "second_sweep_misses",
+]
+
+
+def expected_colliding_lines(num_lines, num_sets):
+    """Closed form: expected lines sharing a set with another line.
+
+    ``B * (1 - (1 - 1/S)**(B - 1))`` under a uniform random index;
+    equals the expected second-sweep miss count of the double-sweep law
+    on a direct-mapped hashed cache.  Broadcasts over array arguments.
+
+    Example:
+        >>> round(float(expected_colliding_lines(1, 64)), 10)
+        0.0
+        >>> 0.0 < float(expected_colliding_lines(32, 64)) < 32.0
+        True
+    """
+    b = np.asarray(num_lines, dtype=np.float64)
+    s = np.asarray(num_sets, dtype=np.float64)
+    # S == 1 makes log1p(-1/S) == -inf; guard the B == 1 corner where
+    # the exponent 0 * -inf would otherwise produce nan (a lone line
+    # never collides, whatever the set count)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        collide = b * -np.expm1((b - 1.0) * np.log1p(-1.0 / s))
+    return np.where(b <= 1.0, 0.0, collide)[()]
+
+
+def expected_distinct_sets(num_lines, num_sets):
+    """Closed form: expected number of sets occupied by ``B`` random lines,
+    ``S * (1 - (1 - 1/S)**B)``.  Broadcasts over array arguments."""
+    b = np.asarray(num_lines, dtype=np.float64)
+    s = np.asarray(num_sets, dtype=np.float64)
+    # S == 1: log1p(-1) == -inf is benign here (B >= 1 occupies the
+    # single set with probability 1), so only the warning needs muting
+    with np.errstate(divide="ignore"):
+        return s * -np.expm1(b * np.log1p(-1.0 / s))
+
+
+def exact_colliding_lines(num_lines: int, num_sets: int, seed: int,
+                          base_line: int = 0) -> int:
+    """Colliding-line count of the *actual* splitmix64 placement.
+
+    Hashes lines ``base_line .. base_line + num_lines - 1`` with the
+    given seed and counts the lines whose set is not a singleton —
+    exactly the second-sweep miss count of the double-sweep law.
+    """
+    lines = np.arange(base_line, base_line + num_lines, dtype=np.int64)
+    sets = hash_sets(lines, seed, num_sets)
+    _, counts = np.unique(sets, return_counts=True)
+    singletons = int(np.count_nonzero(counts == 1))
+    return num_lines - singletons
+
+
+def mean_colliding_lines(num_lines: int, num_sets: int,
+                         num_seeds: int, base_seed: int = 0) -> float:
+    """Mean :func:`exact_colliding_lines` over ``num_seeds`` consecutive
+    seeds, vectorised (seeds x lines hashed in one shot)."""
+    if num_seeds <= 0:
+        raise ValueError("num_seeds must be positive")
+    lines = np.arange(num_lines, dtype=np.uint64)
+    seeds = np.arange(base_seed, base_seed + num_seeds, dtype=np.uint64)
+    z = lines[None, :] ^ seeds[:, None]
+    z += np.uint64(0x9E3779B97F4A7C15)
+    z ^= z >> np.uint64(30)
+    z *= np.uint64(0xBF58476D1CE4E5B9)
+    z ^= z >> np.uint64(27)
+    z *= np.uint64(0x94D049BB133111EB)
+    z ^= z >> np.uint64(31)
+    sets = (z % np.uint64(num_sets)).astype(np.int64)
+    sets.sort(axis=1)
+    # a line collides unless its set differs from both neighbours in the
+    # per-seed sorted row
+    same_next = sets[:, 1:] == sets[:, :-1]
+    collide = np.zeros_like(sets, dtype=bool)
+    collide[:, 1:] |= same_next
+    collide[:, :-1] |= same_next
+    return float(collide.sum(axis=1).mean())
+
+
+def second_sweep_misses(num_lines: int, num_sets: int, seed: int,
+                        *, base_line: int = 0) -> int:
+    """Simulate the double-sweep law on a real direct-mapped hashed cache;
+    returns the second sweep's miss count (== the exact collision count,
+    which the ``cache-zoo`` oracle asserts)."""
+    from repro.cache.hashed import HashedIndexCache
+
+    cache = HashedIndexCache(num_sets=num_sets, num_ways=1, seed=seed,
+                             classify_misses=False)
+    lines = np.arange(base_line, base_line + num_lines, dtype=np.int64)
+    cache.access_many(lines)
+    return int(cache.access_many(lines).delta.misses)

@@ -8,8 +8,11 @@ from repro.cache.alternative_mappings import (
 )
 from repro.cache.base import MISS_KIND_CODES, AccessResult, BatchResult, Cache
 from repro.cache.belady import BeladyResult, simulate_opt
+from repro.cache.bicameral import BicameralCache
 from repro.cache.direct import DirectMappedCache
 from repro.cache.fully_assoc import FullyAssociativeCache
+from repro.cache.hashed import HashedIndexCache, hash_lines, hash_sets
+from repro.cache.hierarchy import TwoLevelCache
 from repro.cache.prefetch import (
     PrefetchingCache,
     PrefetchStats,
@@ -32,6 +35,7 @@ __all__ = [
     "AccessResult",
     "BatchResult",
     "BeladyResult",
+    "BicameralCache",
     "Cache",
     "CacheStats",
     "MISS_KIND_CODES",
@@ -39,6 +43,7 @@ __all__ = [
     "DirectMappedCache",
     "FIFOPolicy",
     "FullyAssociativeCache",
+    "HashedIndexCache",
     "LRUPolicy",
     "MissClassifier",
     "MissKind",
@@ -50,9 +55,12 @@ __all__ = [
     "SequentialPrefetcher",
     "SetAssociativeCache",
     "StridePrefetcher",
+    "TwoLevelCache",
     "VictimCache",
     "XorMappedCache",
     "VictimStats",
+    "hash_lines",
+    "hash_sets",
     "make_policy",
     "simulate_opt",
 ]

@@ -1,0 +1,205 @@
+"""Two-level (L1/L2) inclusive cache hierarchy.
+
+The 1992 paper models a single cache level; this composes two of the
+repo's set-associative engines into an inclusive hierarchy so the CC
+machine can price a modern L1/L2 miss-penalty composition:
+
+* **L1 hit** — free (level 1 service).
+* **L1 miss, L2 hit** — the line is promoted into L1 and the access
+  costs :attr:`l2_hit_time` stall cycles (level 2 service; memory
+  banks are never touched).
+* **both miss** — full memory service (level 0); on allocation the
+  line fills L2 *then* L1.
+
+Inclusion is enforced: every L1-resident line is L2-resident.  When L2
+evicts a line, the copy is back-invalidated out of L1 (and its L1
+dirtiness folded into the writeback); when L1 evicts a dirty line, the
+write falls back into L2, whose copy inclusion guarantees.  A property
+test and the ``cache-zoo`` oracle sweep the invariant
+``l1.resident_lines() <= l2.resident_lines()`` after arbitrary access
+mixes.
+
+The class customises the scalar :meth:`access` path (per-access level
+routing cannot be expressed as a single set-index function), so the
+generic ``access_many`` machinery automatically replays batches
+through it — bit-for-bit by construction, which the equivalence suite
+still pins.
+
+Write semantics match :class:`repro.cache.base.Cache`: a write miss on
+a no-allocate hierarchy bypasses both levels and the classifier
+entirely.  Dirtiness lives in L1 while a line is L1-resident and
+migrates to L2 on L1 eviction, so a line is never dirty in both levels.
+"""
+
+from __future__ import annotations
+
+from repro.cache.base import AccessResult, Cache
+from repro.cache.set_assoc import SetAssociativeCache
+from repro.cache.stats import MissKind
+
+__all__ = ["TwoLevelCache"]
+
+
+class TwoLevelCache(Cache):
+    """Inclusive L1/L2 hierarchy over two set-associative levels.
+
+    Args:
+        l1_sets / l1_ways: geometry of the inner level.
+        l2_sets / l2_ways: geometry of the outer level; total L2
+            capacity must cover L1 (inclusion needs the room).
+        l2_hit_time: stall cycles the CC machine charges for an access
+            served from L2 (a full miss costs the machine's ``t_m``).
+
+    Example:
+        >>> cache = TwoLevelCache(l1_sets=2, l2_sets=8,
+        ...                       classify_misses=False)
+        >>> cache.access(0).hit, cache.access(2).hit
+        (False, False)
+        >>> cache.access(0).hit, cache.last_level   # evicted from L1 only
+        (True, 2)
+        >>> cache.l1_hits, cache.l2_hits
+        (0, 1)
+    """
+
+    def __init__(
+        self,
+        l1_sets: int,
+        l2_sets: int,
+        line_size_words: int = 1,
+        *,
+        l1_ways: int = 1,
+        l2_ways: int = 1,
+        l2_hit_time: int = 4,
+        l1_policy: str = "lru",
+        l2_policy: str = "lru",
+        classify_misses: bool = True,
+        write_allocate: bool = True,
+    ) -> None:
+        if l2_hit_time < 0:
+            raise ValueError("l2_hit_time must be non-negative")
+        l1 = SetAssociativeCache(
+            num_sets=l1_sets, num_ways=l1_ways, policy=l1_policy,
+            classify_misses=False, write_allocate=True,
+        )
+        l2 = SetAssociativeCache(
+            num_sets=l2_sets, num_ways=l2_ways, policy=l2_policy,
+            classify_misses=False, write_allocate=True,
+        )
+        if l2.total_lines < l1.total_lines:
+            raise ValueError(
+                "L2 capacity must be at least L1 capacity for inclusion"
+            )
+        # hierarchy capacity == L2 capacity (inclusion), which is what
+        # the three-C classifier's capacity shadow must use
+        super().__init__(
+            l2.total_lines,
+            line_size_words,
+            classify_misses=classify_misses,
+            write_allocate=write_allocate,
+        )
+        self.l1 = l1
+        self.l2 = l2
+        self.l2_hit_time = l2_hit_time
+        #: per-level service counters (l1_hits + l2_hits == stats.hits)
+        self.l1_hits = 0
+        self.l2_hits = 0
+        #: level that served the most recent access: 1, 2, or 0 (memory);
+        #: the CC machine reads it to compose the miss penalty
+        self.last_level = 0
+
+    def set_of(self, line_address: int) -> int:
+        """The L1 set index (the hierarchy's front door)."""
+        return self.l1.set_of(line_address)
+
+    def access(self, word_address: int, *, write: bool = False) -> AccessResult:
+        line = self.line_of(word_address)
+        l1, l2 = self.l1, self.l2
+        s1 = l1.set_of(line)
+        allocate = not write or self.write_allocate
+        victim: int | None = None
+        writeback = False
+
+        if l1._lookup(line, s1):
+            self.last_level = 1
+            self.l1_hits += 1
+            hit = True
+            l1._touch(line, s1)
+            if write:
+                l1._mark_dirty(line, s1)
+        else:
+            s2 = l2.set_of(line)
+            if l2._lookup(line, s2):
+                self.last_level = 2
+                self.l2_hits += 1
+                hit = True
+                l2._touch(line, s2)
+                self._promote(line, s1, dirty=write)
+            else:
+                self.last_level = 0
+                hit = False
+                if allocate:
+                    v2, v2_dirty = l2._fill(line, s2, dirty=False)
+                    if v2 is not None:
+                        # inclusion: the L2 victim leaves the hierarchy,
+                        # taking any L1 copy (and its dirtiness) with it
+                        l1_copy_dirty = l1.invalidate_line(v2)
+                        victim = v2
+                        writeback = v2_dirty or l1_copy_dirty
+                        self.stats.evictions += 1
+                    self._promote(line, s1, dirty=write)
+
+        kind: MissKind | None = None
+        if self._classifier is not None and (hit or allocate):
+            kind = self._classifier.classify(line, hit)
+        self.stats.record(hit, write, kind)
+        return AccessResult(hit, line, s1, victim, kind, writeback)
+
+    def _promote(self, line: int, s1: int, *, dirty: bool) -> None:
+        """Install the (L2-resident) line into L1; a dirty L1 victim's
+        write falls back into the L2 copy inclusion guarantees."""
+        v1, v1_dirty = self.l1._fill(line, s1, dirty=dirty)
+        if v1 is not None and v1_dirty:
+            sv = self.l2.set_of(v1)
+            if self.l2._lookup(v1, sv):
+                self.l2._mark_dirty(v1, sv)
+
+    # -- residency hooks -----------------------------------------------------
+    # The scalar path above never uses these (it routes per level), but
+    # the generic ``contains`` probe does, and the ABC requires them.
+
+    def _lookup(self, line_address: int, set_index: int) -> bool:
+        if self.l1._lookup(line_address, set_index):
+            return True
+        return self.l2._lookup(line_address, self.l2.set_of(line_address))
+
+    def _touch(self, line_address: int, set_index: int) -> None:
+        raise NotImplementedError(
+            "TwoLevelCache routes per level inside access()")
+
+    def _fill(self, line_address: int, set_index: int, dirty: bool):
+        raise NotImplementedError(
+            "TwoLevelCache routes per level inside access()")
+
+    def _mark_dirty(self, line_address: int, set_index: int) -> None:
+        raise NotImplementedError(
+            "TwoLevelCache routes per level inside access()")
+
+    def resident_lines(self) -> set[int]:
+        return self.l2.resident_lines() | self.l1.resident_lines()
+
+    def invalidate_all(self) -> None:
+        self.l1.invalidate_all()
+        self.l2.invalidate_all()
+
+    def reset(self) -> None:
+        super().reset()
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.last_level = 0
+
+    def describe(self) -> str:
+        return (
+            f"{type(self).__name__}(l1={self.l1.num_sets}x{self.l1.num_ways},"
+            f" l2={self.l2.num_sets}x{self.l2.num_ways},"
+            f" t_l2={self.l2_hit_time}, line={self.line_size_words}w)"
+        )

@@ -429,6 +429,27 @@ class SetAssociativeCache(Cache):
         self.policy.on_fill(set_index, way)
         return victim, victim_dirty
 
+    def invalidate_line(self, line_address: int) -> bool:
+        """Remove one line if resident; returns whether it was dirty.
+
+        The back-invalidation hook of inclusive hierarchies: when an
+        outer level evicts a line, the inner level must drop its copy.
+        The freed way simply becomes available to the next fill; the
+        replacement stack keeps its (now meaningless) position for it,
+        which :meth:`_fill`'s free-way path never consults.
+        """
+        if self._dicts_stale:
+            self._sync_dicts()
+        set_index = self.set_of(line_address)
+        way = self._where[set_index].pop(line_address, None)
+        if way is None:
+            return False
+        self._mirror_ok = False
+        del self._ways[set_index][way]
+        was_dirty = way in self._dirty[set_index]
+        self._dirty[set_index].discard(way)
+        return was_dirty
+
     def resident_lines(self) -> set[int]:
         if self._dicts_stale:
             self._sync_dicts()

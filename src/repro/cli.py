@@ -119,8 +119,14 @@ def build_parser() -> argparse.ArgumentParser:
     optimize = sub.add_parser(
         "optimize", help="design-space search over the analytical surrogate")
     optimize.add_argument("--mappings", nargs="+", default=None,
-                          choices=("direct", "prime", "assoc"),
-                          help="cache organisations to sweep (default: all)")
+                          choices=("direct", "prime", "assoc", "hashed",
+                                   "bicameral"),
+                          help="cache organisations to sweep (default: all "
+                               "modeled; hashed/bicameral are simulator-only "
+                               "and need --allow-unmodeled)")
+    optimize.add_argument("--allow-unmodeled", action="store_true",
+                          help="skip (with a warning) mappings the surrogate "
+                               "cannot score instead of erroring out")
     optimize.add_argument("--max-area", type=int, default=10000,
                           metavar="WORDS",
                           help="area budget: cache_lines * line_size words")
@@ -528,6 +534,8 @@ def _cmd_optimize(args) -> int:
     }
     if args.mappings:
         search_params["mappings"] = tuple(args.mappings)
+    if args.allow_unmodeled:
+        search_params["allow_unmodeled"] = True
     jobs["optimize-search"] = replace(jobs["optimize-search"],
                                       params=search_params)
     names = ["optimize-search"]
@@ -648,16 +656,24 @@ def _sweep_smoke(args) -> int:
     import json as json_module
     import tempfile
 
-    from repro.orchestrate import ResultStore, Runner, all_jobs, smoke_sweep
+    from repro.orchestrate import (
+        RESULTS_DIR,
+        ResultStore,
+        Runner,
+        all_jobs,
+        smoke_sweep,
+    )
 
     names = list(smoke_sweep())
     with tempfile.TemporaryDirectory(prefix="repro-smoke-") as tmp:
         cache_dir = args.cache_dir or tmp
 
         def run_once():
+            # RESULTS_DIR so smoke jobs that declare an artifact (the
+            # zoo smoke) leave it behind for CI upload
             runner = Runner(all_jobs().values(),
                             store=ResultStore(cache_dir),
-                            results_dir=None, log_path=args.log)
+                            results_dir=RESULTS_DIR, log_path=args.log)
             return runner.run(names)
 
         cold = run_once()

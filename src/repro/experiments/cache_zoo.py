@@ -1,0 +1,240 @@
+"""The cache-organisation zoo: studies racing the paper's prime mapping
+against organisations it never met.
+
+Four orchestrated studies (jobs ``zoo-*`` in the registry, artifacts
+``results/zoo_*.txt``, documented page-by-page in docs/cache-zoo.md):
+
+* :func:`zoo_bicameral_vs_prime` — a split scalar/vector
+  :class:`~repro.cache.bicameral.BicameralCache` vs the unified prime
+  and direct caches on the figure-style strided reuse sweeps, with a
+  hot scalar working set deliberately interleaved so scalar/vector
+  interference is on the table.
+* :func:`zoo_hashed_collision` — the analytical-vs-simulated study for
+  :class:`~repro.cache.hashed.HashedIndexCache`: birthday-paradox
+  closed forms against the exact placement law and against real
+  double-sweep simulations, per set count and fill factor.
+* :func:`zoo_hierarchy` — two-level L1/L2 hierarchies threaded through
+  the CC machine: per-level hit accounting and composed miss penalties
+  on reuse sweeps, vs single-level caches of either capacity.
+* :func:`zoo_irregular` — the four irregular workloads (SpMV, hash
+  join, BFS, mergesort) replayed through the zoo's organisations.
+
+Every study returns an :class:`~repro.experiments.ablations.AblationResult`
+table so the ablation renderer and result store machinery apply as-is.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.ablations import AblationResult
+
+__all__ = [
+    "zoo_bicameral_vs_prime",
+    "zoo_hashed_collision",
+    "zoo_hierarchy",
+    "zoo_irregular",
+]
+
+
+# ----------------------------------------------------------------------
+# bicameral vs prime (arXiv 2407.15440 meets the 1992 design)
+
+BICAMERAL_PRIME_C = 7          # vector half / unified caches: 127 lines
+BICAMERAL_SCALAR_SETS = 32     # scalar half
+BICAMERAL_VECTOR_BASE = 1 << 16
+BICAMERAL_SCALAR_BASE = 0
+BICAMERAL_SCALAR_HOT = 24      # hot scalar working set (words)
+
+
+def _bicameral_trace(stride: int, length: int, sweeps: int):
+    """A strided vector reuse sweep with a hot scalar set interleaved
+    every fourth element — the scalar/vector interference mix a unified
+    cache must absorb and a bicameral cache splits."""
+    from repro.trace.records import Trace
+
+    vector = BICAMERAL_VECTOR_BASE + np.arange(length, dtype=np.int64) \
+        * stride
+    scalar_slots = length // 4
+    trace = Trace(description=f"bicameral mix stride {stride}")
+    for sweep in range(sweeps):
+        scalar = BICAMERAL_SCALAR_BASE + (
+            (sweep * scalar_slots + np.arange(scalar_slots, dtype=np.int64))
+            % BICAMERAL_SCALAR_HOT)
+        block = np.empty(length + scalar_slots, dtype=np.int64)
+        mask = np.zeros(length + scalar_slots, dtype=bool)
+        mask[4::5] = True          # every fifth slot is a scalar access
+        block[~mask] = vector
+        block[mask] = scalar
+        trace.append_block(block)
+    return trace
+
+
+def zoo_bicameral_vs_prime(strides=(1, 7, 8, 32, 64, 127, 128),
+                           length: int = 96, sweeps: int = 3,
+                           t_m: int = 16) -> AblationResult:
+    """Race unified direct/prime caches against bicameral splits on
+    strided reuse sweeps mixed with a hot scalar working set."""
+    from repro.cache import (
+        BicameralCache,
+        DirectMappedCache,
+        PrimeMappedCache,
+    )
+    from repro.trace.replay import replay
+
+    def bicameral(mapping: str) -> BicameralCache:
+        cache = BicameralCache(
+            scalar_sets=BICAMERAL_SCALAR_SETS,
+            vector_c=BICAMERAL_PRIME_C,
+            vector_mapping=mapping,
+        )
+        span = max(strides) * length
+        cache.mark_vector(BICAMERAL_VECTOR_BASE,
+                          BICAMERAL_VECTOR_BASE + span + 1)
+        return cache
+
+    contenders = [
+        ("direct", lambda: DirectMappedCache(
+            num_lines=2 ** BICAMERAL_PRIME_C)),
+        ("prime", lambda: PrimeMappedCache(c=BICAMERAL_PRIME_C)),
+        ("bicameral-direct", lambda: bicameral("direct")),
+        ("bicameral-prime", lambda: bicameral("prime")),
+    ]
+    rows = []
+    for stride in strides:
+        trace = _bicameral_trace(stride, length, sweeps)
+        for label, build in contenders:
+            result = replay(trace, build(), t_m=t_m)
+            rows.append([stride, label, result.hit_ratio,
+                         result.stats.conflict_misses,
+                         result.stall_cycles])
+    return AblationResult(
+        "zoo_bicameral_vs_prime",
+        ["stride", "organisation", "hit ratio", "conflict misses",
+         "stall cycles"],
+        rows)
+
+
+# ----------------------------------------------------------------------
+# hashed-index collisions: analytical vs simulated
+
+def zoo_hashed_collision(set_counts=(16, 64, 256),
+                         fills=(0.25, 0.5, 1.0, 1.5),
+                         sim_seeds: int = 8,
+                         law_seeds: int = 2048) -> AblationResult:
+    """Birthday-paradox collision curves: the closed form, the exact
+    placement law averaged over ``law_seeds``, and real double-sweep
+    cache simulations averaged over ``sim_seeds``."""
+    from repro.analytical.hashed import (
+        expected_colliding_lines,
+        mean_colliding_lines,
+        second_sweep_misses,
+    )
+
+    rows = []
+    for num_sets in set_counts:
+        for fill in fills:
+            num_lines = max(2, int(round(num_sets * fill)))
+            expected = float(expected_colliding_lines(num_lines, num_sets))
+            law_mean = mean_colliding_lines(num_lines, num_sets, law_seeds)
+            sim_mean = float(np.mean([
+                second_sweep_misses(num_lines, num_sets, seed)
+                for seed in range(sim_seeds)
+            ]))
+            rows.append([num_sets, num_lines, expected, law_mean, sim_mean,
+                         abs(law_mean - expected)])
+    return AblationResult(
+        "zoo_hashed_collision",
+        ["sets", "lines", "expected collisions", "exact-law mean",
+         "simulated mean", "|law - expected|"],
+        rows)
+
+
+# ----------------------------------------------------------------------
+# L1/L2 hierarchies through the CC machine
+
+HIERARCHY_L1_SETS = 16
+HIERARCHY_L2_SETS = 256
+HIERARCHY_L2_HIT_TIME = 4
+
+
+def zoo_hierarchy(strides=(1, 5, 8), block: int = 96, reuse: int = 3,
+                  num_banks: int = 8, t_m: int = 12) -> AblationResult:
+    """Reuse sweeps through the CC machine: a two-level hierarchy vs
+    single-level caches of L1 and L2 capacity, with per-level hit
+    counts and the composed miss-penalty breakdown."""
+    from repro.analytical.base import MachineConfig
+    from repro.cache import DirectMappedCache, TwoLevelCache
+    from repro.machine import CCMachine, VectorLoad
+
+    config = MachineConfig(num_banks=num_banks, memory_access_time=t_m,
+                           cache_lines=HIERARCHY_L2_SETS)
+    contenders = [
+        ("l1-only", lambda: DirectMappedCache(
+            num_lines=HIERARCHY_L1_SETS, classify_misses=False)),
+        ("l2-only", lambda: DirectMappedCache(
+            num_lines=HIERARCHY_L2_SETS, classify_misses=False)),
+        ("l1+l2", lambda: TwoLevelCache(
+            l1_sets=HIERARCHY_L1_SETS, l2_sets=HIERARCHY_L2_SETS,
+            l2_hit_time=HIERARCHY_L2_HIT_TIME, classify_misses=False)),
+    ]
+    rows = []
+    for stride in strides:
+        ops = [VectorLoad(base=0, stride=stride, length=block)]
+        ops += [VectorLoad(base=0, stride=stride, length=block,
+                           expect_cached=True)] * (reuse - 1)
+        for label, build in contenders:
+            machine = CCMachine(config, build())
+            report = machine.execute(ops)
+            rows.append([stride, label, report.cycles, report.cache_hits,
+                         report.l2_hits, report.cache_misses,
+                         report.miss_stall_cycles,
+                         report.bank_stall_cycles])
+    return AblationResult(
+        "zoo_hierarchy",
+        ["stride", "organisation", "cycles", "hits", "l2 hits", "misses",
+         "miss stall", "bank stall"],
+        rows)
+
+
+# ----------------------------------------------------------------------
+# irregular workloads across the zoo
+
+def zoo_irregular(seed: int = 0, t_m: int = 16) -> AblationResult:
+    """Replay the four irregular workloads through the zoo's single-level
+    organisations (equal-ish capacity: 128 lines / c=7 / 128 hashed)."""
+    from repro.cache import (
+        DirectMappedCache,
+        HashedIndexCache,
+        PrimeMappedCache,
+        SetAssociativeCache,
+    )
+    from repro.trace.replay import replay
+    from repro.workloads import bfs, hash_join, mergesort, spmv_csr
+
+    workloads = [
+        ("spmv-csr", lambda: spmv_csr(seed=seed)[1]),
+        ("hash-join", lambda: hash_join(seed=seed)[1]),
+        ("bfs", lambda: bfs(seed=seed)[1]),
+        ("mergesort", lambda: mergesort(seed=seed)[1]),
+    ]
+    contenders = [
+        ("direct", lambda: DirectMappedCache(num_lines=128)),
+        ("assoc-2w", lambda: SetAssociativeCache(num_sets=64, num_ways=2)),
+        ("prime", lambda: PrimeMappedCache(c=7)),
+        ("hashed", lambda: HashedIndexCache(num_sets=128, seed=seed + 1)),
+    ]
+    rows = []
+    for wl_label, make_trace in workloads:
+        trace = make_trace()
+        for label, build in contenders:
+            result = replay(trace, build(), t_m=t_m)
+            rows.append([wl_label, label, result.hit_ratio,
+                         result.stats.misses,
+                         result.stats.conflict_misses,
+                         result.stall_cycles])
+    return AblationResult(
+        "zoo_irregular",
+        ["workload", "organisation", "hit ratio", "misses",
+         "conflict misses", "stall cycles"],
+        rows)

@@ -60,6 +60,12 @@ DEFAULT_GRID = {
 #: docstring for why they differ).
 VERIFY_TOLERANCES = {"direct": 0.8, "prime": 0.35, "assoc": 1.0}
 
+#: Mappings the surrogate can score: the batched closed forms and the
+#: area model exist only for these.  The zoo's hashed/bicameral/two-level
+#: organisations are simulator-only — race them through the ``zoo-*``
+#: sweep jobs (docs/cache-zoo.md), not the analytical search.
+MODELED_MAPPINGS = ("direct", "prime", "assoc")
+
 
 #: Exponents for which ``2^c - 1`` is a Mersenne prime — the only
 #: line counts the prime-mapped hardware (and simulator) accepts.
@@ -90,14 +96,30 @@ def optimize_search(*, mappings=DEFAULT_GRID["mappings"],
                     block_fractions=DEFAULT_GRID["block_fractions"],
                     p_ds=0.1, p_stride1=0.25,
                     max_area_words=None, max_banks=None, max_t_m=None,
-                    min_bandwidth=None, top_k=8) -> dict:
+                    min_bandwidth=None, top_k=8,
+                    allow_unmodeled=False) -> dict:
     """Score the design grid, filter, and extract the Pareto front.
 
     Returns a JSON-safe dict: grid/constraint echo, point counts, and
     ``front`` — the non-dominated designs over minimising
     (miss ratio, -bandwidth, area), ranked by predicted cycles per
     result (the scalarisation ``verify_front`` re-scores).
+
+    Only :data:`MODELED_MAPPINGS` have surrogate closed forms and an
+    area model.  Other mappings (``hashed``, ``bicameral``) raise a
+    ``ValueError`` unless ``allow_unmodeled=True``, in which case they
+    are dropped from the grid and echoed under the ``unmodeled`` key so
+    callers can see the search was partial.
     """
+    unmodeled = tuple(m for m in mappings if m not in MODELED_MAPPINGS)
+    if unmodeled and not allow_unmodeled:
+        raise ValueError(
+            f"no surrogate/area model for mapping(s) {unmodeled}; the "
+            f"analytical search covers {MODELED_MAPPINGS} only. "
+            "Simulator-only organisations are compared by the zoo-* "
+            "sweep jobs (docs/cache-zoo.md); pass --allow-unmodeled to "
+            "search the modeled mappings anyway.")
+    mappings = tuple(m for m in mappings if m in MODELED_MAPPINGS)
     records = []
     evaluated = 0
     for mapping in mappings:
@@ -170,6 +192,7 @@ def optimize_search(*, mappings=DEFAULT_GRID["mappings"],
         "front_size": len(front),
         "front": front[:max(top_k, 1) * 4],
         "top": front[:top_k],
+        "unmodeled": list(unmodeled),
     }
 
 
@@ -271,6 +294,11 @@ def render_optimize(search: dict, verification: dict | None = None) -> str:
         f"{search['feasible']} feasible, Pareto front "
         f"{search['front_size']}",
     ]
+    if search.get("unmodeled"):
+        lines.append(
+            "WARNING: skipped unmodeled mapping(s) "
+            + ", ".join(search["unmodeled"])
+            + " — no surrogate/area model; see the zoo-* sweep jobs")
     constraints = {key: value
                    for key, value in search["constraints"].items()
                    if value is not None}

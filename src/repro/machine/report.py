@@ -30,6 +30,10 @@ class ExecutionReport:
             the paper's infinite-buffer assumption).
         overhead_cycles: loop/strip-mining/start-up cycles.
         cache_hits / cache_misses: accesses through the vector cache.
+        l2_hits: the subset of ``cache_hits`` served by the second level
+            of a two-level hierarchy (always zero for single-level
+            caches); each costs the hierarchy's ``l2_hit_time`` stall,
+            accounted under ``miss_stall_cycles``.
     """
 
     cycles: int = 0
@@ -41,6 +45,7 @@ class ExecutionReport:
     overhead_cycles: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    l2_hits: int = 0
 
     @property
     def cycles_per_element(self) -> float:
@@ -69,4 +74,5 @@ class ExecutionReport:
         self.overhead_cycles += other.overhead_cycles
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.l2_hits += other.l2_hits
         return self

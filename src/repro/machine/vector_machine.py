@@ -690,6 +690,11 @@ class CCMachine(VectorMachine):
             raise ValueError("start_recalc_cycles must be non-negative")
         self.start_registers = start_registers
         self.start_recalc_cycles = start_recalc_cycles
+        # A two-level hierarchy (any cache exposing ``l2_hit_time``)
+        # composes a per-level miss penalty: L1 hit free, L2 hit a
+        # non-pipelined ``l2_hit_time`` stall, full miss the usual
+        # memory service.  ``None`` for single-level caches.
+        self._l2_time = getattr(cache, "l2_hit_time", None)
 
     @property
     def stride_modulus(self) -> int:
@@ -709,6 +714,12 @@ class CCMachine(VectorMachine):
         return base
 
     def _probe_loads(self, addresses_first, addresses_second):
+        if self._l2_time is not None:
+            # A hit bitmap cannot carry which *level* served each access,
+            # and the batched modes know nothing of L2 service stalls, so
+            # hierarchical machines run the per-element reference loop
+            # (which reads ``cache.last_level`` after each access).
+            return None, None
         access_many = getattr(self.cache, "access_many", None)
         if access_many is None:
             return None, None
@@ -739,10 +750,19 @@ class CCMachine(VectorMachine):
         self, address: int, load: VectorLoad, report: ExecutionReport,
         hit: bool | None = None,
     ) -> int:
+        level = 1
         if hit is None:
             hit = self.cache.access(address).hit
+            if hit and self._l2_time is not None:
+                level = self.cache.last_level
         if hit:
             report.cache_hits += 1
+            if level == 2:
+                # served by L2: a non-pipelined stall like a short miss
+                # penalty; the memory banks are never touched
+                report.l2_hits += 1
+                report.miss_stall_cycles += self._l2_time
+                return self._l2_time
             return 0
         report.cache_misses += 1
         if load.expect_cached:

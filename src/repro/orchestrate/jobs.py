@@ -2,8 +2,9 @@
 
 This registry is the single source of truth for what ``repro sweep``
 runs: the nine paper figures, the four extension figures, the Section-4
-sub-block study, the nine ablations, the machine-measured figure
-variants, and the assembled reproduction report.  Each job declares the
+sub-block study, the nine ablations, the four cache-zoo studies
+(docs/cache-zoo.md), the machine-measured figure variants, and the
+assembled reproduction report.  Each job declares the
 source modules its numbers depend on, so the content-addressed cache
 invalidates exactly the results a code change can move — and nothing
 else.
@@ -74,6 +75,16 @@ _SIMULATED = ("repro.analytical", "repro.cache", "repro.memory",
               "repro.experiments.stats")
 _ABLATION = ("repro.analytical", "repro.cache", "repro.memory",
              "repro.machine", "repro.trace")
+_ZOO = ("repro.analytical", "repro.cache", "repro.machine",
+        "repro.trace", "repro.workloads", "repro.experiments.cache_zoo")
+
+#: Cache-zoo studies (docs/cache-zoo.md): job name -> study function.
+_ZOO_FNS = {
+    "zoo-bicameral-vs-prime": "zoo_bicameral_vs_prime",
+    "zoo-hashed-collision": "zoo_hashed_collision",
+    "zoo-hierarchy": "zoo_hierarchy",
+    "zoo-irregular": "zoo_irregular",
+}
 
 
 def figure_job_names() -> tuple[str, ...]:
@@ -120,6 +131,15 @@ def all_jobs() -> dict[str, Job]:
         render="repro.orchestrate.writers:render_subblock",
         artifact="subblock.txt",
     ))
+
+    for job_name, fn_name in _ZOO_FNS.items():
+        jobs.append(Job(
+            name=job_name,
+            fn=f"repro.experiments.cache_zoo:{fn_name}",
+            modules=_ZOO,
+            render="repro.experiments.ablations:render_ablation",
+            artifact=f"{job_name.replace('-', '_')}.txt",
+        ))
 
     for stem in _ABLATION_STEMS:
         jobs.append(Job(
@@ -194,13 +214,23 @@ def all_jobs() -> dict[str, Job]:
         params={"block_values": (256, 1024), "seeds": 1, "blocks": 2},
         modules=_SIMULATED,
     ))
+    jobs.append(Job(
+        name="smoke-zoo-hashed",
+        fn="repro.experiments.cache_zoo:zoo_hashed_collision",
+        params={"set_counts": (16, 64), "fills": (0.5, 1.0),
+                "sim_seeds": 2, "law_seeds": 256},
+        modules=_ZOO,
+        render="repro.experiments.ablations:render_ablation",
+        artifact="smoke_zoo_hashed.txt",
+    ))
 
     return {job.name: job for job in jobs}
 
 
 #: Jobs kept out of the default sweep: scheduled on demand only.
 _NON_DEFAULT = ("validation", "optimize-search", "optimize-verify",
-                "smoke-fig7-simulated", "smoke-fig8-simulated")
+                "smoke-fig7-simulated", "smoke-fig8-simulated",
+                "smoke-zoo-hashed")
 
 
 def default_sweep() -> tuple[str, ...]:
@@ -209,5 +239,6 @@ def default_sweep() -> tuple[str, ...]:
 
 
 def smoke_sweep() -> tuple[str, ...]:
-    """The two-figure CI smoke selection."""
-    return ("smoke-fig7-simulated", "smoke-fig8-simulated")
+    """The CI smoke selection: two figure points plus one zoo study."""
+    return ("smoke-fig7-simulated", "smoke-fig8-simulated",
+            "smoke-zoo-hashed")

@@ -1,7 +1,7 @@
 """Golden-baseline regression: figure and simulation results pinned as
 committed JSON under ``results/golden/``.
 
-Three metric sets cover the three layers that produce numbers:
+Four metric sets cover the layers that produce numbers:
 
 * ``figures`` — every point of every analytical figure (Eqs. 1–8 swept
   over the paper's grids).  Pure closed forms: pinned at ``1e-9``
@@ -14,6 +14,10 @@ Three metric sets cover the three layers that produce numbers:
   the MM/CC machines, plus a small ``figure7_simulated`` grid point.
   Deterministic given the seed: pinned exactly for integer metrics, at
   ``1e-9`` for seed-averaged means.
+* ``zoo`` — the cache-organisation zoo (docs/cache-zoo.md): replay
+  statistics of the bicameral, hashed-index, and two-level caches on a
+  fixed seeded trace, per-level hit counters, and the hashed-index
+  collision law at pinned seeds.  Integers: pinned exactly.
 
 Workflow: ``repro verify --bless`` recomputes and rewrites the files;
 a tier-1 test and ``repro verify`` diff fresh runs against them.  A
@@ -112,6 +116,59 @@ def _replay_metrics() -> dict[str, float]:
     return metrics
 
 
+def _zoo_metrics() -> dict[str, float]:
+    """Replay statistics of the zoo organisations on fixed seeded traces,
+    plus small collision-law and hierarchy-timing numbers — everything
+    integer or seed-deterministic, so pinned exactly."""
+    import random
+
+    from repro.analytical.hashed import (
+        exact_colliding_lines,
+        second_sweep_misses,
+    )
+    from repro.cache import (
+        BicameralCache,
+        HashedIndexCache,
+        MissKind,
+        TwoLevelCache,
+    )
+
+    bicameral = BicameralCache(scalar_sets=32, vector_c=7)
+    bicameral.mark_vector(1 << 16, (1 << 16) + 8192)
+    caches = {
+        "hashed": HashedIndexCache(num_sets=128, seed=11),
+        "bicameral": bicameral,
+        "l1l2": TwoLevelCache(l1_sets=16, l2_sets=128),
+    }
+    rng = random.Random(20260808)
+    addresses: list[int] = []
+    for _ in range(6):
+        base = rng.randrange(1 << 12) + rng.choice((0, 1 << 16))
+        stride = rng.randint(1, 300)
+        vector = [base + i * stride for i in range(200)]
+        addresses.extend(vector * 2)
+    addresses.extend(rng.randrange(1 << 11) for _ in range(500))
+    writes = [rng.random() < 0.2 for _ in addresses]
+
+    metrics: dict[str, float] = {}
+    for name, cache in caches.items():
+        cache.access_many(np.asarray(addresses, dtype=np.int64),
+                          np.asarray(writes, dtype=bool))
+        for field in ("hits", "misses", "evictions", "writes"):
+            metrics[f"{name}/{field}"] = float(getattr(cache.stats, field))
+        for kind in MissKind:
+            metrics[f"{name}/miss_kinds/{kind.value}"] = float(
+                cache.stats.miss_kinds[kind])
+    metrics["l1l2/l1_hits"] = float(caches["l1l2"].l1_hits)
+    metrics["l1l2/l2_hits"] = float(caches["l1l2"].l2_hits)
+    for seed in (0, 1):
+        metrics[f"collision/exact/s64b32/seed={seed}"] = float(
+            exact_colliding_lines(32, 64, seed))
+        metrics[f"collision/sweep/s64b32/seed={seed}"] = float(
+            second_sweep_misses(32, 64, seed))
+    return metrics
+
+
 def _machine_metrics() -> dict[str, float]:
     from repro.analytical.base import MachineConfig
     from repro.analytical.vcm import VCM
@@ -154,6 +211,9 @@ METRIC_SETS: dict[str, MetricSet] = {
                   "cache statistics of fixed seeded traces"),
         MetricSet("machine", 1e-9, _machine_metrics,
                   "cycle counts of seeded VCM runs on the machines"),
+        MetricSet("zoo", 0.0, _zoo_metrics,
+                  "replay statistics and collision laws of the zoo "
+                  "organisations (bicameral, hashed, two-level)"),
     )
 }
 

@@ -12,7 +12,9 @@ trace recorder that drops the last reference of every block, a compiled
 replay kernel that drops write-allocation, a Belady kernel that
 mistakes the never-reused sentinel for an immediate reuse, a batched
 analytical kernel that collapses the ``t_m`` broadcast axis onto its
-first value) and, for
+first value, a hashed-index batch mapping that drops the seed fold, a
+bicameral routing mask with the wrong half-open-interval side, a
+birthday-paradox expectation with an off-by-one exponent) and, for
 each, temporarily monkey-patches the fault in, re-runs the oracle
 sweep, and records which oracles noticed.  A mutation nobody catches is
 a *hole* in the verification net and fails the run.
@@ -247,6 +249,56 @@ def _batched_broadcast_collapse():
         yield
 
 
+@contextmanager
+def _hashed_seed_fold_dropped():
+    from repro.cache import hashed
+    from repro.cache.hashed import HashedIndexCache
+
+    def bad_map_sets_batch(self, lines):
+        # the batched hash mapping "forgets" to fold the seed in, so a
+        # seeded cache's batch replay disagrees with its scalar set_of
+        return hashed.hash_sets(lines, 0, self.num_sets)
+
+    with _patched(HashedIndexCache, "_map_sets_batch", bad_map_sets_batch):
+        yield
+
+
+@contextmanager
+def _bicameral_boundary_misrouted():
+    import numpy as np
+
+    from repro.cache.bicameral import BicameralCache
+
+    def bad_line_vector_mask(self, lines):
+        # the classic half-open-interval bug: the batched routing mask
+        # uses the wrong searchsorted side, shifting both edges of every
+        # vector range by one line relative to the scalar set_of
+        slots = np.searchsorted(self._vector_bounds, lines, side="left")
+        return (slots & 1).astype(bool)
+
+    with _patched(BicameralCache, "_line_vector_mask",
+                  bad_line_vector_mask):
+        yield
+
+
+@contextmanager
+def _collision_exponent_off_by_one():
+    import numpy as np
+
+    from repro.analytical import hashed
+
+    def bad_expected_colliding(num_lines, num_sets):
+        # singleton probability raised to B instead of B - 1: each line
+        # "collides with itself", inflating the expectation
+        b = np.asarray(num_lines, dtype=np.float64)
+        s = np.asarray(num_sets, dtype=np.float64)
+        return b * -np.expm1(b * np.log1p(-1.0 / s))
+
+    with _patched(hashed, "expected_colliding_lines",
+                  bad_expected_colliding):
+        yield
+
+
 MUTATIONS: dict[str, Mutation] = {
     m.name: m
     for m in (
@@ -304,6 +356,24 @@ MUTATIONS: dict[str, Mutation] = {
             "axis, scoring every grid point with the first t_m's stalls",
             ("analytical-batched",),
             _batched_broadcast_collapse),
+        Mutation(
+            "hashed-seed-fold-dropped",
+            "HashedIndexCache._map_sets_batch ignores the hash seed, so "
+            "seeded batch replays disagree with the scalar set_of",
+            ("cache-zoo",),
+            _hashed_seed_fold_dropped),
+        Mutation(
+            "bicameral-boundary-misrouted",
+            "the bicameral batched routing mask uses searchsorted "
+            "side='left', shifting both edges of every vector range",
+            ("cache-zoo",),
+            _bicameral_boundary_misrouted),
+        Mutation(
+            "collision-exponent-off-by-one",
+            "expected_colliding_lines raises the singleton probability "
+            "to B instead of B - 1, counting self-collisions",
+            ("cache-zoo",),
+            _collision_exponent_off_by_one),
     )
 }
 

@@ -31,6 +31,13 @@ geometry law):
   it mirrors, element-wise over grids that always batch several
   distinct ``t_m`` values per call so broadcast-collapse faults cannot
   hide behind a uniform axis.
+* ``cache-zoo`` — the zoo organisations (docs/cache-zoo.md):
+  bicameral batched routing vs the scalar ``set_of`` at exact range
+  boundaries, hashed-index batch mapping vs the seeded scalar hash,
+  the birthday-paradox collision law vs measured placements (exact per
+  seed, statistical across seeds), L1/L2 hierarchy invariants
+  (inclusion, per-level counters, direct-L2 equivalence) and the L2
+  hit-time law through the CC machine.
 
 Each oracle supplies ``build_cases(mode, rng)`` (seeded, reproducible
 case configurations — plain JSON-safe dicts) and ``check_case(config)``
@@ -191,9 +198,16 @@ _STAT_FIELDS = ("accesses", "hits", "misses", "reads", "writes", "evictions")
 
 
 def _check_cache_batch(config: dict) -> list[Divergence]:
-    addresses, writes = _case_trace(config)
-    reference = _make_case_cache(config)
-    candidate = _make_case_cache(config)
+    return _diff_batch_vs_scalar(
+        lambda: _make_case_cache(config), *_case_trace(config),
+        "Cache.access_many vs Cache.access (repro/cache/base.py)")
+
+
+def _diff_batch_vs_scalar(build: Callable, addresses, writes,
+                          detail: str) -> list[Divergence]:
+    """Differential core: one scalar-replayed instance vs one batched."""
+    reference = build()
+    candidate = build()
 
     ref_hits, ref_kinds = [], []
     from repro.cache.base import MISS_KIND_CODES
@@ -209,7 +223,6 @@ def _check_cache_batch(config: dict) -> list[Divergence]:
         None if writes is None else np.asarray(writes, dtype=bool),
         return_hits=True, return_kinds=True)
 
-    detail = "Cache.access_many vs Cache.access (repro/cache/base.py)"
     for field in _STAT_FIELDS:
         expected = getattr(reference.stats, field)
         actual = getattr(candidate.stats, field)
@@ -667,12 +680,14 @@ _COLUMNAR_TARGETS = (
     "naive_matmul", "blocked_matmul", "saxpy", "strided_saxpy",
     "transpose", "blocked_transpose", "jacobi", "dot", "matrix_sums",
     "lu_decompose", "blocked_lu", "fft_radix2", "blocked_fft_2d",
+    "spmv_csr", "hash_join", "bfs", "mergesort",
 )
 
-#: complex FFT kernels: numpy's SIMD complex multiply rounds the last ulp
-#: differently from its scalar multiply, so values match to tolerance only
-#: (the traces are still compared bit-for-bit)
-_COLUMNAR_APPROX_VALUES = ("fft_radix2", "blocked_fft_2d")
+#: kernels whose columnar value differs in float rounding only: the FFTs
+#: (numpy's SIMD complex multiply rounds the last ulp differently from
+#: its scalar multiply) and SpMV (dot-product vs sequential accumulation
+#: order); the traces are still compared bit-for-bit
+_COLUMNAR_APPROX_VALUES = ("fft_radix2", "blocked_fft_2d", "spmv_csr")
 
 
 def _trace_columnar_cases(mode: str, rng: random.Random) -> list[dict]:
@@ -690,6 +705,7 @@ def _run_columnar_target(target: str, seed: int, columnar: bool):
     """Run one generator/kernel from its seeded spec; ``(value, trace)``."""
     from repro.trace import patterns
     from repro.workloads.fft import blocked_fft_2d, fft_radix2
+    from repro.workloads.irregular import bfs, hash_join, mergesort, spmv_csr
     from repro.workloads.lu import blocked_lu, lu_decompose
     from repro.workloads.matmul import blocked_matmul, naive_matmul
     from repro.workloads.reduction import dot, matrix_sums
@@ -763,6 +779,19 @@ def _run_columnar_target(target: str, seed: int, columnar: bool):
         return blocked_fft_2d(rng.standard_normal(32)
                               + 1j * rng.standard_normal(32), 4,
                               columnar=columnar)
+    if target == "spmv_csr":
+        return spmv_csr(rows=py.randint(8, 24), cols=32,
+                        nnz_per_row=py.randint(1, 6), seed=seed,
+                        columnar=columnar)
+    if target == "hash_join":
+        return hash_join(build_rows=py.randint(8, 32), probe_rows=48,
+                         buckets=py.choice((4, 16)), seed=seed,
+                         columnar=columnar)
+    if target == "bfs":
+        return bfs(nodes=py.randint(16, 64), avg_degree=py.randint(1, 4),
+                   seed=seed, columnar=columnar)
+    if target == "mergesort":
+        return mergesort(n=py.randint(5, 64), seed=seed, columnar=columnar)
     raise ValueError(f"unknown columnar target {target!r}")
 
 
@@ -1261,6 +1290,303 @@ def _check_analytical_batched(config: dict) -> list[Divergence]:
 
 
 # ---------------------------------------------------------------------------
+# cache-zoo: bicameral routing, hashed indexing, two-level hierarchies
+# ---------------------------------------------------------------------------
+
+def _zoo_cases(mode: str, rng: random.Random) -> list[dict]:
+    rounds = _case_counts(mode, 1, 4)
+    # pinned: (a) boundary-routing probes — each vector-range edge is
+    # probed, evict-conflicted in the scalar half, and re-probed, so a
+    # routing fault at either edge flips a hit deterministically; (b) a
+    # nonzero hash seed with reuse, so a batch mapping that drops the
+    # seed fold diverges from the seeded scalar set_of; (c) the two
+    # collision-law points whose closed-form-vs-measured margins were
+    # sized against the hash's real bias; (d) the L1/L2 timing law.
+    cases = [
+        {"kind": "bicameral-replay", "scalar_sets": 4, "vector_c": 3,
+         "vector_ways": 1, "scalar_ways": 1, "vector_mapping": "prime",
+         "classify": True, "write_allocate": True,
+         "ranges": [[1000, 1100], [4000, 4600]],
+         "length": 96, "write_frac": 0.25, "seed": 0},
+        {"kind": "hashed-replay", "sets": 37, "ways": 1, "line_size": 1,
+         "hash_seed": 0x5EED, "classify": True, "write_allocate": True,
+         "pattern": "strided", "length": 128, "stride": 37, "sweeps": 2,
+         "span": 2048, "write_frac": 0.25, "seed": 0},
+        {"kind": "hashed-collision", "sets": 4, "lines": 4,
+         "num_seeds": 16384, "base_seed": 0, "tolerance": 0.15, "seed": 0},
+        {"kind": "hashed-collision", "sets": 8, "lines": 8,
+         "num_seeds": 16384, "base_seed": 101, "tolerance": 0.20,
+         "seed": 0},
+        {"kind": "l1l2-machine", "banks": 8, "t_m": 12, "l1_sets": 4,
+         "l2_sets": 64, "l2_hit_time": 4, "block": 16, "seed": 0},
+        {"kind": "bicameral-isolation", "scalar_sets": 8, "vector_c": 5,
+         "hammer": 400, "seed": 0},
+    ]
+    for _ in range(rounds):
+        lo = rng.randrange(1 << 10, 1 << 14)
+        cases.append({
+            "kind": "bicameral-replay",
+            "scalar_sets": rng.choice((4, 16)),
+            "vector_c": rng.choice((3, 5)),
+            "vector_ways": rng.choice((1, 2)),
+            "scalar_ways": rng.choice((1, 2)),
+            "vector_mapping": rng.choice(("prime", "direct")),
+            "classify": rng.random() < 0.75,
+            "write_allocate": rng.random() < 0.75,
+            "ranges": [[lo, lo + rng.randrange(32, 512)]],
+            "length": rng.choice((64, 192)),
+            "write_frac": rng.choice((0.0, 0.25)),
+            "seed": rng.randrange(1 << 30),
+        })
+        cases.append({
+            "kind": "hashed-replay",
+            "sets": rng.choice((32, 61, 128)),
+            "ways": rng.choice((1, 2)),
+            "line_size": rng.choice((1, 4)),
+            "hash_seed": rng.randrange(1, 1 << 40),
+            "classify": rng.random() < 0.75,
+            "write_allocate": rng.random() < 0.75,
+            "pattern": rng.choice(("strided", "random", "multistride")),
+            "length": rng.choice((64, 256)),
+            "stride": rng.randint(1, 200),
+            "sweeps": rng.randint(1, 3),
+            "span": rng.choice((64, 1024)),
+            "write_frac": rng.choice((0.0, 0.25)),
+            "seed": rng.randrange(1 << 30),
+        })
+        cases.append({
+            "kind": "l1l2-replay",
+            "l1_sets": rng.choice((4, 8, 16)),
+            "l1_ways": rng.choice((1, 2)),
+            "l2_sets": rng.choice((64, 128)),
+            "write_allocate": rng.random() < 0.75,
+            "pattern": rng.choice(("strided", "random", "multistride")),
+            "length": rng.choice((256, 512)),
+            "stride": rng.randint(1, 64),
+            "sweeps": rng.randint(1, 3),
+            "span": rng.choice((256, 512)),
+            "write_frac": rng.choice((0.0, 0.25)),
+            "seed": rng.randrange(1 << 30),
+        })
+        cases.append({
+            "kind": "collision-exact",
+            "sets": rng.choice((5, 16, 64)),
+            "lines": rng.randint(2, 96),
+            "hash_seed": rng.randrange(1 << 40),
+            "seed": rng.randrange(1 << 30),
+        })
+        cases.append({
+            "kind": "l1l2-machine",
+            "banks": rng.choice((8, 16)),
+            "t_m": rng.choice((8, 16)),
+            "l1_sets": rng.choice((4, 8)),
+            "l2_sets": 128,
+            "l2_hit_time": rng.choice((2, 4, 6)),
+            "block": rng.choice((16, 48)),
+            "seed": rng.randrange(1 << 30),
+        })
+        cases.append({
+            "kind": "bicameral-isolation",
+            "scalar_sets": rng.choice((4, 8, 16)),
+            "vector_c": rng.choice((3, 5, 7)),
+            "hammer": rng.choice((200, 800)),
+            "seed": rng.randrange(1 << 30),
+        })
+    return cases
+
+
+def _bicameral_case_trace(config: dict) -> tuple[list[int], list[bool] | None]:
+    """Boundary probes + in-range sweeps + a scalar tail, all word addrs.
+
+    Every range edge is probed, conflicted against the scalar set it
+    would misroute into, and re-probed — the reprobe's hit flips if the
+    routing boundary moves by one line.
+    """
+    rng = random.Random(config["seed"])
+    scalar_sets = config["scalar_sets"]
+    addresses: list[int] = []
+    for lo, hi in config["ranges"]:
+        for probe in (lo - 1, lo, lo + 1, hi - 1, hi, hi + 1):
+            if probe < 0:
+                continue
+            conflict = (probe % scalar_sets) + scalar_sets
+            addresses.extend((probe, conflict, probe))
+    for lo, hi in config["ranges"]:
+        span = hi - lo
+        stride = rng.randint(1, max(1, span // 8))
+        vector = [lo + (i * stride) % span
+                  for i in range(config["length"] // 2)]
+        addresses.extend(vector * 2)
+    addresses.extend(rng.randrange(512) for _ in range(config["length"]))
+    write_frac = config["write_frac"]
+    if write_frac == 0:
+        return addresses, None
+    return addresses, [rng.random() < write_frac for _ in addresses]
+
+
+def _check_zoo(config: dict) -> list[Divergence]:
+    from repro.analytical.hashed import (
+        exact_colliding_lines,
+        expected_colliding_lines,
+        mean_colliding_lines,
+        second_sweep_misses,
+    )
+    from repro.cache import BicameralCache, HashedIndexCache, TwoLevelCache
+
+    kind = config["kind"]
+    if kind == "bicameral-replay":
+        def build() -> BicameralCache:
+            cache = BicameralCache(
+                scalar_sets=config["scalar_sets"],
+                vector_c=config["vector_c"],
+                scalar_ways=config["scalar_ways"],
+                vector_ways=config["vector_ways"],
+                vector_mapping=config["vector_mapping"],
+                classify_misses=config["classify"],
+                write_allocate=config["write_allocate"])
+            for lo, hi in config["ranges"]:
+                cache.mark_vector(lo, hi)
+            return cache
+
+        addresses, writes = _bicameral_case_trace(config)
+        return _diff_batch_vs_scalar(
+            build, addresses, writes,
+            "BicameralCache batched routing vs scalar set_of "
+            "(repro/cache/bicameral.py)")
+    if kind == "hashed-replay":
+        def build() -> HashedIndexCache:
+            return HashedIndexCache(
+                num_sets=config["sets"], num_ways=config["ways"],
+                line_size_words=config["line_size"],
+                seed=config["hash_seed"],
+                classify_misses=config["classify"],
+                write_allocate=config["write_allocate"])
+
+        addresses, writes = _case_trace(config)
+        return _diff_batch_vs_scalar(
+            build, addresses, writes,
+            "HashedIndexCache batched hash mapping vs scalar set_of "
+            "(repro/cache/hashed.py)")
+    if kind == "l1l2-replay":
+        hierarchy = TwoLevelCache(
+            l1_sets=config["l1_sets"], l2_sets=config["l2_sets"],
+            l1_ways=config["l1_ways"], classify_misses=False,
+            write_allocate=config["write_allocate"])
+        solo = SetAssociativeCache(
+            num_sets=config["l2_sets"], num_ways=1, classify_misses=False,
+            write_allocate=config["write_allocate"])
+        addresses, writes = _case_trace(config)
+        address_arr = np.asarray(addresses, dtype=np.int64)
+        write_arr = None if writes is None else np.asarray(writes,
+                                                           dtype=bool)
+        hierarchy.access_many(address_arr, write_arr)
+        solo.access_many(address_arr, write_arr)
+        detail = ("TwoLevelCache invariants (repro/cache/hierarchy.py): "
+                  "inclusion, per-level counters, direct-L2 equivalence")
+        orphans = hierarchy.l1.resident_lines() - hierarchy.l2.resident_lines()
+        if orphans:
+            return [("l1l2.inclusion", "L1 subset of L2",
+                     f"{len(orphans)} L1 lines absent from L2", detail)]
+        per_level = hierarchy.l1_hits + hierarchy.l2_hits
+        if per_level != hierarchy.stats.hits:
+            return [("l1l2.hit_accounting", hierarchy.stats.hits,
+                     per_level, detail)]
+        # a direct-mapped L2 behind any L1 serves exactly the hit set of
+        # the standalone direct-mapped cache (inclusion + strict back-
+        # invalidation make residency identical)
+        for field in ("hits", "misses"):
+            expected = getattr(solo.stats, field)
+            actual = getattr(hierarchy.stats, field)
+            if expected != actual:
+                return [(f"l1l2.{field}", expected, actual, detail)]
+        return []
+    if kind == "collision-exact":
+        sets, lines = config["sets"], config["lines"]
+        seed = config["hash_seed"]
+        law = exact_colliding_lines(lines, sets, seed)
+        measured = second_sweep_misses(lines, sets, seed)
+        if law != measured:
+            return [("collision.exact_law", measured, law,
+                     "analytical/hashed.exact_colliding_lines vs a real "
+                     "HashedIndexCache double sweep")]
+        return []
+    if kind == "hashed-collision":
+        sets, lines = config["sets"], config["lines"]
+        expected = float(expected_colliding_lines(lines, sets))
+        mean = mean_colliding_lines(lines, sets, config["num_seeds"],
+                                    base_seed=config["base_seed"])
+        if abs(mean - expected) > config["tolerance"]:
+            return [("collision.birthday_mean",
+                     f"within {config['tolerance']} of {expected:.4f}",
+                     mean,
+                     "analytical/hashed.expected_colliding_lines vs the "
+                     "seed-averaged measured placement")]
+        return []
+    if kind == "l1l2-machine":
+        l1_sets, l2_sets = config["l1_sets"], config["l2_sets"]
+        l2_time, block = config["l2_hit_time"], config["block"]
+        assert 2 * l1_sets <= block <= l2_sets
+
+        def run(fast_path: bool):
+            machine = CCMachine(
+                MachineConfig(num_banks=config["banks"],
+                              memory_access_time=config["t_m"],
+                              cache_lines=l2_sets),
+                TwoLevelCache(l1_sets=l1_sets, l2_sets=l2_sets,
+                              l2_hit_time=l2_time, classify_misses=False),
+                fast_path=fast_path)
+            return machine.execute([
+                VectorLoad(base=0, stride=1, length=block),
+                VectorLoad(base=0, stride=1, length=block,
+                           expect_cached=True),
+            ])
+
+        report = run(fast_path=True)
+        detail = ("L1/L2 timing law through the CC machine "
+                  "(repro/machine/vector_machine.py, "
+                  "repro/cache/hierarchy.py)")
+        # the second sweep of B >= 2*L1 stride-1 lines misses the direct
+        # L1 everywhere and hits the inclusive L2 everywhere: exactly B
+        # L2 hits, each a non-pipelined l2_hit_time stall
+        if report.l2_hits != block:
+            return [("l1l2.report.l2_hits", block, report.l2_hits, detail)]
+        if report.miss_stall_cycles != block * l2_time:
+            return [("l1l2.report.miss_stall_cycles", block * l2_time,
+                     report.miss_stall_cycles, detail)]
+        slow = run(fast_path=False)
+        for field in _REPORT_FIELDS + ("l2_hits",):
+            expected = getattr(slow, field)
+            actual = getattr(report, field)
+            if expected != actual:
+                return [(f"l1l2.parity.{field}", expected, actual,
+                         detail + "; fast_path=True vs False")]
+        return []
+    if kind == "bicameral-isolation":
+        rng = random.Random(config["seed"])
+        cache = BicameralCache(
+            scalar_sets=config["scalar_sets"],
+            vector_c=config["vector_c"], classify_misses=False)
+        value = cache.vector.num_sets
+        base = 1 << 16
+        cache.mark_vector(base, base + value)
+        vector = np.arange(base, base + value, dtype=np.int64)
+        cache.access_many(vector)
+        hammer = np.asarray(
+            [rng.randrange(1 << 12) for _ in range(config["hammer"])],
+            dtype=np.int64)
+        cache.access_many(hammer)
+        before = cache.stats.misses
+        cache.access_many(vector)
+        evicted = cache.stats.misses - before
+        if evicted:
+            return [("bicameral.isolation", 0, evicted,
+                     "scalar hammering must never evict vector-half "
+                     "lines (repro/cache/bicameral.py)")]
+        return []
+    raise ValueError(f"unknown cache-zoo case kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -1304,6 +1630,11 @@ ORACLES: dict[str, Oracle] = {
             "vectorised surrogate engine vs the scalar analytical stack, "
             "element-wise over multi-t_m grids",
             _analytical_batched_cases, _check_analytical_batched),
+        Oracle(
+            "cache-zoo",
+            "bicameral routing, hashed indexing, collision laws and L1/L2 "
+            "hierarchies vs their scalar references and closed forms",
+            _zoo_cases, _check_zoo),
     )
 }
 

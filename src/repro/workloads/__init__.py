@@ -4,6 +4,7 @@ emitting the address trace the computation would issue on the paper's
 machines."""
 
 from repro.workloads.fft import blocked_fft_2d, fft_radix2
+from repro.workloads.irregular import bfs, hash_join, mergesort, spmv_csr
 from repro.workloads.layout import ArrayHandle, Workspace
 from repro.workloads.lu import blocked_lu, lu_decompose, split_lu
 from repro.workloads.matmul import blocked_matmul, naive_matmul
@@ -15,18 +16,22 @@ from repro.workloads.transpose import blocked_transpose, transpose
 __all__ = [
     "ArrayHandle",
     "Workspace",
+    "bfs",
     "blocked_fft_2d",
     "blocked_lu",
     "blocked_matmul",
     "blocked_transpose",
     "dot",
     "fft_radix2",
+    "hash_join",
     "jacobi",
     "jacobi_step",
     "matrix_sums",
     "lu_decompose",
+    "mergesort",
     "naive_matmul",
     "saxpy",
+    "spmv_csr",
     "split_lu",
     "strided_saxpy",
     "transpose",

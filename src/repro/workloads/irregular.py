@@ -1,0 +1,302 @@
+"""Traced irregular workloads the 1992 paper never saw.
+
+Four kernels with data-dependent (gather/pointer-chase) reference
+patterns — the access families where strided conflict analysis says
+nothing and cache organisations must win statistically:
+
+* :func:`spmv_csr` — sparse matrix-vector product over CSR storage:
+  unit-stride index/data streams plus a data-dependent gather of ``x``.
+* :func:`hash_join` — classic build/probe hash join with chained
+  buckets: pointer chases through a hash table.
+* :func:`bfs` — breadth-first search over a CSR graph: frontier-queue
+  driven neighbour gathers with visited-flag writes.
+* :func:`mergesort` — bottom-up merge sort: two sequential read runs
+  interleaved by a data-dependent comparison order, written back
+  sequentially.
+
+Each computes a numpy-verifiable result and emits the exact address
+sequence of its reference loop.  Like the regular kernels, every
+function takes ``columnar=`` — ``True`` builds block-granular address
+columns and emits them through :meth:`Trace.append_block`, ``False``
+runs the per-element reference loop — and the two paths are held
+bit-for-bit identical (same addresses, same order, same write flags)
+by the ``trace-columnar`` oracle and the workload equivalence tests.
+
+All randomness is seeded; sizes default small enough for test sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.records import Trace
+from repro.workloads.layout import Workspace
+
+__all__ = ["bfs", "hash_join", "mergesort", "spmv_csr"]
+
+
+def spmv_csr(rows: int = 48, cols: int = 64, nnz_per_row: int = 4, *,
+             seed: int = 0, columnar: bool = True
+             ) -> tuple[np.ndarray, Trace]:
+    """Sparse matrix-vector product ``y = A @ x`` over CSR storage.
+
+    Per row: read the two row pointers, then per non-zero an
+    (index read, value read, gathered ``x`` read) triple, then one
+    write of ``y[row]``.  The gather addresses are data-dependent —
+    the column pattern of the sparse matrix.
+
+    Returns ``(y, trace)``.
+    """
+    if rows <= 0 or cols <= 0 or not 0 < nnz_per_row <= cols:
+        raise ValueError("need rows, cols > 0 and 0 < nnz_per_row <= cols")
+    rng = np.random.default_rng(seed)
+    cols_per_row = [
+        np.sort(rng.choice(cols, size=nnz_per_row, replace=False))
+        for _ in range(rows)
+    ]
+    indices = np.concatenate(cols_per_row).astype(np.int64)
+    indptr = np.arange(0, rows * nnz_per_row + 1, nnz_per_row,
+                       dtype=np.int64)
+    values = rng.standard_normal(indices.size)
+    x = rng.standard_normal(cols)
+
+    ws = Workspace()
+    hptr = ws.vector("indptr", indptr)
+    hidx = ws.vector("indices", indices)
+    hval = ws.vector("values", values)
+    hx = ws.vector("x", x)
+    hy = ws.vector("y", np.zeros(rows))
+    trace = Trace(description=f"spmv_csr {rows}x{cols} nnz={indices.size}")
+
+    if columnar:
+        for r in range(rows):
+            start, end = int(indptr[r]), int(indptr[r + 1])
+            nnz = end - start
+            block = np.empty(2 + 3 * nnz + 1, dtype=np.int64)
+            block[0] = hptr.address(r)
+            block[1] = hptr.address(r + 1)
+            block[2:2 + 3 * nnz:3] = hidx.strided_addresses(nnz, start=start)
+            block[3:2 + 3 * nnz:3] = hval.strided_addresses(nnz, start=start)
+            block[4:2 + 3 * nnz:3] = hx.base + indices[start:end]
+            block[-1] = hy.address(r)
+            flags = np.zeros(block.size, dtype=bool)
+            flags[-1] = True
+            trace.append_block(block, write=flags)
+            hy.data[r] = values[start:end] @ x[indices[start:end]]
+        return hy.data, trace
+
+    for r in range(rows):
+        start = int(hptr.read(trace, r))
+        end = int(hptr.read(trace, r + 1))
+        acc = 0.0
+        for k in range(start, end):
+            col = int(hidx.read(trace, k))
+            val = hval.read(trace, k)
+            acc += val * hx.read(trace, col)
+        hy.write(trace, acc, r)
+    return hy.data, trace
+
+
+def hash_join(build_rows: int = 48, probe_rows: int = 96,
+              buckets: int = 16, *, key_space: int = 64, seed: int = 0,
+              columnar: bool = True) -> tuple[int, Trace]:
+    """Chained-bucket hash join; returns ``(match_count, trace)``.
+
+    Build phase (per build row): read the key, read the bucket head,
+    write the row's chain link, write the bucket head — a front
+    insertion.  Probe phase (per probe row): read the key, read the
+    bucket head, then chase the chain — per node a (build key read,
+    next link read) pair — counting every key match.
+    """
+    if build_rows <= 0 or probe_rows <= 0 or buckets <= 0:
+        raise ValueError("build_rows, probe_rows and buckets must be positive")
+    rng = np.random.default_rng(seed)
+    build_keys = rng.integers(0, key_space, build_rows, dtype=np.int64)
+    probe_keys = rng.integers(0, key_space, probe_rows, dtype=np.int64)
+
+    ws = Workspace()
+    hbk = ws.vector("build_keys", build_keys)
+    hpk = ws.vector("probe_keys", probe_keys)
+    hheads = ws.vector("heads", np.full(buckets, -1, dtype=np.int64))
+    hnext = ws.vector("next", np.full(build_rows, -1, dtype=np.int64))
+    trace = Trace(description=f"hash_join {build_rows}x{probe_rows} "
+                              f"buckets={buckets}")
+
+    matches = 0
+    if columnar:
+        # the chains are data, not layout: pre-run the untraced logic to
+        # learn each probe's chase sequence, then emit the exact blocks
+        heads = np.full(buckets, -1, dtype=np.int64)
+        links = np.full(build_rows, -1, dtype=np.int64)
+        for i in range(build_rows):
+            b = int(build_keys[i]) % buckets
+            block = np.array([hbk.address(i), hheads.address(b),
+                              hnext.address(i), hheads.address(b)],
+                             dtype=np.int64)
+            trace.append_block(
+                block, write=np.array([False, False, True, True]))
+            links[i] = heads[b]
+            heads[b] = i
+        hheads.data[:] = heads
+        hnext.data[:] = links
+        for j in range(probe_rows):
+            key = int(probe_keys[j])
+            b = key % buckets
+            addrs = [hpk.address(j), hheads.address(b)]
+            node = int(heads[b])
+            while node >= 0:
+                addrs.append(hbk.address(node))
+                addrs.append(hnext.address(node))
+                if int(build_keys[node]) == key:
+                    matches += 1
+                node = int(links[node])
+            trace.append_block(np.asarray(addrs, dtype=np.int64))
+        return matches, trace
+
+    for i in range(build_rows):
+        key = int(hbk.read(trace, i))
+        b = key % buckets
+        head = int(hheads.read(trace, b))
+        hnext.write(trace, head, i)
+        hheads.write(trace, i, b)
+    for j in range(probe_rows):
+        key = int(hpk.read(trace, j))
+        b = key % buckets
+        node = int(hheads.read(trace, b))
+        while node >= 0:
+            if int(hbk.read(trace, node)) == key:
+                matches += 1
+            node = int(hnext.read(trace, node))
+    return matches, trace
+
+
+def bfs(nodes: int = 96, avg_degree: int = 3, *, seed: int = 0,
+        columnar: bool = True) -> tuple[int, Trace]:
+    """Breadth-first search over a random CSR graph from node 0.
+
+    Per dequeued node: read it off the queue, read its two row
+    pointers, then per edge read the neighbour id and its visited
+    flag, writing the flag and a queue append for each discovery.
+    Returns ``(reached_count, trace)``.
+    """
+    if nodes <= 0 or avg_degree < 0:
+        raise ValueError("need nodes > 0 and avg_degree >= 0")
+    rng = np.random.default_rng(seed)
+    targets = [
+        np.unique(rng.integers(0, nodes, avg_degree)) for _ in range(nodes)
+    ]
+    adjacency = (np.concatenate(targets) if targets
+                 else np.empty(0, dtype=np.int64)).astype(np.int64)
+    indptr = np.zeros(nodes + 1, dtype=np.int64)
+    np.cumsum([t.size for t in targets], out=indptr[1:])
+
+    ws = Workspace()
+    hptr = ws.vector("indptr", indptr)
+    hadj = ws.vector("adjacency", adjacency)
+    hvisited = ws.vector("visited", np.zeros(nodes, dtype=np.int64))
+    hqueue = ws.vector("queue", np.full(nodes, -1, dtype=np.int64))
+    trace = Trace(description=f"bfs n={nodes} m={adjacency.size}")
+
+    if columnar:
+        visited = np.zeros(nodes, dtype=bool)
+        queue = [0]
+        visited[0] = True
+        trace.append_block(
+            np.array([hvisited.address(0), hqueue.address(0)],
+                     dtype=np.int64),
+            write=True)
+        hvisited.data[0] = 1
+        hqueue.data[0] = 0
+        head = 0
+        while head < len(queue):
+            u = queue[head]
+            addrs = [hqueue.address(head), hptr.address(u),
+                     hptr.address(u + 1)]
+            flags = [False, False, False]
+            head += 1
+            for k in range(int(indptr[u]), int(indptr[u + 1])):
+                v = int(adjacency[k])
+                addrs.append(hadj.address(k))
+                flags.append(False)
+                addrs.append(hvisited.address(v))
+                flags.append(False)
+                if not visited[v]:
+                    visited[v] = True
+                    addrs.append(hvisited.address(v))
+                    flags.append(True)
+                    addrs.append(hqueue.address(len(queue)))
+                    flags.append(True)
+                    hvisited.data[v] = 1
+                    hqueue.data[len(queue)] = v
+                    queue.append(v)
+            trace.append_block(np.asarray(addrs, dtype=np.int64),
+                               write=np.asarray(flags))
+        return len(queue), trace
+
+    hvisited.write(trace, 1, 0)
+    hqueue.write(trace, 0, 0)
+    head, tail = 0, 1
+    while head < tail:
+        u = int(hqueue.read(trace, head))
+        head += 1
+        start = int(hptr.read(trace, u))
+        end = int(hptr.read(trace, u + 1))
+        for k in range(start, end):
+            v = int(hadj.read(trace, k))
+            if not int(hvisited.read(trace, v)):
+                hvisited.write(trace, 1, v)
+                hqueue.write(trace, v, tail)
+                tail += 1
+    return tail, trace
+
+
+def mergesort(n: int = 96, *, seed: int = 0,
+              columnar: bool = True) -> tuple[np.ndarray, Trace]:
+    """Bottom-up merge sort of a random array; returns ``(sorted, trace)``.
+
+    Per merge pass, each output element costs one read (the run head
+    the comparison pops — ties pop the left run) and one sequential
+    write into the destination buffer; source and destination swap
+    every pass.  The read interleave is data-dependent: the merge
+    order of the two sorted runs.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    rng = np.random.default_rng(seed)
+    ws = Workspace()
+    ha = ws.vector("a", rng.standard_normal(n))
+    hb = ws.vector("b", np.zeros(n))
+    trace = Trace(description=f"mergesort n={n}")
+
+    src, dst = ha, hb
+    width = 1
+    while width < n:
+        for lo in range(0, n, 2 * width):
+            mid = min(lo + width, n)
+            hi = min(lo + 2 * width, n)
+            if columnar:
+                # stable argsort of the two concatenated sorted runs
+                # (ties keep left-run elements first) IS the two-pointer
+                # pop order, so the whole merge's read column falls out
+                order = lo + np.argsort(src.data[lo:hi], kind="stable")
+                block = np.empty(2 * (hi - lo), dtype=np.int64)
+                block[0::2] = src.base + order
+                block[1::2] = dst.base + np.arange(lo, hi, dtype=np.int64)
+                flags = np.zeros(block.size, dtype=bool)
+                flags[1::2] = True
+                trace.append_block(block, write=flags)
+                dst.data[lo:hi] = src.data[order]
+            else:
+                i, j = lo, mid
+                for k in range(lo, hi):
+                    if j >= hi or (i < mid
+                                   and src.data[i] <= src.data[j]):
+                        value = src.read(trace, i)
+                        i += 1
+                    else:
+                        value = src.read(trace, j)
+                        j += 1
+                    dst.write(trace, value, k)
+        src, dst = dst, src
+        width *= 2
+    return src.data, trace

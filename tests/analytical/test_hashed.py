@@ -1,0 +1,92 @@
+"""The birthday-paradox collision model for hashed cache indexing.
+
+Pins the closed forms (limits, monotonicity, exact small-case algebra),
+the per-seed sweep law ``exact_colliding_lines == second_sweep_misses``
+(the bridge between the analytical model and the simulator), and the
+statistical convergence of the concrete splitmix64 placement to the
+uniform-hash expectation.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytical.hashed import (
+    exact_colliding_lines,
+    expected_colliding_lines,
+    expected_distinct_sets,
+    mean_colliding_lines,
+    second_sweep_misses,
+)
+
+
+class TestClosedForms:
+    def test_single_line_never_collides(self):
+        for sets in (1, 2, 64, 1024):
+            assert float(expected_colliding_lines(1, sets)) == 0.0
+
+    def test_two_lines_one_set_always_collide(self):
+        assert float(expected_colliding_lines(2, 1)) == pytest.approx(2.0)
+        assert float(expected_distinct_sets(100, 1)) == pytest.approx(1.0)
+
+    def test_two_lines_algebra(self):
+        """E[collisions] for B=2 is exactly 2/S."""
+        for sets in (2, 16, 64):
+            assert float(expected_colliding_lines(2, sets)) == \
+                pytest.approx(2.0 / sets)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=1, max_value=512),
+           st.integers(min_value=1, max_value=512))
+    def test_bounds_and_complement(self, lines, sets):
+        collide = float(expected_colliding_lines(lines, sets))
+        distinct = float(expected_distinct_sets(lines, sets))
+        assert 0.0 <= collide <= lines
+        assert 0.0 < distinct <= min(lines, sets) + 1e-9
+        # more lines into the same sets -> more expected collisions
+        assert float(expected_colliding_lines(lines + 1, sets)) >= collide
+
+    def test_broadcasts_over_arrays(self):
+        lines = np.array([1, 8, 32])
+        out = expected_colliding_lines(lines, 64)
+        assert out.shape == (3,)
+        assert out[0] == 0.0 and np.all(np.diff(out) > 0)
+
+
+class TestSweepLaw:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=1, max_value=96),
+           st.integers(min_value=1, max_value=128),
+           st.integers(min_value=0, max_value=2**40),
+           st.integers(min_value=0, max_value=2**20))
+    def test_exact_collisions_equal_second_sweep_misses(
+            self, lines, sets, seed, base):
+        """The law that grounds the analytical model in the simulator:
+        the second sweep over B distinct lines misses exactly on the
+        non-singleton sets of the actual placement."""
+        assert exact_colliding_lines(lines, sets, seed, base_line=base) \
+            == second_sweep_misses(lines, sets, seed, base_line=base)
+
+    def test_mean_is_the_average_of_exacts(self):
+        direct = sum(exact_colliding_lines(16, 32, seed)
+                     for seed in range(50)) / 50
+        assert mean_colliding_lines(16, 32, 50) == pytest.approx(direct)
+
+    def test_mean_requires_seeds(self):
+        with pytest.raises(ValueError):
+            mean_colliding_lines(8, 8, 0)
+
+
+class TestHashUniformity:
+    def test_seed_mean_tracks_the_uniform_expectation(self):
+        """The oracle's statistical contract, at its pinned points: the
+        splitmix64 placement's seed-mean collision count stays within
+        the tolerance the cache-zoo oracle enforces."""
+        for sets, lines, tolerance in ((4, 4, 0.15), (8, 8, 0.20)):
+            expected = float(expected_colliding_lines(lines, sets))
+            measured = mean_colliding_lines(lines, sets, num_seeds=16384)
+            assert math.isclose(measured, expected, abs_tol=tolerance), \
+                (sets, lines, measured, expected)

@@ -1,0 +1,159 @@
+"""The four cache-zoo studies and their orchestrator wiring.
+
+Each study is checked for shape (headers, contender coverage) and for
+the headline it exists to show: bicameral isolation + prime mapping
+beats the unified organisations on contended strides, the hashed
+seed-mean tracks the birthday-paradox curve, the L1/L2 composition
+strictly improves on either level alone, and the irregular workloads
+rank organisations without any strided structure to exploit.
+"""
+
+import pytest
+
+from repro.experiments.cache_zoo import (
+    zoo_bicameral_vs_prime,
+    zoo_hashed_collision,
+    zoo_hierarchy,
+    zoo_irregular,
+)
+
+SMALL = dict(strides=(1, 8, 128), length=96, sweeps=3)
+
+
+class TestBicameralVsPrime:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return zoo_bicameral_vs_prime(**SMALL)
+
+    def test_shape(self, result):
+        assert result.headers[:2] == ["stride", "organisation"]
+        organisations = {row[1] for row in result.rows}
+        assert organisations == {"direct", "prime",
+                                 "bicameral-direct", "bicameral-prime"}
+        assert len(result.rows) == 3 * 4
+
+    def test_conflicted_stride_separates_the_contenders(self, result):
+        """Stride 128 pins the unified direct cache while the vector
+        sweep also thrashes the scalar working set; both bicameral
+        organisations shield the scalar half."""
+        direct = result.row(128, "direct")
+        bic_prime = result.row(128, "bicameral-prime")
+        assert bic_prime[2] > direct[2]        # hit ratio
+        assert bic_prime[4] < direct[4]        # stall cycles
+
+    def test_prime_vector_half_beats_direct_vector_half(self, result):
+        """Inside the bicameral split, the paper's mapping still wins
+        the power-of-two strides."""
+        assert result.row(128, "bicameral-prime")[2] >= \
+            result.row(128, "bicameral-direct")[2]
+
+    def test_isolation_shows_even_at_stride_one(self, result):
+        """The unified caches pay conflicts from the vector sweep
+        aliasing the scalar hot set; the split halves pay none."""
+        assert result.row(1, "direct")[3] > 0
+        assert result.row(1, "bicameral-direct")[3] == 0
+        assert result.row(1, "bicameral-prime")[3] == 0
+
+
+class TestHashedCollision:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return zoo_hashed_collision(set_counts=(16, 64),
+                                    fills=(0.5, 1.0),
+                                    sim_seeds=2, law_seeds=512)
+
+    def test_shape(self, result):
+        assert result.headers[0] == "sets"
+        assert len(result.rows) == 4
+
+    def test_law_mean_tracks_the_expectation(self, result):
+        """The exact-placement seed-mean stays near the uniform-hash
+        closed form (loose bound — the oracle holds the tight one)."""
+        for row in result.rows:
+            sets, lines, expected, law_mean = row[:4]
+            assert abs(law_mean - expected) < max(0.35, 0.05 * lines), row
+
+    def test_collisions_grow_with_fill(self, result):
+        assert result.row(64, 64)[2] > result.row(64, 32)[2]
+
+
+class TestHierarchy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return zoo_hierarchy(strides=(1, 8), block=96, reuse=3)
+
+    def test_shape(self, result):
+        organisations = {row[1] for row in result.rows}
+        assert organisations == {"l1-only", "l2-only", "l1+l2"}
+
+    def test_hierarchy_converts_memory_misses_to_l2_hits(self, result):
+        """The reuse sweeps fit L2 but not L1: the hierarchy turns
+        l1-only's repeated memory misses into cheap L2 hits (fewer
+        cycles), while matching the big single-level cache's miss
+        stream — what it pays over "l2-only" is exactly the modelled
+        L2 latency that a free-hit flat cache ignores."""
+        combined = result.row(1, "l1+l2")
+        l1_only = result.row(1, "l1-only")
+        l2_only = result.row(1, "l2-only")
+        assert combined[2] < l1_only[2]            # cycles
+        assert combined[5] == l2_only[5]           # same misses
+        assert combined[2] >= l2_only[2]           # L2 latency paid
+
+    def test_l2_hits_only_exist_in_the_hierarchy(self, result):
+        assert result.row(1, "l1+l2")[4] > 0
+        assert result.row(1, "l1-only")[4] == 0
+        assert result.row(1, "l2-only")[4] == 0
+
+    def test_power_of_two_stride_defeats_every_level(self, result):
+        """Stride 8 folds the 96-line sweep onto 32 of the 256 direct-
+        mapped L2 sets — the whole hierarchy thrashes identically,
+        which is exactly the pathology the prime/hashed organisations
+        exist to remove."""
+        rows = [result.row(8, org)
+                for org in ("l1-only", "l2-only", "l1+l2")]
+        assert rows[0][2:] == rows[1][2:] == rows[2][2:]
+        assert result.row(8, "l1+l2")[4] == 0  # no L2 hits survive
+
+
+class TestIrregular:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return zoo_irregular(seed=0)
+
+    def test_every_workload_races_every_organisation(self, result):
+        workloads = {row[0] for row in result.rows}
+        assert workloads == {"spmv-csr", "hash-join", "bfs", "mergesort"}
+        for workload in workloads:
+            organisations = {row[1] for row in result.rows
+                             if row[0] == workload}
+            assert organisations == {"direct", "assoc-2w",
+                                     "prime", "hashed"}
+
+    def test_metrics_are_sane(self, result):
+        for row in result.rows:
+            hit_ratio, misses = row[2], row[3]
+            assert 0.0 <= hit_ratio <= 1.0
+            assert misses > 0  # compulsory misses at minimum
+
+
+class TestRegistryWiring:
+    def test_zoo_jobs_registered_and_default(self):
+        from repro.orchestrate import all_jobs, default_sweep
+
+        jobs = all_jobs()
+        for name in ("zoo-bicameral-vs-prime", "zoo-hashed-collision",
+                     "zoo-hierarchy", "zoo-irregular"):
+            assert name in jobs
+            assert name in default_sweep()
+            assert jobs[name].artifact.endswith(".txt")
+        assert "smoke-zoo-hashed" in jobs
+        assert "smoke-zoo-hashed" not in default_sweep()
+
+    def test_smoke_job_runs_through_the_runner(self, tmp_path):
+        from repro.orchestrate import ResultStore, Runner, all_jobs
+
+        runner = Runner(all_jobs().values(), store=ResultStore(tmp_path),
+                        results_dir=tmp_path)
+        summary = runner.run(["smoke-zoo-hashed"])
+        assert summary.ok
+        assert (tmp_path / "smoke_zoo_hashed.txt").exists()

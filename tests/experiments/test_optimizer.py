@@ -5,6 +5,7 @@ import pytest
 
 from repro.experiments.optimizer import (
     MERSENNE_EXPONENTS,
+    MODELED_MAPPINGS,
     VERIFY_TOLERANCES,
     optimize_search,
     render_optimize,
@@ -83,6 +84,55 @@ class TestOptimizeSearch:
         import json
 
         json.dumps(optimize_search(**SMALL_GRID))
+
+
+class TestUnmodeledMappings:
+    """The search used to drop simulator-only mappings into the assoc
+    axis and crash deep inside the batched surrogate; now it refuses
+    them loudly up front unless told to skip them."""
+
+    def test_unmodeled_mapping_raises_a_clear_error(self):
+        with pytest.raises(ValueError) as excinfo:
+            optimize_search(**{**SMALL_GRID,
+                               "mappings": ("prime", "hashed")})
+        message = str(excinfo.value)
+        assert "hashed" in message
+        assert "--allow-unmodeled" in message
+        assert all(m in message for m in MODELED_MAPPINGS)
+
+    def test_allow_unmodeled_filters_and_echoes(self):
+        grid = {**SMALL_GRID,
+                "mappings": ("prime", "hashed", "bicameral")}
+        result = optimize_search(**grid, allow_unmodeled=True)
+        assert result["unmodeled"] == ["hashed", "bicameral"]
+        assert {p["mapping"] for p in result["front"]} <= {"prime"}
+        baseline = optimize_search(**{**SMALL_GRID,
+                                      "mappings": ("prime",)})
+        assert result["evaluated"] == baseline["evaluated"]
+
+    def test_modeled_only_search_has_no_unmodeled_echo(self):
+        result = optimize_search(**SMALL_GRID)
+        assert result["unmodeled"] == []
+        assert "WARNING" not in render_optimize(result)
+
+    def test_render_warns_about_skipped_mappings(self):
+        grid = {**SMALL_GRID, "mappings": ("direct", "hashed")}
+        result = optimize_search(**grid, allow_unmodeled=True)
+        text = render_optimize(result)
+        assert "WARNING" in text
+        assert "hashed" in text
+
+    def test_cli_exposes_the_flag_and_the_choices(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["optimize", "--mappings", "prime", "hashed",
+             "--allow-unmodeled"])
+        assert args.mappings == ["prime", "hashed"]
+        assert args.allow_unmodeled
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["optimize", "--mappings", "victim"])
 
 
 class TestVerification:

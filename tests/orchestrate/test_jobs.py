@@ -41,7 +41,11 @@ class TestRegistry:
         assert not any(name.startswith("smoke-") for name in default)
         assert set(figure_job_names()) <= set(default)
         assert set(smoke_sweep()) <= set(jobs)
-        assert len(smoke_sweep()) == 2
+        assert smoke_sweep() == (
+            "smoke-fig7-simulated",
+            "smoke-fig8-simulated",
+            "smoke-zoo-hashed",
+        )
 
     def test_report_consumes_every_figure(self):
         report = all_jobs()["report"]

@@ -33,8 +33,8 @@ class TestCommittedBaselines:
 
 
 class TestMetricSets:
-    def test_three_layers_covered(self):
-        assert set(METRIC_SETS) == {"figures", "replay", "machine"}
+    def test_layers_covered(self):
+        assert set(METRIC_SETS) == {"figures", "replay", "machine", "zoo"}
 
     def test_figures_metrics_cover_every_figure(self):
         metrics = compute_metrics("figures")

@@ -8,7 +8,9 @@ class TestCatalogue:
         # the three faults the issue names, the two this codebase nearly
         # shipped, the columnar block-boundary fault, the two
         # compiled-kernel faults the kernel-backend oracle must catch,
-        # plus the broadcast-collapse fault the batched surrogate invites
+        # the broadcast-collapse fault the batched surrogate invites,
+        # plus the three cache-zoo faults (seed fold, routing boundary,
+        # collision exponent)
         assert set(MUTATIONS) == {
             "fold-modulus-off-by-one",
             "dropped-bank-busy-stall",
@@ -19,6 +21,9 @@ class TestCatalogue:
             "kernel-write-allocate-dropped",
             "kernel-belady-sentinel-pinned",
             "batched-broadcast-collapse",
+            "hashed-seed-fold-dropped",
+            "bicameral-boundary-misrouted",
+            "collision-exponent-off-by-one",
         }
 
     def test_expected_oracles_exist(self):

@@ -8,7 +8,7 @@ from repro.verify import ORACLES, DifferentialRunner, default_oracles
 
 
 class TestRegistry:
-    def test_the_eight_oracles_are_registered(self):
+    def test_the_nine_oracles_are_registered(self):
         assert set(ORACLES) == {
             "cache-batch",
             "machine-timing",
@@ -18,6 +18,7 @@ class TestRegistry:
             "trace-columnar",
             "kernel-backend",
             "analytical-batched",
+            "cache-zoo",
         }
 
     def test_names_and_descriptions(self):

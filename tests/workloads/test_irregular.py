@@ -1,0 +1,130 @@
+"""The four irregular workloads: results vs numpy, columnar vs scalar.
+
+Each kernel must (a) compute the right answer — checked against an
+independent numpy/pure-python reference — and (b) emit the *same trace*
+from its block-granular columnar path as from the per-element scalar
+loop, bit-for-bit: addresses, order, and write flags.  The data-dependent
+parts (gather columns, chain chases, frontier order, merge interleave)
+are exactly where the two paths are easiest to get subtly wrong, which
+is why hypothesis drives the shapes and seeds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.irregular import bfs, hash_join, mergesort, spmv_csr
+
+seeds = st.integers(min_value=0, max_value=2**16)
+
+
+def assert_same_trace(columnar, scalar):
+    assert len(columnar) == len(scalar)
+    addresses_c, writes_c = columnar.as_arrays()
+    addresses_s, writes_s = scalar.as_arrays()
+    assert np.array_equal(addresses_c, addresses_s)
+    dense_c = (writes_c if writes_c is not None
+               else np.zeros(addresses_c.size, dtype=bool))
+    dense_s = (writes_s if writes_s is not None
+               else np.zeros(addresses_s.size, dtype=bool))
+    assert np.array_equal(dense_c, dense_s)
+
+
+def both(kernel, *args, **kwargs):
+    value_c, trace_c = kernel(*args, columnar=True, **kwargs)
+    value_s, trace_s = kernel(*args, columnar=False, **kwargs)
+    assert_same_trace(trace_c, trace_s)
+    return value_c, value_s
+
+
+class TestSpmvCsr:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 24), st.integers(4, 40), seeds)
+    def test_paths_agree_and_product_is_right(self, rows, cols, seed):
+        nnz = min(4, cols)
+        y_c, y_s = both(spmv_csr, rows, cols, nnz, seed=seed)
+        np.testing.assert_allclose(y_c, y_s)
+        # rebuild the dense matrix from the same seeded draw
+        rng = np.random.default_rng(seed)
+        cols_per_row = [np.sort(rng.choice(cols, size=nnz, replace=False))
+                        for _ in range(rows)]
+        indices = np.concatenate(cols_per_row)
+        values = rng.standard_normal(indices.size)
+        x = rng.standard_normal(cols)
+        dense = np.zeros((rows, cols))
+        for r in range(rows):
+            dense[r, indices[r * nnz:(r + 1) * nnz]] = \
+                values[r * nnz:(r + 1) * nnz]
+        np.testing.assert_allclose(y_c, dense @ x)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            spmv_csr(0, 8, 2)
+        with pytest.raises(ValueError):
+            spmv_csr(4, 8, 9)
+
+
+class TestHashJoin:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 32), st.integers(1, 48),
+           st.sampled_from([1, 4, 16]), seeds)
+    def test_paths_agree_and_count_is_right(self, build, probe, buckets,
+                                            seed):
+        matches_c, matches_s = both(hash_join, build, probe, buckets,
+                                    seed=seed)
+        assert matches_c == matches_s
+        rng = np.random.default_rng(seed)
+        build_keys = rng.integers(0, 64, build, dtype=np.int64)
+        probe_keys = rng.integers(0, 64, probe, dtype=np.int64)
+        brute = int((probe_keys[:, None] == build_keys[None, :]).sum())
+        assert matches_c == brute
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            hash_join(0, 8, 4)
+
+
+class TestBfs:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 48), st.integers(0, 4), seeds)
+    def test_paths_agree_and_reach_is_right(self, nodes, degree, seed):
+        reached_c, reached_s = both(bfs, nodes, degree, seed=seed)
+        assert reached_c == reached_s
+        # independent reachability: boolean closure from node 0
+        rng = np.random.default_rng(seed)
+        targets = [np.unique(rng.integers(0, nodes, degree))
+                   for _ in range(nodes)]
+        reachable = {0}
+        frontier = [0]
+        while frontier:
+            u = frontier.pop()
+            for v in targets[u]:
+                if int(v) not in reachable:
+                    reachable.add(int(v))
+                    frontier.append(int(v))
+        assert reached_c == len(reachable)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            bfs(0)
+
+
+class TestMergesort:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 80), seeds)
+    def test_paths_agree_and_sort_is_right(self, n, seed):
+        sorted_c, sorted_s = both(mergesort, n, seed=seed)
+        np.testing.assert_array_equal(sorted_c, sorted_s)
+        rng = np.random.default_rng(seed)
+        np.testing.assert_array_equal(sorted_c,
+                                      np.sort(rng.standard_normal(n)))
+
+    def test_single_element_is_trivially_sorted(self):
+        value, trace = mergesort(1)
+        assert value.size == 1
+        assert len(trace) == 0  # width-1 array: no merge pass runs
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            mergesort(0)
